@@ -1,0 +1,188 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+1. **Breadth score variant** — ``intersection`` (our canonical reading of
+   Algorithm 2) vs ``union`` (Equation 6 as printed) vs ``count`` (the bare
+   utility of Equation 5).  Measured by top-10 overlap against the canonical
+   variant and by hidden-action TPR: the union variant degenerates toward
+   "longest implementations win".
+2. **Best Match distance** — cosine vs euclidean vs manhattan (Equation 10
+   leaves the metric open).
+3. **Best Match vectors** — count (Equation 8) vs boolean (Equation 7); the
+   paper argues counts matter because one action can serve a goal through
+   several implementations.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.eval import (
+    average_list_overlap,
+    average_true_positive_rate,
+    format_table,
+)
+
+
+def _variant_lists(harness, strategy, **options):
+    return [
+        harness.recommender.recommend(
+            user.observed, k=harness.k, strategy=strategy, **options
+        )
+        for user in harness.split
+    ]
+
+
+def _ablation_rows(harness, strategy, option_name, values, canonical):
+    hidden = harness.hidden_sets()
+    baseline_lists = _variant_lists(
+        harness, strategy, **{option_name: canonical}
+    )
+    rows = []
+    for value in values:
+        lists = _variant_lists(harness, strategy, **{option_name: value})
+        rows.append(
+            [
+                f"{option_name}={value}",
+                average_list_overlap(lists, baseline_lists),
+                average_true_positive_rate(lists, hidden),
+            ]
+        )
+    return rows
+
+
+def test_ablation_breadth_variants(fortythree_harness, benchmark):
+    rows = benchmark.pedantic(
+        _ablation_rows,
+        args=(
+            fortythree_harness,
+            "breadth",
+            "variant",
+            ("intersection", "union", "count"),
+            "intersection",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(
+        "ablation_breadth",
+        format_table(
+            ["variant", "overlap_vs_canonical", "avg_tpr_top10"],
+            rows,
+            title="Ablation (43things): Breadth score variants",
+        ),
+    )
+    values = {row[0]: row for row in rows}
+    assert values["variant=intersection"][1] == 1.0
+    # The canonical reading should recover hidden actions at least as well
+    # as the union reading (Equation 6 as printed).
+    assert (
+        values["variant=intersection"][2] >= values["variant=union"][2]
+    )
+
+
+def test_ablation_best_match_distances(fortythree_harness, benchmark):
+    rows = benchmark.pedantic(
+        _ablation_rows,
+        args=(
+            fortythree_harness,
+            "best_match",
+            "distance",
+            ("cosine", "euclidean", "manhattan"),
+            "cosine",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(
+        "ablation_best_match_distance",
+        format_table(
+            ["distance", "overlap_vs_cosine", "avg_tpr_top10"],
+            rows,
+            title="Ablation (43things): Best Match distance metrics",
+        ),
+    )
+    assert rows[0][1] == 1.0  # cosine vs itself
+
+
+def test_ablation_best_match_vectors(fortythree_harness, benchmark):
+    rows = benchmark.pedantic(
+        _ablation_rows,
+        args=(
+            fortythree_harness,
+            "best_match",
+            "vector_mode",
+            ("count", "boolean"),
+            "count",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish(
+        "ablation_best_match_vectors",
+        format_table(
+            ["vector_mode", "overlap_vs_count", "avg_tpr_top10"],
+            rows,
+            title="Ablation (43things): Best Match vector modes (Eq. 7 vs 8)",
+        ),
+    )
+    assert rows[0][1] == 1.0
+
+
+def test_ablation_hybrid_alpha(foodmart_harness, benchmark):
+    """Hybrid goal+content (the paper's future work): sweep the blend.
+
+    alpha=0 is pure Breadth; alpha=1 ranks the goal-grounded candidate set
+    purely by content similarity.  Reported: overlap with pure Breadth, the
+    average recipe completeness (the goal signal) and the internal content
+    similarity of the lists (the content signal) — the blend should trade
+    one for the other monotonically at the extremes.
+    """
+    from repro.eval import average_pairwise_similarity, goal_completeness_after, usefulness_summary
+
+    harness = foodmart_harness
+    features = harness.dataset.item_features
+    similarity = harness.content_similarity()
+
+    def sweep():
+        rows = []
+        pure = None
+        for alpha in (0.0, 0.25, 0.5, 0.75, 1.0):
+            lists = [
+                harness.recommender.recommend(
+                    user.observed, k=harness.k, strategy="hybrid",
+                    item_features=features, alpha=alpha,
+                )
+                for user in harness.split
+            ]
+            if pure is None:
+                pure = lists
+            completeness = usefulness_summary(
+                [
+                    goal_completeness_after(harness.model, user.observed, rec)
+                    for user, rec in zip(harness.split, lists)
+                ]
+            )
+            content = average_pairwise_similarity(lists, similarity)
+            rows.append(
+                [
+                    f"alpha={alpha:g}",
+                    average_list_overlap(lists, pure),
+                    completeness.avg_avg,
+                    content.average,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish(
+        "ablation_hybrid_alpha",
+        format_table(
+            ["blend", "overlap_vs_breadth", "goal_completeness", "content_sim"],
+            rows,
+            title="Ablation (foodmart): hybrid goal+content blend sweep",
+        ),
+    )
+    values = {row[0]: row for row in rows}
+    assert values["alpha=0"][1] == 1.0
+    # Full content weight must produce the most content-coherent lists.
+    assert values["alpha=1"][3] >= values["alpha=0"][3]

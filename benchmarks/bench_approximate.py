@@ -1,0 +1,70 @@
+"""Sampled Breadth: accuracy/latency trade-off (extension).
+
+Section 6.2's exact mechanisms pay for the whole implementation space; the
+sampled variant caps the per-request work.  This bench sweeps the sample
+budget on the grocery harness and reports top-10 agreement with exact
+Breadth, hidden-action TPR, and mean latency — the curve an operator would
+use to pick a budget.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import publish
+
+from repro.core.approximate import SampledBreadthStrategy
+from repro.eval import (
+    average_list_overlap,
+    average_true_positive_rate,
+    format_table,
+)
+
+BUDGETS = (25, 100, 400, 10_000_000)  # the last one is effectively exact
+
+
+def _tradeoff_rows(harness):
+    exact_lists = harness.run_goal_method("breadth")
+    hidden = harness.hidden_sets()
+    rows = []
+    for budget in BUDGETS:
+        strategy = SampledBreadthStrategy(max_implementations=budget, seed=0)
+        start = time.perf_counter()
+        lists = [
+            strategy.recommend(
+                harness.model,
+                harness.model.encode_activity(user.observed),
+                k=harness.k,
+            )
+            for user in harness.split
+        ]
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                "exact" if budget >= 10_000_000 else f"budget={budget}",
+                average_list_overlap(lists, exact_lists),
+                average_true_positive_rate(lists, hidden),
+                elapsed / len(lists) * 1e3,
+            ]
+        )
+    return rows
+
+
+def test_sampled_breadth_tradeoff(foodmart_harness, benchmark):
+    rows = benchmark.pedantic(
+        _tradeoff_rows, args=(foodmart_harness,), rounds=1, iterations=1
+    )
+    publish(
+        "approximate_breadth",
+        format_table(
+            ["setting", "overlap_vs_exact", "avg_tpr", "mean_ms"],
+            rows,
+            title="Sampled Breadth (foodmart): accuracy vs latency",
+        ),
+    )
+    values = {row[0]: row for row in rows}
+    assert values["exact"][1] == 1.0
+    # Agreement must grow with the budget.
+    assert values["budget=400"][1] >= values["budget=25"][1]
+    # The smallest budget must actually be cheaper than exact.
+    assert values["budget=25"][3] < values["exact"][3]

@@ -1,0 +1,103 @@
+"""Beyond-accuracy comparison (extension; paper §1 cites this literature).
+
+The paper argues goal-based recommendation differs from the
+serendipity/novelty/diversity line of work by being *principled* — driven by
+explicit targets.  This bench quantifies where the goal-based methods land
+on those axes anyway, against the baselines, plus a paired-bootstrap
+significance check on the headline Figure 4 (TPR) comparison.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.core import PAPER_STRATEGIES
+from repro.eval import (
+    average_intra_list_distance,
+    catalog_coverage,
+    format_table,
+    gini_concentration,
+    novelty,
+    paired_bootstrap_test,
+    true_positive_rate,
+)
+
+
+def _beyond_rows(harness, methods):
+    activities = harness.observed_activities()
+    similarity = harness.content_similarity()
+    catalog = harness.model.num_actions
+    rows = []
+    for method in methods:
+        if method in PAPER_STRATEGIES:
+            lists = harness.run_goal_method(method)
+        else:
+            lists = harness.run_baseline(method)
+        rows.append(
+            [
+                method,
+                average_intra_list_distance(lists, similarity),
+                novelty(lists, activities),
+                catalog_coverage(lists, catalog),
+                gini_concentration(lists),
+            ]
+        )
+    return rows
+
+
+def test_beyond_accuracy_foodmart(foodmart_harness, benchmark):
+    methods = ("content", "cf_knn", "cf_mf", "popularity") + PAPER_STRATEGIES
+    rows = benchmark.pedantic(
+        _beyond_rows, args=(foodmart_harness, methods), rounds=1, iterations=1
+    )
+    publish(
+        "beyond_foodmart",
+        format_table(
+            ["method", "diversity", "novelty", "coverage", "gini"],
+            rows,
+            title="Beyond-accuracy (foodmart): diversity / novelty / coverage",
+        ),
+    )
+    values = {row[0]: row for row in rows}
+    # Content's homogeneous lists must be the least diverse (Table 5 dual);
+    # popularity must explore the catalogue least (it recommends the same
+    # handful of items to everyone, so its *coverage* collapses).
+    for strategy in PAPER_STRATEGIES:
+        assert values[strategy][1] > values["content"][1]
+    assert values["popularity"][3] == min(row[3] for row in rows)
+
+
+def test_tpr_significance_fortythree(fortythree_harness, benchmark):
+    """Figure 4's goal-based advantage must survive a paired bootstrap."""
+    harness = fortythree_harness
+    hidden = harness.hidden_sets()
+
+    def per_user_tpr(lists):
+        return [
+            true_positive_rate(rec, user_hidden)
+            for rec, user_hidden in zip(lists, hidden)
+        ]
+
+    def compare():
+        breadth = per_user_tpr(harness.run_goal_method("breadth"))
+        cf = per_user_tpr(harness.run_baseline("cf_knn"))
+        return paired_bootstrap_test(breadth, cf, seed=0)
+
+    result = benchmark.pedantic(compare, rounds=1, iterations=1)
+    publish(
+        "significance_tpr_fortythree",
+        format_table(
+            ["comparison", "mean_diff", "p_value", "significant@0.05"],
+            [
+                [
+                    "breadth vs cf_knn (TPR)",
+                    result.mean_difference,
+                    result.p_value,
+                    str(result.significant()),
+                ]
+            ],
+            title="Paired bootstrap (43things): goal-based TPR advantage",
+        ),
+    )
+    assert result.mean_difference > 0
+    assert result.significant()

@@ -1,0 +1,96 @@
+"""Ensemble fusion and per-segment error analysis (extensions).
+
+1. Rank-fusing the goal-based strategies should be competitive with the
+   best individual member on both datasets without knowing the regime —
+   the hedge Table 4's dataset-dependent winners motivate.
+2. The error analysis slices the 43Things TPR by the user's goal count,
+   exposing *which users* each method serves best.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.eval import average_true_positive_rate, format_table
+from repro.eval.error_analysis import compare_methods_bucketed, goal_count
+from repro.eval.repeated import tpr_metric
+
+MEMBERS = ("focus_cmp", "breadth", "best_match")
+
+
+def _ensemble_lists(harness):
+    return [
+        harness.recommender.recommend(
+            user.observed, k=harness.k, strategy="ensemble", members=MEMBERS
+        )
+        for user in harness.split
+    ]
+
+
+def test_ensemble_competitive(foodmart_harness, fortythree_harness, benchmark):
+    def run():
+        rows = []
+        for harness in (foodmart_harness, fortythree_harness):
+            hidden = harness.hidden_sets()
+            member_tprs = {
+                name: average_true_positive_rate(
+                    harness.run_goal_method(name), hidden
+                )
+                for name in MEMBERS
+            }
+            fused = average_true_positive_rate(_ensemble_lists(harness), hidden)
+            rows.append(
+                [harness.dataset.name]
+                + [member_tprs[name] for name in MEMBERS]
+                + [fused]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "ensemble_tpr",
+        format_table(
+            ["dataset"] + list(MEMBERS) + ["ensemble_rrf"],
+            rows,
+            title="Ensemble fusion: TPR vs individual members",
+        ),
+    )
+    for row in rows:
+        members_best = max(row[1:4])
+        members_worst = min(row[1:4])
+        fused = row[4]
+        # The fusion must never fall below the worst member and should sit
+        # near the best one (within 15% relative).
+        assert fused >= members_worst
+        assert fused >= 0.85 * members_best
+
+
+def test_error_analysis_by_goal_count(fortythree_harness, benchmark):
+    harness = fortythree_harness
+
+    def run():
+        method_lists = {
+            "breadth": harness.run_goal_method("breadth"),
+            "focus_cmp": harness.run_goal_method("focus_cmp"),
+            "cf_knn": harness.run_baseline("cf_knn"),
+        }
+        return compare_methods_bucketed(
+            list(harness.split),
+            method_lists,
+            tpr_metric,
+            goal_count,
+            bin_edges=(1, 2, 6),
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "error_analysis_goal_count",
+        format_table(
+            ["goals", "users", "breadth", "cf_knn", "focus_cmp"],
+            rows,
+            title="TPR by user goal count (43things)",
+        ),
+    )
+    # Goal-based methods must beat CF within every segment, not just overall.
+    for row in rows:
+        assert max(row[2], row[4]) > row[3]

@@ -1,0 +1,50 @@
+"""Paper Figure 7: per-request execution time as the library grows.
+
+The paper's findings: all four mechanisms scale to millions of
+implementations; execution time is driven by connectivity more than raw
+library size; Breadth is the most efficient mechanism; and within the Focus
+pair the completeness variant costs more than the closeness variant (set
+intersection vs asymmetric difference).  Expected shape here: latency grows
+with library scale for every strategy, and Breadth's mean latency is below
+Best Match's at the largest scale (Best Match does strictly more work — it
+builds a vector per candidate on top of Breadth-like traversal).
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.eval import format_table
+from repro.eval.timing import DEFAULT_SCALES, run_scaling_study
+
+
+def test_fig7_scaling(benchmark):
+    rows = benchmark.pedantic(
+        run_scaling_study, kwargs={"scales": DEFAULT_SCALES, "seed": 7},
+        rounds=1, iterations=1,
+    )
+    table_rows = [
+        [
+            row.scale,
+            row.num_implementations,
+            row.connectivity,
+            row.strategy,
+            row.mean_seconds * 1e3,
+        ]
+        for row in rows
+    ]
+    publish(
+        "fig7_scaling",
+        format_table(
+            ["scale", "impls", "connectivity", "strategy", "mean_ms"],
+            table_rows,
+            title="Figure 7: mean per-request latency vs library scale",
+        ),
+    )
+    by_key = {(row.scale, row.strategy): row.mean_seconds for row in rows}
+    largest = DEFAULT_SCALES[-1].label
+    smallest = DEFAULT_SCALES[0].label
+    for strategy in ("focus_cmp", "focus_cl", "breadth", "best_match"):
+        assert by_key[(largest, strategy)] > by_key[(smallest, strategy)]
+    # Best Match strictly extends Breadth's work with per-candidate vectors.
+    assert by_key[(largest, "breadth")] < by_key[(largest, "best_match")]

@@ -1,0 +1,47 @@
+"""The full method leaderboard (extension).
+
+Every implemented method — the four goal-based strategies and the complete
+baseline family including the related-work Markov model and BPR — on one
+table with the headline metrics.  Expected shape: every goal-based method
+outranks every history-based method on TPR/NDCG/MRR/completeness on the
+sparse life-goal dataset.
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.core import PAPER_STRATEGIES
+from repro.eval import format_table
+from repro.eval.leaderboard import LeaderboardRow, build_leaderboard
+
+METHODS = PAPER_STRATEGIES + (
+    "cf_knn", "item_knn", "cf_mf", "bpr", "markov", "assoc_rules", "popularity",
+)
+
+
+def test_leaderboard_fortythree(fortythree_harness, benchmark):
+    rows = benchmark.pedantic(
+        build_leaderboard,
+        args=(fortythree_harness, METHODS),
+        rounds=1,
+        iterations=1,
+    )
+    publish(
+        "leaderboard_fortythree",
+        format_table(
+            LeaderboardRow.headers(),
+            [row.as_list() for row in rows],
+            title="Leaderboard (43things): all methods, headline metrics",
+        ),
+    )
+    by_method = {row.method: row for row in rows}
+    baselines = [m for m in METHODS if m not in PAPER_STRATEGIES]
+    for metric in ("avg_tpr", "ndcg", "mrr", "completeness"):
+        best_goal = max(
+            getattr(by_method[s], metric) for s in PAPER_STRATEGIES
+        )
+        best_baseline = max(
+            getattr(by_method[b], metric) for b in baselines
+        )
+        assert best_goal > best_baseline, metric

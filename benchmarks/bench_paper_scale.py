@@ -1,0 +1,66 @@
+"""Paper-scale smoke run (opt-in: set REPRO_PAPER_SCALE=1).
+
+Generates the 43Things scenario at the *published* counts (18 047
+implementations, 3 747 goals, 8 071 users) and times one pass of every
+strategy over a user sample — evidence that the index structures hold up at
+the paper's actual scale, not just at benchmark scale.  The foodmart
+paper-scale config (56.5K recipes of ~33 ingredients) takes minutes to
+generate and is left to the `repro report` path.
+
+Skipped by default so the regular benchmark run stays fast.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from conftest import publish
+
+from repro.core import AssociationGoalModel, GoalRecommender, PAPER_STRATEGIES
+from repro.data import FortyThreeConfig, generate_fortythree
+from repro.eval import format_table
+from repro.utils.timing import Stopwatch
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_PAPER_SCALE") != "1",
+    reason="paper-scale run is opt-in (REPRO_PAPER_SCALE=1)",
+)
+
+
+def test_paper_scale_fortythree(benchmark):
+    def run():
+        dataset = generate_fortythree(FortyThreeConfig.paper_scale(), seed=1)
+        model = AssociationGoalModel.from_library(dataset.library)
+        recommender = GoalRecommender(model)
+        watch = Stopwatch()
+        sample = [user.full_activity for user in dataset.users[:200]]
+        for strategy in PAPER_STRATEGIES:
+            for activity in sample:
+                with watch.measure(strategy):
+                    recommender.recommend(activity, k=10, strategy=strategy)
+        stats = model.stats()
+        rows = [
+            [
+                summary.name,
+                stats.num_implementations,
+                stats.connectivity,
+                summary.mean * 1e3,
+            ]
+            for summary in watch.summaries()
+        ]
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish(
+        "paper_scale_fortythree",
+        format_table(
+            ["strategy", "impls", "connectivity", "mean_ms"],
+            rows,
+            title="Paper-scale 43things: per-request latency",
+        ),
+    )
+    # Per-request latency must stay interactive at the published scale.
+    for row in rows:
+        assert row[3] < 500.0

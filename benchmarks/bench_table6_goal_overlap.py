@@ -1,0 +1,74 @@
+"""Paper Table 6: top-10 overlap among the goal-based methods themselves.
+
+The paper's findings: Best Match and Breadth overlap heavily (98% grocery /
+79% 43Things — on dense libraries Breadth effectively considers the whole
+goal space, converging to Best Match); the Focus pair overlaps 35.6% / 78%;
+Focus methods overlap Breadth/Best Match at 40-70%; and every overlap is
+higher on 43Things than on the grocery dataset.  Expected shape here:
+Breadth-BestMatch is the largest overlap on both datasets and every
+goal-based pair overlaps far more than goal-based vs baselines (Table 2).
+"""
+
+from __future__ import annotations
+
+from conftest import publish
+
+from repro.core import PAPER_STRATEGIES
+from repro.eval import average_list_overlap, format_table
+
+
+def _pairwise_rows(harness):
+    lists = harness.run_goal_methods()
+    rows = []
+    for a in PAPER_STRATEGIES:
+        row = [a]
+        for b in PAPER_STRATEGIES:
+            row.append(
+                1.0 if a == b else average_list_overlap(lists[a], lists[b])
+            )
+        rows.append(row)
+    return rows
+
+
+def _check_breadth_bestmatch_highest(rows):
+    cells = {}
+    for row in rows:
+        for name, value in zip(PAPER_STRATEGIES, row[1:]):
+            if row[0] != name:
+                cells[(row[0], name)] = value
+    top_pair = cells[("breadth", "best_match")]
+    for (a, b), value in cells.items():
+        if {a, b} != {"breadth", "best_match"}:
+            assert top_pair >= value, (
+                f"breadth/best_match ({top_pair:.3f}) should dominate "
+                f"{a}/{b} ({value:.3f})"
+            )
+
+
+def test_table6_foodmart(foodmart_harness, benchmark):
+    rows = benchmark.pedantic(
+        _pairwise_rows, args=(foodmart_harness,), rounds=1, iterations=1
+    )
+    publish(
+        "table6_foodmart",
+        format_table(
+            ["method"] + list(PAPER_STRATEGIES),
+            rows,
+            title="Table 6 (foodmart): overlap among goal-based methods",
+        ),
+    )
+    _check_breadth_bestmatch_highest(rows)
+
+
+def test_table6_fortythree(fortythree_harness, benchmark):
+    rows = benchmark.pedantic(
+        _pairwise_rows, args=(fortythree_harness,), rounds=1, iterations=1
+    )
+    publish(
+        "table6_fortythree",
+        format_table(
+            ["method"] + list(PAPER_STRATEGIES),
+            rows,
+            title="Table 6 (43things): overlap among goal-based methods",
+        ),
+    )

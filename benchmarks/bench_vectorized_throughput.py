@@ -1,0 +1,87 @@
+"""Throughput: vectorized batch engine vs reference strategies (extension).
+
+`BatchRecommender` is asserted bit-identical to the reference strategies in
+the unit tests; this bench quantifies the speedup on the grocery scenario's
+bulk workload using pytest-benchmark's proper multi-round timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import publish
+
+from repro.core.vectorized import BatchRecommender
+from repro.eval import format_table
+
+BULK = 50  # carts per timed call
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    foodmart = request.getfixturevalue("foodmart_harness")
+    batch = BatchRecommender(foodmart.model)
+    activities = [user.observed for user in foodmart.split][:BULK]
+    return foodmart, batch, activities
+
+
+@pytest.mark.parametrize("strategy", ["breadth", "best_match"])
+def test_reference_bulk(setup, benchmark, strategy):
+    harness, _, activities = setup
+    benchmark(
+        lambda: [
+            harness.recommender.recommend(a, k=10, strategy=strategy)
+            for a in activities
+        ]
+    )
+
+
+@pytest.mark.parametrize("strategy", ["breadth", "best_match"])
+def test_vectorized_bulk(setup, benchmark, strategy):
+    _, batch, activities = setup
+    benchmark(lambda: batch.recommend_many(list(activities), k=10, strategy=strategy))
+
+
+def test_speedup_summary(setup, benchmark):
+    """One-shot wall-clock comparison persisted alongside the other tables."""
+    import time
+
+    harness, batch, activities = setup
+
+    def measure():
+        rows = []
+        for strategy in ("breadth", "best_match"):
+            start = time.perf_counter()
+            reference = [
+                harness.recommender.recommend(a, k=10, strategy=strategy)
+                for a in activities
+            ]
+            reference_s = time.perf_counter() - start
+            start = time.perf_counter()
+            vectorized = batch.recommend_many(
+                list(activities), k=10, strategy=strategy
+            )
+            vectorized_s = time.perf_counter() - start
+            assert all(
+                r.actions() == v.actions()
+                for r, v in zip(reference, vectorized)
+            )
+            rows.append(
+                [
+                    strategy,
+                    reference_s * 1e3,
+                    vectorized_s * 1e3,
+                    reference_s / vectorized_s,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    publish(
+        "vectorized_throughput",
+        format_table(
+            ["strategy", "reference_ms", "vectorized_ms", "speedup"],
+            rows,
+            title=f"Vectorized engine: {BULK}-cart bulk scoring (foodmart)",
+        ),
+    )

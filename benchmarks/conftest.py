@@ -1,0 +1,60 @@
+"""Shared benchmark fixtures: one harness per scenario, built once.
+
+The benchmarks mirror the paper's Section 6 experiments at a laptop-friendly
+scale (the generators accept ``paper_scale()`` configs for a full-size run).
+Every bench prints its table to stdout and also writes it under
+``benchmarks/results/`` so the regenerated rows survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.data import (
+    FoodMartConfig,
+    FortyThreeConfig,
+    generate_foodmart,
+    generate_fortythree,
+)
+from repro.eval import ExperimentHarness
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmark-scale configurations: the same *shape* as the paper's datasets
+#: (dense grocery vs sparse life goals), two orders of magnitude smaller.
+FOODMART_CONFIG = FoodMartConfig(
+    num_products=240,
+    num_categories=24,
+    num_recipes=1500,
+    num_carts=400,
+)
+FORTYTHREE_CONFIG = FortyThreeConfig(
+    num_goals=400,
+    num_actions=1500,
+    num_implementations=1900,
+    num_families=40,
+    num_users=800,
+)
+MAX_USERS = 150
+TOP_K = 10
+
+
+@pytest.fixture(scope="session")
+def foodmart_harness() -> ExperimentHarness:
+    dataset = generate_foodmart(FOODMART_CONFIG, seed=0)
+    return ExperimentHarness(dataset, k=TOP_K, max_users=MAX_USERS, seed=0)
+
+
+@pytest.fixture(scope="session")
+def fortythree_harness() -> ExperimentHarness:
+    dataset = generate_fortythree(FORTYTHREE_CONFIG, seed=1)
+    return ExperimentHarness(dataset, k=TOP_K, max_users=MAX_USERS, seed=0)
+
+
+def publish(name: str, table: str) -> None:
+    """Print a result table and persist it under ``benchmarks/results``."""
+    print(f"\n{table}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(table + "\n", encoding="utf-8")

@@ -1,0 +1,61 @@
+"""Course planning: the paper's online-learning motivation, end to end.
+
+Specializations are goals, their tracks are implementations, courses are
+actions.  For one student partway through a track, compare what each
+strategy suggests next, show the ensemble fusion, and render a structured
+explanation of the top suggestion.
+
+Run:  python examples/course_planner.py
+"""
+
+from repro.core import AssociationGoalModel, GoalRecommender
+from repro.core.explain import explain_action, render_explanation
+from repro.core.goal_inference import GoalInferencer
+from repro.data import LearningConfig, generate_learning
+
+
+def main() -> None:
+    dataset = generate_learning(LearningConfig.tiny(), seed=2)
+    print(dataset.summary(), "\n")
+
+    model = AssociationGoalModel.from_library(dataset.library)
+    recommender = GoalRecommender(model)
+
+    student = next(u for u in dataset.users if len(u.goals) == 2)
+    print(f"{student.user_id} is enrolled toward: {', '.join(student.goals)}")
+    print(f"completed {len(student.full_activity)} courses\n")
+
+    inferred = GoalInferencer(model, scorer="coverage").infer(
+        student.full_activity, top=3
+    )
+    print("the model's guess at the student's targets:")
+    for goal, score in inferred:
+        marker = "✓" if goal in student.goals else " "
+        print(f"  [{marker}] {goal}  ({score:.2f})")
+    print()
+
+    strategies = ("focus_cmp", "breadth", "best_match", "ensemble")
+    for strategy in strategies:
+        options = (
+            {"members": ("focus_cmp", "breadth", "best_match")}
+            if strategy == "ensemble"
+            else {}
+        )
+        result = recommender.recommend(
+            student.full_activity, k=3, strategy=strategy, **options
+        )
+        print(f"{strategy:>10}: {', '.join(map(str, result.actions()))}")
+
+    top = recommender.recommend(
+        student.full_activity, k=1, strategy="focus_cmp"
+    ).actions()[0]
+    print()
+    print(
+        render_explanation(
+            explain_action(model, student.full_activity, top)
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

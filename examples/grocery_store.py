@@ -1,0 +1,56 @@
+"""Grocery scenario end to end: synthetic FoodMart-style data, all methods.
+
+Generates a grocery world (products in categories, recipes as goal
+implementations, carts as user activities), then compares the four
+goal-based strategies against content-based and collaborative baselines on
+one cart — printing, for each method, the recommended products and how
+complete the shopper's reachable recipes would become.
+
+Run:  python examples/grocery_store.py
+"""
+
+from repro import AssociationGoalModel, GoalRecommender, PAPER_STRATEGIES
+from repro.baselines import CFKnnRecommender, ContentBasedRecommender
+from repro.data import FoodMartConfig, generate_foodmart
+from repro.eval import goal_completeness_after
+
+
+def main() -> None:
+    dataset = generate_foodmart(FoodMartConfig.tiny(), seed=0)
+    print(dataset.summary(), "\n")
+
+    model = AssociationGoalModel.from_library(dataset.library)
+    recommender = GoalRecommender(model)
+
+    # Train the baselines on every other shopper's cart.
+    carts = dataset.activities()
+    cart = carts[0]
+    training = carts[1:]
+    knn = CFKnnRecommender().fit(training)
+    content = ContentBasedRecommender(dataset.item_features).fit(training)
+
+    print(f"shopper's cart ({len(cart)} products): {sorted(cart)[:6]}...")
+    print(f"reachable recipes: {len(model.goal_space_labels(cart))}\n")
+
+    results = {
+        name: recommender.recommend(cart, k=5, strategy=name)
+        for name in PAPER_STRATEGIES
+    }
+    results["cf_knn"] = knn.recommend(cart, k=5)
+    results["content"] = content.recommend(cart, k=5)
+
+    print(f"{'method':>10}  {'avg recipe completeness':>24}  recommendations")
+    for name, result in results.items():
+        summary = goal_completeness_after(model, cart, result)
+        top = ", ".join(result.actions()[:3])
+        print(f"{name:>10}  {summary.average:>24.3f}  {top}")
+
+    print(
+        "\nGoal-based methods pick products that finish recipes the cart "
+        "already started; content picks same-category products; CF picks "
+        "what similar shoppers bought."
+    )
+
+
+if __name__ == "__main__":
+    main()

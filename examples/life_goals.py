@@ -1,0 +1,50 @@
+"""Life-goal scenario: the paper's 43Things setting, end to end.
+
+Generates a sparse life-goal world (goal families, low action connectivity,
+users pursuing 1-6 goals), hides 70% of one user's activity exactly as the
+paper's protocol does, and shows how well each goal-based strategy recovers
+the hidden actions and advances the user's *true* goals.
+
+Run:  python examples/life_goals.py
+"""
+
+from repro import AssociationGoalModel, GoalRecommender, PAPER_STRATEGIES
+from repro.data import FortyThreeConfig, generate_fortythree
+from repro.eval import goal_completeness_after, make_split, true_positive_rate
+
+
+def main() -> None:
+    dataset = generate_fortythree(FortyThreeConfig.tiny(), seed=1)
+    print(dataset.summary(), "\n")
+
+    model = AssociationGoalModel.from_library(dataset.library)
+    recommender = GoalRecommender(model)
+    split = make_split(dataset, observed_fraction=0.3, seed=0)
+
+    # Pick a multi-goal user so the strategies can disagree.
+    user = next(u for u in split if len(u.user.goals) >= 2)
+    print(f"user {user.user.user_id} pursues: {', '.join(user.user.goals)}")
+    print(
+        f"observed {len(user.observed)} of "
+        f"{len(user.user.full_activity)} actions\n"
+    )
+
+    header = f"{'method':>10}  {'TPR':>5}  {'goal completeness':>18}  top actions"
+    print(header)
+    for strategy in PAPER_STRATEGIES:
+        result = recommender.recommend(user.observed, k=10, strategy=strategy)
+        tpr = true_positive_rate(result, user.hidden)
+        summary = goal_completeness_after(
+            model, user.observed, result, goals=user.user.goals
+        )
+        top = ", ".join(result.actions()[:3])
+        print(f"{strategy:>10}  {tpr:>5.2f}  {summary.average:>18.3f}  {top}")
+
+    print(
+        "\nTPR counts recommended actions the user had actually performed "
+        "(they were hidden); completeness is over the user's true goals."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Goal/action association recommendations.
+
+A from-scratch, laptop-scale reproduction of *"Modeling and Exploiting Goal
+and Action Associations for Recommendations"* (Papadimitriou, Velegrakis,
+Koutrika — EDBT 2018).
+
+The package ships:
+
+- :mod:`repro.core` — the association-based goal model and the four
+  goal-based ranking strategies (Focus_cmp, Focus_cl, Breadth, Best Match);
+- :mod:`repro.baselines` — the comparison recommenders the paper evaluates
+  against (CF-KNN with Tanimoto similarity, ALS-WR matrix factorization,
+  content-based filtering) plus association rules and popularity;
+- :mod:`repro.data` — synthetic generators matching the paper's two dataset
+  profiles (FoodMart-style grocery/recipes and 43Things-style life goals);
+- :mod:`repro.text` — rule-based extraction of goal implementations from
+  plain-text descriptions;
+- :mod:`repro.storage` — JSON and SQLite persistence for libraries;
+- :mod:`repro.eval` — the 30%-observed evaluation protocol, every metric of
+  the paper's Section 6 and the experiment harness the benchmarks drive.
+
+Quickstart::
+
+    from repro import AssociationGoalModel, GoalRecommender
+
+    model = AssociationGoalModel.from_pairs([
+        ("olivier salad", {"potatoes", "carrots", "pickles"}),
+        ("mashed potatoes", {"potatoes", "nutmeg", "butter"}),
+    ])
+    print(GoalRecommender(model).recommend({"potatoes", "carrots"}).actions())
+"""
+
+from repro.core import (
+    AssociationGoalModel,
+    BestMatchStrategy,
+    BreadthStrategy,
+    FocusStrategy,
+    GoalImplementation,
+    GoalRecommender,
+    ImplementationLibrary,
+    LibraryStats,
+    PAPER_STRATEGIES,
+    RecommendationList,
+    ScoredAction,
+    UserActivity,
+    create_strategy,
+)
+from repro.exceptions import (
+    DataError,
+    EvaluationError,
+    ModelError,
+    RecommendationError,
+    ReproError,
+    StorageError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssociationGoalModel",
+    "GoalRecommender",
+    "GoalImplementation",
+    "ImplementationLibrary",
+    "LibraryStats",
+    "UserActivity",
+    "ScoredAction",
+    "RecommendationList",
+    "FocusStrategy",
+    "BreadthStrategy",
+    "BestMatchStrategy",
+    "create_strategy",
+    "PAPER_STRATEGIES",
+    "ReproError",
+    "ModelError",
+    "RecommendationError",
+    "DataError",
+    "StorageError",
+    "EvaluationError",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Baseline recommenders the paper compares against (Section 6).
+
+- :class:`CFKnnRecommender` — user-based nearest-neighbour collaborative
+  filtering with Tanimoto (Jaccard) similarity over implicit feedback;
+- :class:`CFMatrixFactorizationRecommender` — ALS with weighted-λ
+  regularization (ALS-WR, the algorithm behind Mahout's factorizer);
+- :class:`ContentBasedRecommender` — domain-feature vector profiles;
+- :class:`AssociationRuleRecommender` — frequent-itemset rules, the
+  popularity-driven contrast discussed in the paper's related work;
+- :class:`PopularityRecommender` — trivial most-popular baseline.
+
+All baselines share the :class:`BaselineRecommender` interface: ``fit`` on a
+corpus of user activities, then ``recommend`` for an arbitrary (possibly
+unseen) activity — the same input the goal-based strategies receive, so the
+evaluation harness can drive every method uniformly.
+"""
+
+from repro.baselines.association_rules import AssociationRuleRecommender
+from repro.baselines.base import BaselineRecommender, ItemIndex
+from repro.baselines.bpr import BPRRecommender
+from repro.baselines.cf_knn import CFKnnRecommender, tanimoto
+from repro.baselines.cf_mf import CFMatrixFactorizationRecommender
+from repro.baselines.content import ContentBasedRecommender
+from repro.baselines.item_knn import ItemKnnRecommender
+from repro.baselines.markov import MarkovRecommender
+from repro.baselines.popularity import PopularityRecommender
+
+__all__ = [
+    "BaselineRecommender",
+    "ItemIndex",
+    "CFKnnRecommender",
+    "ItemKnnRecommender",
+    "BPRRecommender",
+    "tanimoto",
+    "CFMatrixFactorizationRecommender",
+    "ContentBasedRecommender",
+    "AssociationRuleRecommender",
+    "MarkovRecommender",
+    "PopularityRecommender",
+]

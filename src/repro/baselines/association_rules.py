@@ -1,0 +1,157 @@
+"""Association-rule recommender (the paper's Section 2 contrast).
+
+The paper argues that association-rule mining cannot replicate goal-based
+recommendations because rules only surface *popular* co-occurrences, whereas
+goal implementations justify combinations regardless of how often users have
+bought them together.  To make that argument measurable we implement the
+classic pipeline:
+
+1. Apriori mining of frequent itemsets up to ``max_itemset_size`` (pairs by
+   default — the standard choice for recommendation rules) above a minimum
+   support;
+2. rule generation ``X → y`` with a minimum confidence;
+3. scoring: for an activity ``H``, every rule with ``X ⊆ H`` votes for its
+   consequent with weight ``confidence · support`` (so strong *and* popular
+   rules dominate, which is precisely the popularity bias the paper
+   criticizes and Table 3 quantifies).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.baselines.base import BaselineRecommender
+from repro.utils.validation import require_positive, require_probability
+
+
+@dataclass(frozen=True, slots=True)
+class AssociationRule:
+    """A mined rule ``antecedent → consequent`` with its statistics."""
+
+    antecedent: frozenset[int]
+    consequent: int
+    support: float
+    confidence: float
+
+
+class AssociationRuleRecommender(BaselineRecommender):
+    """Recommend consequents of rules whose antecedents the activity covers.
+
+    Args:
+        min_support: minimum fraction of training activities an itemset must
+            appear in.
+        min_confidence: minimum rule confidence.
+        max_itemset_size: largest frequent itemset mined (2 = pair rules).
+    """
+
+    name = "assoc_rules"
+
+    def __init__(
+        self,
+        min_support: float = 0.01,
+        min_confidence: float = 0.1,
+        max_itemset_size: int = 2,
+    ) -> None:
+        super().__init__()
+        require_probability(min_support, "min_support")
+        require_probability(min_confidence, "min_confidence")
+        require_positive(max_itemset_size, "max_itemset_size")
+        if max_itemset_size < 2:
+            raise ValueError("max_itemset_size must be at least 2 to form rules")
+        self.min_support = min_support
+        self.min_confidence = min_confidence
+        self.max_itemset_size = max_itemset_size
+        self.rules: list[AssociationRule] = []
+        self._rules_by_antecedent: dict[frozenset[int], list[AssociationRule]] = {}
+
+    # ------------------------------------------------------------------
+    # Mining (Apriori)
+    # ------------------------------------------------------------------
+
+    def _frequent_itemsets(
+        self, activities: list[frozenset[int]]
+    ) -> dict[frozenset[int], float]:
+        """All frequent itemsets up to ``max_itemset_size`` with supports."""
+        num_activities = len(activities)
+        min_count = self.min_support * num_activities
+
+        # Level 1.
+        counts: dict[int, int] = defaultdict(int)
+        for activity in activities:
+            for item in activity:
+                counts[item] += 1
+        frequent: dict[frozenset[int], float] = {
+            frozenset((item,)): count / num_activities
+            for item, count in counts.items()
+            if count >= min_count
+        }
+        current_level = {itemset for itemset in frequent if len(itemset) == 1}
+
+        # Levels 2..max: candidate generation + counting, with activities
+        # pruned to frequent singletons to keep combinations() small.
+        frequent_items = {next(iter(s)) for s in current_level}
+        for size in range(2, self.max_itemset_size + 1):
+            level_counts: dict[frozenset[int], int] = defaultdict(int)
+            for activity in activities:
+                pruned = sorted(activity & frequent_items)
+                if len(pruned) < size:
+                    continue
+                for combo in combinations(pruned, size):
+                    candidate = frozenset(combo)
+                    # Apriori pruning: all (size-1)-subsets must be frequent.
+                    if size == 2 or all(
+                        candidate - {item} in frequent for item in candidate
+                    ):
+                        level_counts[candidate] += 1
+            next_level = {
+                itemset: count / num_activities
+                for itemset, count in level_counts.items()
+                if count >= min_count
+            }
+            if not next_level:
+                break
+            frequent.update(next_level)
+            current_level = set(next_level)
+        return frequent
+
+    def _fit(self, activities: list[frozenset[int]]) -> None:
+        frequent = self._frequent_itemsets(activities)
+        rules: list[AssociationRule] = []
+        for itemset, support in frequent.items():
+            if len(itemset) < 2:
+                continue
+            for consequent in itemset:
+                antecedent = itemset - {consequent}
+                antecedent_support = frequent.get(antecedent)
+                if antecedent_support is None or antecedent_support == 0.0:
+                    continue
+                confidence = support / antecedent_support
+                if confidence >= self.min_confidence:
+                    rules.append(
+                        AssociationRule(antecedent, consequent, support, confidence)
+                    )
+        rules.sort(
+            key=lambda r: (-r.confidence, -r.support, sorted(r.antecedent), r.consequent)
+        )
+        self.rules = rules
+        by_antecedent: dict[frozenset[int], list[AssociationRule]] = defaultdict(list)
+        for rule in rules:
+            by_antecedent[rule.antecedent].append(rule)
+        self._rules_by_antecedent = dict(by_antecedent)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+
+    def _score(self, activity: frozenset[int]) -> dict[int, float]:
+        scores: dict[int, float] = defaultdict(float)
+        max_antecedent = self.max_itemset_size - 1
+        items = sorted(activity)
+        for size in range(1, min(max_antecedent, len(items)) + 1):
+            for combo in combinations(items, size):
+                for rule in self._rules_by_antecedent.get(frozenset(combo), ()):
+                    if rule.consequent not in activity:
+                        scores[rule.consequent] += rule.confidence * rule.support
+        return dict(scores)

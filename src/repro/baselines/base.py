@@ -1,0 +1,145 @@
+"""Shared interface and item interning for the baseline recommenders.
+
+The paper evaluates its goal-based strategies against classic recommenders
+that learn from a *corpus of user activities* (carts, life-goal actions).
+:class:`BaselineRecommender` fixes the contract: :meth:`fit` consumes the
+corpus once, :meth:`recommend` answers for any activity — including one that
+belongs to no training user, exactly how the harness queries both families.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+
+from repro.core.entities import ActionLabel, RecommendationList, ScoredAction
+from repro.exceptions import RecommendationError
+
+
+class ItemIndex:
+    """Bidirectional label <-> dense-integer-id mapping for items.
+
+    The same role ``A-idx`` plays in the goal model, reused by every
+    baseline so scoring can run over integer arrays.
+    """
+
+    def __init__(self) -> None:
+        self._label_to_id: dict[ActionLabel, int] = {}
+        self._labels: list[ActionLabel] = []
+
+    def intern(self, label: ActionLabel) -> int:
+        """Return the id of ``label``, assigning a new one if unseen."""
+        item_id = self._label_to_id.get(label)
+        if item_id is None:
+            item_id = len(self._labels)
+            self._label_to_id[label] = item_id
+            self._labels.append(label)
+        return item_id
+
+    def get(self, label: ActionLabel) -> int | None:
+        """Id of ``label`` or ``None`` when the label was never interned."""
+        return self._label_to_id.get(label)
+
+    def label(self, item_id: int) -> ActionLabel:
+        """Label of ``item_id``."""
+        return self._labels[item_id]
+
+    def encode(self, labels: Iterable[ActionLabel]) -> frozenset[int]:
+        """Ids of the known labels in ``labels``; unknown ones are dropped."""
+        encoded = set()
+        for label in labels:
+            item_id = self._label_to_id.get(label)
+            if item_id is not None:
+                encoded.add(item_id)
+        return frozenset(encoded)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: ActionLabel) -> bool:
+        return label in self._label_to_id
+
+
+class BaselineRecommender(ABC):
+    """Base class of every baseline.
+
+    Subclasses implement :meth:`_fit` and :meth:`_score`; this class owns
+    validation, interning, determinism (score desc, item id asc) and the
+    conversion to :class:`RecommendationList`.
+    """
+
+    #: Registry/display name; subclasses override.
+    name: str = "baseline"
+
+    def __init__(self) -> None:
+        self.items = ItemIndex()
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(
+        self, activities: Sequence[Iterable[ActionLabel]]
+    ) -> "BaselineRecommender":
+        """Train on a corpus of user activities; returns ``self``."""
+        if not activities:
+            raise RecommendationError(
+                f"{self.name}: cannot fit on an empty corpus"
+            )
+        encoded: list[frozenset[int]] = []
+        for activity in activities:
+            # Sorted interning keeps item ids (and so tie-breaking and any
+            # id-ordered sampling) identical across processes regardless of
+            # PYTHONHASHSEED.
+            ids = frozenset(
+                self.items.intern(label) for label in sorted(activity, key=str)
+            )
+            if ids:
+                encoded.append(ids)
+        if not encoded:
+            raise RecommendationError(
+                f"{self.name}: every training activity is empty"
+            )
+        self._fit(encoded)
+        self._fitted = True
+        return self
+
+    @abstractmethod
+    def _fit(self, activities: list[frozenset[int]]) -> None:
+        """Subclass hook: train on id-encoded activities."""
+
+    # ------------------------------------------------------------------
+    # Recommending
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def _score(self, activity: frozenset[int]) -> dict[int, float]:
+        """Subclass hook: score candidate item ids for an encoded activity.
+
+        Must not include items of ``activity`` itself.
+        """
+
+    def recommend(
+        self, activity: Iterable[ActionLabel], k: int = 10
+    ) -> RecommendationList:
+        """Top-``k`` items for ``activity`` (labels in, labels out).
+
+        Unknown items in the activity carry no training signal and are
+        ignored.  Raises :class:`RecommendationError` when called before
+        :meth:`fit` or with a non-positive ``k``.
+        """
+        if not self._fitted:
+            raise RecommendationError(f"{self.name}: recommend() before fit()")
+        if k <= 0:
+            raise RecommendationError(f"k must be positive, got {k}")
+        encoded = self.items.encode(activity)
+        scores = self._score(encoded)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:k]
+        items = tuple(
+            ScoredAction(action=self.items.label(item_id), score=score)
+            for item_id, score in ranked
+        )
+        return RecommendationList(
+            strategy=self.name, items=items, activity=frozenset(activity)
+        )

@@ -1,0 +1,112 @@
+"""Bayesian Personalized Ranking (BPR-MF) baseline.
+
+Rendle et al. (UAI 2009): learn matrix-factorization embeddings by
+stochastic gradient descent on *pairwise* preferences — for a user ``u``,
+an observed item ``i`` should outscore a random unobserved item ``j``:
+
+``maximize Σ ln σ(x_ui − x_uj) − λ‖Θ‖²``
+
+BPR optimizes ranking directly (unlike ALS-WR's squared error), making it
+the strongest classic implicit-feedback baseline and a natural addition to
+the paper's comparison set.  Query activities outside the training set are
+folded in by averaging the embeddings of their known items — the standard
+cold-user treatment for pairwise MF.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineRecommender
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require_positive
+
+
+class BPRRecommender(BaselineRecommender):
+    """BPR matrix factorization over implicit feedback.
+
+    Args:
+        num_factors: embedding dimensionality.
+        num_epochs: SGD passes over the positive interactions.
+        learning_rate: SGD step size.
+        regularization: L2 weight on user and item embeddings.
+        seed: RNG seed (initialization and negative sampling).
+    """
+
+    name = "bpr"
+
+    def __init__(
+        self,
+        num_factors: int = 16,
+        num_epochs: int = 20,
+        learning_rate: float = 0.05,
+        regularization: float = 0.01,
+        seed: SeedLike = 0,
+    ) -> None:
+        super().__init__()
+        require_positive(num_factors, "num_factors")
+        require_positive(num_epochs, "num_epochs")
+        require_positive(learning_rate, "learning_rate")
+        require_positive(regularization, "regularization")
+        self.num_factors = num_factors
+        self.num_epochs = num_epochs
+        self.learning_rate = learning_rate
+        self.regularization = regularization
+        self._rng = make_rng(seed)
+        self.user_factors: np.ndarray | None = None
+        self.item_factors: np.ndarray | None = None
+
+    def _fit(self, activities: list[frozenset[int]]) -> None:
+        num_users = len(activities)
+        num_items = len(self.items)
+        rng = self._rng
+        users = rng.normal(scale=0.1, size=(num_users, self.num_factors))
+        items = rng.normal(scale=0.1, size=(num_items, self.num_factors))
+        positives = [
+            (user, item)
+            for user, activity in enumerate(activities)
+            for item in sorted(activity)
+        ]
+        positive_sets = activities
+        lr = self.learning_rate
+        reg = self.regularization
+        for _ in range(self.num_epochs):
+            order = rng.permutation(len(positives))
+            # Pre-draw the negative candidates for the epoch in one call.
+            negatives = rng.integers(0, num_items, size=len(positives))
+            for position, index in enumerate(order):
+                user, positive = positives[index]
+                negative = int(negatives[position])
+                # Resample until j is truly unobserved for u (few retries
+                # in sparse data).
+                while negative in positive_sets[user]:
+                    negative = int(rng.integers(num_items))
+                wu = users[user]
+                hi = items[positive]
+                hj = items[negative]
+                x = float(wu @ (hi - hj))
+                # σ(−x): gradient weight of the logistic loss.
+                weight = 1.0 / (1.0 + np.exp(x))
+                users[user] = wu + lr * (weight * (hi - hj) - reg * wu)
+                items[positive] = hi + lr * (weight * wu - reg * hi)
+                items[negative] = hj + lr * (-weight * wu - reg * hj)
+        self.user_factors = users
+        self.item_factors = items
+
+    def fold_in(self, activity: frozenset[int]) -> np.ndarray:
+        """Cold-user embedding: mean of the activity's item embeddings."""
+        assert self.item_factors is not None, "fold_in before fit"
+        if not activity:
+            return np.zeros(self.num_factors)
+        ids = np.fromiter(sorted(activity), dtype=np.int64)
+        return self.item_factors[ids].mean(axis=0)
+
+    def _score(self, activity: frozenset[int]) -> dict[int, float]:
+        assert self.item_factors is not None
+        user_vector = self.fold_in(activity)
+        predictions = self.item_factors @ user_vector
+        return {
+            item: float(predictions[item])
+            for item in range(len(self.items))
+            if item not in activity
+        }

@@ -1,0 +1,155 @@
+"""Markov next-action prediction (the paper's related-work family, §2).
+
+The paper contrasts goal-based recommendation with the *goal and next
+action inference* literature — systems predicting the next action in a
+sequence with probabilistic state-transition models (Markov models, Bayesian
+networks).  This module implements that family's workhorse so the contrast
+is measurable: a smoothed k-order Markov chain over action sequences with
+back-off.
+
+Unlike the other baselines, the Markov model consumes *ordered* activities
+(the paper's set-based recommenders discard order).  Scoring a candidate
+``a`` given the recent history ``(.., x, y)``:
+
+``P(a | history) = backoff-smoothed transition frequency``,
+
+trying the longest context first (order ``k``), backing off to shorter
+contexts with weight ``backoff`` per level, down to the unigram
+distribution.  Laplace smoothing keeps unseen transitions rankable.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+
+from repro.core.entities import ActionLabel, RecommendationList, ScoredAction
+from repro.exceptions import RecommendationError
+from repro.utils.validation import require_positive, require_probability
+
+
+class MarkovRecommender:
+    """Smoothed k-order Markov chain over action sequences.
+
+    Args:
+        order: maximum context length (1 = classic first-order chain).
+        backoff: multiplicative weight applied per level of context
+            shortening when mixing the back-off distributions.
+        smoothing: Laplace pseudo-count on transition counts.
+    """
+
+    name = "markov"
+
+    def __init__(
+        self, order: int = 2, backoff: float = 0.4, smoothing: float = 0.1
+    ) -> None:
+        require_positive(order, "order")
+        require_probability(backoff, "backoff")
+        require_positive(smoothing, "smoothing")
+        self.order = order
+        self.backoff = backoff
+        self.smoothing = smoothing
+        # context tuple -> {next_action: count}; () is the unigram context.
+        self._transitions: dict[tuple[ActionLabel, ...], dict[ActionLabel, int]] = {}
+        self._vocabulary: list[ActionLabel] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(
+        self, sequences: Sequence[Sequence[ActionLabel]]
+    ) -> "MarkovRecommender":
+        """Count transitions of every order up to ``self.order``."""
+        if not sequences:
+            raise RecommendationError("markov: cannot fit on an empty corpus")
+        transitions: dict[tuple[ActionLabel, ...], dict[ActionLabel, int]] = (
+            defaultdict(lambda: defaultdict(int))
+        )
+        vocabulary: dict[ActionLabel, None] = {}
+        total_steps = 0
+        for sequence in sequences:
+            sequence = list(sequence)
+            for position, action in enumerate(sequence):
+                vocabulary.setdefault(action, None)
+                transitions[()][action] += 1
+                total_steps += 1
+                for length in range(1, self.order + 1):
+                    if position < length:
+                        break
+                    context = tuple(sequence[position - length : position])
+                    transitions[context][action] += 1
+        if total_steps == 0:
+            raise RecommendationError("markov: every training sequence is empty")
+        self._transitions = {
+            context: dict(counts) for context, counts in transitions.items()
+        }
+        self._vocabulary = list(vocabulary)
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+
+    def _context_distribution(
+        self, context: tuple[ActionLabel, ...]
+    ) -> dict[ActionLabel, float]:
+        """Laplace-smoothed next-action distribution for one context."""
+        counts = self._transitions.get(context)
+        if counts is None:
+            return {}
+        total = sum(counts.values()) + self.smoothing * len(self._vocabulary)
+        return {
+            action: (counts.get(action, 0) + self.smoothing) / total
+            for action in self._vocabulary
+        }
+
+    def score(
+        self, history: Sequence[ActionLabel]
+    ) -> dict[ActionLabel, float]:
+        """Back-off-mixed next-action scores given the recent history.
+
+        Longest matching context dominates; each shorter context contributes
+        with an extra ``backoff`` factor.  Actions already in the history
+        are excluded (consistent with the set-based recommenders).
+        """
+        if not self._fitted:
+            raise RecommendationError("markov: score() before fit()")
+        history = list(history)
+        seen = set(history)
+        mixed: dict[ActionLabel, float] = defaultdict(float)
+        weight = 1.0
+        for length in range(min(self.order, len(history)), -1, -1):
+            context = tuple(history[len(history) - length :]) if length else ()
+            for action, probability in self._context_distribution(context).items():
+                if action not in seen:
+                    mixed[action] += weight * probability
+            weight *= self.backoff
+        return dict(mixed)
+
+    def recommend(
+        self, history: Sequence[ActionLabel], k: int = 10
+    ) -> RecommendationList:
+        """Top-``k`` next actions for an ordered history."""
+        if k <= 0:
+            raise RecommendationError(f"k must be positive, got {k}")
+        scores = self.score(history)
+        ranked = sorted(
+            scores.items(), key=lambda item: (-item[1], str(item[0]))
+        )[:k]
+        return RecommendationList(
+            strategy=self.name,
+            items=tuple(ScoredAction(action, value) for action, value in ranked),
+            activity=frozenset(history),
+        )
+
+    def transition_probability(
+        self,
+        context: Iterable[ActionLabel],
+        action: ActionLabel,
+    ) -> float:
+        """Smoothed ``P(action | context)`` for one exact context length."""
+        distribution = self._context_distribution(tuple(context))
+        return distribution.get(action, 0.0)

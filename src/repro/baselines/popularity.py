@@ -1,0 +1,42 @@
+"""Most-popular baseline.
+
+Ranks items by their raw frequency in the training corpus, excluding items
+already in the query activity.  It is the degenerate case of collaborative
+filtering (neighbourhood = everyone) and the natural yardstick for the
+paper's Table 3 experiment: popularity *is* the collective behaviour the
+goal-based strategies are shown not to perpetuate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.baselines.base import BaselineRecommender
+
+
+class PopularityRecommender(BaselineRecommender):
+    """Rank items by training-corpus frequency."""
+
+    name = "popularity"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._counts: dict[int, int] = {}
+
+    def _fit(self, activities: list[frozenset[int]]) -> None:
+        counts: dict[int, int] = defaultdict(int)
+        for activity in activities:
+            for item in activity:
+                counts[item] += 1
+        self._counts = dict(counts)
+
+    def item_count(self, item_id: int) -> int:
+        """Raw training count of ``item_id`` (0 if never seen)."""
+        return self._counts.get(item_id, 0)
+
+    def _score(self, activity: frozenset[int]) -> dict[int, float]:
+        return {
+            item: float(count)
+            for item, count in self._counts.items()
+            if item not in activity
+        }

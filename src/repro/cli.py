@@ -1,0 +1,340 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script.  Subcommands:
+
+- ``repro generate`` — write a synthetic dataset (JSON) to disk;
+- ``repro inspect`` — print the statistics of a dataset or library file;
+- ``repro recommend`` — rank actions for an activity against a library;
+- ``repro evaluate`` — run the paper's protocol over a dataset and print
+  the headline metrics per method;
+- ``repro extract`` — extract goal implementations from a plain-text file
+  of ``goal<TAB>story`` lines and write a library JSON.
+
+Every subcommand is a thin shell over the library API — anything the CLI
+does can be done programmatically with the same names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.core import AssociationGoalModel, GoalRecommender, PAPER_STRATEGIES
+from repro.data import (
+    FoodMartConfig,
+    FortyThreeConfig,
+    generate_foodmart,
+    generate_fortythree,
+    load_dataset,
+    save_dataset,
+)
+from repro.eval import (
+    ExperimentHarness,
+    average_true_positive_rate,
+    format_table,
+    goal_completeness_after,
+    popularity_correlation,
+    usefulness_summary,
+)
+from repro.exceptions import ReproError
+from repro.storage import JsonLibraryStore
+from repro.text import GoalStory, extract_implementations
+
+_SCALES = ("tiny", "small", "paper")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Goal/action association recommendations (EDBT 2018).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic dataset"
+    )
+    generate.add_argument(
+        "--scenario", choices=("foodmart", "43things"), required=True
+    )
+    generate.add_argument("--scale", choices=_SCALES, default="tiny")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", type=Path, required=True)
+
+    inspect = commands.add_parser(
+        "inspect", help="print statistics of a dataset or library JSON"
+    )
+    inspect.add_argument("path", type=Path)
+
+    recommend = commands.add_parser(
+        "recommend", help="rank actions for an activity"
+    )
+    recommend.add_argument("--library", type=Path, required=True,
+                           help="library JSON (JsonLibraryStore format)")
+    recommend.add_argument("--activity", required=True,
+                           help="comma-separated performed actions")
+    recommend.add_argument(
+        "--strategy", choices=PAPER_STRATEGIES, default="breadth"
+    )
+    recommend.add_argument("-k", type=int, default=10)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="run the paper's protocol over a dataset"
+    )
+    evaluate.add_argument("--dataset", type=Path, required=True)
+    evaluate.add_argument("-k", type=int, default=10)
+    evaluate.add_argument("--max-users", type=int, default=100)
+    evaluate.add_argument("--seed", type=int, default=0)
+
+    extract = commands.add_parser(
+        "extract", help="extract a library from goal<TAB>story lines"
+    )
+    extract.add_argument("--stories", type=Path, required=True)
+    extract.add_argument("--out", type=Path, required=True)
+
+    serve = commands.add_parser(
+        "serve", help="serve a library over HTTP (repro.service)"
+    )
+    serve.add_argument("--library", type=Path, required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+
+    goals = commands.add_parser(
+        "goals", help="infer the goals an activity points at"
+    )
+    goals.add_argument("--library", type=Path, required=True)
+    goals.add_argument("--activity", required=True,
+                       help="comma-separated performed actions")
+    goals.add_argument(
+        "--scorer", choices=("evidence", "completeness", "coverage"),
+        default="coverage",
+    )
+    goals.add_argument("--top", type=int, default=10)
+
+    report = commands.add_parser(
+        "report", help="regenerate every paper table over two datasets"
+    )
+    report.add_argument("--grocery", type=Path, required=True,
+                        help="grocery-style dataset JSON")
+    report.add_argument("--life-goals", type=Path, required=True,
+                        help="life-goal-style dataset JSON")
+    report.add_argument("-k", type=int, default=10)
+    report.add_argument("--max-users", type=int, default=100)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--skip-scaling", action="store_true",
+                        help="omit the Figure 7 timing study")
+    report.add_argument("--out", type=Path, default=None,
+                        help="write the report here instead of stdout")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.scenario == "foodmart":
+        configs = {
+            "tiny": FoodMartConfig.tiny,
+            "small": FoodMartConfig.small,
+            "paper": FoodMartConfig.paper_scale,
+        }
+        dataset = generate_foodmart(configs[args.scale](), seed=args.seed)
+    else:
+        configs = {
+            "tiny": FortyThreeConfig.tiny,
+            "small": FortyThreeConfig.small,
+            "paper": FortyThreeConfig.paper_scale,
+        }
+        dataset = generate_fortythree(configs[args.scale](), seed=args.seed)
+    path = save_dataset(dataset, args.out)
+    print(f"wrote {dataset.summary()} -> {path}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    try:
+        dataset = load_dataset(args.path)
+        print(dataset.summary())
+        return 0
+    except ReproError:
+        pass  # maybe it is a bare library file
+    library = JsonLibraryStore(args.path).load()
+    print(f"library: {library.stats()}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    library = JsonLibraryStore(args.library).load()
+    model = AssociationGoalModel.from_library(library)
+    recommender = GoalRecommender(model)
+    activity = {part.strip() for part in args.activity.split(",") if part.strip()}
+    result = recommender.recommend(activity, k=args.k, strategy=args.strategy)
+    if not result.items:
+        print("no recommendations (activity matches no implementation)")
+        return 1
+    rows = [[item.action, item.score] for item in result]
+    print(format_table(["action", "score"], rows,
+                       title=f"{args.strategy} top-{args.k}"))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    harness = ExperimentHarness(
+        dataset, k=args.k, max_users=args.max_users, seed=args.seed
+    )
+    methods = list(PAPER_STRATEGIES) + list(harness.baseline_names())
+    rows = []
+    activities = harness.observed_activities()
+    hidden = harness.hidden_sets()
+    for method in methods:
+        if method in PAPER_STRATEGIES:
+            lists = harness.run_goal_method(method)
+        else:
+            lists = harness.run_baseline(method)
+        completeness = usefulness_summary(
+            [
+                goal_completeness_after(
+                    harness.model, user.observed, rec,
+                    goals=user.user.goals or None,
+                )
+                for user, rec in zip(harness.split, lists)
+            ]
+        )
+        rows.append(
+            [
+                method,
+                average_true_positive_rate(lists, hidden),
+                completeness.avg_avg,
+                popularity_correlation(activities, lists),
+            ]
+        )
+    print(
+        format_table(
+            ["method", "avg_tpr", "completeness", "pop_corr"],
+            rows,
+            title=f"{dataset.name}: {len(harness.split)} users, top-{args.k}",
+        )
+    )
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    stories: list[GoalStory] = []
+    with args.stories.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            goal, separator, text = line.partition("\t")
+            if not separator:
+                print(
+                    f"{args.stories}:{line_number}: expected goal<TAB>story",
+                    file=sys.stderr,
+                )
+                return 1
+            stories.append(GoalStory(goal=goal.strip(), text=text.strip()))
+    library = extract_implementations(stories)
+    if len(library) == 0:
+        print("no implementations extracted", file=sys.stderr)
+        return 1
+    JsonLibraryStore(args.out).save(library)
+    print(f"extracted {library.stats()} -> {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
+    from repro.service import RecommenderService
+
+    library = JsonLibraryStore(args.library).load()
+    model = AssociationGoalModel.from_library(library)
+    service = RecommenderService(model, host=args.host, port=args.port)
+    service.start()
+    print(
+        f"serving {model.num_implementations} implementations on "
+        f"http://{args.host}:{service.port} "
+        "(endpoints: /health /recommend /spaces /explain /goals /related)"
+    )
+    if not block:  # test hook: caller owns the lifecycle
+        service.stop()
+        return 0
+    try:  # pragma: no cover - interactive loop
+        service._thread.join()
+    except KeyboardInterrupt:  # pragma: no cover
+        service.stop()
+    return 0
+
+
+def _cmd_goals(args: argparse.Namespace) -> int:
+    from repro.core.goal_inference import GoalInferencer
+
+    library = JsonLibraryStore(args.library).load()
+    model = AssociationGoalModel.from_library(library)
+    activity = {part.strip() for part in args.activity.split(",") if part.strip()}
+    inferred = GoalInferencer(model, scorer=args.scorer).infer(
+        activity, top=args.top
+    )
+    if not inferred:
+        print("no goals inferred (activity matches no implementation)")
+        return 1
+    rows = [[str(goal), score] for goal, score in inferred]
+    print(
+        format_table(
+            ["goal", "score"], rows, title=f"inferred goals ({args.scorer})"
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments import ExperimentSuite, SuiteConfig
+
+    grocery = load_dataset(args.grocery)
+    life_goals = load_dataset(args.life_goals)
+    suite = ExperimentSuite(
+        grocery,
+        life_goals,
+        SuiteConfig(
+            k=args.k,
+            max_users=args.max_users,
+            seed=args.seed,
+            run_scaling=not args.skip_scaling,
+        ),
+    )
+    report = suite.render_report()
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report, encoding="utf-8")
+        print(f"wrote report -> {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "inspect": _cmd_inspect,
+    "recommend": _cmd_recommend,
+    "evaluate": _cmd_evaluate,
+    "extract": _cmd_extract,
+    "goals": _cmd_goals,
+    "serve": _cmd_serve,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The paper's primary contribution: the goal model and ranking strategies."""
+
+from repro.core.entities import (
+    GoalImplementation,
+    RecommendationList,
+    ScoredAction,
+    UserActivity,
+)
+from repro.core.explain import Explanation, explain_action, render_explanation
+from repro.core.goal_inference import GoalInferencer
+from repro.core.incremental import IncrementalGoalModel
+from repro.core.library import ImplementationLibrary, LibraryStats
+from repro.core.model import AssociationGoalModel
+from repro.core.recommender import GoalRecommender, PAPER_STRATEGIES
+from repro.core.related import implementation_similarity, related_actions
+from repro.core.session import GoalCompleted, RecommendationSession
+from repro.core.strategies import (
+    BestMatchStrategy,
+    BreadthStrategy,
+    FocusStrategy,
+    HybridStrategy,
+    create_strategy,
+)
+
+__all__ = [
+    "GoalImplementation",
+    "UserActivity",
+    "ScoredAction",
+    "RecommendationList",
+    "ImplementationLibrary",
+    "LibraryStats",
+    "AssociationGoalModel",
+    "IncrementalGoalModel",
+    "GoalInferencer",
+    "Explanation",
+    "explain_action",
+    "render_explanation",
+    "related_actions",
+    "implementation_similarity",
+    "RecommendationSession",
+    "GoalCompleted",
+    "GoalRecommender",
+    "PAPER_STRATEGIES",
+    "FocusStrategy",
+    "BreadthStrategy",
+    "BestMatchStrategy",
+    "HybridStrategy",
+    "create_strategy",
+]

@@ -1,0 +1,67 @@
+"""Distance functions for the Best Match strategy (paper Equation 10).
+
+Best Match represents the user profile and every candidate action as vectors
+in the feature space ``F_GS(H)`` (one coordinate per goal in the user's goal
+space) and ranks candidates by increasing distance to the profile.  The paper
+leaves ``dist`` open ("a standard metric"); cosine distance is our default
+because the profile's magnitude grows with activity size while only the
+*direction* (relative effort per goal) matters.  Euclidean and Manhattan are
+provided for the ablation study.
+
+All functions accept plain Python sequences or NumPy arrays of equal length
+and return a float; they are exact on integer-valued inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+Vector = Sequence[float]
+DistanceFunc = Callable[[Vector, Vector], float]
+
+
+def cosine_distance(u: Vector, v: Vector) -> float:
+    """``1 - cos(u, v)``; distance of a zero vector to anything is 1."""
+    dot = 0.0
+    norm_u = 0.0
+    norm_v = 0.0
+    for a, b in zip(u, v, strict=True):
+        dot += a * b
+        norm_u += a * a
+        norm_v += b * b
+    if norm_u == 0.0 or norm_v == 0.0:
+        return 1.0
+    return 1.0 - dot / math.sqrt(norm_u * norm_v)
+
+
+def euclidean_distance(u: Vector, v: Vector) -> float:
+    """Standard L2 distance."""
+    return math.sqrt(
+        sum((a - b) * (a - b) for a, b in zip(u, v, strict=True))
+    )
+
+
+def manhattan_distance(u: Vector, v: Vector) -> float:
+    """Standard L1 distance."""
+    return sum(abs(a - b) for a, b in zip(u, v, strict=True))
+
+
+DISTANCES: dict[str, DistanceFunc] = {
+    "cosine": cosine_distance,
+    "euclidean": euclidean_distance,
+    "manhattan": manhattan_distance,
+}
+
+
+def get_distance(name: str) -> DistanceFunc:
+    """Look up a distance function by name.
+
+    Raises :class:`ValueError` for unknown names, listing the valid choices.
+    """
+    try:
+        return DISTANCES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown distance {name!r}; available: {', '.join(sorted(DISTANCES))}"
+        ) from None

@@ -1,0 +1,134 @@
+"""Core value objects of the association-based goal model.
+
+The paper's universe (Section 3) consists of *actions* (anything a user can
+perform: buy a product, read a book), *goals* (targets a user wants to reach:
+cook a salad, learn English) and *goal implementations* — pairs ``(g, A)``
+stating that performing the action set ``A`` fulfills goal ``g``.
+
+Externally, actions and goals are identified by arbitrary hashable labels
+(strings in all the shipped datasets).  Internally the model interns them to
+dense integer ids (see :mod:`repro.core.model`); the classes here are the
+label-level, immutable public representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+ActionLabel = Hashable
+GoalLabel = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class GoalImplementation:
+    """A single goal implementation ``(g, A)`` — paper Definition 3.1.
+
+    Attributes:
+        goal: label of the goal this implementation fulfills.
+        actions: the set of actions whose joint execution fulfills the goal.
+        impl_id: optional stable identifier; assigned by
+            :class:`ImplementationLibrary` when the implementation is added
+            without one.
+    """
+
+    goal: GoalLabel
+    actions: frozenset[ActionLabel]
+    impl_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.actions, frozenset):
+            object.__setattr__(self, "actions", frozenset(self.actions))
+        if not self.actions:
+            raise ValueError(
+                f"implementation of goal {self.goal!r} has an empty action set"
+            )
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def remaining(self, activity: frozenset[ActionLabel] | set[ActionLabel]) -> frozenset[ActionLabel]:
+        """Actions still missing from ``activity`` to fulfill this goal."""
+        return self.actions - frozenset(activity)
+
+    def overlap(self, activity: frozenset[ActionLabel] | set[ActionLabel]) -> frozenset[ActionLabel]:
+        """Actions of this implementation already present in ``activity``."""
+        return self.actions & frozenset(activity)
+
+    def is_fulfilled_by(self, activity: frozenset[ActionLabel] | set[ActionLabel]) -> bool:
+        """``True`` when every required action appears in ``activity``."""
+        return self.actions <= frozenset(activity)
+
+
+@dataclass(frozen=True, slots=True)
+class UserActivity:
+    """The recorded actions of one user — the paper's activity ``H``.
+
+    ``user_id`` is free-form metadata; the recommendation algorithms only
+    consume :attr:`actions`.
+    """
+
+    actions: frozenset[ActionLabel]
+    user_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.actions, frozenset):
+            object.__setattr__(self, "actions", frozenset(self.actions))
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __contains__(self, action: ActionLabel) -> bool:
+        return action in self.actions
+
+    def __iter__(self):
+        return iter(self.actions)
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredAction:
+    """One entry of a recommendation list: an action with its strategy score.
+
+    Higher scores rank earlier for all strategies; distance-based strategies
+    (Best Match) negate their distance so this invariant holds uniformly.
+    """
+
+    action: ActionLabel
+    score: float
+
+    def __post_init__(self) -> None:
+        if self.score != self.score:  # NaN guard
+            raise ValueError(f"score for {self.action!r} is NaN")
+
+
+@dataclass(frozen=True, slots=True)
+class RecommendationList:
+    """An ordered recommendation outcome for one request.
+
+    Attributes:
+        strategy: name of the strategy that produced the list.
+        items: scored actions, best first.
+        activity: the activity the request was made for.
+    """
+
+    strategy: str
+    items: tuple[ScoredAction, ...]
+    activity: frozenset[ActionLabel] = field(default_factory=frozenset)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def actions(self) -> list[ActionLabel]:
+        """The recommended actions in rank order, without scores."""
+        return [item.action for item in self.items]
+
+    def action_set(self) -> frozenset[ActionLabel]:
+        """The recommended actions as an (unordered) frozen set."""
+        return frozenset(item.action for item in self.items)
+
+    def top(self, k: int) -> "RecommendationList":
+        """A copy truncated to the first ``k`` entries."""
+        return RecommendationList(self.strategy, self.items[:k], self.activity)

@@ -1,0 +1,152 @@
+"""Structured, renderable explanations for goal-based recommendations.
+
+:meth:`GoalRecommender.explain` returns raw evidence (goal -> grounding
+implementations).  User-facing surfaces want more: *why this action, how far
+along each goal is, and what performing the action changes*.  This module
+computes that as data (:class:`Explanation` / :class:`GoalEvidence`) and
+renders it as text — the structure an API or UI would serialize.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.entities import ActionLabel, GoalLabel
+from repro.core.model import AssociationGoalModel
+from repro.exceptions import UnknownActionError
+
+
+@dataclass(frozen=True, slots=True)
+class GoalEvidence:
+    """One goal's case for recommending the action.
+
+    Attributes:
+        goal: the goal label.
+        completeness_before: the goal's best implementation completeness
+            given the activity alone (Equation 3).
+        completeness_after: the same after additionally performing the
+            recommended action.
+        best_missing: the remaining actions (after performing the
+            recommended one) of the goal's most-complete implementation
+            through which the action contributes.
+        num_implementations: how many of the goal's implementations both
+            contain the action and intersect the activity.
+    """
+
+    goal: GoalLabel
+    completeness_before: float
+    completeness_after: float
+    best_missing: frozenset[ActionLabel]
+    num_implementations: int
+
+    @property
+    def gain(self) -> float:
+        """Completeness gained by performing the action."""
+        return self.completeness_after - self.completeness_before
+
+    def fulfills(self) -> bool:
+        """``True`` when the action completes the goal outright."""
+        return self.completeness_after >= 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class Explanation:
+    """The full structured explanation of one recommended action."""
+
+    action: ActionLabel
+    activity: frozenset[ActionLabel]
+    evidence: tuple[GoalEvidence, ...]
+
+    def goals(self) -> list[GoalLabel]:
+        """The goals the action advances, strongest gain first."""
+        return [entry.goal for entry in self.evidence]
+
+    def total_gain(self) -> float:
+        """Sum of completeness gains across all advanced goals."""
+        return sum(entry.gain for entry in self.evidence)
+
+
+def explain_action(
+    model: AssociationGoalModel,
+    activity: Iterable[ActionLabel],
+    action: ActionLabel,
+) -> Explanation:
+    """Build the structured explanation of ``action`` for ``activity``.
+
+    Only goals reachable from the activity *through implementations
+    containing the action* appear; evidence is sorted by completeness gain
+    (descending), then goal label.  Raises
+    :class:`~repro.exceptions.UnknownActionError` for unindexed actions.
+    """
+    if not model.has_action(action):
+        raise UnknownActionError(action)
+    encoded = model.encode_activity(activity)
+    aid = model.action_id(action)
+    augmented = encoded | {aid}
+    reachable = model.implementation_space(encoded)
+    by_goal: dict[int, list[int]] = {}
+    for pid in model.implementations_of_action(aid) & reachable:
+        by_goal.setdefault(model.implementation_goal(pid), []).append(pid)
+    evidence: list[GoalEvidence] = []
+    for gid, pids in by_goal.items():
+        before = model.goal_completeness(gid, encoded)
+        after = model.goal_completeness(gid, augmented)
+        # Most complete implementation (after the action) among those the
+        # action contributes through; its leftover is what's still missing.
+        best_pid = max(
+            pids,
+            key=lambda pid: (
+                len(model.implementation_actions(pid) & augmented)
+                / len(model.implementation_actions(pid)),
+                -pid,
+            ),
+        )
+        missing = model.implementation_actions(best_pid) - augmented
+        evidence.append(
+            GoalEvidence(
+                goal=model.goal_label(gid),
+                completeness_before=before,
+                completeness_after=after,
+                best_missing=frozenset(
+                    model.action_label(a) for a in missing
+                ),
+                num_implementations=len(pids),
+            )
+        )
+    evidence.sort(key=lambda entry: (-entry.gain, str(entry.goal)))
+    return Explanation(
+        action=action,
+        activity=frozenset(activity),
+        evidence=tuple(evidence),
+    )
+
+
+def render_explanation(explanation: Explanation) -> str:
+    """Render an explanation as human-readable text.
+
+    One line per goal: completeness transition, fulfilment marker, and what
+    would still be missing afterwards.
+    """
+    lines = [f"why {explanation.action!r}:"]
+    if not explanation.evidence:
+        lines.append("  (no goal in the activity's goal space needs it)")
+        return "\n".join(lines)
+    for entry in explanation.evidence:
+        arrow = (
+            f"{entry.completeness_before:.0%} -> {entry.completeness_after:.0%}"
+        )
+        if entry.fulfills():
+            tail = "COMPLETES the goal"
+        elif entry.best_missing:
+            missing = ", ".join(sorted(map(str, entry.best_missing))[:4])
+            tail = f"still missing: {missing}"
+        else:
+            tail = ""
+        via = (
+            f" (via {entry.num_implementations} implementations)"
+            if entry.num_implementations > 1
+            else ""
+        )
+        lines.append(f"  {entry.goal}: {arrow}{via}; {tail}".rstrip("; "))
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""The label-level recommendation facade.
+
+:class:`GoalRecommender` bundles an
+:class:`~repro.core.model.AssociationGoalModel` with the four goal-based
+strategies and exposes a single :meth:`recommend` entry point working on
+action *labels*.  This is the class downstream applications use; the
+strategies themselves are reusable id-level components.
+
+Example::
+
+    model = AssociationGoalModel.from_pairs([
+        ("olivier salad", {"potatoes", "carrots", "pickles"}),
+        ("mashed potatoes", {"potatoes", "nutmeg", "butter"}),
+    ])
+    recommender = GoalRecommender(model)
+    result = recommender.recommend({"potatoes", "carrots"}, k=3)
+    result.actions()  # ['pickles', ...]
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+from repro.core.entities import ActionLabel, GoalLabel, RecommendationList
+from repro.core.model import AssociationGoalModel
+from repro.core.strategies import RankingStrategy, create_strategy
+from repro.exceptions import RecommendationError
+
+#: The strategy names the paper evaluates, in its presentation order.
+PAPER_STRATEGIES = ("focus_cmp", "focus_cl", "breadth", "best_match")
+
+
+class GoalRecommender:
+    """Recommend actions that advance the goals a user appears to pursue.
+
+    Args:
+        model: the indexed goal model.
+        default_strategy: strategy used when :meth:`recommend` is called
+            without an explicit one.
+    """
+
+    def __init__(
+        self,
+        model: AssociationGoalModel,
+        default_strategy: str = "breadth",
+    ) -> None:
+        self.model = model
+        self.default_strategy = default_strategy
+        self._strategies: dict[str, RankingStrategy] = {}
+
+    def strategy(self, name: str, **options: Any) -> RankingStrategy:
+        """Return (and cache) a strategy instance by registry name.
+
+        Passing ``options`` bypasses the cache so ablation variants never
+        alias the default configuration.
+        """
+        if options:
+            return create_strategy(name, **options)
+        cached = self._strategies.get(name)
+        if cached is None:
+            cached = create_strategy(name)
+            self._strategies[name] = cached
+        return cached
+
+    def recommend(
+        self,
+        activity: Iterable[ActionLabel],
+        k: int = 10,
+        strategy: str | None = None,
+        **options: Any,
+    ) -> RecommendationList:
+        """Produce a top-``k`` recommendation list for ``activity``.
+
+        Actions in ``activity`` that appear in no implementation are ignored
+        (they carry no goal evidence).  An activity with no known actions at
+        all yields an empty list — the model has no evidence to rank on —
+        rather than an error, so batch evaluation over raw logs is painless.
+        """
+        if k <= 0:
+            raise RecommendationError(f"k must be positive, got {k}")
+        encoded = self.model.encode_activity(activity)
+        chosen = self.strategy(strategy or self.default_strategy, **options)
+        return chosen.recommend(self.model, encoded, k)
+
+    def recommend_all(
+        self,
+        activity: Iterable[ActionLabel],
+        k: int = 10,
+        strategies: Iterable[str] = PAPER_STRATEGIES,
+    ) -> dict[str, RecommendationList]:
+        """Run several strategies on the same activity.
+
+        The activity is encoded once; returns ``{strategy_name: list}``.
+        """
+        encoded = self.model.encode_activity(activity)
+        return {
+            name: self.strategy(name).recommend(self.model, encoded, k)
+            for name in strategies
+        }
+
+    def explain(
+        self, activity: Iterable[ActionLabel], action: ActionLabel
+    ) -> dict[GoalLabel, list[frozenset[ActionLabel]]]:
+        """Explain why ``action`` is a candidate for ``activity``.
+
+        Returns, per goal, the activities of the implementations that both
+        contain ``action`` and intersect the user activity — the evidence a
+        goal-based recommendation is grounded in.  An action with no such
+        implementation returns an empty mapping.
+        """
+        encoded = self.model.encode_activity(activity)
+        aid = self.model.action_id(action)
+        reachable = self.model.implementation_space(encoded)
+        evidence: dict[GoalLabel, list[frozenset[ActionLabel]]] = {}
+        for pid in sorted(self.model.implementations_of_action(aid) & reachable):
+            impl = self.model.implementation(pid)
+            evidence.setdefault(impl.goal, []).append(impl.actions)
+        return evidence

@@ -1,0 +1,63 @@
+"""Related actions: similarity in implementation space.
+
+Two actions are related when they co-serve goals — i.e. their ``A-GI-idx``
+entries overlap.  :func:`related_actions` ranks, for one action, the others
+by Tanimoto similarity of their implementation sets; it powers
+"people working toward the same things also did …" surfaces and is the
+goal-space analogue of item-item similarity (but derived from the library,
+not from user behaviour, so it carries no popularity bias).
+"""
+
+from __future__ import annotations
+
+from repro.core.entities import ActionLabel
+from repro.core.model import AssociationGoalModel
+from repro.utils.validation import require_positive
+
+
+def implementation_similarity(
+    model: AssociationGoalModel, a: ActionLabel, b: ActionLabel
+) -> float:
+    """Tanimoto similarity of two actions' implementation sets.
+
+    1.0 when the actions appear in exactly the same implementations, 0.0
+    when they never co-occur.
+    """
+    impls_a = model.implementations_of_action(model.action_id(a))
+    impls_b = model.implementations_of_action(model.action_id(b))
+    if not impls_a or not impls_b:
+        return 0.0
+    intersection = len(impls_a & impls_b)
+    if intersection == 0:
+        return 0.0
+    return intersection / (len(impls_a) + len(impls_b) - intersection)
+
+
+def related_actions(
+    model: AssociationGoalModel,
+    action: ActionLabel,
+    k: int = 10,
+) -> list[tuple[ActionLabel, float]]:
+    """The ``k`` actions most related to ``action``, best first.
+
+    Only actions sharing at least one implementation appear (similarity is
+    otherwise zero); ties break by label.  Raises
+    :class:`~repro.exceptions.UnknownActionError` for unindexed actions.
+    """
+    require_positive(k, "k")
+    aid = model.action_id(action)
+    impls = model.implementations_of_action(aid)
+    candidates: set[int] = set()
+    for pid in impls:
+        candidates |= model.implementation_actions(pid)
+    candidates.discard(aid)
+    scored: list[tuple[ActionLabel, float]] = []
+    for other in candidates:
+        other_impls = model.implementations_of_action(other)
+        intersection = len(impls & other_impls)
+        similarity = intersection / (
+            len(impls) + len(other_impls) - intersection
+        )
+        scored.append((model.action_label(other), similarity))
+    scored.sort(key=lambda pair: (-pair[1], str(pair[0])))
+    return scored[:k]

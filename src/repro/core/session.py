@@ -1,0 +1,145 @@
+"""Interactive recommendation sessions.
+
+Applications rarely hold a static activity: the user performs an action,
+the list refreshes, a goal completes.  :class:`RecommendationSession` wraps
+a model with that loop — record actions one by one, get the current
+recommendations, and receive *events* when goals become newly complete
+(the moment a UI would celebrate).
+
+The session is deliberately storage-free: it owns only the evolving action
+set, so persisting a session is persisting that set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.entities import ActionLabel, GoalLabel, RecommendationList
+from repro.core.model import AssociationGoalModel
+from repro.core.recommender import GoalRecommender
+from repro.exceptions import RecommendationError
+
+
+@dataclass(frozen=True, slots=True)
+class GoalCompleted:
+    """Event: performing ``action`` completed ``goal``."""
+
+    goal: GoalLabel
+    action: ActionLabel
+
+
+class RecommendationSession:
+    """Track one user's evolving activity against a goal model.
+
+    Args:
+        model: the goal model to recommend from.
+        initial_activity: actions already performed when the session opens.
+        strategy: default strategy for :meth:`recommendations`.
+    """
+
+    def __init__(
+        self,
+        model: AssociationGoalModel,
+        initial_activity: Iterable[ActionLabel] = (),
+        strategy: str = "breadth",
+    ) -> None:
+        self.model = model
+        self.recommender = GoalRecommender(model, default_strategy=strategy)
+        self._activity: set[ActionLabel] = set(initial_activity)
+        self._history: list[ActionLabel] = sorted(self._activity, key=str)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    @property
+    def activity(self) -> frozenset[ActionLabel]:
+        """The actions performed so far."""
+        return frozenset(self._activity)
+
+    @property
+    def history(self) -> tuple[ActionLabel, ...]:
+        """Actions in the order they were recorded."""
+        return tuple(self._history)
+
+    def completed_goals(self) -> set[GoalLabel]:
+        """Goals with at least one fully performed implementation."""
+        encoded = self.model.encode_activity(self._activity)
+        return {
+            self.model.goal_label(gid)
+            for gid in self.model.goal_space(encoded)
+            if self.model.goal_completeness(gid, encoded) >= 1.0
+        }
+
+    def goal_progress(self) -> dict[GoalLabel, float]:
+        """Best completeness per goal in the current goal space."""
+        encoded = self.model.encode_activity(self._activity)
+        return {
+            self.model.goal_label(gid): self.model.goal_completeness(
+                gid, encoded
+            )
+            for gid in self.model.goal_space(encoded)
+        }
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def perform(self, action: ActionLabel) -> list[GoalCompleted]:
+        """Record one performed action; return newly completed goals.
+
+        Recording an already performed action is a no-op returning no
+        events.  Unknown actions (no implementation) are recorded — they
+        may become meaningful if the model is later swapped — but trigger
+        no events.
+        """
+        if action in self._activity:
+            return []
+        before = self.completed_goals()
+        self._activity.add(action)
+        self._history.append(action)
+        events = [
+            GoalCompleted(goal=goal, action=action)
+            for goal in sorted(self.completed_goals() - before, key=str)
+        ]
+        return events
+
+    def perform_all(
+        self, actions: Iterable[ActionLabel]
+    ) -> list[GoalCompleted]:
+        """Record several actions in order; return all events raised."""
+        events: list[GoalCompleted] = []
+        for action in actions:
+            events.extend(self.perform(action))
+        return events
+
+    def undo(self) -> ActionLabel:
+        """Remove and return the most recently recorded action.
+
+        Raises :class:`RecommendationError` on an empty history (there is
+        nothing the session itself recorded to undo).
+        """
+        if not self._history:
+            raise RecommendationError("nothing to undo in this session")
+        action = self._history.pop()
+        self._activity.discard(action)
+        return action
+
+    # ------------------------------------------------------------------
+    # Recommendations
+    # ------------------------------------------------------------------
+
+    def recommendations(
+        self, k: int = 10, strategy: str | None = None
+    ) -> RecommendationList:
+        """The current top-``k`` for the session's activity."""
+        return self.recommender.recommend(
+            self._activity, k=k, strategy=strategy
+        )
+
+    def next_action(self, strategy: str | None = None) -> ActionLabel | None:
+        """The single best next action, or ``None`` with no evidence."""
+        result = self.recommendations(k=1, strategy=strategy)
+        actions = result.actions()
+        return actions[0] if actions else None

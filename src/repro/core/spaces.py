@@ -1,0 +1,71 @@
+"""Label-level functional wrappers for the paper's space operations.
+
+The id-level implementations live on
+:class:`~repro.core.model.AssociationGoalModel`; these helpers are the
+ergonomic, label-in / label-out form used by examples and notebooks:
+
+- :func:`goal_space` — Definition 4.1 / Equation 1,
+- :func:`action_space` — Definition 4.2 / Equation 2,
+- :func:`implementation_space` — ``IS(H)``, the implementations reachable
+  from the activity,
+- :func:`candidate_actions` — ``AS(H) − H``, what the strategies rank.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.entities import ActionLabel, GoalImplementation, GoalLabel
+from repro.core.model import AssociationGoalModel
+
+
+def implementation_space(
+    model: AssociationGoalModel, activity: Iterable[ActionLabel]
+) -> list[GoalImplementation]:
+    """``IS(H)``: implementations sharing at least one action with ``H``.
+
+    Returned in ascending implementation-id order.
+    """
+    encoded = model.encode_activity(activity)
+    return [
+        model.implementation(pid)
+        for pid in sorted(model.implementation_space(encoded))
+    ]
+
+
+def goal_space(
+    model: AssociationGoalModel, activity: Iterable[ActionLabel]
+) -> set[GoalLabel]:
+    """``GS(H)``: the goals the user may be pursuing (Equation 1)."""
+    return model.goal_space_labels(activity)
+
+
+def action_space(
+    model: AssociationGoalModel, activity: Iterable[ActionLabel]
+) -> set[ActionLabel]:
+    """``AS(H)``: actions co-occurring with the activity (Equation 2)."""
+    return model.action_space_labels(activity)
+
+
+def candidate_actions(
+    model: AssociationGoalModel, activity: Iterable[ActionLabel]
+) -> set[ActionLabel]:
+    """``AS(H) − H``: the candidate set every strategy ranks."""
+    encoded = model.encode_activity(activity)
+    return {
+        model.action_label(aid) for aid in model.candidate_actions(encoded)
+    }
+
+
+def goal_completeness(
+    model: AssociationGoalModel,
+    goal: GoalLabel,
+    activity: Iterable[ActionLabel],
+) -> float:
+    """Best completeness of ``goal`` given the activity (Equation 3).
+
+    A goal with several implementations is as complete as its most complete
+    implementation; a goal untouched by the activity scores 0.
+    """
+    encoded = model.encode_activity(activity)
+    return model.goal_completeness(model.goal_id(goal), encoded)

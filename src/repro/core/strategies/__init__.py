@@ -1,0 +1,31 @@
+"""Goal-based ranking strategies (paper Section 5).
+
+Four strategies are shipped, each implementing a different user policy:
+
+- :class:`FocusStrategy` with ``measure="completeness"`` (``Focus_cmp``) or
+  ``measure="closeness"`` (``Focus_cl``) — finish one goal first;
+- :class:`BreadthStrategy` — advance many goals at once;
+- :class:`BestMatchStrategy` — match the user's per-goal effort profile.
+
+Strategies are registered by name in :data:`STRATEGY_REGISTRY` so the
+:class:`~repro.core.recommender.GoalRecommender` facade (and the evaluation
+harness) can construct them from configuration strings.
+"""
+
+from repro.core.strategies.base import RankingStrategy, STRATEGY_REGISTRY, create_strategy
+from repro.core.strategies.best_match import BestMatchStrategy
+from repro.core.strategies.breadth import BreadthStrategy
+from repro.core.strategies.focus import FocusStrategy
+from repro.core.strategies.ensemble import EnsembleStrategy
+from repro.core.strategies.hybrid import HybridStrategy
+
+__all__ = [
+    "RankingStrategy",
+    "FocusStrategy",
+    "BreadthStrategy",
+    "BestMatchStrategy",
+    "HybridStrategy",
+    "EnsembleStrategy",
+    "STRATEGY_REGISTRY",
+    "create_strategy",
+]

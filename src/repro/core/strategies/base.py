@@ -1,0 +1,97 @@
+"""Strategy protocol and registry.
+
+A :class:`RankingStrategy` turns ``(model, activity, k)`` into a ranked
+recommendation list of action ids.  Strategies work entirely at the integer
+id level; label translation happens in the
+:class:`~repro.core.recommender.GoalRecommender` facade.
+
+Determinism contract
+--------------------
+Every strategy breaks score ties by ascending action id.  This makes output
+independent of set-iteration order, which is essential both for the unit
+tests and for the paper's list-overlap experiments (Tables 2 and 6), where a
+nondeterministic tail of a top-10 list would add noise to overlap figures.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.core.entities import RecommendationList, ScoredAction
+from repro.core.model import AssociationGoalModel
+from repro.exceptions import RecommendationError, StrategyNotFoundError
+
+
+def rank_scored_ids(scores: dict[int, float], k: int) -> list[tuple[int, float]]:
+    """Sort a ``{action_id: score}`` map into the top-``k`` ranking.
+
+    Higher scores come first; ties break by ascending action id.
+    """
+    ordered = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return ordered[:k]
+
+
+class RankingStrategy(ABC):
+    """Base class for all goal-based ranking strategies."""
+
+    #: Registry name; subclasses set this to a unique identifier.
+    name: str = "abstract"
+
+    @abstractmethod
+    def rank(
+        self,
+        model: AssociationGoalModel,
+        activity: frozenset[int],
+        k: int,
+    ) -> list[tuple[int, float]]:
+        """Return up to ``k`` ``(action_id, score)`` pairs, best first.
+
+        ``activity`` is the id-encoded user activity ``H``.  Implementations
+        must never return actions already in ``activity`` and must follow
+        the determinism contract documented in the module docstring.
+        """
+
+    def recommend(
+        self,
+        model: AssociationGoalModel,
+        activity: frozenset[int],
+        k: int,
+    ) -> RecommendationList:
+        """Validate the request, rank, and decode to a label-level list."""
+        if k <= 0:
+            raise RecommendationError(f"k must be positive, got {k}")
+        ranked = self.rank(model, activity, k)
+        items = tuple(
+            ScoredAction(action=model.action_label(aid), score=score)
+            for aid, score in ranked
+        )
+        labels = frozenset(model.action_label(aid) for aid in activity)
+        return RecommendationList(strategy=self.name, items=items, activity=labels)
+
+
+#: Factories keyed by public strategy name.  ``focus_cmp``/``focus_cl`` are
+#: the two Focus variants the paper evaluates; extra keyword arguments are
+#: forwarded to the strategy constructor.
+STRATEGY_REGISTRY: dict[str, Callable[..., RankingStrategy]] = {}
+
+
+def register_strategy(name: str) -> Callable[[Callable[..., RankingStrategy]], Callable[..., RankingStrategy]]:
+    """Class decorator adding a strategy factory under ``name``."""
+
+    def decorator(factory: Callable[..., RankingStrategy]) -> Callable[..., RankingStrategy]:
+        STRATEGY_REGISTRY[name] = factory
+        return factory
+
+    return decorator
+
+
+def create_strategy(name: str, **options: Any) -> RankingStrategy:
+    """Instantiate a registered strategy by name.
+
+    Raises :class:`StrategyNotFoundError` for unregistered names.
+    """
+    factory = STRATEGY_REGISTRY.get(name)
+    if factory is None:
+        raise StrategyNotFoundError(name, tuple(sorted(STRATEGY_REGISTRY)))
+    return factory(**options)

@@ -1,0 +1,137 @@
+"""The Best Match strategy (paper Section 5.3, Algorithms 3-4).
+
+Best Match serves users who want recommendations proportional to the *effort
+they have already invested per goal*.  Unlike Breadth, which evaluates each
+candidate only against the goals that candidate contributes to, Best Match
+considers the whole goal space ``GS(H)``:
+
+1. Build the goal-based user profile ``H⃗`` (Algorithm 3, Equation 9): one
+   coordinate per goal in ``GS(H)``, counting how many ``(action ∈ H,
+   implementation of that goal containing the action)`` pairs exist.
+2. Represent each candidate action ``a`` in the same space (Equation 8):
+   coordinate ``g`` counts the implementations of ``g`` containing ``a``.
+   Equation 7's boolean variant (does ``a`` contribute to ``g`` at all?) is
+   available via ``vector_mode="boolean"`` for the ablation study.
+3. Rank candidates by increasing ``dist(H⃗, a⃗)`` (Equation 10).
+
+Scores in the returned ranking are *negated distances* so that the library's
+uniform "higher score ranks first" convention holds.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.distances import DistanceFunc, get_distance
+from repro.core.model import AssociationGoalModel
+from repro.core.strategies.base import RankingStrategy, register_strategy
+from repro.utils.validation import require_in
+
+_VECTOR_MODES = ("count", "boolean")
+
+
+@register_strategy("best_match")
+class BestMatchStrategy(RankingStrategy):
+    """Rank actions by distance to the goal-based user profile.
+
+    Args:
+        distance: name of a metric from :mod:`repro.core.distances`
+            (``"cosine"`` by default).
+        vector_mode: ``"count"`` (Equation 8, canonical) or ``"boolean"``
+            (Equation 7).
+    """
+
+    name = "best_match"
+
+    def __init__(self, distance: str = "cosine", vector_mode: str = "count") -> None:
+        require_in(vector_mode, _VECTOR_MODES, "vector_mode")
+        self.distance_name = distance
+        self._distance: DistanceFunc = get_distance(distance)
+        self.vector_mode = vector_mode
+        if distance != "cosine" or vector_mode != "count":
+            self.name = f"best_match_{distance}_{vector_mode}"
+
+    # ------------------------------------------------------------------
+    # Vector construction
+    # ------------------------------------------------------------------
+
+    def goal_axis(
+        self, model: AssociationGoalModel, activity: frozenset[int]
+    ) -> list[int]:
+        """The ordered goal ids spanning the feature space ``F_GS(H)``.
+
+        Ascending goal-id order makes every vector in one request comparable
+        and the output deterministic.
+        """
+        return sorted(model.goal_space(activity))
+
+    def profile(
+        self,
+        model: AssociationGoalModel,
+        activity: frozenset[int],
+        axis: list[int] | None = None,
+    ) -> list[float]:
+        """Goal-based user profile ``H⃗`` (Algorithm 3 / Equation 9).
+
+        Coordinate ``i`` counts the pairs ``(a ∈ H, p)`` where ``p`` is an
+        implementation of goal ``axis[i]`` containing ``a`` — i.e. the effort
+        the user has put toward that goal, weighted by how many alternative
+        implementations each performed action serves.
+        """
+        if axis is None:
+            axis = self.goal_axis(model, activity)
+        counts: dict[int, int] = defaultdict(int)
+        for aid in activity:
+            for pid in model.implementations_of_action(aid):
+                counts[model.implementation_goal(pid)] += 1
+        return [float(counts.get(gid, 0)) for gid in axis]
+
+    def action_vector(
+        self,
+        model: AssociationGoalModel,
+        aid: int,
+        axis: list[int],
+        axis_set: set[int] | None = None,
+    ) -> list[float]:
+        """Goal-based representation ``a⃗`` of one action (Equations 7-8)."""
+        if axis_set is None:
+            axis_set = set(axis)
+        counts: dict[int, int] = defaultdict(int)
+        for pid in model.implementations_of_action(aid):
+            gid = model.implementation_goal(pid)
+            if gid in axis_set:
+                counts[gid] += 1
+        if self.vector_mode == "boolean":
+            return [1.0 if counts.get(gid, 0) else 0.0 for gid in axis]
+        return [float(counts.get(gid, 0)) for gid in axis]
+
+    # ------------------------------------------------------------------
+    # Ranking (Algorithm 4)
+    # ------------------------------------------------------------------
+
+    def distances(
+        self, model: AssociationGoalModel, activity: frozenset[int]
+    ) -> dict[int, float]:
+        """``{candidate_action_id: dist(H⃗, a⃗)}`` for every candidate."""
+        axis = self.goal_axis(model, activity)
+        axis_set = set(axis)
+        user_vector = self.profile(model, activity, axis)
+        result: dict[int, float] = {}
+        for aid in model.candidate_actions(activity):
+            vector = self.action_vector(model, aid, axis, axis_set)
+            result[aid] = self._distance(user_vector, vector)
+        return result
+
+    def rank(
+        self,
+        model: AssociationGoalModel,
+        activity: frozenset[int],
+        k: int,
+    ) -> list[tuple[int, float]]:
+        """Top-``k`` candidates by ascending distance (score = −distance)."""
+        scored = [
+            (aid, -distance)
+            for aid, distance in self.distances(model, activity).items()
+        ]
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored[:k]

@@ -1,0 +1,92 @@
+"""The Breadth strategy (paper Section 5.2, Algorithm 2).
+
+Breadth serves users who want to *advance as many goals as possible* at
+once.  It walks over every implementation in the user's implementation space
+``IS(H)`` and accumulates, for each candidate action appearing in the
+implementation, a contribution reflecting how strongly that implementation is
+already tied to the user's activity.  Actions that appear in many
+well-connected implementations therefore float to the top.
+
+Score variants
+--------------
+The paper is internally inconsistent about the per-implementation
+contribution: Equation 6 prints ``|A ∪ H|``, while Algorithm 2's ``comm``
+variable and the surrounding prose ("actions that belong in as many sets as
+possible together with as many as possible actions from the user activity")
+describe the *overlap* ``|A ∩ H|``.  We treat the overlap as canonical and
+expose all three readings for the ablation benchmark:
+
+- ``"intersection"`` (default): ``comm = |A_p ∩ H|``;
+- ``"union"``: ``comm = |A_p ∪ H|`` (Equation 6 as printed);
+- ``"count"``: ``comm = 1`` — plain number of shared implementations, i.e.
+  the utility ``u(a) = |IS(a) ∩ IS(H)|`` of Equation 5 alone.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.model import AssociationGoalModel
+from repro.core.strategies.base import (
+    RankingStrategy,
+    rank_scored_ids,
+    register_strategy,
+)
+from repro.utils.validation import require_in
+
+_VARIANTS = ("intersection", "union", "count")
+
+
+@register_strategy("breadth")
+class BreadthStrategy(RankingStrategy):
+    """Rank actions by their accumulated association with ``IS(H)``.
+
+    Args:
+        variant: per-implementation contribution; one of ``"intersection"``
+            (canonical), ``"union"`` (Equation 6 verbatim) or ``"count"``.
+    """
+
+    name = "breadth"
+
+    def __init__(self, variant: str = "intersection") -> None:
+        require_in(variant, _VARIANTS, "variant")
+        self.variant = variant
+        if variant != "intersection":
+            self.name = f"breadth_{variant}"
+
+    def _contribution(
+        self, impl_actions: frozenset[int], activity: frozenset[int]
+    ) -> int:
+        if self.variant == "intersection":
+            return len(impl_actions & activity)
+        if self.variant == "union":
+            return len(impl_actions | activity)
+        return 1
+
+    def scores(
+        self, model: AssociationGoalModel, activity: frozenset[int]
+    ) -> dict[int, float]:
+        """Full ``{candidate_action_id: score}`` map for the activity.
+
+        Follows Algorithm 2: one pass over ``IS(H)``, updating every
+        candidate action of each implementation, so the cost is proportional
+        to ``|IS(H)| x avg implementation length`` rather than
+        ``|AS(H)| x connectivity``.
+        """
+        accumulated: dict[int, float] = defaultdict(float)
+        for pid in model.implementation_space(activity):
+            impl_actions = model.implementation_actions(pid)
+            comm = self._contribution(impl_actions, activity)
+            for aid in impl_actions:
+                if aid not in activity:
+                    accumulated[aid] += comm
+        return dict(accumulated)
+
+    def rank(
+        self,
+        model: AssociationGoalModel,
+        activity: frozenset[int],
+        k: int,
+    ) -> list[tuple[int, float]]:
+        """Top-``k`` candidates by accumulated contribution."""
+        return rank_scored_ids(self.scores(model, activity), k)

@@ -1,0 +1,124 @@
+"""The Focus strategy (paper Section 5.1, Algorithm 1).
+
+Focus serves users who want to *finish at least one goal* through the current
+recommendation list.  It examines every implementation in the user's
+implementation space ``IS(H)``, scores it with one of two measures, and then
+fills the recommendation list with the missing actions of the best
+implementations, moving to the next implementation once the current one's
+remaining actions are exhausted (the paper: "after popping out all the
+actions of the goal implementation on which they have selected to focus,
+they move on to another goal implementation").
+
+Measures (Equations 3 and 4):
+
+``completeness(g, A, H) = |A ∩ H| / |A|``
+    ``Focus_cmp`` — prefer the implementation with the largest *fraction*
+    already done.
+``closeness(g, A, H) = 1 / |A − H|``
+    ``Focus_cl`` — prefer the implementation needing the fewest *additional*
+    actions, regardless of its size.
+
+Implementations already fully contained in ``H`` have no remaining actions
+to recommend; they are skipped (for ``closeness`` this also avoids the
+``1/0`` singularity).
+"""
+
+from __future__ import annotations
+
+from repro.core.model import AssociationGoalModel
+from repro.core.strategies.base import RankingStrategy, register_strategy
+from repro.utils.validation import require_in
+
+_MEASURES = ("completeness", "closeness")
+
+
+def completeness(impl_actions: frozenset[int], activity: frozenset[int]) -> float:
+    """Fraction of the implementation already performed (Equation 3)."""
+    return len(impl_actions & activity) / len(impl_actions)
+
+
+def closeness(impl_actions: frozenset[int], activity: frozenset[int]) -> float:
+    """Inverse of the number of missing actions (Equation 4).
+
+    Defined only for implementations with at least one missing action;
+    callers must skip fully performed implementations.
+    """
+    remaining = len(impl_actions - activity)
+    return 1.0 / remaining
+
+
+class FocusStrategy(RankingStrategy):
+    """Rank actions by the best implementation they complete.
+
+    Args:
+        measure: ``"completeness"`` (``Focus_cmp``) or ``"closeness"``
+            (``Focus_cl``).
+    """
+
+    def __init__(self, measure: str = "completeness") -> None:
+        require_in(measure, _MEASURES, "measure")
+        self.measure = measure
+        self.name = f"focus_{'cmp' if measure == 'completeness' else 'cl'}"
+
+    def score_implementation(
+        self, impl_actions: frozenset[int], activity: frozenset[int]
+    ) -> float:
+        """Apply the configured measure to one implementation."""
+        if self.measure == "completeness":
+            return completeness(impl_actions, activity)
+        return closeness(impl_actions, activity)
+
+    def ranked_implementations(
+        self, model: AssociationGoalModel, activity: frozenset[int]
+    ) -> list[tuple[int, float]]:
+        """Score and order the recommendable implementations of ``IS(H)``.
+
+        Returns ``(implementation_id, score)`` pairs, best first, ties broken
+        by ascending implementation id.  Implementations with no remaining
+        actions are excluded.
+        """
+        scored: list[tuple[int, float]] = []
+        for pid in model.implementation_space(activity):
+            impl_actions = model.implementation_actions(pid)
+            if impl_actions <= activity:
+                continue  # nothing left to recommend for this goal
+            scored.append((pid, self.score_implementation(impl_actions, activity)))
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored
+
+    def rank(
+        self,
+        model: AssociationGoalModel,
+        activity: frozenset[int],
+        k: int,
+    ) -> list[tuple[int, float]]:
+        """Fill the list from the top implementations' missing actions.
+
+        Each recommended action carries the score of the best implementation
+        through which it entered the list.  Within one implementation the
+        missing actions are emitted in ascending id order.
+        """
+        result: list[tuple[int, float]] = []
+        seen: set[int] = set()
+        for pid, score in self.ranked_implementations(model, activity):
+            remaining = sorted(model.implementation_actions(pid) - activity)
+            for aid in remaining:
+                if aid in seen:
+                    continue
+                seen.add(aid)
+                result.append((aid, score))
+                if len(result) == k:
+                    return result
+        return result
+
+
+@register_strategy("focus_cmp")
+def _focus_cmp(**options: object) -> FocusStrategy:
+    """Factory for ``Focus_cmp`` (completeness measure)."""
+    return FocusStrategy(measure="completeness", **options)  # type: ignore[arg-type]
+
+
+@register_strategy("focus_cl")
+def _focus_cl(**options: object) -> FocusStrategy:
+    """Factory for ``Focus_cl`` (closeness measure)."""
+    return FocusStrategy(measure="closeness", **options)  # type: ignore[arg-type]

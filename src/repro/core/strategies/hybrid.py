@@ -1,0 +1,125 @@
+"""Hybrid goal + content strategy (the paper's stated future work).
+
+The conclusion of the paper: *"As part of our future work, we have been
+examining methodologies that enhance the goal-based mechanisms by
+considering the user preferences on certain domain-specific characteristics,
+i.e., hybrid goal-based and content-based approaches."*
+
+This strategy implements the natural reading of that sentence: candidates
+are generated and scored by a goal-based *base strategy* (Breadth by
+default), then their scores are blended with a content score — the cosine
+similarity between the candidate's domain features and the feature profile
+of the user's activity:
+
+``score(a) = (1 − alpha) · goal_norm(a) + alpha · content(a)``
+
+where ``goal_norm`` min-max normalizes the base strategy's scores into
+``[0, 1]`` per request (the two signals live on incomparable scales).
+``alpha = 0`` reduces exactly to the base goal strategy; ``alpha = 1`` ranks
+the goal-based *candidate set* purely by content — still goal-grounded,
+because only actions from ``AS(H) − H`` are ever considered.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from collections.abc import Iterable, Mapping
+
+from repro.core.entities import ActionLabel
+from repro.core.model import AssociationGoalModel
+from repro.core.strategies.base import (
+    RankingStrategy,
+    rank_scored_ids,
+    register_strategy,
+)
+from repro.core.strategies.breadth import BreadthStrategy
+from repro.exceptions import RecommendationError
+from repro.utils.validation import require_probability
+
+
+@register_strategy("hybrid")
+class HybridStrategy(RankingStrategy):
+    """Blend a goal-based ranking with content similarity.
+
+    Args:
+        item_features: mapping from action label to its feature strings;
+            actions absent from the map have content score 0.
+        alpha: content weight in ``[0, 1]``; 0 = pure goal-based.
+        base: the goal-based strategy supplying candidates and goal scores
+            (default: a canonical :class:`BreadthStrategy`).
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        item_features: Mapping[ActionLabel, Iterable[str]] | None = None,
+        alpha: float = 0.5,
+        base: RankingStrategy | None = None,
+    ) -> None:
+        if item_features is None:
+            raise RecommendationError(
+                "hybrid: item_features is required (pass the dataset's "
+                "domain features)"
+            )
+        require_probability(alpha, "alpha")
+        self.alpha = alpha
+        self.base = base or BreadthStrategy()
+        self._features = {
+            action: frozenset(features)
+            for action, features in item_features.items()
+        }
+        self.name = f"hybrid_{self.base.name}_a{alpha:g}"
+
+    # ------------------------------------------------------------------
+    # Content side
+    # ------------------------------------------------------------------
+
+    def _profile(self, activity_labels: Iterable[ActionLabel]) -> dict[str, float]:
+        """Feature-count profile of the activity (content-based style)."""
+        counts: dict[str, float] = defaultdict(float)
+        for action in activity_labels:
+            for feature in self._features.get(action, frozenset()):
+                counts[feature] += 1.0
+        return dict(counts)
+
+    def content_score(
+        self, action: ActionLabel, profile: dict[str, float]
+    ) -> float:
+        """Cosine similarity between an action's features and the profile."""
+        features = self._features.get(action)
+        if not features or not profile:
+            return 0.0
+        dot = sum(profile.get(feature, 0.0) for feature in features)
+        if dot == 0.0:
+            return 0.0
+        profile_norm = math.sqrt(sum(v * v for v in profile.values()))
+        return dot / (profile_norm * math.sqrt(len(features)))
+
+    # ------------------------------------------------------------------
+    # Blending
+    # ------------------------------------------------------------------
+
+    def rank(
+        self,
+        model: AssociationGoalModel,
+        activity: frozenset[int],
+        k: int,
+    ) -> list[tuple[int, float]]:
+        """Blend normalized goal scores with content scores; top-``k``."""
+        goal_ranked = self.base.rank(model, activity, k=model.num_actions)
+        if not goal_ranked:
+            return []
+        scores = dict(goal_ranked)
+        low = min(scores.values())
+        high = max(scores.values())
+        span = high - low
+        activity_labels = [model.action_label(aid) for aid in activity]
+        profile = self._profile(activity_labels)
+        blended: dict[int, float] = {}
+        for aid, goal_score in scores.items():
+            goal_norm = 1.0 if span == 0.0 else (goal_score - low) / span
+            content = self.content_score(model.action_label(aid), profile)
+            blended[aid] = (1.0 - self.alpha) * goal_norm + self.alpha * content
+        return rank_scored_ids(blended, k)

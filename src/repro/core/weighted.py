@@ -1,0 +1,226 @@
+"""Weighted goal implementations (extension of the paper's model).
+
+The paper's Definition 3.1 treats every action of an implementation as
+equally necessary.  Real implementations rarely are: a recipe's main
+ingredient matters more than its garnish, a degree's core course more than
+an elective.  This module extends the model with per-action weights and
+re-derives the two Focus measures and the Breadth score so they degrade
+gracefully to the paper's definitions when all weights are 1:
+
+- weighted completeness: ``w(A ∩ H) / w(A)`` (Equation 3 with mass instead
+  of cardinality);
+- weighted closeness: ``1 / w(A − H)`` (Equation 4; an implementation
+  missing only low-weight actions is "closer");
+- weighted Breadth contribution: ``w(A_p ∩ H)`` per implementation.
+
+The weighted library is its own small container; it lowers to a plain
+:class:`~repro.core.library.ImplementationLibrary` (weights dropped) so the
+whole unweighted stack remains usable on the same data.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+from repro.core.entities import ActionLabel, GoalLabel
+from repro.core.library import ImplementationLibrary
+from repro.exceptions import ModelError
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True, slots=True)
+class WeightedImplementation:
+    """A goal implementation whose actions carry positive weights."""
+
+    goal: GoalLabel
+    weights: Mapping[ActionLabel, float]
+    impl_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise ModelError(
+                f"weighted implementation of {self.goal!r} has no actions"
+            )
+        for action, weight in self.weights.items():
+            if weight <= 0:
+                raise ModelError(
+                    f"action {action!r} of {self.goal!r} has non-positive "
+                    f"weight {weight}"
+                )
+        object.__setattr__(self, "weights", dict(self.weights))
+
+    @property
+    def actions(self) -> frozenset[ActionLabel]:
+        """The implementation's action set (weights dropped)."""
+        return frozenset(self.weights)
+
+    def total_weight(self) -> float:
+        """``w(A)`` — the implementation's total mass."""
+        return sum(self.weights.values())
+
+    def overlap_weight(self, activity: Iterable[ActionLabel]) -> float:
+        """``w(A ∩ H)`` — mass already performed."""
+        performed = frozenset(activity)
+        return sum(
+            weight
+            for action, weight in self.weights.items()
+            if action in performed
+        )
+
+    def remaining_weight(self, activity: Iterable[ActionLabel]) -> float:
+        """``w(A − H)`` — mass still missing."""
+        return self.total_weight() - self.overlap_weight(activity)
+
+    def completeness(self, activity: Iterable[ActionLabel]) -> float:
+        """Weighted Equation 3: performed mass over total mass."""
+        return self.overlap_weight(activity) / self.total_weight()
+
+    def closeness(self, activity: Iterable[ActionLabel]) -> float:
+        """Weighted Equation 4; undefined (raises) when nothing is missing."""
+        remaining = self.remaining_weight(activity)
+        if remaining <= 0:
+            raise ModelError(
+                "closeness undefined for a fully performed implementation"
+            )
+        return 1.0 / remaining
+
+
+class WeightedLibrary:
+    """An ordered collection of weighted implementations."""
+
+    def __init__(
+        self, implementations: Iterable[WeightedImplementation] = ()
+    ) -> None:
+        self._implementations: list[WeightedImplementation] = []
+        for impl in implementations:
+            self.add(impl)
+
+    def add(self, implementation: WeightedImplementation) -> int:
+        """Append one implementation; returns its dense id."""
+        impl_id = len(self._implementations)
+        stored = WeightedImplementation(
+            goal=implementation.goal,
+            weights=implementation.weights,
+            impl_id=impl_id,
+        )
+        self._implementations.append(stored)
+        return impl_id
+
+    def add_weighted(
+        self, goal: GoalLabel, weights: Mapping[ActionLabel, float]
+    ) -> int:
+        """Convenience: append a raw ``(goal, weights)`` pair."""
+        return self.add(WeightedImplementation(goal=goal, weights=weights))
+
+    def __len__(self) -> int:
+        return len(self._implementations)
+
+    def __iter__(self) -> Iterator[WeightedImplementation]:
+        return iter(self._implementations)
+
+    def __getitem__(self, impl_id: int) -> WeightedImplementation:
+        try:
+            return self._implementations[impl_id]
+        except IndexError:
+            raise KeyError(f"no weighted implementation with id {impl_id}") from None
+
+    def unweighted(self) -> ImplementationLibrary:
+        """Lower to a plain library (weights dropped, order preserved)."""
+        library = ImplementationLibrary()
+        for impl in self._implementations:
+            library.add_pair(impl.goal, impl.actions)
+        return library
+
+
+class WeightedRecommender:
+    """Focus/Breadth ranking over a weighted library.
+
+    A deliberately small engine: the weighted variants are useful exactly
+    where weights exist, which is typically curated (small-to-medium)
+    libraries; for unweighted mass-scale ranking use the main stack.
+
+    Args:
+        library: the weighted implementation collection.
+    """
+
+    def __init__(self, library: WeightedLibrary) -> None:
+        if len(library) == 0:
+            raise ModelError("cannot recommend from an empty weighted library")
+        self.library = library
+        self._action_impls: dict[ActionLabel, list[int]] = defaultdict(list)
+        for impl in library:
+            for action in sorted(impl.actions, key=str):
+                self._action_impls[action].append(impl.impl_id)
+
+    def implementation_space(
+        self, activity: Iterable[ActionLabel]
+    ) -> list[WeightedImplementation]:
+        """``IS(H)`` in ascending implementation-id order."""
+        ids: set[int] = set()
+        for action in activity:
+            ids.update(self._action_impls.get(action, ()))
+        return [self.library[impl_id] for impl_id in sorted(ids)]
+
+    def rank_focus(
+        self,
+        activity: Iterable[ActionLabel],
+        k: int,
+        measure: str = "completeness",
+    ) -> list[tuple[ActionLabel, float]]:
+        """Weighted Focus: fill the list from the best implementations.
+
+        Within one implementation the missing actions are emitted heaviest
+        first (the most important missing piece leads), then by label.
+        """
+        require_positive(k, "k")
+        activity = frozenset(activity)
+        scored: list[tuple[float, int, WeightedImplementation]] = []
+        for impl in self.implementation_space(activity):
+            if impl.actions <= activity:
+                continue
+            if measure == "completeness":
+                score = impl.completeness(activity)
+            elif measure == "closeness":
+                score = impl.closeness(activity)
+            else:
+                raise ValueError(f"unknown measure {measure!r}")
+            scored.append((score, impl.impl_id, impl))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        result: list[tuple[ActionLabel, float]] = []
+        seen: set[ActionLabel] = set()
+        for score, _, impl in scored:
+            missing = sorted(
+                (action for action in impl.actions if action not in activity),
+                key=lambda a: (-impl.weights[a], str(a)),
+            )
+            for action in missing:
+                if action in seen:
+                    continue
+                seen.add(action)
+                result.append((action, score))
+                if len(result) == k:
+                    return result
+        return result
+
+    def rank_breadth(
+        self, activity: Iterable[ActionLabel], k: int
+    ) -> list[tuple[ActionLabel, float]]:
+        """Weighted Breadth: candidates accumulate ``w(A_p ∩ H)``.
+
+        The candidate's own weight scales its gain from each implementation
+        (heavy actions advance their implementations more).
+        """
+        require_positive(k, "k")
+        activity = frozenset(activity)
+        scores: dict[ActionLabel, float] = defaultdict(float)
+        for impl in self.implementation_space(activity):
+            overlap = impl.overlap_weight(activity)
+            if overlap <= 0:
+                continue
+            for action, weight in impl.weights.items():
+                if action not in activity:
+                    scores[action] += overlap * weight
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], str(item[0])))
+        return ranked[:k]

@@ -1,0 +1,28 @@
+"""Datasets: schema, synthetic generators, and (de)serialization.
+
+The paper evaluates on two real datasets we cannot redistribute — FoodMart
+purchase records joined with a 56.5K-recipe ontology, and an 18K-implementation
+crawl of the 43Things goal-setting site.  :mod:`repro.data.synthetic` ships
+generators whose outputs match the *published statistics* of those datasets
+(sizes, connectivity, user-goal multiplicities), which is what the
+algorithms' behaviour depends on; DESIGN.md documents the substitution.
+"""
+
+from repro.data.loaders import load_dataset, save_dataset
+from repro.data.schema import Dataset, GeneratedUser
+from repro.data.synthetic.foodmart import FoodMartConfig, generate_foodmart
+from repro.data.synthetic.fortythree import FortyThreeConfig, generate_fortythree
+from repro.data.synthetic.learning import LearningConfig, generate_learning
+
+__all__ = [
+    "Dataset",
+    "GeneratedUser",
+    "FoodMartConfig",
+    "generate_foodmart",
+    "FortyThreeConfig",
+    "generate_fortythree",
+    "LearningConfig",
+    "generate_learning",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,140 @@
+"""CSV import/export for libraries and activity logs.
+
+Real deployments rarely start from our JSON schema; they have transaction
+logs.  Two plain formats are supported:
+
+- **Implementation CSV** — one row per ``(goal, action)`` membership with
+  columns ``goal, action`` and optionally ``impl`` (an implementation key,
+  for goals with several alternative implementations; rows sharing
+  ``(goal, impl)`` form one implementation, rows without ``impl`` group by
+  goal alone).
+- **Activity CSV** — one row per ``(user, action)`` event with columns
+  ``user, action``; row order within a user is preserved as the activity
+  sequence.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections import defaultdict
+from pathlib import Path
+
+from repro.core.library import ImplementationLibrary
+from repro.data.schema import GeneratedUser
+from repro.exceptions import DataError
+
+
+def write_library_csv(library: ImplementationLibrary, path: str | Path) -> Path:
+    """Export a library as ``goal, impl, action`` rows; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["goal", "impl", "action"])
+        for impl in library:
+            for action in sorted(map(str, impl.actions)):
+                writer.writerow([str(impl.goal), impl.impl_id, action])
+    return path
+
+
+def read_library_csv(path: str | Path) -> ImplementationLibrary:
+    """Import a library from an implementation CSV.
+
+    Accepts headers ``goal, action`` or ``goal, impl, action`` (any column
+    order).  Raises :class:`DataError` on missing files, missing required
+    columns, or blank goal/action cells.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"library CSV not found: {path}")
+    groups: dict[tuple[str, str], list[str]] = defaultdict(list)
+    order: list[tuple[str, str]] = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        fields = set(reader.fieldnames or ())
+        if not {"goal", "action"} <= fields:
+            raise DataError(
+                f"{path}: implementation CSV needs 'goal' and 'action' "
+                f"columns; found {sorted(fields)}"
+            )
+        has_impl = "impl" in fields
+        for line, row in enumerate(reader, start=2):
+            goal = (row.get("goal") or "").strip()
+            action = (row.get("action") or "").strip()
+            if not goal or not action:
+                raise DataError(f"{path}:{line}: blank goal or action")
+            impl_key = (row.get("impl") or "").strip() if has_impl else ""
+            key = (goal, impl_key)
+            if key not in groups:
+                order.append(key)
+            groups[key].append(action)
+    if not groups:
+        raise DataError(f"{path}: no implementation rows")
+    library = ImplementationLibrary()
+    for key in order:
+        goal, _ = key
+        library.add_pair(goal, groups[key])
+    return library
+
+
+def write_activities_csv(
+    users: list[GeneratedUser], path: str | Path
+) -> Path:
+    """Export user activities as ``user, action`` event rows.
+
+    Users with a recorded sequence emit it in order; others emit their
+    activity sorted by label.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["user", "action"])
+        for user in users:
+            actions = user.sequence or tuple(
+                sorted(map(str, user.full_activity))
+            )
+            for action in actions:
+                writer.writerow([user.user_id, str(action)])
+    return path
+
+
+def read_activities_csv(path: str | Path) -> list[GeneratedUser]:
+    """Import user activities from an activity CSV.
+
+    Rows group by ``user`` (order preserved as the sequence; duplicate
+    events are kept once, at their first position).  Raises
+    :class:`DataError` on malformed input.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"activity CSV not found: {path}")
+    sequences: dict[str, list[str]] = defaultdict(list)
+    order: list[str] = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        fields = set(reader.fieldnames or ())
+        if not {"user", "action"} <= fields:
+            raise DataError(
+                f"{path}: activity CSV needs 'user' and 'action' columns; "
+                f"found {sorted(fields)}"
+            )
+        for line, row in enumerate(reader, start=2):
+            user = (row.get("user") or "").strip()
+            action = (row.get("action") or "").strip()
+            if not user or not action:
+                raise DataError(f"{path}:{line}: blank user or action")
+            if user not in sequences:
+                order.append(user)
+            if action not in sequences[user]:
+                sequences[user].append(action)
+    if not sequences:
+        raise DataError(f"{path}: no activity rows")
+    return [
+        GeneratedUser(
+            user_id=user,
+            full_activity=frozenset(sequences[user]),
+            sequence=tuple(sequences[user]),
+        )
+        for user in order
+    ]

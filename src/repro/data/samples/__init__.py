@@ -1,0 +1,22 @@
+"""Small hand-curated sample datasets bundled with the library.
+
+Synthetic generators (:mod:`repro.data.synthetic`) provide statistical
+scale; these samples provide *readability* — real ingredient and life-goal
+names — for documentation, examples and quick interactive exploration:
+
+- :func:`recipes_library` / :func:`recipes_dataset` — ~40 home-cooking
+  recipes over a realistic pantry, plus a handful of shopper carts;
+- :func:`life_goal_stories` / :func:`life_goals_library` — 43Things-style
+  free-text success stories (fed through :mod:`repro.text`) and the library
+  extracted from them.
+"""
+
+from repro.data.samples.life_goals import life_goal_stories, life_goals_library
+from repro.data.samples.recipes import recipes_dataset, recipes_library
+
+__all__ = [
+    "recipes_library",
+    "recipes_dataset",
+    "life_goal_stories",
+    "life_goals_library",
+]

@@ -1,0 +1,104 @@
+"""Hand-written 43Things-style success stories.
+
+Thirty short first-person stories over a dozen life goals, written so the
+rule-based extractor (:mod:`repro.text`) produces a connected library:
+actions like "join gym", "drink water" and "track spending" recur across
+goals, giving the association model real cross-goal structure.
+"""
+
+from __future__ import annotations
+
+from repro.core.library import ImplementationLibrary
+from repro.text.extraction import ActionExtractor, GoalStory, extract_implementations
+
+STORIES: tuple[GoalStory, ...] = (
+    GoalStory("lose weight",
+              "I joined a gym. Started going three times a week. "
+              "Stopped eating at restaurants. Drank more water every day."),
+    GoalStory("lose weight",
+              "Track calories in a notebook. Walk to work. "
+              "Cut sugar from breakfast."),
+    GoalStory("lose weight",
+              "I drank more water, cooked at home, and slept eight hours."),
+    GoalStory("get fit",
+              "Join a gym. Run every morning. Stretch for ten minutes after."),
+    GoalStory("get fit",
+              "I swam twice per week. Biked to the office."),
+    GoalStory("run a marathon",
+              "Run every morning. I signed up for a local race first. "
+              "Track my mileage in a spreadsheet."),
+    GoalStory("run a marathon",
+              "I joined a running club, ran long on sundays, and "
+              "stretched daily."),
+    GoalStory("save money",
+              "Stop eating at restaurants; cook at home. "
+              "Track spending in a notebook."),
+    GoalStory("save money",
+              "I cancelled unused subscriptions. Set a monthly budget. "
+              "Walk to work."),
+    GoalStory("save money",
+              "Track spending in a notebook. I sold old furniture online."),
+    GoalStory("pay my debts",
+              "Set a monthly budget. I paid the smallest card first, "
+              "then I cancelled unused subscriptions."),
+    GoalStory("pay my debts",
+              "Track spending in a notebook. Stop eating at restaurants."),
+    GoalStory("learn spanish",
+              "Study two hours daily. I practiced with a language partner "
+              "and watched spanish films."),
+    GoalStory("learn spanish",
+              "I read childrens books in spanish. Listen to spanish radio "
+              "every morning."),
+    GoalStory("learn guitar",
+              "Practice guitar daily. I took lessons every saturday. "
+              "Learned three chords first."),
+    GoalStory("learn guitar",
+              "Watch tutorial videos. Practice guitar daily!"),
+    GoalStory("read more books",
+              "Read one book per month. I joined a book club. "
+              "Deleted social media apps."),
+    GoalStory("read more books",
+              "Keep a book in my bag. Read before bed instead of scrolling."),
+    GoalStory("sleep better",
+              "Sleep eight hours. I stopped drinking coffee after noon "
+              "and deleted social media apps."),
+    GoalStory("sleep better",
+              "Meditate before bed. Keep the bedroom cool and dark."),
+    GoalStory("reduce stress",
+              "Meditate before bed. Walk to work. I planned my week on "
+              "sunday evenings."),
+    GoalStory("reduce stress",
+              "I joined a gym — exercise helps. Drink more water, "
+              "sleep eight hours."),
+    GoalStory("be healthier",
+              "Cook at home. Drink more water. Walk to work every day."),
+    GoalStory("be healthier",
+              "I cut sugar from breakfast. Slept eight hours."),
+    GoalStory("get organized",
+              "Plan meals on sunday. I sorted my papers into folders. "
+              "Cleaned one room per week."),
+    GoalStory("get organized",
+              "Keep a daily todo list. Plan my week on sunday evenings."),
+    GoalStory("volunteer more",
+              "I volunteered at the shelter every saturday and donated "
+              "old clothes."),
+    GoalStory("volunteer more",
+              "Sign up at the food bank. Help neighbours with groceries."),
+    GoalStory("write a novel",
+              "Write morning pages. I planned the plot on index cards and "
+              "joined a writers group."),
+    GoalStory("write a novel",
+              "Write five hundred words daily. Read one book per month."),
+)
+
+
+def life_goal_stories() -> list[GoalStory]:
+    """The raw stories, in a fresh list."""
+    return list(STORIES)
+
+
+def life_goals_library(
+    extractor: ActionExtractor | None = None,
+) -> ImplementationLibrary:
+    """The library extracted from the bundled stories."""
+    return extract_implementations(STORIES, extractor)

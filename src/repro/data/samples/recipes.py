@@ -1,0 +1,177 @@
+"""A hand-curated home-cooking recipe library with shopper carts.
+
+Forty real recipes over a ~70-ingredient pantry.  Ingredient names are the
+action labels (the action being "buy <ingredient>"); each recipe is one goal
+implementation.  Ingredients recur across cuisines exactly the way the
+paper's grocery scenario needs: onions, garlic and olive oil are
+high-connectivity staples, saffron and fish sauce are niche.
+
+The carts are written to exercise the interesting regimes: partially started
+single recipes, carts spanning two cuisines, and a staples-only cart with a
+huge goal space.
+"""
+
+from __future__ import annotations
+
+from repro.core.entities import ActionLabel
+from repro.core.library import ImplementationLibrary
+from repro.data.schema import Dataset, GeneratedUser
+
+#: goal -> ingredient set.  Kept alphabetical by goal for stable ids.
+RECIPES: dict[str, frozenset[str]] = {
+    goal: frozenset(ingredients)
+    for goal, ingredients in {
+        "beef stew": {"beef", "onion", "carrot", "potato", "red wine", "thyme"},
+        "bolognese": {"ground beef", "onion", "garlic", "tomato", "carrot",
+                      "celery", "red wine"},
+        "caesar salad": {"romaine", "parmesan", "anchovy", "egg", "olive oil",
+                         "bread"},
+        "caprese salad": {"tomato", "mozzarella", "basil", "olive oil"},
+        "carbonara": {"spaghetti", "egg", "parmesan", "guanciale",
+                      "black pepper"},
+        "carrot cake": {"carrot", "flour", "egg", "sugar", "walnut",
+                        "cinnamon"},
+        "chicken curry": {"chicken", "onion", "garlic", "ginger",
+                          "curry powder", "coconut milk", "rice"},
+        "chicken noodle soup": {"chicken", "carrot", "celery", "onion",
+                                "egg noodles", "thyme"},
+        "chicken tikka": {"chicken", "yogurt", "garlic", "ginger",
+                          "garam masala", "tomato", "cream"},
+        "chili con carne": {"ground beef", "onion", "garlic", "kidney beans",
+                            "tomato", "chili powder", "cumin"},
+        "falafel": {"chickpeas", "onion", "garlic", "parsley", "cumin",
+                    "flour"},
+        "french onion soup": {"onion", "butter", "beef stock", "baguette",
+                              "gruyere", "thyme"},
+        "fried rice": {"rice", "egg", "soy sauce", "scallion", "peas",
+                       "sesame oil"},
+        "gazpacho": {"tomato", "cucumber", "bell pepper", "garlic",
+                     "olive oil", "bread"},
+        "greek salad": {"tomato", "cucumber", "feta", "olives", "red onion",
+                        "olive oil"},
+        "guacamole": {"avocado", "lime", "onion", "cilantro", "tomato"},
+        "hummus": {"chickpeas", "tahini", "garlic", "lemon", "olive oil"},
+        "lentil soup": {"lentils", "onion", "carrot", "garlic", "cumin",
+                        "olive oil"},
+        "margherita pizza": {"flour", "yeast", "tomato", "mozzarella",
+                             "basil", "olive oil"},
+        "mashed potatoes": {"potato", "butter", "milk", "nutmeg"},
+        "minestrone": {"onion", "carrot", "celery", "tomato", "white beans",
+                       "pasta", "olive oil"},
+        "mushroom risotto": {"arborio rice", "mushroom", "onion",
+                             "white wine", "parmesan", "butter"},
+        "olivier salad": {"potato", "carrot", "pickles", "peas", "egg",
+                          "mayonnaise"},
+        "omelette": {"egg", "butter", "milk", "chives"},
+        "pad thai": {"rice noodles", "egg", "tofu", "peanuts", "lime",
+                     "fish sauce", "scallion"},
+        "paella": {"rice", "chicken", "shrimp", "saffron", "bell pepper",
+                   "peas", "olive oil"},
+        "pancakes": {"flour", "egg", "milk", "butter", "sugar"},
+        "pesto pasta": {"spaghetti", "basil", "pine nuts", "parmesan",
+                        "garlic", "olive oil"},
+        "pho": {"rice noodles", "beef", "onion", "ginger", "star anise",
+                "fish sauce", "cilantro"},
+        "potato leek soup": {"potato", "leek", "butter", "cream",
+                             "chicken stock"},
+        "ramen": {"noodles", "egg", "pork", "soy sauce", "scallion",
+                  "chicken stock"},
+        "ratatouille": {"eggplant", "zucchini", "tomato", "bell pepper",
+                        "onion", "garlic", "olive oil"},
+        "roast chicken": {"chicken", "butter", "lemon", "garlic", "thyme",
+                          "potato"},
+        "shakshuka": {"egg", "tomato", "onion", "bell pepper", "cumin",
+                      "paprika"},
+        "spanish tortilla": {"egg", "potato", "onion", "olive oil"},
+        "tacos": {"ground beef", "tortillas", "onion", "tomato", "cilantro",
+                  "lime", "cheddar"},
+        "tiramisu": {"mascarpone", "egg", "coffee", "ladyfingers", "cocoa",
+                     "sugar"},
+        "tom yum": {"shrimp", "lemongrass", "lime", "fish sauce", "mushroom",
+                    "chili"},
+        "vegetable stir fry": {"broccoli", "bell pepper", "carrot", "garlic",
+                               "ginger", "soy sauce", "sesame oil"},
+        "wild mushroom omelette": {"egg", "mushroom", "butter", "chives",
+                                   "gruyere"},
+    }.items()
+}
+
+#: Named carts covering the interesting evaluation regimes.
+CARTS: dict[str, frozenset[str]] = {
+    # Two-thirds of the olivier salad; the paper's motivating situation.
+    "cart_olivier": frozenset({"potato", "carrot", "peas", "egg"}),
+    # Italian evening: partial carbonara + partial pesto.
+    "cart_italian": frozenset({"spaghetti", "parmesan", "egg", "basil"}),
+    # Asian week: stir fry + pad thai beginnings.
+    "cart_asian": frozenset({"rice noodles", "soy sauce", "ginger", "lime"}),
+    # Staples only: touches dozens of recipes, completes none.
+    "cart_staples": frozenset({"onion", "garlic", "olive oil", "egg"}),
+    # Breakfast baking.
+    "cart_baking": frozenset({"flour", "egg", "milk", "sugar"}),
+    # Soup season.
+    "cart_soups": frozenset({"onion", "carrot", "celery", "chicken"}),
+}
+
+#: Coarse pantry features for the content baseline.
+INGREDIENT_FEATURES: dict[str, frozenset[str]] = {}
+_FEATURE_GROUPS = {
+    "vegetable": {"onion", "carrot", "celery", "tomato", "potato", "leek",
+                  "cucumber", "bell pepper", "eggplant", "zucchini",
+                  "broccoli", "mushroom", "romaine", "scallion", "red onion",
+                  "avocado", "peas", "olives", "lemongrass", "chili"},
+    "protein": {"beef", "ground beef", "chicken", "pork", "shrimp", "egg",
+                "tofu", "anchovy", "chickpeas", "lentils", "kidney beans",
+                "white beans", "guanciale"},
+    "dairy": {"butter", "milk", "cream", "parmesan", "mozzarella", "feta",
+              "gruyere", "cheddar", "mascarpone", "yogurt", "mayonnaise"},
+    "grain": {"flour", "bread", "baguette", "rice", "arborio rice",
+              "spaghetti", "pasta", "noodles", "rice noodles", "egg noodles",
+              "tortillas", "ladyfingers", "yeast"},
+    "seasoning": {"garlic", "ginger", "thyme", "basil", "cilantro", "parsley",
+                  "chives", "cumin", "paprika", "cinnamon", "nutmeg",
+                  "black pepper", "curry powder", "garam masala",
+                  "chili powder", "saffron", "star anise", "sugar", "cocoa",
+                  "coffee", "lemon", "lime", "salt"},
+    "oil_sauce": {"olive oil", "sesame oil", "soy sauce", "fish sauce",
+                  "tahini", "coconut milk", "red wine", "white wine",
+                  "beef stock", "chicken stock", "pickles", "pine nuts",
+                  "peanuts", "walnut"},
+}
+for _feature, _members in _FEATURE_GROUPS.items():
+    for _ingredient in _members:
+        INGREDIENT_FEATURES.setdefault(_ingredient, frozenset())
+        INGREDIENT_FEATURES[_ingredient] = (
+            INGREDIENT_FEATURES[_ingredient] | {_feature}
+        )
+
+
+def recipes_library() -> ImplementationLibrary:
+    """The recipe collection as an implementation library."""
+    library = ImplementationLibrary()
+    for goal in sorted(RECIPES):
+        library.add_pair(goal, RECIPES[goal])
+    return library
+
+
+def recipes_dataset() -> Dataset:
+    """Recipes plus the named carts as a ready-to-evaluate dataset.
+
+    Item features cover every ingredient that appears in a recipe (unknown
+    pantry items simply carry no features).
+    """
+    library = recipes_library()
+    users = [
+        GeneratedUser(user_id=name, full_activity=cart)
+        for name, cart in sorted(CARTS.items())
+    ]
+    features: dict[ActionLabel, frozenset[str]] = {
+        ingredient: INGREDIENT_FEATURES.get(ingredient, frozenset())
+        for ingredient in library.actions()
+    }
+    return Dataset(
+        name="sample_recipes",
+        library=library,
+        users=users,
+        item_features=features,
+        metadata={"source": "hand-curated sample"},
+    )

@@ -1,0 +1,123 @@
+"""Dataset schema shared by generators, loaders and the evaluation harness.
+
+A :class:`Dataset` bundles everything one evaluation scenario needs:
+
+- the goal implementation library ``L``;
+- the user population with, per user, the *full* ground-truth activity (the
+  evaluation protocol later hides 70% of it) and — when the generator knows
+  them — the goals the user actually pursues (the 43Things scenario reports
+  completeness only over the user's true goals);
+- optional per-item feature sets (the grocery scenario's 128 product
+  subcategories), consumed by the content-based baseline and the Table 5
+  similarity metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.entities import ActionLabel, GoalLabel
+from repro.core.library import ImplementationLibrary
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratedUser:
+    """One user with ground truth attached.
+
+    Attributes:
+        user_id: stable identifier within the dataset.
+        full_activity: every action the user has performed.
+        goals: the goals the user pursues, when known (empty tuple when the
+            scenario has no per-user goal ground truth, as in grocery carts).
+        sequence: the actions in the order they were performed, when the
+            scenario records order (consumed by sequence-based baselines
+            such as :class:`~repro.baselines.markov.MarkovRecommender`);
+            empty when order is unknown.  When present it must enumerate
+            exactly ``full_activity``.
+    """
+
+    user_id: str
+    full_activity: frozenset[ActionLabel]
+    goals: tuple[GoalLabel, ...] = ()
+    sequence: tuple[ActionLabel, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.full_activity:
+            raise DataError(f"user {self.user_id!r} has an empty activity")
+        if self.sequence and frozenset(self.sequence) != self.full_activity:
+            raise DataError(
+                f"user {self.user_id!r}: sequence does not enumerate "
+                "full_activity"
+            )
+
+
+@dataclass(slots=True)
+class Dataset:
+    """A complete evaluation scenario.
+
+    Attributes:
+        name: scenario identifier (``"foodmart"`` / ``"43things"`` / custom).
+        library: the goal implementation library.
+        users: the user population with ground truth.
+        item_features: optional item -> feature-set map for content-based
+            methods; ``None`` when the domain has no accepted features
+            (the paper's 43Things case).
+        metadata: free-form generator parameters, kept for provenance.
+    """
+
+    name: str
+    library: ImplementationLibrary
+    users: list[GeneratedUser]
+    item_features: dict[ActionLabel, frozenset[str]] | None = None
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.library) == 0:
+            raise DataError(f"dataset {self.name!r} has an empty library")
+        if not self.users:
+            raise DataError(f"dataset {self.name!r} has no users")
+
+    def activities(self) -> list[frozenset[ActionLabel]]:
+        """The users' full activities, in user order."""
+        return [user.full_activity for user in self.users]
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph description."""
+        stats = self.library.stats()
+        features = (
+            f"{len(self.item_features)} featured items"
+            if self.item_features is not None
+            else "no item features"
+        )
+        return (
+            f"dataset {self.name!r}: {stats}; {len(self.users)} users; {features}"
+        )
+
+
+def validate_dataset(dataset: Dataset) -> None:
+    """Check referential integrity of a dataset.
+
+    Every feature-map key must be a library action, and every user should
+    share at least one action with the library (otherwise no recommender has
+    any evidence for them).  Raises :class:`DataError` on violation.
+    """
+    library_actions = dataset.library.actions()
+    if dataset.item_features is not None:
+        unknown = set(dataset.item_features) - library_actions
+        if unknown:
+            sample = sorted(map(str, unknown))[:5]
+            raise DataError(
+                f"dataset {dataset.name!r}: {len(unknown)} featured items are "
+                f"not library actions (e.g. {sample})"
+            )
+    for user in dataset.users:
+        if not (user.full_activity & library_actions):
+            raise DataError(
+                f"dataset {dataset.name!r}: user {user.user_id!r} shares no "
+                "action with the library"
+            )
+
+
+Features = Mapping[ActionLabel, frozenset[str]]

@@ -1,0 +1,22 @@
+"""Synthetic dataset generators calibrated to the paper's dataset profiles."""
+
+from repro.data.synthetic.foodmart import FoodMartConfig, generate_foodmart
+from repro.data.synthetic.fortythree import FortyThreeConfig, generate_fortythree
+from repro.data.synthetic.learning import LearningConfig, generate_learning
+from repro.data.synthetic.generators import (
+    sample_distinct,
+    sample_size,
+    zipf_weights,
+)
+
+__all__ = [
+    "FoodMartConfig",
+    "generate_foodmart",
+    "FortyThreeConfig",
+    "generate_fortythree",
+    "LearningConfig",
+    "generate_learning",
+    "zipf_weights",
+    "sample_distinct",
+    "sample_size",
+]

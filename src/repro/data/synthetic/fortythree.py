@@ -1,0 +1,276 @@
+"""Synthetic life-goal scenario matching the paper's 43Things dataset profile.
+
+The paper's second dataset was extracted from the 43Things goal-setting
+platform: 18 047 goal implementations over 3 747 life goals (pay my debts,
+lose weight, ...) and 5 456 actions, with a *very low* action connectivity of
+3.84 — actions are useful only within narrow "families" of goals, the
+opposite regime from the grocery dataset.  8 071 users pursue 1 goal (5 047
+of them), 2 goals (1 806), 3 goals (623) or more (595); a user's activity is
+the union of the actions they performed for all their goals.
+
+This generator reproduces that structure:
+
+- **Goal families**: goals are grouped into thematic families, and each
+  family owns a disjoint pool of actions.  Implementations of a goal draw
+  almost exclusively from the family pool (a small ``crossover`` probability
+  lets an occasional action serve a second family), which is what keeps
+  connectivity low.
+- **Users** draw a goal count from the paper's multiplicity distribution,
+  pick that many goals (Zipf-weighted: popular life goals exist), choose one
+  or two implementations per goal and perform their union.
+
+**Deviation from the published counts** (documented in DESIGN.md): the
+published triple (18 047 implementations, 5 456 actions, connectivity 3.84)
+implies an average implementation length of ~1.16 actions, under which the
+association model degenerates (single-action implementations have an empty
+action space, so nothing could ever be recommended — contradicting the
+paper's own 43T results).  We therefore preserve the implementation count,
+goal count and the *connectivity* (the quantity §5.4 identifies as the
+complexity driver) and let the action count float: with mean length 3, the
+paper-scale preset has ~14 100 actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.library import ImplementationLibrary
+from repro.data.schema import Dataset, GeneratedUser
+from repro.data.synthetic.generators import (
+    partition_sizes,
+    sample_size,
+    zipf_weights,
+)
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require_positive, require_probability
+
+#: The paper's user-goal multiplicity distribution:
+#: 5 047 / 1 806 / 623 / 595 users out of 8 071 pursue 1 / 2 / 3 / >3 goals.
+PAPER_GOAL_MULTIPLICITY = (0.6253, 0.2238, 0.0772, 0.0737)
+
+
+@dataclass(frozen=True, slots=True)
+class FortyThreeConfig:
+    """Parameters of the life-goal generator.
+
+    ``goal_multiplicity`` gives the probabilities of a user pursuing
+    1, 2, 3 or >3 goals (paper values by default); users in the last bucket
+    draw uniformly from 4-6 goals.  ``crossover`` is the probability an
+    implementation action comes from a foreign family pool.
+    """
+
+    num_goals: int = 400
+    num_actions: int = 1500
+    num_implementations: int = 1900
+    num_families: int = 40
+    num_users: int = 800
+    impl_length_mean: float = 3.0
+    impl_length_min: int = 2
+    impl_length_max: int = 8
+    impls_per_user_goal_max: int = 2
+    crossover: float = 0.05
+    family_affinity: float = 0.4
+    goal_popularity_exponent: float = 0.9
+    goal_multiplicity: tuple[float, float, float, float] = field(
+        default=PAPER_GOAL_MULTIPLICITY
+    )
+
+    def __post_init__(self) -> None:
+        require_positive(self.num_goals, "num_goals")
+        require_positive(self.num_actions, "num_actions")
+        require_positive(self.num_implementations, "num_implementations")
+        require_positive(self.num_families, "num_families")
+        require_positive(self.num_users, "num_users")
+        require_positive(self.impl_length_mean, "impl_length_mean")
+        require_probability(self.crossover, "crossover")
+        require_probability(self.family_affinity, "family_affinity")
+        if self.num_families > self.num_goals:
+            raise ValueError("more families than goals")
+        if self.num_families > self.num_actions:
+            raise ValueError("more families than actions")
+        if self.impl_length_min > self.impl_length_max:
+            raise ValueError("impl_length_min exceeds impl_length_max")
+        if abs(sum(self.goal_multiplicity) - 1.0) > 1e-6:
+            raise ValueError("goal_multiplicity must sum to 1")
+
+    @classmethod
+    def paper_scale(cls) -> "FortyThreeConfig":
+        """Published counts, connectivity preserved (see module docstring)."""
+        return cls(
+            num_goals=3747,
+            num_actions=14100,
+            num_implementations=18047,
+            num_families=350,
+            num_users=8071,
+        )
+
+    @classmethod
+    def small(cls) -> "FortyThreeConfig":
+        """The default CI-scale configuration."""
+        return cls()
+
+    @classmethod
+    def tiny(cls) -> "FortyThreeConfig":
+        """Minimal configuration for unit tests."""
+        return cls(
+            num_goals=30,
+            num_actions=120,
+            num_implementations=140,
+            num_families=6,
+            num_users=60,
+        )
+
+
+def _goal_label(index: int) -> str:
+    return f"goal_{index:04d}"
+
+
+def _action_label(index: int) -> str:
+    return f"action_{index:05d}"
+
+
+def generate_fortythree(
+    config: FortyThreeConfig | None = None, seed: SeedLike = 1
+) -> Dataset:
+    """Generate a life-goal scenario; deterministic for a given seed."""
+    config = config or FortyThreeConfig.small()
+    rng = make_rng(seed)
+
+    # ------------------------------------------------------------------
+    # Families: partition goals and actions into aligned pools.
+    # ------------------------------------------------------------------
+    goal_family = _assign_buckets(rng, config.num_goals, config.num_families)
+    action_family = _assign_buckets(rng, config.num_actions, config.num_families)
+    family_actions: list[np.ndarray] = [
+        np.flatnonzero(action_family == f) for f in range(config.num_families)
+    ]
+
+    # ------------------------------------------------------------------
+    # Implementations: every goal gets at least one; the remainder are
+    # assigned to goals Zipf-weighted (popular goals collect many ways to
+    # achieve them).
+    # ------------------------------------------------------------------
+    goal_weights = zipf_weights(config.num_goals, config.goal_popularity_exponent)
+    impl_goals = list(range(config.num_goals))
+    extra = config.num_implementations - config.num_goals
+    if extra < 0:
+        raise ValueError(
+            "num_implementations must be at least num_goals so every goal "
+            "has an implementation"
+        )
+    impl_goals.extend(
+        int(g) for g in rng.choice(config.num_goals, size=extra, p=goal_weights)
+    )
+
+    library = ImplementationLibrary()
+    goal_impl_actions: dict[int, list[frozenset[int]]] = {}
+    for goal in impl_goals:
+        family = int(goal_family[goal])
+        pool = family_actions[family]
+        length = sample_size(
+            rng, config.impl_length_mean, config.impl_length_min,
+            config.impl_length_max,
+        )
+        chosen: set[int] = set()
+        guard = 0
+        while len(chosen) < length and guard < 10 * length:
+            guard += 1
+            if rng.random() < config.crossover or len(pool) == 0:
+                chosen.add(int(rng.integers(config.num_actions)))
+            else:
+                chosen.add(int(rng.choice(pool)))
+        actions = frozenset(chosen)
+        impl_id = library.add_pair(
+            _goal_label(goal), (_action_label(a) for a in sorted(actions))
+        )
+        # Deduplicated implementations share an id; track per-goal variants.
+        goal_impl_actions.setdefault(goal, [])
+        stored = frozenset(
+            int(label.rsplit("_", 1)[1]) for label in library[impl_id].actions
+        )
+        if stored not in goal_impl_actions[goal]:
+            goal_impl_actions[goal].append(stored)
+
+    # ------------------------------------------------------------------
+    # Users: goal multiplicity from the paper's distribution; activity is
+    # the union of one or two implementations per chosen goal.
+    # ------------------------------------------------------------------
+    multiplicity = np.asarray(config.goal_multiplicity)
+    family_goals: list[np.ndarray] = [
+        np.flatnonzero(goal_family == f) for f in range(config.num_families)
+    ]
+    users: list[GeneratedUser] = []
+    for user in range(config.num_users):
+        bucket = int(rng.choice(4, p=multiplicity))
+        num_goals = bucket + 1 if bucket < 3 else int(rng.integers(4, 7))
+        num_goals = min(num_goals, config.num_goals)
+        # Goals cluster thematically: after the first (popularity-weighted)
+        # goal, each further goal stays within the same family with
+        # probability ``family_affinity`` — fitness goals attract fitness
+        # goals.  This is what creates bridge actions between a user's
+        # goals, the structure the goal-based strategies exploit.
+        chosen_goals: list[int] = [
+            int(rng.choice(config.num_goals, p=goal_weights))
+        ]
+        anchor_family = int(goal_family[chosen_goals[0]])
+        while len(chosen_goals) < num_goals:
+            pool = family_goals[anchor_family]
+            in_family = [g for g in pool if g not in chosen_goals]
+            if in_family and rng.random() < config.family_affinity:
+                weights = goal_weights[in_family]
+                weights = weights / weights.sum()
+                chosen_goals.append(int(rng.choice(in_family, p=weights)))
+            else:
+                candidate = int(rng.choice(config.num_goals, p=goal_weights))
+                if candidate not in chosen_goals:
+                    chosen_goals.append(candidate)
+        goals = np.asarray(chosen_goals, dtype=np.int64)
+        activity: set[int] = set()
+        sequence: list[int] = []
+        for goal in goals:
+            variants = goal_impl_actions[int(goal)]
+            take = min(
+                len(variants), int(rng.integers(1, config.impls_per_user_goal_max + 1))
+            )
+            picked = rng.choice(len(variants), size=take, replace=False)
+            for index in picked:
+                # Order of performing: goal by goal, implementation by
+                # implementation — the natural temporal structure sequence
+                # baselines can exploit.
+                for action in sorted(variants[int(index)]):
+                    if action not in activity:
+                        sequence.append(action)
+                        activity.add(action)
+        users.append(
+            GeneratedUser(
+                user_id=f"user_{user:05d}",
+                full_activity=frozenset(
+                    _action_label(a) for a in sorted(activity)
+                ),
+                goals=tuple(_goal_label(int(g)) for g in sorted(goals)),
+                sequence=tuple(_action_label(a) for a in sequence),
+            )
+        )
+
+    return Dataset(
+        name="43things",
+        library=library,
+        users=users,
+        item_features=None,  # the paper: no accepted domain features for 43T
+        metadata={"config": asdict(config), "seed": repr(seed)},
+    )
+
+
+def _assign_buckets(
+    rng: np.random.Generator, count: int, buckets: int
+) -> np.ndarray:
+    """Assign ``count`` elements to ``buckets`` contiguous unequal groups."""
+    sizes = partition_sizes(rng, count, buckets)
+    assignment = np.zeros(count, dtype=np.int64)
+    start = 0
+    for bucket, size in enumerate(sizes):
+        assignment[start : start + size] = bucket
+        start += size
+    return assignment

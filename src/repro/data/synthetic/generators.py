@@ -1,0 +1,97 @@
+"""Sampling primitives shared by the synthetic dataset generators.
+
+Both scenarios need the same ingredients: Zipf-skewed popularity (a few
+staples appear in very many recipes/activities, most items rarely), weighted
+sampling of *distinct* elements, and integer sizes drawn around a mean.
+Centralizing them keeps the generators small and their randomness uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require_positive
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> np.ndarray:
+    """Normalized Zipf weights ``w_r ∝ 1 / rank^exponent`` for ``count`` ranks.
+
+    ``exponent=0`` degenerates to the uniform distribution.
+    """
+    require_positive(count, "count")
+    if exponent < 0:
+        raise ValueError(f"exponent must be non-negative, got {exponent}")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+def sample_distinct(
+    rng: np.random.Generator,
+    population: int,
+    size: int,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Draw ``size`` distinct indices from ``range(population)``.
+
+    With ``weights`` the draw is popularity-biased (without replacement).
+    ``size`` is clamped to the population, so callers can request "about
+    this many" safely.
+    """
+    size = min(size, population)
+    if size <= 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.choice(population, size=size, replace=False, p=weights).astype(
+        np.int64
+    )
+
+
+def sample_size(
+    rng: np.random.Generator,
+    mean: float,
+    minimum: int,
+    maximum: int,
+) -> int:
+    """Draw an integer set size around ``mean``, clamped to the given range.
+
+    A Poisson draw gives realistic dispersion for basket/recipe sizes while
+    keeping the configured mean interpretable.
+    """
+    require_positive(mean, "mean")
+    if minimum > maximum:
+        raise ValueError(f"minimum {minimum} exceeds maximum {maximum}")
+    value = int(rng.poisson(mean))
+    return max(minimum, min(maximum, value))
+
+
+def partition_sizes(
+    rng: np.random.Generator, total: int, buckets: int
+) -> list[int]:
+    """Split ``total`` elements into ``buckets`` positive random parts.
+
+    Used to assign items to category "families" with realistic imbalance.
+    Every bucket gets at least one element (requires ``total >= buckets``).
+    """
+    require_positive(total, "total")
+    require_positive(buckets, "buckets")
+    if total < buckets:
+        raise ValueError(
+            f"cannot split {total} elements into {buckets} non-empty buckets"
+        )
+    # Dirichlet proportions, floored at one element per bucket.
+    proportions = rng.dirichlet(np.ones(buckets) * 2.0)
+    sizes = np.maximum(1, np.round(proportions * total).astype(int))
+    # Repair rounding drift by adjusting the largest buckets.
+    drift = sizes.sum() - total
+    order = np.argsort(-sizes)
+    idx = 0
+    while drift != 0:
+        bucket = order[idx % buckets]
+        if drift > 0 and sizes[bucket] > 1:
+            sizes[bucket] -= 1
+            drift -= 1
+        elif drift < 0:
+            sizes[bucket] += 1
+            drift += 1
+        idx += 1
+    return sizes.tolist()

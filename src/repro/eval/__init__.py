@@ -1,0 +1,116 @@
+"""Evaluation: the paper's protocol, metrics, harness and timing studies.
+
+- :mod:`repro.eval.protocol` — the 30%-observed / 70%-hidden activity split
+  (paper Section 6, Table 1's description);
+- :mod:`repro.eval.metrics` — every quantity reported in Section 6.1
+  (C.1.1-C.2.2): list overlap, popularity correlation, usefulness (goal
+  completeness), pairwise similarity, average TPR, frequency profiles;
+- :mod:`repro.eval.harness` — runs all goal-based strategies and baselines
+  over a dataset under one split, producing per-user recommendation lists;
+- :mod:`repro.eval.report` — plain-text tables mirroring the paper's;
+- :mod:`repro.eval.timing` — the Figure 7 scalability study.
+"""
+
+from repro.eval.beyond import (
+    average_intra_list_distance,
+    catalog_coverage,
+    gini_concentration,
+    intra_list_distance,
+    novelty,
+)
+from repro.eval.cold_goal import (
+    ColdGoalCase,
+    ColdGoalResult,
+    build_cold_goal_cases,
+    evaluate_cold_goal,
+)
+from repro.eval.error_analysis import (
+    bucketed_metric,
+    compare_methods_bucketed,
+    goal_count,
+    make_implementation_space_size,
+    observed_size,
+)
+from repro.eval.harness import ExperimentHarness, ExperimentResult
+from repro.eval.metrics import (
+    average_list_overlap,
+    average_pairwise_similarity,
+    average_true_positive_rate,
+    frequency_histogram,
+    goal_completeness_after,
+    library_frequencies,
+    list_overlap,
+    pairwise_similarity,
+    pearson,
+    popularity_correlation,
+    recommendation_frequencies,
+    true_positive_rate,
+    usefulness_summary,
+)
+from repro.eval.protocol import EvaluationSplit, UserSplit, make_split
+from repro.eval.ranking_metrics import (
+    average_over_users,
+    average_precision,
+    ndcg_at,
+    precision_at,
+    recall_at,
+    reciprocal_rank,
+)
+from repro.eval.repeated import RepeatedResult, repeated_evaluation, tpr_metric
+from repro.eval.report import ascii_bar_chart, format_table
+from repro.eval.stats import (
+    ConfidenceInterval,
+    PairedTestResult,
+    bootstrap_ci,
+    paired_bootstrap_test,
+)
+
+__all__ = [
+    "ColdGoalCase",
+    "ColdGoalResult",
+    "build_cold_goal_cases",
+    "evaluate_cold_goal",
+    "bucketed_metric",
+    "compare_methods_bucketed",
+    "observed_size",
+    "goal_count",
+    "make_implementation_space_size",
+    "precision_at",
+    "recall_at",
+    "ndcg_at",
+    "average_precision",
+    "reciprocal_rank",
+    "average_over_users",
+    "repeated_evaluation",
+    "RepeatedResult",
+    "tpr_metric",
+    "ascii_bar_chart",
+    "intra_list_distance",
+    "average_intra_list_distance",
+    "novelty",
+    "catalog_coverage",
+    "gini_concentration",
+    "ConfidenceInterval",
+    "PairedTestResult",
+    "bootstrap_ci",
+    "paired_bootstrap_test",
+    "EvaluationSplit",
+    "UserSplit",
+    "make_split",
+    "ExperimentHarness",
+    "ExperimentResult",
+    "list_overlap",
+    "average_list_overlap",
+    "pearson",
+    "popularity_correlation",
+    "goal_completeness_after",
+    "usefulness_summary",
+    "pairwise_similarity",
+    "average_pairwise_similarity",
+    "true_positive_rate",
+    "average_true_positive_rate",
+    "recommendation_frequencies",
+    "library_frequencies",
+    "frequency_histogram",
+    "format_table",
+]

@@ -1,0 +1,123 @@
+"""Beyond-accuracy metrics: diversity, novelty, coverage, concentration.
+
+The paper's introduction positions goal-based recommendation against the
+serendipity/novelty/diversity line of work ("these solutions are not
+principled and are not driven by some specific, user-selected, well-defined
+target").  These metrics quantify that comparison:
+
+- :func:`intra_list_distance` — 1 − mean pairwise similarity inside a list
+  (the diversity counterpart of Table 5's similarity);
+- :func:`novelty` — mean self-information ``−log2 p(a)`` of the recommended
+  actions under their training-corpus popularity: recommending rare actions
+  scores high;
+- :func:`catalog_coverage` — fraction of the recommendable catalogue that
+  appears in at least one list: do the methods explore the long tail?
+- :func:`gini_concentration` — Gini coefficient of how recommendations
+  concentrate on few actions (0 = perfectly spread, 1 = one action
+  monopolizes every list; the paper's C.2.1 "monopolization" concern).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.core.entities import ActionLabel, RecommendationList
+from repro.eval.metrics import SimilarityFunc, pairwise_similarity
+from repro.exceptions import EvaluationError
+
+
+def intra_list_distance(
+    recommendation: RecommendationList, similarity: SimilarityFunc
+) -> float | None:
+    """Diversity of one list: ``1 − mean pairwise similarity``.
+
+    Returns ``None`` for lists with fewer than two actions.
+    """
+    summary = pairwise_similarity(recommendation, similarity)
+    if summary is None:
+        return None
+    return 1.0 - summary.average
+
+
+def average_intra_list_distance(
+    recommendations: Sequence[RecommendationList], similarity: SimilarityFunc
+) -> float:
+    """Mean diversity over all lists with at least one pair."""
+    values = [
+        value
+        for value in (
+            intra_list_distance(rec, similarity) for rec in recommendations
+        )
+        if value is not None
+    ]
+    if not values:
+        raise EvaluationError("no list with at least two actions")
+    return sum(values) / len(values)
+
+
+def novelty(
+    recommendations: Sequence[RecommendationList],
+    activities: Sequence[Iterable[ActionLabel]],
+) -> float:
+    """Mean self-information of recommended actions under activity popularity.
+
+    ``p(a)`` is the fraction of training activities containing ``a``;
+    actions never seen in any activity take the minimum observable
+    probability (they are maximally novel, not infinitely so, keeping the
+    average finite).
+    """
+    if not recommendations:
+        raise EvaluationError("no recommendation lists")
+    if not activities:
+        raise EvaluationError("no activities")
+    counts: Counter[ActionLabel] = Counter()
+    for activity in activities:
+        counts.update(set(activity))
+    total = len(activities)
+    floor = 1.0 / (total + 1)
+    information: list[float] = []
+    for rec in recommendations:
+        for action in rec.action_set():
+            probability = counts.get(action, 0) / total
+            information.append(-math.log2(max(probability, floor)))
+    if not information:
+        raise EvaluationError("every recommendation list is empty")
+    return sum(information) / len(information)
+
+
+def catalog_coverage(
+    recommendations: Sequence[RecommendationList], catalog_size: int
+) -> float:
+    """Fraction of the catalogue recommended to at least one user."""
+    if catalog_size <= 0:
+        raise EvaluationError(f"catalog_size must be positive, got {catalog_size}")
+    recommended: set[ActionLabel] = set()
+    for rec in recommendations:
+        recommended |= rec.action_set()
+    return len(recommended) / catalog_size
+
+
+def gini_concentration(
+    recommendations: Sequence[RecommendationList],
+) -> float:
+    """Gini coefficient of recommendation counts over recommended actions.
+
+    0 when every recommended action appears equally often; approaches 1
+    when few actions monopolize the lists.  Actions never recommended do
+    not contribute (use :func:`catalog_coverage` for that aspect).
+    """
+    counts: Counter[ActionLabel] = Counter()
+    for rec in recommendations:
+        counts.update(rec.action_set())
+    if not counts:
+        raise EvaluationError("every recommendation list is empty")
+    values = sorted(counts.values())
+    n = len(values)
+    if n == 1:
+        return 0.0
+    cumulative = 0.0
+    for rank, value in enumerate(values, start=1):
+        cumulative += (2 * rank - n - 1) * value
+    return cumulative / (n * sum(values))

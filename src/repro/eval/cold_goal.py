@@ -1,0 +1,150 @@
+"""Cold-goal evaluation: can a recommender open a path to an unseen goal?
+
+The paper's split hides a *fraction of actions*; this protocol hides an
+entire goal's worth.  For each multi-goal user, one of their true goals is
+designated *cold*: every action that (among the user's actions) serves only
+that goal is hidden, and the recommenders see the rest.  A method "reaches"
+the cold goal when its top-k list contains any hidden cold action.
+
+This measures exactly the capability the paper's introduction motivates —
+recommending actions *different in nature* from the visible past because
+they serve a goal the past only hints at through shared actions — and it is
+a regime where similarity-based methods are structurally handicapped.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.entities import ActionLabel, GoalLabel, RecommendationList
+from repro.core.model import AssociationGoalModel
+from repro.data.schema import Dataset
+from repro.exceptions import EvaluationError
+from repro.utils.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True, slots=True)
+class ColdGoalCase:
+    """One user's cold-goal instance."""
+
+    user_id: str
+    visible: frozenset[ActionLabel]
+    cold_goal: GoalLabel
+    cold_actions: frozenset[ActionLabel]
+
+
+def build_cold_goal_cases(
+    dataset: Dataset,
+    model: AssociationGoalModel,
+    seed: SeedLike = 0,
+    max_users: int | None = None,
+) -> list[ColdGoalCase]:
+    """Construct cold-goal cases from a dataset with per-user true goals.
+
+    Eligible users pursue at least two goals and have at least one action
+    exclusive to the chosen cold goal, with a non-empty visible remainder
+    that still *shares* at least one action with the cold goal's
+    implementations' sibling goals (otherwise no method could bridge).
+    The cold goal is drawn uniformly per user with a seeded generator.
+    Raises :class:`EvaluationError` when no user qualifies.
+    """
+    rng = make_rng(seed)
+    cases: list[ColdGoalCase] = []
+    for user in dataset.users:
+        if len(user.goals) < 2:
+            continue
+        order = rng.permutation(len(user.goals))
+        chosen: ColdGoalCase | None = None
+        for index in order:
+            goal = user.goals[int(index)]
+            if not model.has_goal(goal):
+                continue
+            gid = model.goal_id(goal)
+            goal_actions: set[ActionLabel] = set()
+            for pid in model.implementations_of_goal(gid):
+                goal_actions |= {
+                    model.action_label(aid)
+                    for aid in model.implementation_actions(pid)
+                }
+            cold_actions = frozenset(
+                action
+                for action in user.full_activity
+                if action in goal_actions
+                and _serves_only(model, action, gid, user.goals)
+            )
+            if not cold_actions:
+                continue
+            visible = user.full_activity - cold_actions
+            if not visible:
+                continue
+            chosen = ColdGoalCase(
+                user_id=user.user_id,
+                visible=visible,
+                cold_goal=goal,
+                cold_actions=cold_actions,
+            )
+            break
+        if chosen is not None:
+            cases.append(chosen)
+            if max_users is not None and len(cases) >= max_users:
+                break
+    if not cases:
+        raise EvaluationError(
+            f"dataset {dataset.name!r} has no eligible cold-goal user "
+            "(needs multi-goal users with goal-exclusive actions)"
+        )
+    return cases
+
+
+def _serves_only(
+    model: AssociationGoalModel,
+    action: ActionLabel,
+    cold_gid: int,
+    user_goals: tuple[GoalLabel, ...],
+) -> bool:
+    """Does ``action`` serve no *other* goal of this user?"""
+    other_gids = {
+        model.goal_id(goal)
+        for goal in user_goals
+        if model.has_goal(goal) and model.goal_id(goal) != cold_gid
+    }
+    for pid in model.implementations_of_action(model.action_id(action)):
+        if model.implementation_goal(pid) in other_gids:
+            return False
+    return True
+
+
+@dataclass(frozen=True, slots=True)
+class ColdGoalResult:
+    """Aggregate cold-goal performance of one method."""
+
+    method: str
+    reach_rate: float  # fraction of cases with >= 1 cold action in top-k
+    mean_recovered: float  # mean fraction of cold actions recovered
+
+
+def evaluate_cold_goal(
+    method: str,
+    lists: Sequence[RecommendationList],
+    cases: Sequence[ColdGoalCase],
+) -> ColdGoalResult:
+    """Score one method's lists against the cases (aligned by index)."""
+    if len(lists) != len(cases):
+        raise EvaluationError(
+            f"{method}: {len(lists)} lists vs {len(cases)} cases"
+        )
+    if not cases:
+        raise EvaluationError("no cold-goal cases")
+    reached = 0
+    recovered = 0.0
+    for rec, case in zip(lists, cases):
+        hits = rec.action_set() & case.cold_actions
+        if hits:
+            reached += 1
+        recovered += len(hits) / len(case.cold_actions)
+    return ColdGoalResult(
+        method=method,
+        reach_rate=reached / len(cases),
+        mean_recovered=recovered / len(cases),
+    )

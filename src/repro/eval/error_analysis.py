@@ -1,0 +1,144 @@
+"""Error analysis: where does a method win or lose?
+
+Aggregate numbers (Tables 2-6) say *whether* a method wins; error analysis
+says *for whom*.  :func:`bucketed_metric` slices a per-user metric by a
+user property — observed activity size, goal count, or the activity's
+implementation-space size (its effective connectivity) — and reports the
+metric per bucket, exposing patterns like "Focus wins single-goal users,
+Breadth wins multi-goal users" that the aggregates average away.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.entities import RecommendationList
+from repro.core.model import AssociationGoalModel
+from repro.eval.protocol import UserSplit
+from repro.exceptions import EvaluationError
+
+#: A per-user metric, as in :mod:`repro.eval.repeated`.
+PerUserMetric = Callable[[UserSplit, RecommendationList], float]
+#: Maps one user to the bucketing key value.
+UserProperty = Callable[[UserSplit], float]
+
+
+def observed_size(user: UserSplit) -> float:
+    """Bucket key: number of observed actions."""
+    return float(len(user.observed))
+
+
+def goal_count(user: UserSplit) -> float:
+    """Bucket key: number of true goals (0 when the dataset has none)."""
+    return float(len(user.user.goals))
+
+
+def make_implementation_space_size(
+    model: AssociationGoalModel,
+) -> UserProperty:
+    """Bucket key factory: size of ``IS(observed)`` — local connectivity."""
+
+    def property_fn(user: UserSplit) -> float:
+        encoded = model.encode_activity(user.observed)
+        return float(len(model.implementation_space(encoded)))
+
+    return property_fn
+
+
+@dataclass(frozen=True, slots=True)
+class Bucket:
+    """One slice of the analysis."""
+
+    lower: float
+    upper: float  # inclusive
+    num_users: int
+    mean_metric: float
+
+    def label(self) -> str:
+        """Human-readable range label."""
+        if self.lower == self.upper:
+            return f"{self.lower:g}"
+        return f"{self.lower:g}-{self.upper:g}"
+
+
+def bucketed_metric(
+    users: Sequence[UserSplit],
+    lists: Sequence[RecommendationList],
+    metric: PerUserMetric,
+    property_fn: UserProperty,
+    bin_edges: Sequence[float],
+) -> list[Bucket]:
+    """Slice ``metric`` by ``property_fn`` over the given edges.
+
+    Buckets are ``(previous_edge, edge]`` with the first bucket open below;
+    values above the last edge land in the last bucket.  Empty buckets are
+    omitted.  ``users`` and ``lists`` must be aligned per index.
+    """
+    if len(users) != len(lists):
+        raise EvaluationError(
+            f"mismatched inputs: {len(users)} users vs {len(lists)} lists"
+        )
+    if not users:
+        raise EvaluationError("no users to analyse")
+    edges = sorted(bin_edges)
+    if not edges:
+        raise EvaluationError("bin_edges must not be empty")
+    grouped: dict[int, list[float]] = defaultdict(list)
+    for user, rec in zip(users, lists):
+        value = property_fn(user)
+        index = len(edges) - 1
+        for position, edge in enumerate(edges):
+            if value <= edge:
+                index = position
+                break
+        grouped[index].append(metric(user, rec))
+    buckets: list[Bucket] = []
+    previous = float("-inf")
+    for position, edge in enumerate(edges):
+        values = grouped.get(position)
+        if values:
+            buckets.append(
+                Bucket(
+                    lower=previous if previous != float("-inf") else 0.0,
+                    upper=edge,
+                    num_users=len(values),
+                    mean_metric=sum(values) / len(values),
+                )
+            )
+        previous = edge
+    return buckets
+
+
+def compare_methods_bucketed(
+    users: Sequence[UserSplit],
+    method_lists: dict[str, Sequence[RecommendationList]],
+    metric: PerUserMetric,
+    property_fn: UserProperty,
+    bin_edges: Sequence[float],
+) -> list[list[object]]:
+    """Table rows: one row per bucket, one column per method.
+
+    Row format: ``[bucket_label, num_users, metric_method1, ...]`` with
+    methods in sorted-name order; ready for
+    :func:`repro.eval.report.format_table`.
+    """
+    if not method_lists:
+        raise EvaluationError("no methods to compare")
+    methods = sorted(method_lists)
+    per_method = {
+        name: bucketed_metric(
+            users, method_lists[name], metric, property_fn, bin_edges
+        )
+        for name in methods
+    }
+    # All methods bucket the same users, so bucket structure is identical.
+    reference = per_method[methods[0]]
+    rows: list[list[object]] = []
+    for index, bucket in enumerate(reference):
+        row: list[object] = [bucket.label(), bucket.num_users]
+        for name in methods:
+            row.append(per_method[name][index].mean_metric)
+        rows.append(row)
+    return rows

@@ -1,0 +1,133 @@
+"""Leaderboard assembly: every method, every headline metric, one table.
+
+:func:`build_leaderboard` drives a harness over any mix of goal-based
+strategies and baselines and assembles the standard comparison table (TPR,
+NDCG@k, MRR, goal completeness, popularity correlation).  Sequence-based
+methods (``markov``) are fitted on the split users' recorded sequences when
+the dataset carries them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.baselines.markov import MarkovRecommender
+from repro.core.entities import RecommendationList
+from repro.core.recommender import PAPER_STRATEGIES
+from repro.eval.harness import ExperimentHarness
+from repro.eval.metrics import (
+    average_true_positive_rate,
+    goal_completeness_after,
+    popularity_correlation,
+    usefulness_summary,
+)
+from repro.eval.ranking_metrics import (
+    average_over_users,
+    ndcg_at,
+    reciprocal_rank,
+)
+from repro.exceptions import EvaluationError
+
+
+@dataclass(frozen=True, slots=True)
+class LeaderboardRow:
+    """One method's headline numbers."""
+
+    method: str
+    avg_tpr: float
+    ndcg: float
+    mrr: float
+    completeness: float
+    popularity_corr: float
+
+    def as_list(self) -> list[object]:
+        """Row form for :func:`repro.eval.report.format_table`."""
+        return [
+            self.method,
+            self.avg_tpr,
+            self.ndcg,
+            self.mrr,
+            self.completeness,
+            self.popularity_corr,
+        ]
+
+    @staticmethod
+    def headers() -> list[str]:
+        """Column headers matching :meth:`as_list`."""
+        return ["method", "avg_tpr", "ndcg@k", "mrr", "completeness", "pop_corr"]
+
+
+def _markov_lists(harness: ExperimentHarness) -> list[RecommendationList]:
+    """Fit Markov on observed *sequences* and answer every request.
+
+    The observed part of a user's sequence preserves the recorded order of
+    the observed actions.  Raises :class:`EvaluationError` when the dataset
+    records no sequences.
+    """
+    sequences = []
+    for user in harness.split:
+        ordered = [a for a in user.user.sequence if a in user.observed]
+        if ordered:
+            sequences.append(ordered)
+    if not sequences:
+        raise EvaluationError(
+            f"dataset {harness.dataset.name!r} records no action sequences; "
+            "the markov method is not applicable"
+        )
+    markov = MarkovRecommender().fit(sequences)
+    lists = []
+    for user in harness.split:
+        ordered = [a for a in user.user.sequence if a in user.observed]
+        lists.append(markov.recommend(ordered, k=harness.k))
+    return lists
+
+
+def method_lists(
+    harness: ExperimentHarness, method: str
+) -> list[RecommendationList]:
+    """Lists for any method name: goal strategy, baseline, or ``markov``."""
+    if method in PAPER_STRATEGIES:
+        return harness.run_goal_method(method)
+    if method == "markov":
+        if "markov" in harness.result:
+            return harness.result.lists("markov")
+        lists = _markov_lists(harness)
+        harness.result.add("markov", lists)
+        return lists
+    return harness.run_baseline(method)
+
+
+def build_leaderboard(
+    harness: ExperimentHarness,
+    methods: Sequence[str],
+) -> list[LeaderboardRow]:
+    """Assemble the leaderboard for ``methods``, in the given order."""
+    if not methods:
+        raise EvaluationError("methods must not be empty")
+    hidden = harness.hidden_sets()
+    activities = harness.observed_activities()
+    ndcg = ndcg_at(harness.k)
+    rows: list[LeaderboardRow] = []
+    for method in methods:
+        lists = method_lists(harness, method)
+        completeness = usefulness_summary(
+            [
+                goal_completeness_after(
+                    harness.model, user.observed, rec,
+                    goals=user.user.goals or None,
+                )
+                for user, rec in zip(harness.split, lists)
+            ]
+        )
+        rows.append(
+            LeaderboardRow(
+                method=method,
+                avg_tpr=average_true_positive_rate(lists, hidden),
+                ndcg=average_over_users(ndcg, lists, hidden),
+                mrr=average_over_users(reciprocal_rank, lists, hidden),
+                completeness=completeness.avg_avg,
+                popularity_corr=popularity_correlation(activities, lists),
+            )
+        )
+    return rows

@@ -1,0 +1,339 @@
+"""Every metric of the paper's Section 6.1 (experiments C.1.1 - C.2.2).
+
+All functions are pure: they take recommendation lists / activities / a
+model and return numbers, so the benchmark drivers stay declarative.  Where
+the paper averages a per-user quantity over all users ("AvgAvg", "Avg TPR",
+average overlap), a companion ``average_*`` function does the aggregation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.entities import ActionLabel, GoalLabel, RecommendationList
+from repro.core.model import AssociationGoalModel
+from repro.exceptions import EvaluationError
+
+SimilarityFunc = Callable[[ActionLabel, ActionLabel], float]
+
+
+# ---------------------------------------------------------------------------
+# C.1.1 / C.2.2 — Result overlapping (Tables 2 and 6)
+# ---------------------------------------------------------------------------
+
+def list_overlap(a: RecommendationList, b: RecommendationList) -> float:
+    """Fraction of common actions between two lists.
+
+    Normalized by the longer list so a truncated list cannot inflate the
+    overlap; two empty lists overlap fully only vacuously (returns 0).
+    """
+    set_a, set_b = a.action_set(), b.action_set()
+    denominator = max(len(set_a), len(set_b))
+    if denominator == 0:
+        return 0.0
+    return len(set_a & set_b) / denominator
+
+
+def average_list_overlap(
+    lists_a: Sequence[RecommendationList], lists_b: Sequence[RecommendationList]
+) -> float:
+    """Mean pairwise overlap across users (paper Tables 2/6 cell value).
+
+    ``lists_a[i]`` and ``lists_b[i]`` must answer the same user request.
+    """
+    if len(lists_a) != len(lists_b):
+        raise EvaluationError(
+            f"mismatched list counts: {len(lists_a)} vs {len(lists_b)}"
+        )
+    if not lists_a:
+        raise EvaluationError("cannot average over zero users")
+    return sum(
+        list_overlap(a, b) for a, b in zip(lists_a, lists_b)
+    ) / len(lists_a)
+
+
+# ---------------------------------------------------------------------------
+# C.1.2 — Popularity correlation (Table 3)
+# ---------------------------------------------------------------------------
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient; 0 when either side is constant."""
+    if len(x) != len(y):
+        raise EvaluationError(f"length mismatch: {len(x)} vs {len(y)}")
+    n = len(x)
+    if n < 2:
+        raise EvaluationError("pearson needs at least two points")
+    mean_x = sum(x) / n
+    mean_y = sum(y) / n
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(x, y))
+    var_x = sum((a - mean_x) ** 2 for a in x)
+    var_y = sum((b - mean_y) ** 2 for b in y)
+    if var_x == 0.0 or var_y == 0.0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def popularity_correlation(
+    activities: Sequence[Iterable[ActionLabel]],
+    recommendation_lists: Sequence[RecommendationList],
+    top_n: int = 20,
+) -> float:
+    """Paper Table 3: correlation between activity and recommendation counts.
+
+    Takes the ``top_n`` most popular actions across the user activities and
+    correlates, per action, its number of appearances in activities with its
+    number of appearances in the recommendation lists.  Collaborative
+    methods recycle popular actions (strongly positive); goal-based methods
+    do not (near zero or negative).
+    """
+    activity_counts: Counter[ActionLabel] = Counter()
+    for activity in activities:
+        activity_counts.update(set(activity))
+    if len(activity_counts) < 2:
+        raise EvaluationError("need at least two distinct actions in activities")
+    # Deterministic top-N: count desc, then label.
+    popular = sorted(
+        activity_counts.items(), key=lambda item: (-item[1], str(item[0]))
+    )[:top_n]
+    recommendation_counts: Counter[ActionLabel] = Counter()
+    for rec_list in recommendation_lists:
+        recommendation_counts.update(rec_list.action_set())
+    x = [float(count) for _, count in popular]
+    y = [float(recommendation_counts.get(action, 0)) for action, _ in popular]
+    return pearson(x, y)
+
+
+# ---------------------------------------------------------------------------
+# C.1.3 — Usefulness: goal completeness after following the list
+#          (Table 4 / Figure 3)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class CompletenessSummary:
+    """Per-list completeness statistics over the goals considered."""
+
+    average: float
+    minimum: float
+    maximum: float
+
+
+def goal_completeness_after(
+    model: AssociationGoalModel,
+    observed: Iterable[ActionLabel],
+    recommended: RecommendationList,
+    goals: Iterable[GoalLabel] | None = None,
+) -> CompletenessSummary:
+    """Completeness of the user's goals after performing the recommendations.
+
+    The augmented activity is ``observed ∪ recommended``; each goal's
+    completeness is that of its most complete implementation (Equation 3).
+    ``goals`` defaults to the whole goal space of the *observed* activity —
+    the paper's choice for the grocery dataset; the 43Things experiment
+    passes the user's true goals instead.
+    """
+    augmented = model.encode_activity(
+        set(observed) | recommended.action_set()
+    )
+    observed_encoded = model.encode_activity(observed)
+    if goals is None:
+        goal_ids = sorted(model.goal_space(observed_encoded))
+    else:
+        goal_ids = sorted(
+            model.goal_id(goal) for goal in goals if model.has_goal(goal)
+        )
+    if not goal_ids:
+        return CompletenessSummary(average=0.0, minimum=0.0, maximum=0.0)
+    values = [model.goal_completeness(gid, augmented) for gid in goal_ids]
+    return CompletenessSummary(
+        average=sum(values) / len(values),
+        minimum=min(values),
+        maximum=max(values),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class UsefulnessSummary:
+    """Paper Table 4 row: averages of per-list avg/min/max completeness."""
+
+    avg_avg: float
+    min_avg: float
+    max_avg: float
+
+
+def usefulness_summary(
+    summaries: Sequence[CompletenessSummary],
+) -> UsefulnessSummary:
+    """Aggregate per-user completeness summaries into one table row."""
+    if not summaries:
+        raise EvaluationError("cannot summarize zero users")
+    n = len(summaries)
+    return UsefulnessSummary(
+        avg_avg=sum(s.average for s in summaries) / n,
+        min_avg=sum(s.minimum for s in summaries) / n,
+        max_avg=sum(s.maximum for s in summaries) / n,
+    )
+
+
+# ---------------------------------------------------------------------------
+# C.1.4 — Pairwise similarity inside a list (Table 5)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class SimilaritySummary:
+    """Avg/max/min pairwise similarity of the actions within one list."""
+
+    average: float
+    maximum: float
+    minimum: float
+
+
+def pairwise_similarity(
+    recommendation: RecommendationList, similarity: SimilarityFunc
+) -> SimilaritySummary | None:
+    """Pairwise-similarity statistics of one list.
+
+    Returns ``None`` for lists with fewer than two actions (no pairs).
+    """
+    actions = recommendation.actions()
+    if len(actions) < 2:
+        return None
+    values = [
+        similarity(actions[i], actions[j])
+        for i in range(len(actions))
+        for j in range(i + 1, len(actions))
+    ]
+    return SimilaritySummary(
+        average=sum(values) / len(values),
+        maximum=max(values),
+        minimum=min(values),
+    )
+
+
+def average_pairwise_similarity(
+    recommendations: Sequence[RecommendationList], similarity: SimilarityFunc
+) -> SimilaritySummary:
+    """Paper Table 5 row: AvgAvg / AvgMax / AvgMin over all users' lists."""
+    summaries = [
+        summary
+        for summary in (
+            pairwise_similarity(rec, similarity) for rec in recommendations
+        )
+        if summary is not None
+    ]
+    if not summaries:
+        raise EvaluationError("no list with at least two actions")
+    n = len(summaries)
+    return SimilaritySummary(
+        average=sum(s.average for s in summaries) / n,
+        maximum=sum(s.maximum for s in summaries) / n,
+        minimum=sum(s.minimum for s in summaries) / n,
+    )
+
+
+# ---------------------------------------------------------------------------
+# C.1.5 — Average true positive rate (Figure 4)
+# ---------------------------------------------------------------------------
+
+def true_positive_rate(
+    recommendation: RecommendationList, hidden: Iterable[ActionLabel]
+) -> float:
+    """Fraction of recommended actions the user had actually performed.
+
+    The paper is explicit this is *not* precision (the user never saw the
+    list); it measures how many recommendations fall inside the hidden 70%
+    of the activity.  Empty lists score 0.
+    """
+    recommended = recommendation.action_set()
+    if not recommended:
+        return 0.0
+    return len(recommended & frozenset(hidden)) / len(recommended)
+
+
+def average_true_positive_rate(
+    recommendations: Sequence[RecommendationList],
+    hidden_sets: Sequence[Iterable[ActionLabel]],
+) -> float:
+    """Figure 4's Avg TPR over users."""
+    if len(recommendations) != len(hidden_sets):
+        raise EvaluationError(
+            f"mismatched counts: {len(recommendations)} lists vs "
+            f"{len(hidden_sets)} hidden sets"
+        )
+    if not recommendations:
+        raise EvaluationError("cannot average over zero users")
+    return sum(
+        true_positive_rate(rec, hidden)
+        for rec, hidden in zip(recommendations, hidden_sets)
+    ) / len(recommendations)
+
+
+# ---------------------------------------------------------------------------
+# C.2.1 — Frequency of retrieved actions (Figures 5 and 6)
+# ---------------------------------------------------------------------------
+
+def recommendation_frequencies(
+    recommendations: Sequence[RecommendationList],
+) -> dict[ActionLabel, float]:
+    """Per-action frequency across recommendation lists (Figure 5).
+
+    ``frequency(a) = (#lists containing a) / (#lists)``; actions never
+    recommended are absent from the result.
+    """
+    if not recommendations:
+        raise EvaluationError("no recommendation lists")
+    counts: dict[ActionLabel, int] = defaultdict(int)
+    for rec in recommendations:
+        for action in rec.action_set():
+            counts[action] += 1
+    total = len(recommendations)
+    return {action: count / total for action, count in counts.items()}
+
+
+def library_frequencies(
+    model: AssociationGoalModel,
+    recommendations: Sequence[RecommendationList],
+) -> dict[ActionLabel, float]:
+    """Implementation-set frequency of every *recommended* action (Figure 6).
+
+    For each action that appears in at least one recommendation list,
+    returns its frequency in the library:
+    ``|implementations containing a| / |L|``.
+    """
+    recommended: set[ActionLabel] = set()
+    for rec in recommendations:
+        recommended |= rec.action_set()
+    frequencies = model.action_frequencies()
+    return {
+        action: frequencies[model.action_id(action)]
+        for action in recommended
+        if model.has_action(action)
+    }
+
+
+def frequency_histogram(
+    frequencies: dict[ActionLabel, float],
+    bin_edges: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+) -> list[tuple[float, float]]:
+    """Histogram of a frequency map as ``(upper_edge, fraction)`` pairs.
+
+    Bins are ``(previous_edge, edge]`` with the first bin starting at 0
+    inclusive; fractions sum to 1 over all actions in the map.
+    """
+    if not frequencies:
+        raise EvaluationError("empty frequency map")
+    edges = sorted(bin_edges)
+    counts = [0] * len(edges)
+    for value in frequencies.values():
+        for index, edge in enumerate(edges):
+            if value <= edge:
+                counts[index] += 1
+                break
+        else:
+            counts[-1] += 1
+    total = len(frequencies)
+    return [
+        (edge, count / total) for edge, count in zip(edges, counts)
+    ]

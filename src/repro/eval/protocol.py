@@ -1,0 +1,120 @@
+"""The paper's evaluation protocol (Section 6, around Table 1).
+
+User activities record *all* actions a user performed, so to evaluate a
+recommender the paper hides part of each activity: the actions are shuffled
+and 30% are kept as the *observed* activity handed to the recommenders,
+while the remaining 70% stay *hidden* and serve as ground truth (e.g. for
+the Figure 4 true-positive-rate experiment).  Observed actions may span
+several of the user's goals with uneven evidence, and whole goals can end up
+entirely hidden — exactly the situation described in the paper's example.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.core.entities import ActionLabel
+from repro.data.schema import Dataset, GeneratedUser
+from repro.exceptions import EvaluationError
+from repro.utils.rng import SeedLike, make_rng
+from repro.utils.validation import require_probability
+
+
+@dataclass(frozen=True, slots=True)
+class UserSplit:
+    """One user's observed/hidden partition plus ground truth."""
+
+    user: GeneratedUser
+    observed: frozenset[ActionLabel]
+    hidden: frozenset[ActionLabel]
+
+    def __post_init__(self) -> None:
+        if self.observed & self.hidden:
+            raise EvaluationError(
+                f"user {self.user.user_id!r}: observed and hidden overlap"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class EvaluationSplit:
+    """The dataset-wide split the harness evaluates under."""
+
+    dataset_name: str
+    observed_fraction: float
+    users: tuple[UserSplit, ...]
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def __iter__(self) -> Iterator[UserSplit]:
+        return iter(self.users)
+
+    def observed_activities(self) -> list[frozenset[ActionLabel]]:
+        """Observed parts of every user, in split order.
+
+        This is what the collaborative baselines are trained on: the
+        recommenders only ever see the observed world.
+        """
+        return [user.observed for user in self.users]
+
+
+def make_split(
+    dataset: Dataset,
+    observed_fraction: float = 0.3,
+    seed: SeedLike = 0,
+    min_activity: int = 2,
+    max_users: int | None = None,
+) -> EvaluationSplit:
+    """Partition every user's activity into observed/hidden parts.
+
+    Args:
+        dataset: the scenario to split.
+        observed_fraction: fraction kept observed (the paper uses 0.3).
+        seed: shuffle seed; a fixed seed freezes the split across methods so
+            every recommender answers the identical requests.
+        min_activity: users with fewer actions are skipped — they cannot
+            receive a non-degenerate split.
+        max_users: optional cap (keeps CI benchmarks fast); the first
+            ``max_users`` eligible users in dataset order are used.
+
+    Every eligible user keeps at least one observed and one hidden action.
+    Raises :class:`EvaluationError` when no user is eligible.
+    """
+    require_probability(observed_fraction, "observed_fraction")
+    if not 0.0 < observed_fraction < 1.0:
+        raise EvaluationError(
+            "observed_fraction must be strictly between 0 and 1 so both "
+            f"parts are non-empty; got {observed_fraction}"
+        )
+    if min_activity < 2:
+        raise EvaluationError(
+            f"min_activity must be at least 2, got {min_activity}"
+        )
+    rng = make_rng(seed)
+    splits: list[UserSplit] = []
+    for user in dataset.users:
+        if len(user.full_activity) < min_activity:
+            continue
+        actions = sorted(user.full_activity, key=str)
+        rng.shuffle(actions)
+        cut = max(1, round(observed_fraction * len(actions)))
+        cut = min(cut, len(actions) - 1)  # keep at least one hidden action
+        splits.append(
+            UserSplit(
+                user=user,
+                observed=frozenset(actions[:cut]),
+                hidden=frozenset(actions[cut:]),
+            )
+        )
+        if max_users is not None and len(splits) >= max_users:
+            break
+    if not splits:
+        raise EvaluationError(
+            f"no user of dataset {dataset.name!r} has >= {min_activity} actions"
+        )
+    return EvaluationSplit(
+        dataset_name=dataset.name,
+        observed_fraction=observed_fraction,
+        users=tuple(splits),
+    )

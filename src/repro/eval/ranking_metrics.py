@@ -1,0 +1,156 @@
+"""Standard ranking metrics against the hidden activity.
+
+The paper reports its own metrics (TPR, completeness); a recommender
+library should also speak the standard evaluation vocabulary.  All metrics
+take one ranked list and the user's hidden relevant set:
+
+- :func:`precision_at` / :func:`recall_at` — set overlap at a cutoff;
+- :func:`average_precision` — precision averaged at each relevant hit (MAP
+  when averaged over users);
+- :func:`reciprocal_rank` — 1/rank of the first hit (MRR when averaged);
+- :func:`ndcg_at` — DCG with binary relevance against the ideal ordering.
+
+``average_over_users`` pools any of them across a split.  Note the paper's
+caveat applies verbatim: the user never saw the lists, so these measure
+*retrieval of actions the user independently performed*, not click-through
+quality.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.core.entities import ActionLabel, RecommendationList
+from repro.exceptions import EvaluationError
+
+RankingMetric = Callable[[RecommendationList, frozenset[ActionLabel]], float]
+
+
+def _relevant(hidden: Iterable[ActionLabel]) -> frozenset[ActionLabel]:
+    relevant = frozenset(hidden)
+    if not relevant:
+        raise EvaluationError("hidden relevant set must not be empty")
+    return relevant
+
+
+def precision_at(
+    k: int,
+) -> RankingMetric:
+    """Metric factory: fraction of the top-``k`` that is relevant.
+
+    Lists shorter than ``k`` are penalized (divisor stays ``k``) — an
+    empty slot retrieves nothing.
+    """
+    if k <= 0:
+        raise EvaluationError(f"k must be positive, got {k}")
+
+    def metric(
+        recommendation: RecommendationList, hidden: frozenset[ActionLabel]
+    ) -> float:
+        relevant = _relevant(hidden)
+        top = recommendation.actions()[:k]
+        return sum(1 for action in top if action in relevant) / k
+
+    metric.__name__ = f"precision_at_{k}"
+    return metric
+
+
+def recall_at(k: int) -> RankingMetric:
+    """Metric factory: fraction of the relevant set found in the top-``k``."""
+    if k <= 0:
+        raise EvaluationError(f"k must be positive, got {k}")
+
+    def metric(
+        recommendation: RecommendationList, hidden: frozenset[ActionLabel]
+    ) -> float:
+        relevant = _relevant(hidden)
+        top = recommendation.actions()[:k]
+        return sum(1 for action in top if action in relevant) / len(relevant)
+
+    metric.__name__ = f"recall_at_{k}"
+    return metric
+
+
+def reciprocal_rank(
+    recommendation: RecommendationList, hidden: frozenset[ActionLabel]
+) -> float:
+    """``1 / rank`` of the first relevant action (0 when none appears)."""
+    relevant = _relevant(hidden)
+    for rank, action in enumerate(recommendation.actions(), start=1):
+        if action in relevant:
+            return 1.0 / rank
+    return 0.0
+
+
+def average_precision(
+    recommendation: RecommendationList, hidden: frozenset[ActionLabel]
+) -> float:
+    """Precision averaged over the ranks of the relevant hits.
+
+    Normalized by ``min(|relevant|, list length)`` so a short list is not
+    punished for relevants it could never have held.
+    """
+    relevant = _relevant(hidden)
+    actions = recommendation.actions()
+    if not actions:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for rank, action in enumerate(actions, start=1):
+        if action in relevant:
+            hits += 1
+            total += hits / rank
+    denominator = min(len(relevant), len(actions))
+    return total / denominator if denominator else 0.0
+
+
+def ndcg_at(k: int) -> RankingMetric:
+    """Metric factory: binary-relevance NDCG at cutoff ``k``."""
+    if k <= 0:
+        raise EvaluationError(f"k must be positive, got {k}")
+
+    def metric(
+        recommendation: RecommendationList, hidden: frozenset[ActionLabel]
+    ) -> float:
+        relevant = _relevant(hidden)
+        top = recommendation.actions()[:k]
+        dcg = sum(
+            1.0 / math.log2(rank + 1)
+            for rank, action in enumerate(top, start=1)
+            if action in relevant
+        )
+        ideal_hits = min(len(relevant), k)
+        ideal = sum(
+            1.0 / math.log2(rank + 1) for rank in range(1, ideal_hits + 1)
+        )
+        return dcg / ideal if ideal else 0.0
+
+    metric.__name__ = f"ndcg_at_{k}"
+    return metric
+
+
+def average_over_users(
+    metric: RankingMetric,
+    recommendations: Sequence[RecommendationList],
+    hidden_sets: Sequence[Iterable[ActionLabel]],
+) -> float:
+    """Mean of ``metric`` over aligned (list, hidden) pairs.
+
+    Users with an empty hidden set are skipped (no relevance ground truth);
+    raises :class:`EvaluationError` when none remains.
+    """
+    if len(recommendations) != len(hidden_sets):
+        raise EvaluationError(
+            f"mismatched counts: {len(recommendations)} lists vs "
+            f"{len(hidden_sets)} hidden sets"
+        )
+    values: list[float] = []
+    for recommendation, hidden in zip(recommendations, hidden_sets):
+        relevant = frozenset(hidden)
+        if not relevant:
+            continue
+        values.append(metric(recommendation, relevant))
+    if not values:
+        raise EvaluationError("no user with a non-empty hidden set")
+    return sum(values) / len(values)

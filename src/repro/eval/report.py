@@ -1,0 +1,105 @@
+"""Plain-text table rendering for the benchmark drivers.
+
+The benchmarks print tables shaped like the paper's so a reader can line
+them up side by side; this module owns the (deliberately simple) layout:
+left-aligned first column, right-aligned numbers, a rule under the header.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_cell(value: object, precision: int = 3) -> str:
+    """Render one cell: floats get fixed precision, the rest ``str()``."""
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    precision: int = 3,
+    style: str = "plain",
+) -> str:
+    """Render ``rows`` under ``headers`` as a text table.
+
+    ``style="plain"`` (default) gives the aligned terminal layout;
+    ``style="markdown"`` gives a GitHub-flavoured pipe table (the title, if
+    any, becomes a bold first line).
+    """
+    if style not in ("plain", "markdown"):
+        raise ValueError(f"style must be 'plain' or 'markdown', got {style!r}")
+    rendered = [
+        [format_cell(value, precision) for value in row] for row in rows
+    ]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    if style == "markdown":
+        lines = [f"**{title}**", ""] if title else []
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "|".join("---" for _ in headers) + "|")
+        for row in rendered:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        h.ljust(w) if i == 0 else h.rjust(w)
+        for i, (h, w) in enumerate(zip(headers, widths))
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered:
+        lines.append(
+            "  ".join(
+                cell.ljust(w) if i == 0 else cell.rjust(w)
+                for i, (cell, w) in enumerate(zip(row, widths))
+            )
+        )
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+) -> str:
+    """Render a horizontal bar chart in plain text.
+
+    Bars scale to ``width`` characters at the maximum value; each row shows
+    the label, the bar and the numeric value — the terminal stand-in for
+    the paper's bar figures (Figures 3 and 4).
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"labels and values must align: {len(labels)} vs {len(values)}"
+        )
+    if not labels:
+        raise ValueError("nothing to chart")
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    peak = max(values)
+    if peak < 0:
+        raise ValueError("bar charts need non-negative values")
+    label_width = max(len(str(label)) for label in labels)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        if value < 0:
+            raise ValueError("bar charts need non-negative values")
+        bar = "#" * (round(value / peak * width) if peak > 0 else 0)
+        lines.append(f"{str(label).ljust(label_width)} |{bar} {value:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Parameter sweeps over the evaluation protocol.
+
+The paper fixes ``k = 10`` and the 30% observed fraction; a reproduction
+should show how sensitive its findings are to those choices.  Two sweeps:
+
+- :func:`sweep_k` — re-rank every method at several list lengths (cheap:
+  lists are computed once at the largest ``k`` and truncated);
+- :func:`sweep_observed_fraction` — rebuild the split at several observed
+  fractions and re-run the methods (expensive; the paper's Table 1 setup
+  varies exactly this hidden share).
+
+Both return flat rows ready for :func:`repro.eval.report.format_table`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.recommender import PAPER_STRATEGIES
+from repro.data.schema import Dataset
+from repro.eval.harness import ExperimentHarness
+from repro.eval.metrics import (
+    average_true_positive_rate,
+    goal_completeness_after,
+    usefulness_summary,
+)
+from repro.exceptions import EvaluationError
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True, slots=True)
+class SweepRow:
+    """One (parameter value, method) measurement."""
+
+    parameter: str
+    value: float
+    method: str
+    avg_tpr: float
+    avg_completeness: float
+
+
+def _measure(
+    harness: ExperimentHarness, method: str, k: int | None = None
+) -> tuple[float, float]:
+    """TPR and mean goal completeness of ``method`` under ``harness``."""
+    if method in PAPER_STRATEGIES:
+        lists = harness.run_goal_method(method)
+    else:
+        lists = harness.run_baseline(method)
+    if k is not None:
+        lists = [rec.top(k) for rec in lists]
+    tpr = average_true_positive_rate(lists, harness.hidden_sets())
+    completeness = usefulness_summary(
+        [
+            goal_completeness_after(
+                harness.model, user.observed, rec,
+                goals=user.user.goals or None,
+            )
+            for user, rec in zip(harness.split, lists)
+        ]
+    ).avg_avg
+    return tpr, completeness
+
+
+def sweep_k(
+    harness: ExperimentHarness,
+    k_values: Sequence[int] = (1, 3, 5, 10, 20),
+    methods: Sequence[str] = PAPER_STRATEGIES,
+) -> list[SweepRow]:
+    """Measure every method at several list lengths.
+
+    ``harness.k`` must be at least ``max(k_values)`` so truncation is
+    sufficient; raises :class:`EvaluationError` otherwise.
+    """
+    if not k_values:
+        raise EvaluationError("k_values must not be empty")
+    if max(k_values) > harness.k:
+        raise EvaluationError(
+            f"harness computes top-{harness.k}; cannot sweep to "
+            f"k={max(k_values)}"
+        )
+    rows: list[SweepRow] = []
+    for k in k_values:
+        for method in methods:
+            tpr, completeness = _measure(harness, method, k=k)
+            rows.append(
+                SweepRow(
+                    parameter="k",
+                    value=float(k),
+                    method=method,
+                    avg_tpr=tpr,
+                    avg_completeness=completeness,
+                )
+            )
+    return rows
+
+
+def sweep_observed_fraction(
+    dataset: Dataset,
+    fractions: Sequence[float] = (0.1, 0.3, 0.5, 0.7),
+    methods: Sequence[str] = PAPER_STRATEGIES,
+    k: int = 10,
+    max_users: int | None = 100,
+    seed: SeedLike = 0,
+) -> list[SweepRow]:
+    """Measure every method under several observed/hidden splits.
+
+    Each fraction gets a fresh harness (fresh split, fresh baseline fits)
+    with the same seed, so the only varying factor is the evidence share.
+    """
+    if not fractions:
+        raise EvaluationError("fractions must not be empty")
+    rows: list[SweepRow] = []
+    for fraction in fractions:
+        harness = ExperimentHarness(
+            dataset,
+            k=k,
+            observed_fraction=fraction,
+            seed=seed,
+            max_users=max_users,
+        )
+        for method in methods:
+            tpr, completeness = _measure(harness, method)
+            rows.append(
+                SweepRow(
+                    parameter="observed_fraction",
+                    value=fraction,
+                    method=method,
+                    avg_tpr=tpr,
+                    avg_completeness=completeness,
+                )
+            )
+    return rows

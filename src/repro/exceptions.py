@@ -1,0 +1,68 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  The subclasses
+partition the failure modes by subsystem: model construction, recommendation
+requests, data loading and storage.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """Raised when an association-based goal model cannot be built or used.
+
+    Typical causes are empty implementation libraries, duplicate
+    implementation identifiers, or implementations referencing no actions.
+    """
+
+
+class UnknownActionError(ModelError):
+    """Raised when a lookup references an action absent from the model."""
+
+    def __init__(self, action: object) -> None:
+        super().__init__(f"unknown action: {action!r}")
+        self.action = action
+
+
+class UnknownGoalError(ModelError):
+    """Raised when a lookup references a goal absent from the model."""
+
+    def __init__(self, goal: object) -> None:
+        super().__init__(f"unknown goal: {goal!r}")
+        self.goal = goal
+
+
+class RecommendationError(ReproError):
+    """Raised when a recommendation request is malformed.
+
+    Examples: a non-positive ``k``, an empty user activity when the strategy
+    requires evidence, or an unknown strategy name.
+    """
+
+
+class StrategyNotFoundError(RecommendationError):
+    """Raised when a strategy name does not match any registered strategy."""
+
+    def __init__(self, name: str, available: tuple[str, ...]) -> None:
+        super().__init__(
+            f"unknown strategy {name!r}; available: {', '.join(available)}"
+        )
+        self.name = name
+        self.available = available
+
+
+class DataError(ReproError):
+    """Raised when a dataset cannot be generated, parsed or validated."""
+
+
+class StorageError(ReproError):
+    """Raised when a persistence backend fails to save or load a library."""
+
+
+class EvaluationError(ReproError):
+    """Raised when an evaluation protocol or metric is misconfigured."""

@@ -1,0 +1,12 @@
+"""Programmatic regeneration of the paper's experiment suite.
+
+:class:`~repro.experiments.runner.ExperimentSuite` runs every table and
+figure of the paper's Section 6 over a pair of datasets (grocery-style and
+life-goal-style) and renders the results as plain-text tables — the same
+computations the per-table benchmarks perform, packaged as a library call
+and as the ``repro report`` CLI command.
+"""
+
+from repro.experiments.runner import ExperimentSuite, SuiteConfig
+
+__all__ = ["ExperimentSuite", "SuiteConfig"]

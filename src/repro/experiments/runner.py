@@ -1,0 +1,341 @@
+"""One-call regeneration of every Section 6 experiment.
+
+The per-table benchmarks under ``benchmarks/`` are the canonical drivers
+(they also assert the expected shapes); this module packages the same
+computations for programmatic use: build an :class:`ExperimentSuite` over
+two datasets and call :meth:`run_all` (or individual ``table_*`` /
+``figure_*`` methods) to get rendered tables keyed by experiment id.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.recommender import PAPER_STRATEGIES
+from repro.data.schema import Dataset
+from repro.eval import (
+    ExperimentHarness,
+    average_list_overlap,
+    average_pairwise_similarity,
+    average_true_positive_rate,
+    format_table,
+    frequency_histogram,
+    goal_completeness_after,
+    library_frequencies,
+    popularity_correlation,
+    recommendation_frequencies,
+    usefulness_summary,
+)
+from repro.eval.timing import DEFAULT_SCALES, run_scaling_study
+from repro.exceptions import EvaluationError
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True, slots=True)
+class SuiteConfig:
+    """Knobs of the experiment suite."""
+
+    k: int = 10
+    max_users: int | None = 150
+    observed_fraction: float = 0.3
+    seed: SeedLike = 0
+    frequency_bins: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+    tpr_cutoffs: tuple[int, ...] = (5, 10)
+    scaling_seed: SeedLike = 7
+    run_scaling: bool = True
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise EvaluationError(f"k must be positive, got {self.k}")
+
+
+class ExperimentSuite:
+    """Regenerate the paper's tables and figures over two datasets.
+
+    Args:
+        grocery: the dense, feature-carrying scenario (paper dataset 1).
+        life_goals: the sparse scenario with per-user true goals (dataset 2).
+        config: suite parameters.
+    """
+
+    def __init__(
+        self,
+        grocery: Dataset,
+        life_goals: Dataset,
+        config: SuiteConfig | None = None,
+    ) -> None:
+        self.config = config or SuiteConfig()
+        self.grocery = ExperimentHarness(
+            grocery,
+            k=self.config.k,
+            observed_fraction=self.config.observed_fraction,
+            seed=self.config.seed,
+            max_users=self.config.max_users,
+        )
+        self.life_goals = ExperimentHarness(
+            life_goals,
+            k=self.config.k,
+            observed_fraction=self.config.observed_fraction,
+            seed=self.config.seed,
+            max_users=self.config.max_users,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _lists(self, harness: ExperimentHarness, method: str):
+        if method in PAPER_STRATEGIES:
+            return harness.run_goal_method(method)
+        return harness.run_baseline(method)
+
+    def _harnesses(self) -> list[tuple[str, ExperimentHarness]]:
+        return [
+            (self.grocery.dataset.name, self.grocery),
+            (self.life_goals.dataset.name, self.life_goals),
+        ]
+
+    # ------------------------------------------------------------------
+    # Experiments
+    # ------------------------------------------------------------------
+
+    def table2_overlap(self) -> str:
+        """Goal-based vs standard top-k overlap, both datasets."""
+        sections: list[str] = []
+        for name, harness in self._harnesses():
+            baselines = [
+                b for b in harness.baseline_names()
+                if b in ("content", "cf_mf", "cf_knn")
+            ]
+            rows = []
+            for strategy in PAPER_STRATEGIES:
+                row: list[object] = [strategy]
+                for baseline in baselines:
+                    row.append(
+                        average_list_overlap(
+                            self._lists(harness, strategy),
+                            self._lists(harness, baseline),
+                        )
+                    )
+                rows.append(row)
+            sections.append(
+                format_table(
+                    ["method"] + [f"vs_{b}" for b in baselines],
+                    rows,
+                    title=f"Table 2 ({name})",
+                )
+            )
+        return "\n\n".join(sections)
+
+    def table3_popularity(self) -> str:
+        """Pearson correlation with the top-20 popular actions."""
+        sections: list[str] = []
+        for name, harness in self._harnesses():
+            activities = harness.observed_activities()
+            methods = list(harness.baseline_names()[:3]) + list(PAPER_STRATEGIES)
+            rows = [
+                [m, popularity_correlation(activities, self._lists(harness, m))]
+                for m in methods
+            ]
+            sections.append(
+                format_table(
+                    ["method", "pearson_top20"], rows, title=f"Table 3 ({name})"
+                )
+            )
+        return "\n\n".join(sections)
+
+    def table4_usefulness(self) -> str:
+        """Goal completeness after following the recommendations."""
+        sections: list[str] = []
+        for name, harness in self._harnesses():
+            use_true_goals = any(user.user.goals for user in harness.split)
+            methods = [
+                b for b in harness.baseline_names()
+                if b in ("content", "cf_knn", "cf_mf")
+            ] + list(PAPER_STRATEGIES)
+            rows = []
+            for method in methods:
+                summaries = [
+                    goal_completeness_after(
+                        harness.model,
+                        user.observed,
+                        rec,
+                        goals=user.user.goals if use_true_goals else None,
+                    )
+                    for user, rec in zip(
+                        harness.split, self._lists(harness, method)
+                    )
+                ]
+                agg = usefulness_summary(summaries)
+                rows.append([method, agg.avg_avg, agg.min_avg, agg.max_avg])
+            sections.append(
+                format_table(
+                    ["method", "AvgAvg", "MinAvg", "MaxAvg"],
+                    rows,
+                    title=f"Table 4 ({name})",
+                )
+            )
+        return "\n\n".join(sections)
+
+    def table5_similarity(self) -> str:
+        """Pairwise feature similarity within lists (grocery only)."""
+        harness = self.grocery
+        similarity = harness.content_similarity()
+        methods = ["content", "cf_knn", "cf_mf"] + list(PAPER_STRATEGIES)
+        rows = []
+        for method in methods:
+            summary = average_pairwise_similarity(
+                self._lists(harness, method), similarity
+            )
+            rows.append([method, summary.average, summary.maximum, summary.minimum])
+        return format_table(
+            ["method", "AvgAvg", "AvgMax", "AvgMin"],
+            rows,
+            title=f"Table 5 ({harness.dataset.name})",
+        )
+
+    def figure4_tpr(self) -> str:
+        """Average true positive rate at the configured cutoffs."""
+        sections: list[str] = []
+        for name, harness in self._harnesses():
+            hidden = harness.hidden_sets()
+            methods = [
+                b for b in harness.baseline_names()
+                if b in ("content", "cf_knn", "cf_mf")
+            ] + list(PAPER_STRATEGIES)
+            rows = []
+            for method in methods:
+                lists = self._lists(harness, method)
+                row: list[object] = [method]
+                for cutoff in self.config.tpr_cutoffs:
+                    row.append(
+                        average_true_positive_rate(
+                            [rec.top(cutoff) for rec in lists], hidden
+                        )
+                    )
+                rows.append(row)
+            sections.append(
+                format_table(
+                    ["method"]
+                    + [f"tpr@{c}" for c in self.config.tpr_cutoffs],
+                    rows,
+                    title=f"Figure 4 ({name})",
+                )
+            )
+        return "\n\n".join(sections)
+
+    def figures5_6_frequency(self) -> str:
+        """Frequency profiles of the retrieved actions (grocery)."""
+        harness = self.grocery
+        bins = self.config.frequency_bins
+        sections: list[str] = []
+        for figure, frequency_fn in (
+            ("Figure 5", recommendation_frequencies),
+            (
+                "Figure 6",
+                lambda lists: library_frequencies(harness.model, lists),
+            ),
+        ):
+            rows = []
+            for strategy in PAPER_STRATEGIES:
+                histogram = frequency_histogram(
+                    frequency_fn(self._lists(harness, strategy)), bins
+                )
+                rows.append([strategy] + [fraction for _, fraction in histogram])
+            sections.append(
+                format_table(
+                    ["method"] + [f"<= {edge}" for edge in bins],
+                    rows,
+                    title=f"{figure} ({harness.dataset.name})",
+                )
+            )
+        return "\n\n".join(sections)
+
+    def table6_goal_overlap(self) -> str:
+        """Overlap among the goal-based methods, both datasets."""
+        sections: list[str] = []
+        for name, harness in self._harnesses():
+            rows = []
+            for a in PAPER_STRATEGIES:
+                row: list[object] = [a]
+                for b in PAPER_STRATEGIES:
+                    row.append(
+                        1.0
+                        if a == b
+                        else average_list_overlap(
+                            self._lists(harness, a), self._lists(harness, b)
+                        )
+                    )
+                rows.append(row)
+            sections.append(
+                format_table(
+                    ["method"] + list(PAPER_STRATEGIES),
+                    rows,
+                    title=f"Table 6 ({name})",
+                )
+            )
+        return "\n\n".join(sections)
+
+    def figure7_scaling(self) -> str:
+        """Per-request latency vs library scale."""
+        rows = run_scaling_study(
+            scales=DEFAULT_SCALES, seed=self.config.scaling_seed
+        )
+        return format_table(
+            ["scale", "impls", "connectivity", "strategy", "mean_ms"],
+            [
+                [
+                    row.scale,
+                    row.num_implementations,
+                    row.connectivity,
+                    row.strategy,
+                    row.mean_seconds * 1e3,
+                ]
+                for row in rows
+            ],
+            title="Figure 7",
+        )
+
+    # ------------------------------------------------------------------
+    # Orchestration
+    # ------------------------------------------------------------------
+
+    def run_all(self, only: Sequence[str] | None = None) -> dict[str, str]:
+        """Run the suite; returns ``{experiment_id: rendered table}``.
+
+        ``only`` restricts to a subset of ids (raises
+        :class:`EvaluationError` for unknown ids).
+        """
+        experiments = {
+            "table2": self.table2_overlap,
+            "table3": self.table3_popularity,
+            "table4": self.table4_usefulness,
+            "table5": self.table5_similarity,
+            "figure4": self.figure4_tpr,
+            "figures5_6": self.figures5_6_frequency,
+            "table6": self.table6_goal_overlap,
+        }
+        if self.config.run_scaling:
+            experiments["figure7"] = self.figure7_scaling
+        if only is not None:
+            unknown = set(only) - set(experiments)
+            if unknown:
+                raise EvaluationError(
+                    f"unknown experiment ids: {sorted(unknown)}; "
+                    f"available: {sorted(experiments)}"
+                )
+            experiments = {name: experiments[name] for name in only}
+        return {name: run() for name, run in experiments.items()}
+
+    def render_report(self, only: Sequence[str] | None = None) -> str:
+        """Run and join everything into a single report document."""
+        results = self.run_all(only)
+        header = (
+            "Experiment report "
+            f"(k={self.config.k}, observed={self.config.observed_fraction}, "
+            f"users per dataset={len(self.grocery.split)}/"
+            f"{len(self.life_goals.split)})"
+        )
+        body = "\n\n".join(results[name] for name in results)
+        return f"{header}\n\n{body}\n"

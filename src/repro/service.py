@@ -1,0 +1,287 @@
+"""A minimal HTTP JSON service over the goal recommender (stdlib only).
+
+Deployments usually front a recommender with a small service; this module
+provides one with zero dependencies beyond the standard library, suitable
+for demos and integration tests (it is *not* hardened for the open
+internet).
+
+Endpoints (all JSON):
+
+- ``GET  /health`` — liveness plus model statistics;
+- ``POST /recommend`` — body ``{"activity": [...], "k": 10,
+  "strategy": "breadth"}`` → ranked actions with scores;
+- ``POST /spaces`` — body ``{"activity": [...]}`` → the goal and action
+  spaces of the activity (paper Equations 1-2);
+- ``POST /explain`` — body ``{"activity": [...], "action": "..."}`` → the
+  implementations grounding that candidate.
+
+Usage::
+
+    server = RecommenderService(model, port=0)   # 0 = ephemeral port
+    server.start()
+    ...  # requests against http://127.0.0.1:{server.port}
+    server.stop()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.core.model import AssociationGoalModel
+from repro.core.recommender import GoalRecommender, PAPER_STRATEGIES
+from repro.exceptions import ReproError
+
+_MAX_BODY_BYTES = 1 << 20  # 1 MiB: an activity list, not a bulk upload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to a service instance via the server object."""
+
+    # Set by RecommenderService when the server is constructed.
+    service: "RecommenderService"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence per-request stderr logging (tests run many requests)."""
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict | None:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            self._send_json(400, {"error": "missing or oversized body"})
+            return None
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError:
+            self._send_json(400, {"error": "invalid JSON body"})
+            return None
+        if not isinstance(payload, dict):
+            self._send_json(400, {"error": "body must be a JSON object"})
+            return None
+        return payload
+
+    def _activity_from(self, payload: dict) -> list | None:
+        activity = payload.get("activity")
+        if not isinstance(activity, list) or not all(
+            isinstance(item, str) for item in activity
+        ):
+            self._send_json(
+                400, {"error": "'activity' must be a list of strings"}
+            )
+            return None
+        return activity
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path != "/health":
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+            return
+        model = self.service.model
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "implementations": model.num_implementations,
+                "goals": model.num_goals,
+                "actions": model.num_actions,
+                "strategies": list(PAPER_STRATEGIES),
+            },
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        handlers = {
+            "/recommend": self._handle_recommend,
+            "/spaces": self._handle_spaces,
+            "/explain": self._handle_explain,
+            "/goals": self._handle_goals,
+            "/related": self._handle_related,
+        }
+        handler = handlers.get(self.path)
+        if handler is None:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+            return
+        payload = self._read_json()
+        if payload is None:
+            return
+        try:
+            handler(payload)
+        except ReproError as exc:
+            self._send_json(422, {"error": str(exc)})
+
+    def _handle_recommend(self, payload: dict) -> None:
+        activity = self._activity_from(payload)
+        if activity is None:
+            return
+        k = payload.get("k", 10)
+        strategy = payload.get("strategy", "breadth")
+        if not isinstance(k, int):
+            self._send_json(400, {"error": "'k' must be an integer"})
+            return
+        result = self.service.recommender.recommend(
+            activity, k=k, strategy=strategy
+        )
+        self._send_json(
+            200,
+            {
+                "strategy": result.strategy,
+                "recommendations": [
+                    {"action": str(item.action), "score": item.score}
+                    for item in result
+                ],
+            },
+        )
+
+    def _handle_spaces(self, payload: dict) -> None:
+        activity = self._activity_from(payload)
+        if activity is None:
+            return
+        model = self.service.model
+        self._send_json(
+            200,
+            {
+                "goal_space": sorted(map(str, model.goal_space_labels(activity))),
+                "action_space": sorted(
+                    map(str, model.action_space_labels(activity))
+                ),
+            },
+        )
+
+    def _handle_goals(self, payload: dict) -> None:
+        from repro.core.goal_inference import GoalInferencer
+
+        activity = self._activity_from(payload)
+        if activity is None:
+            return
+        scorer = payload.get("scorer", "coverage")
+        top = payload.get("top", 10)
+        if not isinstance(top, int) or top <= 0:
+            self._send_json(400, {"error": "'top' must be a positive integer"})
+            return
+        try:
+            inferencer = GoalInferencer(self.service.model, scorer=scorer)
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        inferred = inferencer.infer(activity, top=top)
+        self._send_json(
+            200,
+            {
+                "scorer": scorer,
+                "goals": [
+                    {"goal": str(goal), "score": score}
+                    for goal, score in inferred
+                ],
+            },
+        )
+
+    def _handle_related(self, payload: dict) -> None:
+        from repro.core.related import related_actions
+
+        action = payload.get("action")
+        if not isinstance(action, str):
+            self._send_json(400, {"error": "'action' must be a string"})
+            return
+        k = payload.get("k", 10)
+        if not isinstance(k, int) or k <= 0:
+            self._send_json(400, {"error": "'k' must be a positive integer"})
+            return
+        related = related_actions(self.service.model, action, k=k)
+        self._send_json(
+            200,
+            {
+                "action": action,
+                "related": [
+                    {"action": str(other), "similarity": similarity}
+                    for other, similarity in related
+                ],
+            },
+        )
+
+    def _handle_explain(self, payload: dict) -> None:
+        activity = self._activity_from(payload)
+        if activity is None:
+            return
+        action = payload.get("action")
+        if not isinstance(action, str):
+            self._send_json(400, {"error": "'action' must be a string"})
+            return
+        evidence = self.service.recommender.explain(activity, action)
+        self._send_json(
+            200,
+            {
+                "action": action,
+                "evidence": {
+                    str(goal): [sorted(map(str, acts)) for acts in activities]
+                    for goal, activities in evidence.items()
+                },
+            },
+        )
+
+
+class RecommenderService:
+    """Threaded HTTP server wrapping a :class:`GoalRecommender`.
+
+    Args:
+        model: the goal model to serve.
+        host: bind address (loopback by default).
+        port: TCP port; 0 binds an ephemeral port (read :attr:`port` after
+            construction).
+    """
+
+    def __init__(
+        self,
+        model: AssociationGoalModel,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.model = model
+        self.recommender = GoalRecommender(model)
+        handler = type("BoundHandler", (_Handler,), {"service": self})
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful with ``port=0``)."""
+        return self._server.server_address[1]
+
+    def start(self) -> "RecommenderService":
+        """Serve requests on a daemon thread; returns ``self``."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join the serving thread."""
+        if self._thread is None:
+            return
+        self._server.shutdown()
+        self._thread.join()
+        self._server.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "RecommenderService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,17 @@
+"""Persistence backends for goal implementation libraries.
+
+Two interchangeable stores implement :class:`LibraryStore`:
+
+- :class:`JsonLibraryStore` — one self-contained JSON document; ideal for
+  freezing experiment inputs.
+- :class:`SqliteLibraryStore` — a normalized SQLite schema that also
+  materializes the paper's inverted index (``A-GI-idx``) as a table, so the
+  space queries of Section 4 can be answered *inside the database* without
+  loading the library (``goal_space_sql`` / ``action_space_sql``).
+"""
+
+from repro.storage.base import LibraryStore
+from repro.storage.json_store import JsonLibraryStore
+from repro.storage.sqlite_store import SqliteLibraryStore
+
+__all__ = ["LibraryStore", "JsonLibraryStore", "SqliteLibraryStore"]

@@ -1,0 +1,33 @@
+"""Abstract interface of library persistence backends."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.library import ImplementationLibrary
+
+
+class LibraryStore(ABC):
+    """Save/load contract every persistence backend fulfills.
+
+    Implementations must guarantee that ``load(save(library))`` returns a
+    library with the same ``(goal, actions)`` pairs in the same order (ids
+    are reassigned deterministically by insertion order, so equality of the
+    pair sequence implies equality of ids).
+    """
+
+    @abstractmethod
+    def save(self, library: ImplementationLibrary) -> None:
+        """Persist ``library``, replacing any previously saved content."""
+
+    @abstractmethod
+    def load(self) -> ImplementationLibrary:
+        """Load the previously saved library.
+
+        Raises :class:`~repro.exceptions.StorageError` when nothing was
+        saved or the stored content is unreadable.
+        """
+
+    @abstractmethod
+    def exists(self) -> bool:
+        """``True`` when the backend currently holds a saved library."""

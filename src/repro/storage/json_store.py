@@ -1,0 +1,48 @@
+"""JSON file persistence for implementation libraries."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.library import ImplementationLibrary
+from repro.data.loaders import library_from_dict, library_to_dict
+from repro.exceptions import DataError, StorageError
+from repro.storage.base import LibraryStore
+
+
+class JsonLibraryStore(LibraryStore):
+    """Store a library as a single JSON document at ``path``.
+
+    Writes go through a temporary sibling file followed by an atomic rename,
+    so a crash mid-save never corrupts a previously saved library.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def save(self, library: ImplementationLibrary) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            with tmp_path.open("w", encoding="utf-8") as handle:
+                json.dump(library_to_dict(library), handle)
+            tmp_path.replace(self.path)
+        except OSError as exc:
+            raise StorageError(f"cannot save library to {self.path}: {exc}") from exc
+
+    def load(self) -> ImplementationLibrary:
+        if not self.path.exists():
+            raise StorageError(f"no library saved at {self.path}")
+        try:
+            with self.path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StorageError(f"cannot load library from {self.path}: {exc}") from exc
+        try:
+            return library_from_dict(payload)
+        except DataError as exc:
+            raise StorageError(str(exc)) from exc
+
+    def exists(self) -> bool:
+        return self.path.exists()

@@ -1,0 +1,29 @@
+"""Rule-based extraction of goal implementations from plain text.
+
+The paper's 43Things dataset was produced by the authors' own action
+identification module running over user-written success stories ("we did
+this action extraction with a module that we have developed for this
+purpose, that works on a simpler model and for plain text").  That module
+was never published; this package provides a functional equivalent: given a
+goal label and a free-text description of how it was achieved, it segments
+the text into steps, recognizes action phrases (imperatives and
+first-person past-tense reports) and normalizes them into canonical action
+strings, yielding ``(goal, actions)`` implementations ready for
+:class:`~repro.core.library.ImplementationLibrary`.
+"""
+
+from repro.text.extraction import (
+    ActionExtractor,
+    GoalStory,
+    extract_implementations,
+)
+from repro.text.tokenizer import normalize_phrase, sentences, words
+
+__all__ = [
+    "ActionExtractor",
+    "GoalStory",
+    "extract_implementations",
+    "sentences",
+    "words",
+    "normalize_phrase",
+]

@@ -1,0 +1,184 @@
+"""Action identification over goal success stories.
+
+Input: a :class:`GoalStory` — a goal label plus the free text a user wrote
+about achieving it ("I stopped eating at restaurants. Drank more water,
+and I joined a gym!").  Output: the extracted action strings, or directly an
+:class:`~repro.core.library.ImplementationLibrary` when processing a corpus.
+
+The extractor recognizes a step as an action when, after stripping
+first-person/auxiliary lead-ins, it starts with a verb — either one from the
+built-in lexicon of common activity verbs (including their inflected and
+irregular forms) or, optionally, any token the caller supplies via
+``extra_verbs``.  Matched phrases are normalized (see
+:func:`repro.text.tokenizer.normalize_phrase`) so surface variants of the
+same action collapse to one label, which is what gives the resulting
+library meaningful action connectivity across users.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.library import ImplementationLibrary
+from repro.text.tokenizer import (
+    TRAILING_DANGLERS,
+    lemma_lite,
+    normalize_phrase,
+    sentences,
+    strip_leading_prefixes,
+    words,
+)
+
+#: Base forms of common activity verbs seen in goal stories.  The matcher
+#: also accepts regular inflections of these via ``lemma_lite`` plus the
+#: irregular forms below.
+_BASE_VERBS = frozenset(
+    """stop start quit join read write run walk drink eat cook buy sell
+    save spend pay learn study practice practise take give get go visit
+    travel call email ask tell find search look watch listen play sign
+    register enroll apply work exercise train stretch sleep wake plan
+    schedule track measure weigh cut reduce increase add remove avoid
+    drop keep set make build create finish complete review repeat use
+    try attend volunteer donate meditate pray clean organize sort pack
+    move lift swim bike cycle jog hike climb dance sing draw paint
+    record note list talk meet help teach share post publish open close
+    cancel delete unsubscribe subscribe limit replace swap switch cook
+    bake boil fry chop mix stir""".split()
+)
+
+#: Irregular past forms mapped to their base verb.
+_IRREGULAR = {
+    "ate": "eat",
+    "drank": "drink",
+    "ran": "run",
+    "went": "go",
+    "bought": "buy",
+    "sold": "sell",
+    "spent": "spend",
+    "paid": "pay",
+    "took": "take",
+    "gave": "give",
+    "got": "get",
+    "found": "find",
+    "told": "tell",
+    "read": "read",
+    "wrote": "write",
+    "made": "make",
+    "built": "build",
+    "kept": "keep",
+    "set": "set",
+    "cut": "cut",
+    "met": "meet",
+    "taught": "teach",
+    "slept": "sleep",
+    "woke": "wake",
+    "swam": "swim",
+    "sang": "sing",
+    "drew": "draw",
+    "quit": "quit",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class GoalStory:
+    """A goal and the free text describing how it was achieved."""
+
+    goal: str
+    text: str
+
+
+class ActionExtractor:
+    """Extract normalized action phrases from goal stories.
+
+    Args:
+        extra_verbs: additional base verbs accepted at the start of a step
+            (domain vocabularies: "whisk", "deploy", ...).
+        min_tokens: minimum content tokens a phrase must keep after
+            normalization (1 by default: bare "meditate" is a valid action).
+        max_tokens: phrases longer than this after normalization are
+            truncated — long step sentences usually embed one leading action
+            plus commentary.
+    """
+
+    def __init__(
+        self,
+        extra_verbs: Iterable[str] = (),
+        min_tokens: int = 1,
+        max_tokens: int = 6,
+    ) -> None:
+        if min_tokens < 1:
+            raise ValueError(f"min_tokens must be >= 1, got {min_tokens}")
+        if max_tokens < min_tokens:
+            raise ValueError("max_tokens must be >= min_tokens")
+        self.verbs = _BASE_VERBS | {v.lower() for v in extra_verbs}
+        self.min_tokens = min_tokens
+        self.max_tokens = max_tokens
+
+    def _verb_base(self, token: str) -> str | None:
+        """Base verb of ``token`` when it is a recognized verb form."""
+        if token in self.verbs:
+            return token
+        irregular = _IRREGULAR.get(token)
+        if irregular is not None and irregular in self.verbs:
+            return irregular
+        lemma = lemma_lite(token)
+        if lemma in self.verbs:
+            return lemma
+        return None
+
+    def extract_from_step(self, step: str) -> str | None:
+        """Extract one normalized action from a candidate step, or ``None``.
+
+        A step is an action when its first content token (after lead-in
+        stripping) is a recognized verb form.
+        """
+        tokens = strip_leading_prefixes(words(step))
+        if not tokens:
+            return None
+        base = self._verb_base(tokens[0])
+        if base is None:
+            return None
+        normalized = normalize_phrase(" ".join([base] + tokens[1:]))
+        if not normalized:
+            return None
+        parts = normalized.split()
+        if len(parts) < self.min_tokens:
+            return None
+        parts = parts[: self.max_tokens]
+        # Truncation can cut mid-conjunction ("sign up for race and ...").
+        while parts and parts[-1] in TRAILING_DANGLERS:
+            parts.pop()
+        if len(parts) < self.min_tokens:
+            return None
+        return " ".join(parts)
+
+    def extract(self, story: GoalStory) -> list[str]:
+        """All distinct actions of a story, in first-occurrence order."""
+        seen: set[str] = set()
+        actions: list[str] = []
+        for step in sentences(story.text):
+            action = self.extract_from_step(step)
+            if action is not None and action not in seen:
+                seen.add(action)
+                actions.append(action)
+        return actions
+
+
+def extract_implementations(
+    stories: Iterable[GoalStory],
+    extractor: ActionExtractor | None = None,
+) -> ImplementationLibrary:
+    """Build an implementation library from a corpus of goal stories.
+
+    Stories yielding no action are skipped (they carry no implementation
+    evidence); duplicate ``(goal, actions)`` pairs collapse via the
+    library's own deduplication.
+    """
+    extractor = extractor or ActionExtractor()
+    library = ImplementationLibrary()
+    for story in stories:
+        actions = extractor.extract(story)
+        if actions:
+            library.add_pair(story.goal, actions)
+    return library

@@ -1,0 +1,140 @@
+"""Minimal text segmentation and normalization for action extraction.
+
+Deliberately dependency-free: the extraction task only needs sentence/step
+segmentation, word tokenization and a light normalization that maps surface
+variants ("Stopped eating at restaurants!", "stop eating at restaurants") to
+one canonical action string.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Sentence/step boundaries: sentence punctuation, newlines, semicolons,
+#: commas, the connectives "and then" / "then", and explicit enumerations
+#: ("1.", "2)", "-", "*") commonly used in stories.  Plain "and" is *not* a
+#: boundary — it usually joins objects ("fruits and vegetables"), not steps.
+_STEP_SPLIT = re.compile(
+    r"(?:[.!?;,\n—–]+|\s+and\s+then\s+|\s+then\s+|\s+(?:\d+[.)]|[-*•])\s+)"
+)
+_WORD = re.compile(r"[a-zA-Z][a-zA-Z'-]*")
+
+#: Tokens dropped during normalization — determiners, fillers and politeness
+#: that do not change the action's identity.
+STOPWORDS = frozenset(
+    """a an the my your our his her their this that these those some any
+    really very just then finally also too please kindly simply always
+    again more much lot lots of""".split()
+)
+
+#: Leading first-person / auxiliary / connective prefixes stripped before
+#: matching a verb: "and finally i have stopped eating out" -> "stopped
+#: eating out".
+_LEADING_PREFIX = frozenset(
+    """i we you they he she it ive weve youve i'm im we're were i'd id
+    have has had did do does will would should could must to began started
+    decided tried and but so also then next first finally eventually later
+    afterwards now""".split()
+)
+
+#: Trailing connectives dropped from a normalized phrase — they only appear
+#: when a step was cut at a conjunction ("signed up for a race and ...").
+TRAILING_DANGLERS = frozenset("and or but then to for with".split())
+
+#: Vacuous trailing adverbial phrases that do not change an action's
+#: identity ("i track my spending every single time" == "track spending").
+#: Matched as token-suffixes before stopword filtering.  Content-bearing
+#: time expressions ("every morning", "twice per week") are NOT fillers.
+TRAILING_FILLERS: tuple[tuple[str, ...], ...] = tuple(
+    tuple(phrase.split())
+    for phrase in (
+        "every single time",
+        "every time",
+        "each time",
+        "all the time",
+        "over and over",
+        "time and again",
+        "again and again",
+        "every day",
+        "each day",
+        "every single day",
+    )
+)
+
+
+def strip_trailing_fillers(tokens: list[str]) -> list[str]:
+    """Repeatedly remove any trailing filler phrase from ``tokens``."""
+    changed = True
+    while changed:
+        changed = False
+        for filler in TRAILING_FILLERS:
+            n = len(filler)
+            if len(tokens) > n and tuple(tokens[-n:]) == filler:
+                tokens = tokens[:-n]
+                changed = True
+    return tokens
+
+
+def sentences(text: str) -> list[str]:
+    """Split ``text`` into candidate step strings.
+
+    Splits on sentence punctuation, newlines, semicolons and enumeration
+    markers; empty fragments are dropped.
+    """
+    parts = _STEP_SPLIT.split(text)
+    return [part.strip() for part in parts if part and part.strip()]
+
+
+def words(text: str) -> list[str]:
+    """Lowercased word tokens of ``text`` (letters, hyphens, apostrophes)."""
+    return [match.group(0).lower() for match in _WORD.finditer(text)]
+
+
+def strip_leading_prefixes(tokens: list[str]) -> list[str]:
+    """Remove first-person/auxiliary lead-ins so the verb comes first."""
+    index = 0
+    while index < len(tokens) and tokens[index] in _LEADING_PREFIX:
+        index += 1
+    return tokens[index:]
+
+
+def lemma_lite(token: str) -> str:
+    """Heuristic verb lemmatization: strip common -ed/-ing/-s inflection.
+
+    Only applied to the *verb* position; intentionally conservative —
+    irregulars come from the extraction lexicon, and over-stripping is worse
+    than under-stripping for action identity.
+    """
+    if len(token) > 4 and token.endswith("ied"):
+        return token[:-3] + "y"
+    if len(token) > 4 and token.endswith("ed"):
+        stem = token[:-2]
+        # doubled final consonant: "stopped" -> "stop"
+        if len(stem) > 2 and stem[-1] == stem[-2] and stem[-1] not in "aeiou":
+            return stem[:-1]
+        return stem
+    if len(token) > 5 and token.endswith("ing"):
+        stem = token[:-3]
+        if len(stem) > 2 and stem[-1] == stem[-2] and stem[-1] not in "aeiou":
+            return stem[:-1]
+        return stem + ("e" if stem.endswith(("at", "iv", "uc", "ar")) else "")
+    if len(token) > 3 and token.endswith("s") and not token.endswith(("ss", "us")):
+        return token[:-1]
+    return token
+
+
+def normalize_phrase(phrase: str) -> str:
+    """Canonical form of an action phrase.
+
+    Lowercases, tokenizes, strips lead-ins and stopwords, lemmatizes the
+    verb position and joins with single spaces.  Returns ``""`` when nothing
+    content-bearing remains.
+    """
+    tokens = strip_trailing_fillers(strip_leading_prefixes(words(phrase)))
+    content = [token for token in tokens if token not in STOPWORDS]
+    while content and content[-1] in TRAILING_DANGLERS:
+        content.pop()
+    if not content:
+        return ""
+    content[0] = lemma_lite(content[0])
+    return " ".join(content)

@@ -1,0 +1,19 @@
+"""Shared utilities: deterministic RNG helpers, validation, timing."""
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    require_non_empty,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "timed",
+    "require_non_empty",
+    "require_positive",
+    "require_probability",
+]

@@ -1,0 +1,126 @@
+"""Lightweight wall-clock measurement used by the scalability experiments.
+
+The paper's Figure 7 reports per-request execution times of the four
+strategies as the implementation library grows.  :class:`Stopwatch`
+accumulates named timings across repeated calls, and :func:`timed` measures a
+single callable.  ``time.perf_counter`` is used throughout: it is monotonic
+and has the highest available resolution.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections import defaultdict
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TimingSummary:
+    """Aggregate statistics for one named timer, in seconds."""
+
+    name: str
+    count: int
+    total: float
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: n={self.count} mean={self.mean * 1e3:.3f}ms "
+            f"median={self.median * 1e3:.3f}ms min={self.minimum * 1e3:.3f}ms "
+            f"max={self.maximum * 1e3:.3f}ms"
+        )
+
+
+class Stopwatch:
+    """Accumulates wall-clock samples under named labels.
+
+    Usage::
+
+        watch = Stopwatch()
+        with watch.measure("breadth"):
+            recommender.recommend(activity, k=10)
+        print(watch.summary("breadth").mean)
+    """
+
+    def __init__(self) -> None:
+        self._samples: dict[str, list[float]] = defaultdict(list)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager recording one elapsed-time sample under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._samples[name].append(time.perf_counter() - start)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Record an externally measured sample."""
+        self._samples[name].append(seconds)
+
+    def samples(self, name: str) -> list[float]:
+        """Return a copy of the raw samples recorded under ``name``."""
+        return list(self._samples[name])
+
+    def names(self) -> list[str]:
+        """Return the labels that have at least one sample, sorted."""
+        return sorted(self._samples)
+
+    def summary(self, name: str) -> TimingSummary:
+        """Return aggregate statistics for ``name``.
+
+        Raises :class:`KeyError` when no samples were recorded for ``name``.
+        """
+        samples = self._samples.get(name)
+        if not samples:
+            raise KeyError(f"no samples recorded for {name!r}")
+        return TimingSummary(
+            name=name,
+            count=len(samples),
+            total=sum(samples),
+            mean=statistics.fmean(samples),
+            median=statistics.median(samples),
+            minimum=min(samples),
+            maximum=max(samples),
+        )
+
+    def percentile(self, name: str, q: float) -> float:
+        """The ``q``-quantile (0..1) of the samples under ``name``.
+
+        Latency reporting convention: ``percentile("op", 0.95)`` is the p95.
+        Raises :class:`KeyError` for unknown names and :class:`ValueError`
+        for quantiles outside ``[0, 1]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        samples = self._samples.get(name)
+        if not samples:
+            raise KeyError(f"no samples recorded for {name!r}")
+        ordered = sorted(samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def summaries(self) -> list[TimingSummary]:
+        """Return summaries for every label, sorted by label."""
+        return [self.summary(name) for name in self.names()]
+
+
+def timed(func: Callable[..., T], *args: Any, **kwargs: Any) -> tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

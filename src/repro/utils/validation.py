@@ -1,0 +1,41 @@
+"""Small argument-validation helpers used across the library.
+
+These raise :class:`ValueError` with uniform, descriptive messages so that
+call sites stay one-liners and error text is consistent everywhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sized
+
+
+def require_positive(value: int | float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def require_non_negative(value: int | float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` is zero or positive."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` lies in ``[0, 1]``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+def require_non_empty(value: Sized, name: str) -> None:
+    """Raise :class:`ValueError` if ``value`` has zero length."""
+    if len(value) == 0:
+        raise ValueError(f"{name} must not be empty")
+
+
+def require_in(value: str, allowed: tuple[str, ...], name: str) -> None:
+    """Raise :class:`ValueError` unless ``value`` is one of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(
+            f"{name} must be one of {', '.join(allowed)}; got {value!r}"
+        )

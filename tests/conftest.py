@@ -1,0 +1,74 @@
+"""Shared fixtures: paper-derived toy models and small generated datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AssociationGoalModel, GoalRecommender, ImplementationLibrary
+from repro.data import (
+    FoodMartConfig,
+    FortyThreeConfig,
+    generate_foodmart,
+    generate_fortythree,
+)
+
+
+@pytest.fixture
+def figure1_pairs() -> list[tuple[str, set[str]]]:
+    """An implementation set consistent with the paper's Example 4.3.
+
+    Action ``a1`` participates in the activities of ``p1, p2, p3, p5``, so
+    its goal space is ``{g1, g2, g3, g5}`` and its action space is
+    ``{a2, ..., a6}`` — the invariants the paper states for Figure 1.
+    """
+    return [
+        ("g1", {"a1", "a2", "a3"}),
+        ("g2", {"a1", "a4"}),
+        ("g3", {"a1", "a5"}),
+        ("g4", {"a2", "a6"}),
+        ("g5", {"a1", "a6"}),
+    ]
+
+
+@pytest.fixture
+def figure1_model(figure1_pairs) -> AssociationGoalModel:
+    return AssociationGoalModel.from_pairs(figure1_pairs)
+
+
+@pytest.fixture
+def figure1_recommender(figure1_model) -> GoalRecommender:
+    return GoalRecommender(figure1_model)
+
+
+@pytest.fixture
+def recipe_pairs() -> list[tuple[str, set[str]]]:
+    """The paper's introduction scenario: russian salad, mashed potatoes..."""
+    return [
+        ("olivier salad", {"potatoes", "carrots", "pickles"}),
+        ("mashed potatoes", {"potatoes", "nutmeg", "butter"}),
+        ("pan-fried carrots", {"carrots", "nutmeg", "oil"}),
+        ("carrot cake", {"carrots", "flour", "eggs", "sugar"}),
+    ]
+
+
+@pytest.fixture
+def recipe_model(recipe_pairs) -> AssociationGoalModel:
+    return AssociationGoalModel.from_pairs(recipe_pairs)
+
+
+@pytest.fixture
+def recipe_library(recipe_pairs) -> ImplementationLibrary:
+    library = ImplementationLibrary()
+    for goal, actions in recipe_pairs:
+        library.add_pair(goal, actions)
+    return library
+
+
+@pytest.fixture(scope="session")
+def foodmart_tiny():
+    return generate_foodmart(FoodMartConfig.tiny(), seed=0)
+
+
+@pytest.fixture(scope="session")
+def fortythree_tiny():
+    return generate_fortythree(FortyThreeConfig.tiny(), seed=1)

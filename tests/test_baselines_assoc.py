@@ -1,0 +1,113 @@
+"""Unit tests for the association-rule and popularity baselines."""
+
+import pytest
+
+from repro.baselines import AssociationRuleRecommender, PopularityRecommender
+
+
+@pytest.fixture
+def corpus():
+    """bread+butter co-occur 3/5; cherry is a one-off."""
+    return [
+        {"bread", "butter", "jam"},
+        {"bread", "butter"},
+        {"bread", "butter", "milk"},
+        {"milk", "eggs"},
+        {"cherry"},
+    ]
+
+
+class TestMining:
+    def test_pair_rules_mined(self, corpus):
+        recommender = AssociationRuleRecommender(
+            min_support=0.4, min_confidence=0.5
+        ).fit(corpus)
+        rules = {
+            (
+                tuple(recommender.items.label(a) for a in rule.antecedent),
+                recommender.items.label(rule.consequent),
+            )
+            for rule in recommender.rules
+        }
+        assert (("bread",), "butter") in rules
+        assert (("butter",), "bread") in rules
+
+    def test_support_threshold_filters(self, corpus):
+        recommender = AssociationRuleRecommender(
+            min_support=0.9, min_confidence=0.0
+        ).fit(corpus)
+        assert recommender.rules == []
+
+    def test_confidence_computed_correctly(self, corpus):
+        recommender = AssociationRuleRecommender(
+            min_support=0.2, min_confidence=0.0
+        ).fit(corpus)
+        rule = next(
+            r
+            for r in recommender.rules
+            if recommender.items.label(r.consequent) == "butter"
+            and {recommender.items.label(a) for a in r.antecedent} == {"bread"}
+        )
+        assert rule.support == pytest.approx(3 / 5)
+        assert rule.confidence == pytest.approx(1.0)  # butter in all bread carts
+
+    def test_triples_when_requested(self, corpus):
+        recommender = AssociationRuleRecommender(
+            min_support=0.2, min_confidence=0.0, max_itemset_size=3
+        ).fit(corpus)
+        assert any(len(rule.antecedent) == 2 for rule in recommender.rules)
+
+    def test_max_itemset_below_two_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            AssociationRuleRecommender(max_itemset_size=1)
+
+    def test_invalid_support_rejected(self):
+        with pytest.raises(ValueError, match="min_support"):
+            AssociationRuleRecommender(min_support=1.5)
+
+
+class TestRuleRecommend:
+    def test_consequent_recommended(self, corpus):
+        recommender = AssociationRuleRecommender(
+            min_support=0.4, min_confidence=0.5
+        ).fit(corpus)
+        assert recommender.recommend({"bread"}, k=1).actions() == ["butter"]
+
+    def test_rare_combination_not_recommended(self, corpus):
+        """The paper's point: unpopular but goal-valid pairs get no rule."""
+        recommender = AssociationRuleRecommender(
+            min_support=0.4, min_confidence=0.5
+        ).fit(corpus)
+        assert recommender.recommend({"cherry"}, k=5).actions() == []
+
+    def test_activity_items_excluded(self, corpus):
+        recommender = AssociationRuleRecommender(
+            min_support=0.2, min_confidence=0.0
+        ).fit(corpus)
+        actions = recommender.recommend({"bread", "butter"}, k=10).actions()
+        assert "bread" not in actions
+        assert "butter" not in actions
+
+
+class TestPopularity:
+    def test_ranks_by_count(self, corpus):
+        recommender = PopularityRecommender().fit(corpus)
+        actions = recommender.recommend(set(), k=3).actions()
+        assert actions[0] in {"bread", "butter"}  # both appear 3 times
+
+    def test_query_items_excluded(self, corpus):
+        recommender = PopularityRecommender().fit(corpus)
+        actions = recommender.recommend({"bread", "butter"}, k=10).actions()
+        assert "bread" not in actions
+
+    def test_item_count(self, corpus):
+        recommender = PopularityRecommender().fit(corpus)
+        bread = recommender.items.get("bread")
+        assert recommender.item_count(bread) == 3
+        assert recommender.item_count(999) == 0
+
+    def test_deterministic_tie_break(self, corpus):
+        recommender = PopularityRecommender().fit(corpus)
+        first = recommender.recommend(set(), k=10).actions()
+        second = recommender.recommend(set(), k=10).actions()
+        assert first == second

@@ -1,0 +1,81 @@
+"""Unit tests for the content-based baseline."""
+
+import pytest
+
+from repro.baselines import ContentBasedRecommender
+from repro.exceptions import RecommendationError
+
+FEATURES = {
+    "milk": {"dairy", "drink"},
+    "cheese": {"dairy"},
+    "yogurt": {"dairy"},
+    "cola": {"drink"},
+    "hammer": {"tool"},
+    "mystery": set(),
+}
+
+
+@pytest.fixture
+def recommender():
+    return ContentBasedRecommender(FEATURES).fit([{"milk"}, {"hammer"}])
+
+
+class TestConstruction:
+    def test_empty_features_rejected(self):
+        with pytest.raises(RecommendationError, match="empty"):
+            ContentBasedRecommender({})
+
+
+class TestProfile:
+    def test_profile_counts_features(self, recommender):
+        activity = recommender.items.encode({"milk", "cheese"})
+        profile = recommender.profile(activity)
+        # dairy appears twice (milk + cheese), drink once.
+        assert sorted(profile.values(), reverse=True) == [2.0, 1.0]
+
+    def test_profile_of_featureless_items_is_empty(self, recommender):
+        activity = recommender.items.encode({"mystery"})
+        assert recommender.profile(activity) == {}
+
+
+class TestRecommend:
+    def test_similar_items_win(self, recommender):
+        result = recommender.recommend({"milk"}, k=3)
+        actions = result.actions()
+        # Dairy+drink profile: dairy items and cola beat hammer.
+        assert "hammer" not in actions
+        assert set(actions) <= {"cheese", "yogurt", "cola"}
+
+    def test_cold_items_recommendable(self):
+        """Items never seen in training still get recommended by features."""
+        recommender = ContentBasedRecommender(FEATURES).fit([{"milk"}])
+        actions = recommender.recommend({"milk"}, k=5).actions()
+        assert "cheese" in actions  # cheese occurs in no training activity
+
+    def test_featureless_query_yields_empty(self, recommender):
+        assert recommender.recommend({"mystery"}, k=3).actions() == []
+
+    def test_query_items_excluded(self, recommender):
+        assert "milk" not in recommender.recommend({"milk"}, k=5).actions()
+
+    def test_zero_similarity_items_absent(self, recommender):
+        actions = recommender.recommend({"hammer"}, k=5).actions()
+        assert actions == []  # nothing else shares the tool feature
+
+
+class TestItemSimilarity:
+    def test_identical_features(self, recommender):
+        assert recommender.item_similarity("cheese", "yogurt") == 1.0
+
+    def test_partial_overlap(self, recommender):
+        value = recommender.item_similarity("milk", "cheese")
+        assert value == pytest.approx(1 / (2 ** 0.5))
+
+    def test_disjoint_features(self, recommender):
+        assert recommender.item_similarity("milk", "hammer") == 0.0
+
+    def test_unknown_item_similarity_zero(self, recommender):
+        assert recommender.item_similarity("milk", "unknown") == 0.0
+
+    def test_featureless_item_similarity_zero(self, recommender):
+        assert recommender.item_similarity("milk", "mystery") == 0.0

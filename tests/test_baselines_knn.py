@@ -1,0 +1,111 @@
+"""Unit tests for the CF-KNN baseline and the Tanimoto coefficient."""
+
+import pytest
+
+from repro.baselines import CFKnnRecommender, tanimoto
+from repro.exceptions import RecommendationError
+
+
+class TestTanimoto:
+    def test_identical_sets(self):
+        assert tanimoto(frozenset({1, 2}), frozenset({1, 2})) == 1.0
+
+    def test_disjoint_sets(self):
+        assert tanimoto(frozenset({1}), frozenset({2})) == 0.0
+
+    def test_partial_overlap(self):
+        assert tanimoto(frozenset({1, 2, 3}), frozenset({2, 3, 4})) == pytest.approx(
+            2 / 4
+        )
+
+    def test_empty_sets(self):
+        assert tanimoto(frozenset(), frozenset()) == 0.0
+        assert tanimoto(frozenset({1}), frozenset()) == 0.0
+
+    def test_symmetry(self):
+        a, b = frozenset({1, 2, 5}), frozenset({2, 9})
+        assert tanimoto(a, b) == tanimoto(b, a)
+
+
+class TestFit:
+    def test_fit_before_recommend_required(self):
+        with pytest.raises(RecommendationError, match="before fit"):
+            CFKnnRecommender().recommend({"a"})
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(RecommendationError, match="empty corpus"):
+            CFKnnRecommender().fit([])
+
+    def test_all_empty_activities_rejected(self):
+        with pytest.raises(RecommendationError, match="empty"):
+            CFKnnRecommender().fit([set(), set()])
+
+    def test_invalid_neighbors_rejected(self):
+        with pytest.raises(ValueError, match="num_neighbors"):
+            CFKnnRecommender(num_neighbors=0)
+
+
+class TestNeighbors:
+    @pytest.fixture
+    def recommender(self):
+        corpus = [
+            {"a", "b", "c"},
+            {"a", "b"},
+            {"x", "y"},
+        ]
+        return CFKnnRecommender(num_neighbors=2).fit(corpus)
+
+    def test_only_overlapping_users_are_neighbors(self, recommender):
+        query = recommender.items.encode({"a"})
+        users = [u for u, _ in recommender.neighbors(query)]
+        assert 2 not in users  # the {x, y} user shares nothing
+
+    def test_neighbors_sorted_by_similarity(self, recommender):
+        query = recommender.items.encode({"a", "b"})
+        sims = [s for _, s in recommender.neighbors(query)]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_neighborhood_size_respected(self):
+        corpus = [{"a", str(i)} for i in range(10)]
+        recommender = CFKnnRecommender(num_neighbors=3).fit(corpus)
+        query = recommender.items.encode({"a"})
+        assert len(recommender.neighbors(query)) == 3
+
+
+class TestRecommend:
+    def test_similar_users_items_recommended(self):
+        corpus = [
+            {"milk", "bread", "eggs"},
+            {"milk", "bread", "butter"},
+            {"nails", "hammer"},
+        ]
+        recommender = CFKnnRecommender().fit(corpus)
+        result = recommender.recommend({"milk", "bread"}, k=2)
+        assert set(result.actions()) == {"eggs", "butter"}
+
+    def test_query_items_never_recommended(self):
+        corpus = [{"a", "b"}, {"a", "c"}]
+        result = CFKnnRecommender().fit(corpus).recommend({"a"}, k=5)
+        assert "a" not in result.actions()
+
+    def test_unknown_query_items_ignored(self):
+        corpus = [{"a", "b"}]
+        recommender = CFKnnRecommender().fit(corpus)
+        result = recommender.recommend({"a", "martian"}, k=5)
+        assert result.actions() == ["b"]
+
+    def test_disjoint_query_gets_empty_list(self):
+        corpus = [{"a", "b"}]
+        recommender = CFKnnRecommender().fit(corpus)
+        assert recommender.recommend({"z"}, k=5).actions() == []
+
+    def test_k_zero_rejected(self):
+        recommender = CFKnnRecommender().fit([{"a", "b"}])
+        with pytest.raises(RecommendationError, match="positive"):
+            recommender.recommend({"a"}, k=0)
+
+    def test_deterministic(self):
+        corpus = [{"a", "b", "c"}, {"a", "c", "d"}, {"b", "d", "e"}]
+        r1 = CFKnnRecommender().fit(corpus).recommend({"a"}, k=5).actions()
+        r2 = CFKnnRecommender().fit(corpus).recommend({"a"}, k=5).actions()
+        assert r1 == r2

@@ -1,0 +1,150 @@
+"""Unit tests for the Markov next-action baseline."""
+
+import pytest
+
+from repro.baselines import MarkovRecommender
+from repro.data import FortyThreeConfig, generate_fortythree
+from repro.exceptions import RecommendationError
+
+
+@pytest.fixture
+def sequences():
+    """'wake' is followed by 'coffee' far more often than by 'tea'."""
+    return [
+        ["wake", "coffee", "work"],
+        ["wake", "coffee", "gym"],
+        ["wake", "coffee", "work"],
+        ["wake", "tea", "work"],
+        ["gym", "shower", "work"],
+    ]
+
+
+class TestConfiguration:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovRecommender(order=0)
+        with pytest.raises(ValueError):
+            MarkovRecommender(backoff=1.5)
+        with pytest.raises(ValueError):
+            MarkovRecommender(smoothing=0)
+
+    def test_fit_required(self):
+        with pytest.raises(RecommendationError, match="before fit"):
+            MarkovRecommender().score(["a"])
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(RecommendationError, match="empty corpus"):
+            MarkovRecommender().fit([])
+
+    def test_all_empty_sequences_rejected(self):
+        with pytest.raises(RecommendationError, match="empty"):
+            MarkovRecommender().fit([[], []])
+
+
+class TestTransitionCounts:
+    def test_first_order_probability(self, sequences):
+        model = MarkovRecommender(order=1, smoothing=0.001).fit(sequences)
+        coffee = model.transition_probability(["wake"], "coffee")
+        tea = model.transition_probability(["wake"], "tea")
+        assert coffee > tea
+        assert coffee == pytest.approx(3 / 4, abs=0.01)
+
+    def test_second_order_context(self, sequences):
+        model = MarkovRecommender(order=2, smoothing=0.001).fit(sequences)
+        work = model.transition_probability(["wake", "coffee"], "work")
+        gym = model.transition_probability(["wake", "coffee"], "gym")
+        assert work > gym
+
+    def test_unknown_context_is_empty(self, sequences):
+        model = MarkovRecommender(order=1).fit(sequences)
+        assert model.transition_probability(["martian"], "work") == 0.0
+
+    def test_smoothing_keeps_unseen_rankable(self, sequences):
+        model = MarkovRecommender(order=1, smoothing=0.5).fit(sequences)
+        # 'shower' never follows 'wake' but gets a smoothed probability.
+        assert model.transition_probability(["wake"], "shower") > 0.0
+
+
+class TestRecommend:
+    def test_most_likely_next_action_first(self, sequences):
+        model = MarkovRecommender(order=1).fit(sequences)
+        result = model.recommend(["wake"], k=2)
+        assert result.actions()[0] == "coffee"
+
+    def test_longer_context_dominates(self, sequences):
+        model = MarkovRecommender(order=2).fit(sequences)
+        result = model.recommend(["wake", "coffee"], k=2)
+        assert result.actions()[0] == "work"
+
+    def test_history_actions_excluded(self, sequences):
+        model = MarkovRecommender().fit(sequences)
+        actions = model.recommend(["wake", "coffee"], k=10).actions()
+        assert "wake" not in actions
+        assert "coffee" not in actions
+
+    def test_backoff_answers_unseen_context(self, sequences):
+        model = MarkovRecommender(order=2).fit(sequences)
+        # Context never observed: falls back to unigram popularity.
+        result = model.recommend(["shower", "tea"], k=1)
+        assert result.actions() == ["work"]  # most frequent overall
+
+    def test_empty_history_uses_unigram(self, sequences):
+        model = MarkovRecommender().fit(sequences)
+        # 'wake' and 'work' both occur 4 times; the label tie-break puts
+        # 'wake' first.
+        assert model.recommend([], k=2).actions() == ["wake", "work"]
+
+    def test_k_validated(self, sequences):
+        model = MarkovRecommender().fit(sequences)
+        with pytest.raises(RecommendationError, match="positive"):
+            model.recommend(["wake"], k=0)
+
+    def test_deterministic(self, sequences):
+        a = MarkovRecommender().fit(sequences).recommend(["wake"], k=5).actions()
+        b = MarkovRecommender().fit(sequences).recommend(["wake"], k=5).actions()
+        assert a == b
+
+
+class TestOnGeneratedSequences:
+    def test_fortythree_sequences_available(self, fortythree_tiny):
+        assert all(user.sequence for user in fortythree_tiny.users)
+        for user in fortythree_tiny.users[:5]:
+            assert frozenset(user.sequence) == user.full_activity
+
+    def test_markov_on_generated_data(self):
+        dataset = generate_fortythree(FortyThreeConfig.tiny(), seed=1)
+        sequences = [user.sequence for user in dataset.users]
+        model = MarkovRecommender(order=1).fit(sequences)
+        prefix = sequences[0][:2]
+        result = model.recommend(prefix, k=5)
+        assert len(result) == 5
+        assert not result.action_set() & set(prefix)
+
+
+class TestMarkovProperties:
+    """Property-style checks over generated corpora."""
+
+    def test_distribution_sums_to_one(self, sequences):
+        model = MarkovRecommender(order=1).fit(sequences)
+        distribution = model._context_distribution(("wake",))
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_unigram_distribution_sums_to_one(self, sequences):
+        model = MarkovRecommender().fit(sequences)
+        assert sum(model._context_distribution(()).values()) == pytest.approx(1.0)
+
+    def test_scores_nonnegative(self, sequences):
+        model = MarkovRecommender(order=2).fit(sequences)
+        for history in (["wake"], ["wake", "coffee"], ["gym", "shower"]):
+            for value in model.score(history).values():
+                assert value >= 0.0
+
+    def test_backoff_weight_decreases_with_shorter_context(self, sequences):
+        """A longer matching context must dominate the mixed score."""
+        model = MarkovRecommender(order=2, backoff=0.1, smoothing=0.001).fit(
+            sequences
+        )
+        scores = model.score(["wake", "coffee"])
+        # 'work' follows (wake, coffee) 2/3 of the time; the second-order
+        # term alone gives it more mass than any purely backed-off action.
+        assert scores["work"] == max(scores.values())

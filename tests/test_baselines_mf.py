@@ -1,0 +1,90 @@
+"""Unit tests for the ALS-WR matrix-factorization baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CFMatrixFactorizationRecommender
+from repro.exceptions import RecommendationError
+
+
+@pytest.fixture
+def block_corpus():
+    """Two disjoint taste communities: dairy people and tool people."""
+    dairy = [{"milk", "cheese", "yogurt"}, {"milk", "cheese"}, {"cheese", "yogurt"}]
+    tools = [{"hammer", "nails", "saw"}, {"hammer", "nails"}, {"nails", "saw"}]
+    return dairy + tools
+
+
+class TestConfiguration:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CFMatrixFactorizationRecommender(num_factors=0)
+        with pytest.raises(ValueError):
+            CFMatrixFactorizationRecommender(num_iterations=0)
+        with pytest.raises(ValueError):
+            CFMatrixFactorizationRecommender(regularization=0)
+
+    def test_recommend_before_fit_rejected(self):
+        with pytest.raises(RecommendationError, match="before fit"):
+            CFMatrixFactorizationRecommender().recommend({"a"})
+
+
+class TestFactorization:
+    def test_factor_shapes(self, block_corpus):
+        model = CFMatrixFactorizationRecommender(
+            num_factors=4, num_iterations=3
+        ).fit(block_corpus)
+        assert model.user_factors.shape == (6, 4)
+        assert model.item_factors.shape == (6, 4)
+
+    def test_reconstruction_separates_communities(self, block_corpus):
+        model = CFMatrixFactorizationRecommender(
+            num_factors=4, num_iterations=15, seed=0
+        ).fit(block_corpus)
+        milk = model.items.get("milk")
+        hammer = model.items.get("hammer")
+        dairy_user = model.user_factors[0]
+        assert dairy_user @ model.item_factors[milk] > (
+            dairy_user @ model.item_factors[hammer]
+        )
+
+    def test_deterministic_given_seed(self, block_corpus):
+        a = CFMatrixFactorizationRecommender(seed=42).fit(block_corpus)
+        b = CFMatrixFactorizationRecommender(seed=42).fit(block_corpus)
+        np.testing.assert_allclose(a.item_factors, b.item_factors)
+
+    def test_different_seeds_differ(self, block_corpus):
+        a = CFMatrixFactorizationRecommender(seed=1).fit(block_corpus)
+        b = CFMatrixFactorizationRecommender(seed=2).fit(block_corpus)
+        assert not np.allclose(a.item_factors, b.item_factors)
+
+
+class TestFoldIn:
+    def test_fold_in_empty_activity_is_zero(self, block_corpus):
+        model = CFMatrixFactorizationRecommender(num_factors=4).fit(block_corpus)
+        np.testing.assert_allclose(model.fold_in(frozenset()), np.zeros(4))
+
+    def test_fold_in_vector_shape(self, block_corpus):
+        model = CFMatrixFactorizationRecommender(num_factors=4).fit(block_corpus)
+        query = model.items.encode({"milk"})
+        assert model.fold_in(query).shape == (4,)
+
+
+class TestRecommend:
+    def test_within_community_recommendation(self, block_corpus):
+        model = CFMatrixFactorizationRecommender(
+            num_factors=4, num_iterations=15, seed=0
+        ).fit(block_corpus)
+        result = model.recommend({"milk", "cheese"}, k=1)
+        assert result.actions() == ["yogurt"]
+
+    def test_query_items_excluded(self, block_corpus):
+        model = CFMatrixFactorizationRecommender().fit(block_corpus)
+        result = model.recommend({"milk"}, k=10)
+        assert "milk" not in result.actions()
+
+    def test_scores_descend(self, block_corpus):
+        model = CFMatrixFactorizationRecommender().fit(block_corpus)
+        result = model.recommend({"milk"}, k=10)
+        scores = [item.score for item in result]
+        assert scores == sorted(scores, reverse=True)

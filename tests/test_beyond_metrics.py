@@ -1,0 +1,102 @@
+"""Unit tests for the beyond-accuracy metrics."""
+
+import pytest
+
+from repro.core.entities import RecommendationList, ScoredAction
+from repro.eval.beyond import (
+    average_intra_list_distance,
+    catalog_coverage,
+    gini_concentration,
+    intra_list_distance,
+    novelty,
+)
+from repro.exceptions import EvaluationError
+
+
+def rec(*actions):
+    return RecommendationList(
+        strategy="t",
+        items=tuple(ScoredAction(a, 1.0) for a in actions),
+    )
+
+
+def first_letter_sim(a, b):
+    return 1.0 if a[0] == b[0] else 0.0
+
+
+class TestIntraListDistance:
+    def test_homogeneous_list_zero_diversity(self):
+        assert intra_list_distance(rec("aa", "ab", "ac"), first_letter_sim) == 0.0
+
+    def test_heterogeneous_list_full_diversity(self):
+        assert intra_list_distance(rec("aa", "bb", "cc"), first_letter_sim) == 1.0
+
+    def test_single_item_none(self):
+        assert intra_list_distance(rec("aa"), first_letter_sim) is None
+
+    def test_average_skips_singletons(self):
+        lists = [rec("aa", "bb"), rec("solo")]
+        assert average_intra_list_distance(lists, first_letter_sim) == 1.0
+
+    def test_average_no_pairs_raises(self):
+        with pytest.raises(EvaluationError):
+            average_intra_list_distance([rec("a")], first_letter_sim)
+
+
+class TestNovelty:
+    def test_rare_actions_more_novel(self):
+        activities = [{"pop"}, {"pop"}, {"pop"}, {"pop", "rare"}]
+        novel = novelty([rec("rare")], activities)
+        common = novelty([rec("pop")], activities)
+        assert novel > common
+
+    def test_unseen_action_finite(self):
+        activities = [{"a"}, {"a"}]
+        value = novelty([rec("never_seen")], activities)
+        assert value > 0 and value < float("inf")
+
+    def test_empty_lists_raise(self):
+        with pytest.raises(EvaluationError):
+            novelty([], [{"a"}])
+        with pytest.raises(EvaluationError):
+            novelty([rec()], [{"a"}])
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        lists = [rec("a", "b"), rec("c")]
+        assert catalog_coverage(lists, catalog_size=3) == 1.0
+
+    def test_partial_coverage(self):
+        assert catalog_coverage([rec("a")], catalog_size=4) == 0.25
+
+    def test_invalid_catalog_size(self):
+        with pytest.raises(EvaluationError):
+            catalog_coverage([rec("a")], catalog_size=0)
+
+
+class TestGini:
+    def test_uniform_distribution_zero(self):
+        lists = [rec("a"), rec("b"), rec("c")]
+        assert gini_concentration(lists) == pytest.approx(0.0)
+
+    def test_concentrated_distribution_positive(self):
+        lists = [rec("hot"), rec("hot"), rec("hot"), rec("hot"), rec("cold")]
+        # counts {hot: 4, cold: 1} -> gini = 0.3 exactly
+        assert gini_concentration(lists) == pytest.approx(0.3)
+
+    def test_single_action_zero(self):
+        assert gini_concentration([rec("only")]) == 0.0
+
+    def test_monotone_in_concentration(self):
+        mild = [rec("a"), rec("a"), rec("b"), rec("c")]
+        strong = [rec("a"), rec("a"), rec("a"), rec("b")]
+        assert gini_concentration(strong) >= gini_concentration(mild)
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            gini_concentration([rec()])
+
+    def test_bounded(self):
+        lists = [rec("a")] * 50 + [rec("b"), rec("c"), rec("d")]
+        assert 0.0 <= gini_concentration(lists) <= 1.0

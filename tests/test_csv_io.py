@@ -1,0 +1,118 @@
+"""Unit tests for CSV import/export."""
+
+import pytest
+
+from repro.data.csv_io import (
+    read_activities_csv,
+    read_library_csv,
+    write_activities_csv,
+    write_library_csv,
+)
+from repro.data.schema import GeneratedUser
+from repro.exceptions import DataError
+
+
+class TestLibraryCsv:
+    def test_roundtrip(self, tmp_path, recipe_library):
+        path = write_library_csv(recipe_library, tmp_path / "lib.csv")
+        restored = read_library_csv(path)
+        assert [(i.goal, i.actions) for i in restored] == [
+            (i.goal, i.actions) for i in recipe_library
+        ]
+
+    def test_read_without_impl_column_groups_by_goal(self, tmp_path):
+        path = tmp_path / "lib.csv"
+        path.write_text(
+            "goal,action\nsalad,tomato\nsalad,feta\nsoup,leek\n"
+        )
+        library = read_library_csv(path)
+        assert len(library) == 2
+        assert library.implementations_of("salad")[0].actions == frozenset(
+            {"tomato", "feta"}
+        )
+
+    def test_impl_column_splits_alternatives(self, tmp_path):
+        path = tmp_path / "lib.csv"
+        path.write_text(
+            "goal,impl,action\n"
+            "salad,v1,tomato\nsalad,v1,feta\nsalad,v2,rocket\n"
+        )
+        library = read_library_csv(path)
+        assert len(library.implementations_of("salad")) == 2
+
+    def test_missing_columns_raise(self, tmp_path):
+        path = tmp_path / "lib.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(DataError, match="columns"):
+            read_library_csv(path)
+
+    def test_blank_cells_raise_with_line_number(self, tmp_path):
+        path = tmp_path / "lib.csv"
+        path.write_text("goal,action\nsalad,tomato\n,feta\n")
+        with pytest.raises(DataError, match=":3"):
+            read_library_csv(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "lib.csv"
+        path.write_text("goal,action\n")
+        with pytest.raises(DataError, match="no implementation rows"):
+            read_library_csv(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataError, match="not found"):
+            read_library_csv(tmp_path / "nope.csv")
+
+
+class TestActivitiesCsv:
+    @pytest.fixture
+    def users(self):
+        return [
+            GeneratedUser(
+                user_id="u1",
+                full_activity=frozenset({"a", "b", "c"}),
+                sequence=("b", "a", "c"),
+            ),
+            GeneratedUser(user_id="u2", full_activity=frozenset({"x"})),
+        ]
+
+    def test_roundtrip_preserves_sequences(self, tmp_path, users):
+        path = write_activities_csv(users, tmp_path / "acts.csv")
+        restored = read_activities_csv(path)
+        assert restored[0].user_id == "u1"
+        assert restored[0].sequence == ("b", "a", "c")
+        assert restored[0].full_activity == frozenset({"a", "b", "c"})
+
+    def test_sequenceless_user_sorted(self, tmp_path, users):
+        path = write_activities_csv(users, tmp_path / "acts.csv")
+        restored = read_activities_csv(path)
+        assert restored[1].sequence == ("x",)
+
+    def test_duplicate_events_kept_once(self, tmp_path):
+        path = tmp_path / "acts.csv"
+        path.write_text("user,action\nu,run\nu,swim\nu,run\n")
+        (user,) = read_activities_csv(path)
+        assert user.sequence == ("run", "swim")
+
+    def test_user_order_preserved(self, tmp_path):
+        path = tmp_path / "acts.csv"
+        path.write_text("user,action\nzed,a\nann,b\n")
+        users = read_activities_csv(path)
+        assert [u.user_id for u in users] == ["zed", "ann"]
+
+    def test_missing_columns_raise(self, tmp_path):
+        path = tmp_path / "acts.csv"
+        path.write_text("who,what\nu,a\n")
+        with pytest.raises(DataError, match="columns"):
+            read_activities_csv(path)
+
+    def test_blank_cells_raise(self, tmp_path):
+        path = tmp_path / "acts.csv"
+        path.write_text("user,action\nu,\n")
+        with pytest.raises(DataError):
+            read_activities_csv(path)
+
+    def test_empty_raises(self, tmp_path):
+        path = tmp_path / "acts.csv"
+        path.write_text("user,action\n")
+        with pytest.raises(DataError, match="no activity rows"):
+            read_activities_csv(path)

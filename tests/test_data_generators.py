@@ -1,0 +1,163 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.data import (
+    FoodMartConfig,
+    FortyThreeConfig,
+    generate_foodmart,
+    generate_fortythree,
+)
+from repro.data.schema import validate_dataset
+from repro.data.synthetic.generators import (
+    partition_sizes,
+    sample_distinct,
+    sample_size,
+    zipf_weights,
+)
+from repro.utils.rng import make_rng
+
+
+class TestPrimitives:
+    def test_zipf_weights_normalized(self):
+        weights = zipf_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+        assert weights[0] > weights[-1]
+
+    def test_zipf_zero_exponent_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert weights.max() == pytest.approx(weights.min())
+
+    def test_zipf_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+    def test_sample_distinct_no_duplicates(self):
+        rng = make_rng(0)
+        sample = sample_distinct(rng, 50, 20)
+        assert len(set(sample.tolist())) == 20
+
+    def test_sample_distinct_clamped(self):
+        rng = make_rng(0)
+        assert len(sample_distinct(rng, 5, 10)) == 5
+
+    def test_sample_size_within_bounds(self):
+        rng = make_rng(0)
+        for _ in range(100):
+            assert 2 <= sample_size(rng, 5.0, 2, 8) <= 8
+
+    def test_partition_sizes_sums_and_positive(self):
+        rng = make_rng(0)
+        sizes = partition_sizes(rng, 100, 7)
+        assert sum(sizes) == 100
+        assert min(sizes) >= 1
+
+    def test_partition_more_buckets_than_items_rejected(self):
+        with pytest.raises(ValueError):
+            partition_sizes(make_rng(0), 3, 5)
+
+
+class TestFoodMart:
+    def test_counts_match_config(self, foodmart_tiny):
+        config = FoodMartConfig.tiny()
+        stats = foodmart_tiny.library.stats()
+        assert stats.num_implementations == config.num_recipes
+        assert stats.num_actions <= config.num_products
+        assert len(foodmart_tiny.users) == config.num_carts
+
+    def test_features_cover_all_products(self, foodmart_tiny):
+        library_actions = foodmart_tiny.library.actions()
+        assert library_actions <= set(foodmart_tiny.item_features)
+
+    def test_every_product_has_category_feature(self, foodmart_tiny):
+        for features in foodmart_tiny.item_features.values():
+            assert any(f.startswith("category_") for f in features)
+
+    def test_deterministic_given_seed(self):
+        a = generate_foodmart(FoodMartConfig.tiny(), seed=3)
+        b = generate_foodmart(FoodMartConfig.tiny(), seed=3)
+        assert a.activities() == b.activities()
+        assert [i.actions for i in a.library] == [i.actions for i in b.library]
+
+    def test_different_seed_differs(self):
+        a = generate_foodmart(FoodMartConfig.tiny(), seed=3)
+        b = generate_foodmart(FoodMartConfig.tiny(), seed=4)
+        assert a.activities() != b.activities()
+
+    def test_validates(self, foodmart_tiny):
+        validate_dataset(foodmart_tiny)
+
+    def test_recipe_lengths_within_bounds(self, foodmart_tiny):
+        config = FoodMartConfig.tiny()
+        for impl in foodmart_tiny.library:
+            assert config.recipe_length_min <= len(impl) <= config.recipe_length_max
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError, match="categories"):
+            FoodMartConfig(num_products=5, num_categories=10)
+        with pytest.raises(ValueError, match="fraction"):
+            FoodMartConfig(cart_fraction_min=0.9, cart_fraction_max=0.2)
+
+    def test_higher_connectivity_than_43t(self, foodmart_tiny, fortythree_tiny):
+        """The paper's two regimes: grocery is dense, 43T is sparse."""
+        assert (
+            foodmart_tiny.library.stats().connectivity
+            > fortythree_tiny.library.stats().connectivity
+        )
+
+
+class TestFortyThree:
+    def test_counts_match_config(self, fortythree_tiny):
+        config = FortyThreeConfig.tiny()
+        stats = fortythree_tiny.library.stats()
+        assert stats.num_goals == config.num_goals
+        assert len(fortythree_tiny.users) == config.num_users
+
+    def test_every_goal_has_an_implementation(self, fortythree_tiny):
+        config = FortyThreeConfig.tiny()
+        assert len(fortythree_tiny.library.goals()) == config.num_goals
+
+    def test_users_have_goal_ground_truth(self, fortythree_tiny):
+        assert all(user.goals for user in fortythree_tiny.users)
+
+    def test_user_activity_serves_their_goals(self, fortythree_tiny):
+        """Each user's activity contains a full implementation per goal."""
+        library = fortythree_tiny.library
+        for user in fortythree_tiny.users[:10]:
+            for goal in user.goals:
+                impls = library.implementations_of(goal)
+                assert any(
+                    impl.actions <= user.full_activity for impl in impls
+                )
+
+    def test_no_item_features(self, fortythree_tiny):
+        assert fortythree_tiny.item_features is None
+
+    def test_goal_multiplicity_distribution(self):
+        config = FortyThreeConfig(
+            num_goals=60, num_actions=240, num_implementations=280,
+            num_families=8, num_users=2000,
+        )
+        dataset = generate_fortythree(config, seed=5)
+        single = sum(1 for u in dataset.users if len(u.goals) == 1)
+        # Paper: ~62.5% of users pursue exactly one goal.
+        assert 0.55 < single / len(dataset.users) < 0.70
+
+    def test_deterministic_given_seed(self):
+        a = generate_fortythree(FortyThreeConfig.tiny(), seed=9)
+        b = generate_fortythree(FortyThreeConfig.tiny(), seed=9)
+        assert a.activities() == b.activities()
+
+    def test_validates(self, fortythree_tiny):
+        validate_dataset(fortythree_tiny)
+
+    def test_impls_below_goals_rejected(self):
+        with pytest.raises(ValueError, match="at least num_goals"):
+            generate_fortythree(
+                FortyThreeConfig(
+                    num_goals=50, num_actions=100, num_implementations=10,
+                    num_families=5, num_users=10,
+                )
+            )

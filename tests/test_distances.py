@@ -1,0 +1,79 @@
+"""Unit tests for the Best Match distance functions."""
+
+import math
+
+import pytest
+
+from repro.core.distances import (
+    cosine_distance,
+    euclidean_distance,
+    get_distance,
+    manhattan_distance,
+)
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        assert cosine_distance([1, 2, 3], [1, 2, 3]) == pytest.approx(0.0)
+
+    def test_parallel_vectors(self):
+        assert cosine_distance([1, 2], [2, 4]) == pytest.approx(0.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_distance([1, 0], [0, 1]) == pytest.approx(1.0)
+
+    def test_zero_vector_distance_is_one(self):
+        assert cosine_distance([0, 0], [1, 2]) == 1.0
+        assert cosine_distance([1, 2], [0, 0]) == 1.0
+
+    def test_range(self):
+        # Non-negative vectors: distance in [0, 1].
+        assert 0.0 <= cosine_distance([3, 1], [1, 4]) <= 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cosine_distance([1], [1, 2])
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        assert euclidean_distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_identity(self):
+        assert euclidean_distance([1, 2], [1, 2]) == 0.0
+
+    def test_symmetry(self):
+        assert euclidean_distance([1, 5], [4, 1]) == euclidean_distance(
+            [4, 1], [1, 5]
+        )
+
+    def test_triangle_inequality(self):
+        a, b, c = [0.0, 0.0], [1.0, 2.0], [3.0, 1.0]
+        assert euclidean_distance(a, c) <= (
+            euclidean_distance(a, b) + euclidean_distance(b, c) + 1e-12
+        )
+
+
+class TestManhattan:
+    def test_known_value(self):
+        assert manhattan_distance([1, 2], [4, -2]) == pytest.approx(7.0)
+
+    def test_dominates_euclidean(self):
+        u, v = [1.0, 3.0, -2.0], [4.0, 0.0, 1.0]
+        assert manhattan_distance(u, v) >= euclidean_distance(u, v)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_distance("cosine") is cosine_distance
+        assert get_distance("euclidean") is euclidean_distance
+        assert get_distance("manhattan") is manhattan_distance
+
+    def test_unknown_lists_choices(self):
+        with pytest.raises(ValueError, match="cosine"):
+            get_distance("chebyshev")
+
+    def test_all_metrics_finite_on_integers(self):
+        for name in ("cosine", "euclidean", "manhattan"):
+            value = get_distance(name)([1, 0, 2], [0, 3, 1])
+            assert math.isfinite(value)

@@ -1,0 +1,118 @@
+"""Unit tests for the rank-fusion ensemble strategy."""
+
+import pytest
+
+from repro.core import AssociationGoalModel
+from repro.core.strategies import create_strategy
+from repro.core.strategies.ensemble import EnsembleStrategy
+from repro.exceptions import RecommendationError
+
+
+class TestConstruction:
+    def test_requires_two_members(self):
+        with pytest.raises(RecommendationError, match="two member"):
+            EnsembleStrategy(members=("breadth",))
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            EnsembleStrategy(method="median")
+
+    def test_invalid_pool_rejected(self):
+        with pytest.raises(ValueError):
+            EnsembleStrategy(pool_size=0)
+
+    def test_unknown_member_rejected(self):
+        from repro.exceptions import StrategyNotFoundError
+
+        with pytest.raises(StrategyNotFoundError):
+            EnsembleStrategy(members=("breadth", "nope"))
+
+    def test_registry(self):
+        strategy = create_strategy(
+            "ensemble", members=("breadth", "focus_cmp")
+        )
+        assert isinstance(strategy, EnsembleStrategy)
+
+    def test_name_encodes_members(self):
+        strategy = EnsembleStrategy(members=("breadth", "focus_cl"))
+        assert "breadth+focus_cl" in strategy.name
+
+
+class TestFusion:
+    @pytest.fixture
+    def model(self, figure1_model):
+        return figure1_model
+
+    @pytest.fixture
+    def activity(self, model):
+        return model.encode_activity({"a1"})
+
+    def test_consensus_candidate_wins_rrf(self, model, activity):
+        """An action all members rank first must top the fused list."""
+        ensemble = EnsembleStrategy(members=("breadth", "breadth"))
+        member = create_strategy("breadth")
+        assert (
+            ensemble.rank(model, activity, 1)[0][0]
+            == member.rank(model, activity, 1)[0][0]
+        )
+
+    def test_fused_candidates_subset_of_member_pools(self, model, activity):
+        ensemble = EnsembleStrategy(
+            members=("focus_cmp", "best_match"), pool_size=3
+        )
+        pool: set[int] = set()
+        for name in ("focus_cmp", "best_match"):
+            pool |= {
+                aid
+                for aid, _ in create_strategy(name).rank(model, activity, 3)
+            }
+        fused = {aid for aid, _ in ensemble.rank(model, activity, 10)}
+        assert fused <= pool
+
+    def test_borda_scores_positive_integers(self, model, activity):
+        ensemble = EnsembleStrategy(
+            members=("breadth", "focus_cmp"), method="borda", pool_size=10
+        )
+        for _, score in ensemble.rank(model, activity, 5):
+            assert score > 0
+            assert score == int(score)
+
+    def test_rrf_scores_bounded(self, model, activity):
+        ensemble = EnsembleStrategy(
+            members=("breadth", "focus_cmp"), rrf_k=60
+        )
+        for _, score in ensemble.rank(model, activity, 5):
+            assert 0 < score <= 2 / 61  # two members, best rank 1
+
+    def test_never_recommends_activity(self, model, activity):
+        ensemble = EnsembleStrategy(members=("breadth", "best_match"))
+        ranked = ensemble.rank(model, activity, 10)
+        assert not {aid for aid, _ in ranked} & activity
+
+    def test_deterministic(self, model, activity):
+        ensemble = EnsembleStrategy(members=("breadth", "focus_cl"))
+        assert ensemble.rank(model, activity, 5) == ensemble.rank(
+            model, activity, 5
+        )
+
+    def test_disagreeing_members_fuse(self):
+        """A candidate ranked well by both members beats one-member stars."""
+        model = AssociationGoalModel.from_pairs(
+            [
+                ("near", {"h1", "h2", "both"}),       # focus loves 'both'
+                ("wide1", {"h1", "both"}),            # breadth loves 'both'
+                ("wide2", {"h2", "both"}),
+                ("far", {"h1", "x", "y", "z", "w"}),  # focus-only candidates
+            ]
+        )
+        activity = model.encode_activity({"h1", "h2"})
+        ensemble = EnsembleStrategy(members=("focus_cmp", "breadth"))
+        top = ensemble.rank(model, activity, 1)[0][0]
+        assert model.action_label(top) == "both"
+
+    def test_via_facade(self, figure1_recommender):
+        result = figure1_recommender.recommend(
+            {"a1"}, k=3, strategy="ensemble",
+            members=("breadth", "focus_cmp"),
+        )
+        assert len(result) == 3

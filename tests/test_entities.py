@@ -1,0 +1,108 @@
+"""Unit tests for the core value objects."""
+
+import pytest
+
+from repro.core.entities import (
+    GoalImplementation,
+    RecommendationList,
+    ScoredAction,
+    UserActivity,
+)
+
+
+class TestGoalImplementation:
+    def test_actions_coerced_to_frozenset(self):
+        impl = GoalImplementation(goal="g", actions={"a", "b"})
+        assert isinstance(impl.actions, frozenset)
+        assert impl.actions == frozenset({"a", "b"})
+
+    def test_empty_action_set_rejected(self):
+        with pytest.raises(ValueError, match="empty action set"):
+            GoalImplementation(goal="g", actions=frozenset())
+
+    def test_len_counts_actions(self):
+        impl = GoalImplementation(goal="g", actions={"a", "b", "c"})
+        assert len(impl) == 3
+
+    def test_remaining(self):
+        impl = GoalImplementation(goal="g", actions={"a", "b", "c"})
+        assert impl.remaining({"a"}) == frozenset({"b", "c"})
+        assert impl.remaining({"a", "b", "c"}) == frozenset()
+
+    def test_overlap(self):
+        impl = GoalImplementation(goal="g", actions={"a", "b", "c"})
+        assert impl.overlap({"a", "x"}) == frozenset({"a"})
+
+    def test_is_fulfilled_by(self):
+        impl = GoalImplementation(goal="g", actions={"a", "b"})
+        assert impl.is_fulfilled_by({"a", "b", "c"})
+        assert not impl.is_fulfilled_by({"a"})
+
+    def test_equality_and_hash(self):
+        a = GoalImplementation(goal="g", actions={"a", "b"})
+        b = GoalImplementation(goal="g", actions={"b", "a"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_goal_not_equal(self):
+        a = GoalImplementation(goal="g1", actions={"a"})
+        b = GoalImplementation(goal="g2", actions={"a"})
+        assert a != b
+
+
+class TestUserActivity:
+    def test_coercion_and_contains(self):
+        activity = UserActivity(actions={"x", "y"})
+        assert "x" in activity
+        assert "z" not in activity
+        assert len(activity) == 2
+
+    def test_iteration(self):
+        activity = UserActivity(actions={"x", "y"})
+        assert sorted(activity) == ["x", "y"]
+
+    def test_empty_activity_allowed(self):
+        # A brand-new user has no actions yet; that is a valid state.
+        assert len(UserActivity(actions=frozenset())) == 0
+
+
+class TestScoredAction:
+    def test_nan_score_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ScoredAction(action="a", score=float("nan"))
+
+    def test_regular_score_kept(self):
+        assert ScoredAction(action="a", score=-1.5).score == -1.5
+
+
+class TestRecommendationList:
+    @pytest.fixture
+    def rec_list(self):
+        return RecommendationList(
+            strategy="breadth",
+            items=(
+                ScoredAction("a", 3.0),
+                ScoredAction("b", 2.0),
+                ScoredAction("c", 1.0),
+            ),
+            activity=frozenset({"x"}),
+        )
+
+    def test_actions_preserve_order(self, rec_list):
+        assert rec_list.actions() == ["a", "b", "c"]
+
+    def test_action_set(self, rec_list):
+        assert rec_list.action_set() == frozenset({"a", "b", "c"})
+
+    def test_top_truncates(self, rec_list):
+        top = rec_list.top(2)
+        assert top.actions() == ["a", "b"]
+        assert top.strategy == "breadth"
+        assert top.activity == rec_list.activity
+
+    def test_top_beyond_length_is_noop(self, rec_list):
+        assert rec_list.top(10).actions() == ["a", "b", "c"]
+
+    def test_len_and_iter(self, rec_list):
+        assert len(rec_list) == 3
+        assert [item.score for item in rec_list] == [3.0, 2.0, 1.0]

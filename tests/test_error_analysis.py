@@ -1,0 +1,149 @@
+"""Unit tests for the bucketed error analysis."""
+
+import pytest
+
+from repro.core.entities import RecommendationList, ScoredAction
+from repro.data.schema import GeneratedUser
+from repro.eval.error_analysis import (
+    Bucket,
+    bucketed_metric,
+    compare_methods_bucketed,
+    goal_count,
+    make_implementation_space_size,
+    observed_size,
+)
+from repro.eval.protocol import UserSplit
+from repro.exceptions import EvaluationError
+
+
+def split_user(num_observed, num_goals=1):
+    observed = frozenset(f"o{i}" for i in range(num_observed))
+    hidden = frozenset({"hidden"})
+    return UserSplit(
+        user=GeneratedUser(
+            user_id=f"u{num_observed}",
+            full_activity=observed | hidden,
+            goals=tuple(f"g{i}" for i in range(num_goals)),
+        ),
+        observed=observed,
+        hidden=hidden,
+    )
+
+
+def rec(*actions):
+    return RecommendationList(
+        "t", tuple(ScoredAction(a, 1.0) for a in actions)
+    )
+
+
+def hit_metric(user, recommendation):
+    return 1.0 if recommendation.action_set() & user.hidden else 0.0
+
+
+class TestProperties:
+    def test_observed_size(self):
+        assert observed_size(split_user(4)) == 4.0
+
+    def test_goal_count(self):
+        assert goal_count(split_user(2, num_goals=3)) == 3.0
+
+    def test_implementation_space_size(self, figure1_model):
+        property_fn = make_implementation_space_size(figure1_model)
+        user = UserSplit(
+            user=GeneratedUser(
+                user_id="u", full_activity=frozenset({"a1", "zz"})
+            ),
+            observed=frozenset({"a1"}),
+            hidden=frozenset({"zz"}),
+        )
+        assert property_fn(user) == 4.0  # a1 is in 4 implementations
+
+
+class TestBucketedMetric:
+    def test_buckets_partition_users(self):
+        users = [split_user(n) for n in (1, 2, 5, 9)]
+        lists = [rec("hidden"), rec("x"), rec("hidden"), rec("x")]
+        buckets = bucketed_metric(
+            users, lists, hit_metric, observed_size, bin_edges=(2, 10)
+        )
+        assert sum(bucket.num_users for bucket in buckets) == 4
+
+    def test_bucket_means(self):
+        users = [split_user(1), split_user(2), split_user(8)]
+        lists = [rec("hidden"), rec("x"), rec("hidden")]
+        buckets = bucketed_metric(
+            users, lists, hit_metric, observed_size, bin_edges=(2, 10)
+        )
+        small, large = buckets
+        assert small.mean_metric == pytest.approx(0.5)  # users 1 and 2
+        assert large.mean_metric == 1.0
+
+    def test_values_above_last_edge_in_last_bucket(self):
+        users = [split_user(100)]
+        buckets = bucketed_metric(
+            users, [rec("hidden")], hit_metric, observed_size, bin_edges=(2, 10)
+        )
+        assert buckets[-1].num_users == 1
+
+    def test_empty_buckets_omitted(self):
+        users = [split_user(1)]
+        buckets = bucketed_metric(
+            users, [rec("x")], hit_metric, observed_size, bin_edges=(2, 10, 50)
+        )
+        assert len(buckets) == 1
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(EvaluationError, match="mismatched"):
+            bucketed_metric([split_user(1)], [], hit_metric, observed_size, (1,))
+
+    def test_no_users_rejected(self):
+        with pytest.raises(EvaluationError, match="no users"):
+            bucketed_metric([], [], hit_metric, observed_size, (1,))
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(EvaluationError, match="bin_edges"):
+            bucketed_metric([split_user(1)], [rec()], hit_metric, observed_size, ())
+
+    def test_bucket_label(self):
+        assert Bucket(lower=2, upper=10, num_users=3, mean_metric=0.5).label() == "2-10"
+        assert Bucket(lower=3, upper=3, num_users=1, mean_metric=0.0).label() == "3"
+
+
+class TestCompareMethods:
+    def test_rows_shape(self):
+        users = [split_user(1), split_user(5)]
+        method_lists = {
+            "good": [rec("hidden"), rec("hidden")],
+            "bad": [rec("x"), rec("x")],
+        }
+        rows = compare_methods_bucketed(
+            users, method_lists, hit_metric, observed_size, bin_edges=(2, 10)
+        )
+        # Columns: label, n, bad, good (sorted method names).
+        for row in rows:
+            assert len(row) == 4
+            assert row[3] == 1.0  # 'good' always hits
+            assert row[2] == 0.0
+
+    def test_empty_methods_rejected(self):
+        with pytest.raises(EvaluationError, match="no methods"):
+            compare_methods_bucketed([], {}, hit_metric, observed_size, (1,))
+
+    def test_on_harness_outputs(self, fortythree_tiny):
+        from repro.eval import ExperimentHarness
+        from repro.eval.repeated import tpr_metric
+
+        harness = ExperimentHarness(fortythree_tiny, k=5, max_users=30, seed=0)
+        method_lists = {
+            "breadth": harness.run_goal_method("breadth"),
+            "cf_knn": harness.run_baseline("cf_knn"),
+        }
+        rows = compare_methods_bucketed(
+            list(harness.split),
+            method_lists,
+            tpr_metric,
+            goal_count,
+            bin_edges=(1, 2, 6),
+        )
+        assert rows
+        assert all(isinstance(row[1], int) for row in rows)

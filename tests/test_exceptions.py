@@ -1,0 +1,86 @@
+"""Tests for the exception hierarchy and its catchability contract."""
+
+import pytest
+
+from repro.exceptions import (
+    DataError,
+    EvaluationError,
+    ModelError,
+    RecommendationError,
+    ReproError,
+    StorageError,
+    StrategyNotFoundError,
+    UnknownActionError,
+    UnknownGoalError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            ModelError,
+            RecommendationError,
+            DataError,
+            StorageError,
+            EvaluationError,
+        ],
+    )
+    def test_subsystem_errors_are_repro_errors(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_unknown_action_is_model_error(self):
+        assert issubclass(UnknownActionError, ModelError)
+
+    def test_unknown_goal_is_model_error(self):
+        assert issubclass(UnknownGoalError, ModelError)
+
+    def test_strategy_not_found_is_recommendation_error(self):
+        assert issubclass(StrategyNotFoundError, RecommendationError)
+
+
+class TestMessages:
+    def test_unknown_action_carries_action(self):
+        error = UnknownActionError("nutmeg")
+        assert error.action == "nutmeg"
+        assert "nutmeg" in str(error)
+
+    def test_unknown_goal_carries_goal(self):
+        error = UnknownGoalError("cake")
+        assert error.goal == "cake"
+
+    def test_strategy_not_found_lists_available(self):
+        error = StrategyNotFoundError("nope", ("breadth", "focus_cmp"))
+        assert error.name == "nope"
+        assert "breadth" in str(error)
+        assert error.available == ("breadth", "focus_cmp")
+
+
+class TestOneCatchToRuleThemAll:
+    """Every library failure mode is catchable as ReproError."""
+
+    def test_model_layer(self, figure1_model):
+        with pytest.raises(ReproError):
+            figure1_model.action_id("martian")
+
+    def test_recommendation_layer(self, figure1_recommender):
+        with pytest.raises(ReproError):
+            figure1_recommender.recommend({"a1"}, k=-1)
+
+    def test_storage_layer(self, tmp_path):
+        from repro.storage import JsonLibraryStore
+
+        with pytest.raises(ReproError):
+            JsonLibraryStore(tmp_path / "missing.json").load()
+
+    def test_data_layer(self, tmp_path):
+        from repro.data import load_dataset
+
+        with pytest.raises(ReproError):
+            load_dataset(tmp_path / "missing.json")
+
+    def test_evaluation_layer(self):
+        from repro.eval.metrics import pearson
+
+        with pytest.raises(ReproError):
+            pearson([1.0], [1.0])

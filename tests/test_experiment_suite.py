@@ -1,0 +1,125 @@
+"""Unit tests for the programmatic experiment suite and its CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.data import save_dataset
+from repro.experiments import ExperimentSuite, SuiteConfig
+from repro.exceptions import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def suite(foodmart_tiny, fortythree_tiny):
+    return ExperimentSuite(
+        foodmart_tiny,
+        fortythree_tiny,
+        SuiteConfig(k=5, max_users=20, run_scaling=False),
+    )
+
+
+class TestConfig:
+    def test_invalid_k_rejected(self, foodmart_tiny, fortythree_tiny):
+        with pytest.raises(EvaluationError):
+            ExperimentSuite(
+                foodmart_tiny, fortythree_tiny, SuiteConfig(k=0)
+            )
+
+
+class TestIndividualExperiments:
+    def test_table2_has_both_datasets(self, suite):
+        text = suite.table2_overlap()
+        assert "Table 2 (foodmart)" in text
+        assert "Table 2 (43things)" in text
+
+    def test_table3_lists_all_methods(self, suite):
+        text = suite.table3_popularity()
+        for method in ("cf_knn", "breadth", "best_match"):
+            assert method in text
+
+    def test_table4_columns(self, suite):
+        text = suite.table4_usefulness()
+        assert "AvgAvg" in text and "MaxAvg" in text
+
+    def test_table5_grocery_only(self, suite):
+        text = suite.table5_similarity()
+        assert "Table 5 (foodmart)" in text
+        assert "43things" not in text
+
+    def test_figure4_cutoffs(self, suite):
+        text = suite.figure4_tpr()
+        assert "tpr@5" in text and "tpr@10" in text
+
+    def test_figures5_6(self, suite):
+        text = suite.figures5_6_frequency()
+        assert "Figure 5" in text and "Figure 6" in text
+
+    def test_table6_square_matrix(self, suite):
+        text = suite.table6_goal_overlap()
+        assert text.count("focus_cmp") >= 4  # header + row, both datasets
+
+
+class TestOrchestration:
+    def test_run_all_ids(self, suite):
+        results = suite.run_all()
+        assert set(results) == {
+            "table2", "table3", "table4", "table5",
+            "figure4", "figures5_6", "table6",
+        }
+
+    def test_only_filter(self, suite):
+        results = suite.run_all(only=["table2"])
+        assert list(results) == ["table2"]
+
+    def test_unknown_id_rejected(self, suite):
+        with pytest.raises(EvaluationError, match="unknown experiment"):
+            suite.run_all(only=["table99"])
+
+    def test_render_report_header(self, suite):
+        report = suite.render_report(only=["table2"])
+        assert report.startswith("Experiment report")
+        assert "Table 2" in report
+
+    def test_scaling_included_when_enabled(
+        self, foodmart_tiny, fortythree_tiny
+    ):
+        from repro.eval import timing
+
+        suite = ExperimentSuite(
+            foodmart_tiny,
+            fortythree_tiny,
+            SuiteConfig(k=5, max_users=10, run_scaling=True),
+        )
+        # Shrink the sweep so the test stays fast.
+        small_scales = (
+            timing.ScalePoint("S", num_products=40, num_recipes=60, num_carts=5),
+            timing.ScalePoint("M", num_products=40, num_recipes=120, num_carts=5),
+        )
+        original = timing.DEFAULT_SCALES
+        try:
+            timing.DEFAULT_SCALES = small_scales
+            from repro.experiments import runner
+
+            runner.DEFAULT_SCALES = small_scales
+            results = suite.run_all(only=["figure7"])
+        finally:
+            timing.DEFAULT_SCALES = original
+            runner.DEFAULT_SCALES = original
+        assert "Figure 7" in results["figure7"]
+
+
+class TestCliReport:
+    def test_report_command(self, tmp_path, foodmart_tiny, fortythree_tiny, capsys):
+        grocery = save_dataset(foodmart_tiny, tmp_path / "g.json")
+        life = save_dataset(fortythree_tiny, tmp_path / "l.json")
+        out = tmp_path / "report.txt"
+        code = main(
+            [
+                "report", "--grocery", str(grocery), "--life-goals", str(life),
+                "-k", "5", "--max-users", "10", "--skip-scaling",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "Table 2" in text and "Table 6" in text
+        assert "wrote report" in capsys.readouterr().out

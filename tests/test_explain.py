@@ -1,0 +1,129 @@
+"""Unit tests for structured explanations and related actions."""
+
+import pytest
+
+from repro.core.explain import Explanation, explain_action, render_explanation
+from repro.core.related import implementation_similarity, related_actions
+from repro.exceptions import UnknownActionError
+
+
+class TestExplainAction:
+    def test_pickles_explanation(self, recipe_model):
+        explanation = explain_action(
+            recipe_model, {"potatoes", "carrots"}, "pickles"
+        )
+        assert explanation.action == "pickles"
+        assert explanation.goals() == ["olivier salad"]
+        (entry,) = explanation.evidence
+        assert entry.completeness_before == pytest.approx(2 / 3)
+        assert entry.completeness_after == 1.0
+        assert entry.fulfills()
+        assert entry.best_missing == frozenset()
+
+    def test_multi_goal_evidence_sorted_by_gain(self, recipe_model):
+        explanation = explain_action(
+            recipe_model, {"potatoes", "carrots"}, "nutmeg"
+        )
+        assert set(explanation.goals()) == {
+            "mashed potatoes", "pan-fried carrots",
+        }
+        gains = [entry.gain for entry in explanation.evidence]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_best_missing_reported(self, recipe_model):
+        explanation = explain_action(
+            recipe_model, {"potatoes", "carrots"}, "nutmeg"
+        )
+        by_goal = {entry.goal: entry for entry in explanation.evidence}
+        assert by_goal["mashed potatoes"].best_missing == frozenset({"butter"})
+        assert by_goal["pan-fried carrots"].best_missing == frozenset({"oil"})
+
+    def test_total_gain(self, recipe_model):
+        explanation = explain_action(
+            recipe_model, {"potatoes", "carrots"}, "nutmeg"
+        )
+        assert explanation.total_gain() == pytest.approx(2 / 3)
+
+    def test_unreachable_action_has_empty_evidence(self, recipe_model):
+        explanation = explain_action(recipe_model, {"pickles"}, "flour")
+        assert explanation.evidence == ()
+
+    def test_unknown_action_raises(self, recipe_model):
+        with pytest.raises(UnknownActionError):
+            explain_action(recipe_model, {"potatoes"}, "martian")
+
+    def test_multiple_implementations_counted(self):
+        from repro.core import AssociationGoalModel
+
+        model = AssociationGoalModel.from_pairs(
+            [("g", {"h", "x"}), ("g", {"h", "x", "y"})]
+        )
+        explanation = explain_action(model, {"h"}, "x")
+        (entry,) = explanation.evidence
+        assert entry.num_implementations == 2
+
+
+class TestRender:
+    def test_render_mentions_goals_and_completion(self, recipe_model):
+        text = render_explanation(
+            explain_action(recipe_model, {"potatoes", "carrots"}, "pickles")
+        )
+        assert "why 'pickles'" in text
+        assert "olivier salad" in text
+        assert "COMPLETES" in text
+
+    def test_render_missing_actions(self, recipe_model):
+        text = render_explanation(
+            explain_action(recipe_model, {"potatoes", "carrots"}, "nutmeg")
+        )
+        assert "still missing: butter" in text
+
+    def test_render_empty_evidence(self, recipe_model):
+        text = render_explanation(
+            explain_action(recipe_model, {"pickles"}, "flour")
+        )
+        assert "no goal" in text
+
+    def test_explanation_is_dataclass(self, recipe_model):
+        explanation = explain_action(recipe_model, {"potatoes"}, "butter")
+        assert isinstance(explanation, Explanation)
+
+
+class TestRelatedActions:
+    def test_similarity_range_and_symmetry(self, recipe_model):
+        value = implementation_similarity(recipe_model, "potatoes", "carrots")
+        assert 0.0 < value < 1.0
+        assert value == implementation_similarity(
+            recipe_model, "carrots", "potatoes"
+        )
+
+    def test_same_implementation_set_is_one(self):
+        from repro.core import AssociationGoalModel
+
+        model = AssociationGoalModel.from_pairs([("g", {"a", "b"})])
+        assert implementation_similarity(model, "a", "b") == 1.0
+
+    def test_never_cooccurring_is_zero(self, recipe_model):
+        assert implementation_similarity(recipe_model, "pickles", "flour") == 0.0
+
+    def test_related_ranked_and_bounded(self, recipe_model):
+        related = related_actions(recipe_model, "nutmeg", k=3)
+        assert len(related) == 3
+        scores = [score for _, score in related]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_related_excludes_self(self, recipe_model):
+        related = related_actions(recipe_model, "potatoes", k=10)
+        assert all(action != "potatoes" for action, _ in related)
+
+    def test_related_only_cooccurring(self, recipe_model):
+        related = dict(related_actions(recipe_model, "pickles", k=10))
+        assert "flour" not in related
+
+    def test_unknown_action_raises(self, recipe_model):
+        with pytest.raises(UnknownActionError):
+            related_actions(recipe_model, "martian")
+
+    def test_k_validated(self, recipe_model):
+        with pytest.raises(ValueError):
+            related_actions(recipe_model, "potatoes", k=0)

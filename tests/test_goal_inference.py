@@ -1,0 +1,114 @@
+"""Unit tests for goal inference."""
+
+import pytest
+
+from repro.core import AssociationGoalModel
+from repro.core.goal_inference import GoalInferencer
+from repro.eval import make_split
+from repro.exceptions import RecommendationError
+
+
+@pytest.fixture
+def model():
+    return AssociationGoalModel.from_pairs(
+        [
+            ("near_done", {"h1", "h2", "x"}),       # 2/3 complete
+            ("barely_started", {"h1", "a", "b", "c", "d"}),  # 1/5
+            ("tight_fit", {"h1", "h2"}),            # fully explained
+            ("unrelated", {"q", "r"}),
+        ]
+    )
+
+
+ACTIVITY = {"h1", "h2"}
+
+
+class TestConstruction:
+    def test_invalid_scorer_rejected(self, model):
+        with pytest.raises(ValueError, match="scorer"):
+            GoalInferencer(model, scorer="nope")
+
+
+class TestInfer:
+    def test_only_goal_space_goals_scored(self, model):
+        inferred = GoalInferencer(model).infer(ACTIVITY)
+        goals = {goal for goal, _ in inferred}
+        assert "unrelated" not in goals
+        assert goals == {"near_done", "barely_started", "tight_fit"}
+
+    def test_completeness_scorer_values(self, model):
+        inferred = dict(
+            GoalInferencer(model, scorer="completeness").infer(ACTIVITY)
+        )
+        assert inferred["tight_fit"] == pytest.approx(1.0)
+        assert inferred["near_done"] == pytest.approx(2 / 3)
+        assert inferred["barely_started"] == pytest.approx(1 / 5)
+
+    def test_evidence_scorer_values(self, model):
+        inferred = dict(GoalInferencer(model, scorer="evidence").infer(ACTIVITY))
+        # Both actions touch near_done and tight_fit; only h1 touches
+        # barely_started.
+        assert inferred["near_done"] == pytest.approx(1.0)
+        assert inferred["barely_started"] == pytest.approx(0.5)
+
+    def test_coverage_blends_both_directions(self, model):
+        inferred = dict(GoalInferencer(model, scorer="coverage").infer(ACTIVITY))
+        # tight_fit: completeness 1 x coverage 1 = 1; near_done: 2/3 x 1.
+        assert inferred["tight_fit"] == pytest.approx(1.0)
+        assert inferred["near_done"] == pytest.approx(2 / 3)
+        assert inferred["barely_started"] == pytest.approx((1 / 5) * (1 / 2))
+
+    def test_ranking_order_and_top(self, model):
+        top = GoalInferencer(model, scorer="coverage").infer(ACTIVITY, top=1)
+        assert top == [("tight_fit", pytest.approx(1.0))]
+
+    def test_top_validated(self, model):
+        with pytest.raises(RecommendationError, match="positive"):
+            GoalInferencer(model).infer(ACTIVITY, top=0)
+
+    def test_unknown_activity_empty(self, model):
+        assert GoalInferencer(model).infer({"martian"}) == []
+
+    def test_deterministic_tie_break_by_label(self):
+        model = AssociationGoalModel.from_pairs(
+            [("beta", {"h", "x"}), ("alpha", {"h", "y"})]
+        )
+        inferred = GoalInferencer(model, scorer="completeness").infer({"h"})
+        assert [goal for goal, _ in inferred] == ["alpha", "beta"]
+
+
+class TestHitRate:
+    def test_on_generated_dataset(self, fortythree_tiny):
+        """True goals should be recoverable from 30% of the activity."""
+        model = AssociationGoalModel.from_library(fortythree_tiny.library)
+        inferencer = GoalInferencer(model, scorer="coverage")
+        split = make_split(fortythree_tiny, seed=0, max_users=40)
+        hit3 = inferencer.hit_rate_at(
+            3,
+            [user.observed for user in split],
+            [user.user.goals for user in split],
+        )
+        assert hit3 > 0.5  # far above chance over ~30 goals
+
+    def test_larger_k_never_hurts(self, fortythree_tiny):
+        model = AssociationGoalModel.from_library(fortythree_tiny.library)
+        inferencer = GoalInferencer(model)
+        split = make_split(fortythree_tiny, seed=0, max_users=30)
+        activities = [user.observed for user in split]
+        goals = [user.user.goals for user in split]
+        assert inferencer.hit_rate_at(5, activities, goals) >= (
+            inferencer.hit_rate_at(1, activities, goals)
+        )
+
+    def test_mismatched_inputs_rejected(self, model):
+        inferencer = GoalInferencer(model)
+        with pytest.raises(RecommendationError, match="mismatched"):
+            inferencer.hit_rate_at(1, [ACTIVITY], [])
+
+    def test_empty_users_rejected(self, model):
+        with pytest.raises(RecommendationError, match="no users"):
+            GoalInferencer(model).hit_rate_at(1, [], [])
+
+    def test_k_validated(self, model):
+        with pytest.raises(RecommendationError):
+            GoalInferencer(model).hit_rate_at(0, [ACTIVITY], [["g"]])

@@ -1,0 +1,95 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.core import PAPER_STRATEGIES
+from repro.eval import ExperimentHarness
+from repro.exceptions import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def foodmart_harness(request):
+    from repro.data import FoodMartConfig, generate_foodmart
+
+    dataset = generate_foodmart(FoodMartConfig.tiny(), seed=0)
+    return ExperimentHarness(dataset, k=5, max_users=20, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fortythree_harness():
+    from repro.data import FortyThreeConfig, generate_fortythree
+
+    dataset = generate_fortythree(FortyThreeConfig.tiny(), seed=1)
+    return ExperimentHarness(dataset, k=5, max_users=20, seed=0)
+
+
+class TestGoalMethods:
+    def test_one_list_per_user(self, foodmart_harness):
+        lists = foodmart_harness.run_goal_method("breadth")
+        assert len(lists) == len(foodmart_harness.split)
+
+    def test_lists_respect_k(self, foodmart_harness):
+        for rec in foodmart_harness.run_goal_method("focus_cmp"):
+            assert len(rec) <= 5
+
+    def test_caching_returns_same_objects(self, foodmart_harness):
+        first = foodmart_harness.run_goal_method("breadth")
+        second = foodmart_harness.run_goal_method("breadth")
+        assert first is second
+
+    def test_run_all_paper_strategies(self, fortythree_harness):
+        results = fortythree_harness.run_goal_methods()
+        assert set(results) == set(PAPER_STRATEGIES)
+
+    def test_recommendations_exclude_observed(self, fortythree_harness):
+        lists = fortythree_harness.run_goal_method("breadth")
+        for rec, user in zip(lists, fortythree_harness.split):
+            assert not rec.action_set() & user.observed
+
+
+class TestBaselines:
+    def test_applicable_baselines_foodmart(self, foodmart_harness):
+        assert "content" in foodmart_harness.baseline_names()
+
+    def test_applicable_baselines_fortythree(self, fortythree_harness):
+        assert "content" not in fortythree_harness.baseline_names()
+
+    def test_content_on_featureless_dataset_raises(self, fortythree_harness):
+        with pytest.raises(EvaluationError, match="no item features"):
+            fortythree_harness.run_baseline("content")
+
+    def test_unknown_baseline_raises(self, foodmart_harness):
+        with pytest.raises(EvaluationError, match="unknown baseline"):
+            foodmart_harness.run_baseline("mystery")
+
+    def test_baselines_answer_every_user(self, foodmart_harness):
+        lists = foodmart_harness.run_baseline("cf_knn")
+        assert len(lists) == len(foodmart_harness.split)
+
+    def test_content_similarity_available_after_run(self, foodmart_harness):
+        similarity = foodmart_harness.content_similarity()
+        value = similarity("product_00000", "product_00001")
+        assert 0.0 <= value <= 1.0
+
+
+class TestResult:
+    def test_methods_listing(self, foodmart_harness):
+        foodmart_harness.run_goal_method("breadth")
+        assert "breadth" in foodmart_harness.result.methods()
+
+    def test_unknown_method_raises(self, foodmart_harness):
+        with pytest.raises(EvaluationError, match="not run"):
+            foodmart_harness.result.lists("never_ran")
+
+    def test_wrong_list_count_rejected(self, foodmart_harness):
+        with pytest.raises(EvaluationError, match="expected"):
+            foodmart_harness.result.add("broken", [])
+
+    def test_accessors_aligned_with_split(self, fortythree_harness):
+        harness = fortythree_harness
+        assert len(harness.observed_activities()) == len(harness.split)
+        assert len(harness.hidden_sets()) == len(harness.split)
+        assert len(harness.user_goals()) == len(harness.split)
+
+    def test_user_goals_present_for_43t(self, fortythree_harness):
+        assert all(goals for goals in fortythree_harness.user_goals())

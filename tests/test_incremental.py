@@ -1,0 +1,162 @@
+"""Unit tests for the incrementally maintainable goal model."""
+
+import pytest
+
+from repro.core import (
+    AssociationGoalModel,
+    GoalRecommender,
+    ImplementationLibrary,
+    IncrementalGoalModel,
+)
+from repro.core.strategies import create_strategy
+from repro.exceptions import ModelError, UnknownActionError
+
+
+@pytest.fixture
+def model(figure1_pairs):
+    incremental = IncrementalGoalModel()
+    for goal, actions in figure1_pairs:
+        incremental.add_implementation(goal, actions)
+    return incremental
+
+
+class TestAdd:
+    def test_counts(self, model):
+        assert model.num_implementations == 5
+        assert model.num_goals == 5
+        assert model.num_actions == 6
+
+    def test_duplicate_returns_existing_id(self, model):
+        pid = model.add_implementation("g1", {"a1", "a2", "a3"})
+        assert pid == 0
+        assert model.num_implementations == 5
+
+    def test_empty_actions_rejected(self, model):
+        with pytest.raises(ModelError, match="no actions"):
+            model.add_implementation("g9", [])
+
+    def test_ids_monotonic(self, model):
+        first = model.add_implementation("new", {"x"})
+        model.remove_implementation(first)
+        second = model.add_implementation("new2", {"y"})
+        assert second > first
+
+
+class TestRemove:
+    def test_remove_updates_spaces(self, model):
+        # g5's implementation is {a1, a6}; removing it shrinks a1's spaces.
+        gid = model.goal_id("g5")
+        (pid,) = model.implementations_of_goal(gid)
+        model.remove_implementation(pid)
+        assert model.goal_space_labels({"a1"}) == {"g1", "g2", "g3"}
+        assert "a6" not in model.action_space_labels({"a1"})
+
+    def test_remove_unknown_raises(self, model):
+        with pytest.raises(ModelError, match="no live"):
+            model.remove_implementation(999)
+
+    def test_double_remove_raises(self, model):
+        model.remove_implementation(0)
+        with pytest.raises(ModelError):
+            model.remove_implementation(0)
+
+    def test_readd_after_remove_allowed(self, model):
+        model.remove_implementation(0)
+        pid = model.add_implementation("g1", {"a1", "a2", "a3"})
+        assert pid != 0
+        assert model.goal_space_labels({"a2"}) >= {"g1"}
+
+    def test_orphaned_action_keeps_id_with_empty_space(self, model):
+        gid = model.goal_id("g4")
+        (pid,) = model.implementations_of_goal(gid)
+        # a6 also appears in g5's implementation; remove both.
+        gid5 = model.goal_id("g5")
+        (pid5,) = model.implementations_of_goal(gid5)
+        model.remove_implementation(pid)
+        model.remove_implementation(pid5)
+        aid = model.action_id("a6")  # still interned
+        assert model.implementations_of_action(aid) == frozenset()
+        assert model.goal_space(frozenset({aid})) == set()
+
+
+class TestQueriesMatchFrozenModel:
+    def test_spaces_agree(self, figure1_pairs, model):
+        frozen = AssociationGoalModel.from_pairs(figure1_pairs)
+        for activity in ({"a1"}, {"a2", "a6"}, {"a4", "a5"}):
+            assert model.goal_space_labels(activity) == frozen.goal_space_labels(
+                activity
+            )
+            assert model.action_space_labels(activity) == frozen.action_space_labels(
+                activity
+            )
+
+    def test_strategies_run_against_incremental(self, model):
+        activity = model.encode_activity({"a1"})
+        for name in ("focus_cmp", "focus_cl", "breadth", "best_match"):
+            ranked = create_strategy(name).rank(model, activity, k=5)
+            labels = {model.action_label(aid) for aid, _ in ranked}
+            assert labels
+            assert "a1" not in labels
+
+    def test_goal_recommender_accepts_incremental(self, model):
+        result = GoalRecommender(model).recommend({"a1"}, k=3)
+        assert len(result) == 3
+
+    def test_recommendations_change_after_update(self, model):
+        recommender = GoalRecommender(model)
+        before = recommender.recommend({"a1"}, k=10).action_set()
+        model.add_implementation("new goal", {"a1", "fresh_action"})
+        after = recommender.recommend({"a1"}, k=10).action_set()
+        assert "fresh_action" in after
+        assert "fresh_action" not in before
+
+
+class TestFreeze:
+    def test_freeze_equivalent_queries(self, model):
+        frozen = model.freeze()
+        assert frozen.goal_space_labels({"a1"}) == model.goal_space_labels({"a1"})
+
+    def test_freeze_drops_orphans(self, model):
+        model.add_implementation("temp", {"ephemeral"})
+        gid = model.goal_id("temp")
+        (pid,) = model.implementations_of_goal(gid)
+        model.remove_implementation(pid)
+        frozen = model.freeze()
+        assert not frozen.has_action("ephemeral")
+        assert not frozen.has_goal("temp")
+
+    def test_freeze_empty_raises(self):
+        with pytest.raises(ModelError, match="no live"):
+            IncrementalGoalModel().freeze()
+
+    def test_from_library_roundtrip(self, recipe_library):
+        incremental = IncrementalGoalModel.from_library(recipe_library)
+        assert incremental.num_implementations == len(recipe_library)
+        exported = incremental.to_library()
+        assert [(i.goal, i.actions) for i in exported] == [
+            (i.goal, i.actions) for i in recipe_library
+        ]
+
+
+class TestMisc:
+    def test_unknown_action_strict_encoding(self, model):
+        with pytest.raises(UnknownActionError):
+            model.encode_activity({"nope"}, strict=True)
+
+    def test_goal_completeness(self, model):
+        encoded = model.encode_activity({"a1", "a2"})
+        assert model.goal_completeness(model.goal_id("g1"), encoded) == pytest.approx(
+            2 / 3
+        )
+
+    def test_implementation_reconstruction(self, model):
+        impl = model.implementation(0)
+        assert impl.goal == "g1"
+        assert impl.actions == frozenset({"a1", "a2", "a3"})
+
+    def test_dead_implementation_access_raises(self, model):
+        model.remove_implementation(0)
+        with pytest.raises(ModelError):
+            model.implementation_actions(0)
+        with pytest.raises(ModelError):
+            model.implementation_goal(0)

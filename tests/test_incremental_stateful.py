@@ -1,0 +1,114 @@
+"""Stateful property test: the incremental model vs a rebuild oracle.
+
+Hypothesis drives random sequences of add/remove operations against an
+:class:`IncrementalGoalModel` while a shadow list of live ``(goal, actions)``
+pairs defines the ground truth.  After every step, a freshly built
+:class:`AssociationGoalModel` over the shadow state must agree with the
+incremental model on all space queries and on every strategy's ranking.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import AssociationGoalModel, IncrementalGoalModel
+from repro.core.strategies import create_strategy
+
+goal_labels = st.sampled_from([f"g{i}" for i in range(6)])
+action_sets = st.frozensets(
+    st.sampled_from([f"a{i}" for i in range(12)]), min_size=1, max_size=5
+)
+activities = st.frozensets(
+    st.sampled_from([f"a{i}" for i in range(12)]), max_size=6
+)
+
+
+class IncrementalModelMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.model = IncrementalGoalModel()
+        self.live: dict[int, tuple[str, frozenset[str]]] = {}
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    @rule(goal=goal_labels, actions=action_sets)
+    def add(self, goal: str, actions: frozenset[str]) -> None:
+        pid = self.model.add_implementation(goal, actions)
+        self.live[pid] = (goal, actions)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def remove(self, data) -> None:
+        pid = data.draw(st.sampled_from(sorted(self.live)))
+        self.model.remove_implementation(pid)
+        del self.live[pid]
+
+    # ------------------------------------------------------------------
+    # Oracle comparison
+    # ------------------------------------------------------------------
+
+    def _oracle(self) -> AssociationGoalModel | None:
+        if not self.live:
+            return None
+        return AssociationGoalModel.from_pairs(
+            [self.live[pid] for pid in sorted(self.live)]
+        )
+
+    @invariant()
+    def live_count_matches(self) -> None:
+        assert self.model.num_implementations == len(self.live)
+
+    @precondition(lambda self: self.live)
+    @rule(activity=activities)
+    def spaces_match_oracle(self, activity: frozenset[str]) -> None:
+        oracle = self._oracle()
+        assert oracle is not None
+        assert self.model.goal_space_labels(activity) == (
+            oracle.goal_space_labels(activity)
+        )
+        assert self.model.action_space_labels(activity) == (
+            oracle.action_space_labels(activity)
+        )
+
+    @precondition(lambda self: self.live)
+    @rule(activity=activities, name=st.sampled_from(
+        ["focus_cmp", "focus_cl", "breadth", "best_match"]
+    ))
+    def rankings_match_oracle(self, activity: frozenset[str], name: str) -> None:
+        """Full rankings agree up to id-based tie ordering.
+
+        Action ids differ between the two models (the incremental one keeps
+        ids of removed history), so within equal scores the order may
+        legitimately differ; canonicalizing by (-score, label) removes that
+        degree of freedom while still checking every (action, score) pair.
+        """
+        oracle = self._oracle()
+        assert oracle is not None
+        strategy = create_strategy(name)
+
+        def canonical(model) -> list[tuple[str, float]]:
+            result = strategy.recommend(
+                model, model.encode_activity(activity), k=1000
+            )
+            return sorted(
+                ((str(item.action), round(item.score, 9)) for item in result),
+                key=lambda pair: (-pair[1], pair[0]),
+            )
+
+        assert canonical(self.model) == canonical(oracle)
+
+
+IncrementalModelMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestIncrementalModelMachine = IncrementalModelMachine.TestCase

@@ -1,0 +1,165 @@
+"""Integration tests: the full pipeline on both scenarios.
+
+These tests exercise generation -> indexing -> split -> all recommenders ->
+metrics in one flow and assert the *qualitative* findings the paper reports,
+at tiny scale (the benchmarks re-run them at larger scale and print the
+actual tables).
+"""
+
+import pytest
+
+from repro.core import AssociationGoalModel, GoalRecommender, PAPER_STRATEGIES
+from repro.data import (
+    FoodMartConfig,
+    FortyThreeConfig,
+    generate_foodmart,
+    generate_fortythree,
+)
+from repro.eval import (
+    ExperimentHarness,
+    average_list_overlap,
+    average_true_positive_rate,
+    goal_completeness_after,
+    popularity_correlation,
+    usefulness_summary,
+)
+from repro.eval.timing import ScalePoint, run_scaling_study
+from repro.storage import SqliteLibraryStore
+from repro.text import GoalStory, extract_implementations
+
+
+@pytest.fixture(scope="module")
+def harness_43t():
+    dataset = generate_fortythree(FortyThreeConfig.tiny(), seed=1)
+    harness = ExperimentHarness(dataset, k=10, max_users=40, seed=0)
+    harness.run_goal_methods()
+    harness.run_baselines(["cf_knn", "popularity"])
+    return harness
+
+
+class TestPipeline43T:
+    def test_every_method_answers_every_user(self, harness_43t):
+        for method in harness_43t.result.methods():
+            assert len(harness_43t.result.lists(method)) == len(harness_43t.split)
+
+    def test_goal_methods_differ_from_cf(self, harness_43t):
+        """Direction of Table 2: goal-based lists != CF lists."""
+        breadth = harness_43t.result.lists("breadth")
+        cf = harness_43t.result.lists("cf_knn")
+        assert average_list_overlap(breadth, cf) < 0.9
+
+    def test_cf_more_popularity_correlated_than_goal_methods(self, harness_43t):
+        """Direction of Table 3."""
+        activities = harness_43t.observed_activities()
+        cf_corr = popularity_correlation(
+            activities, harness_43t.result.lists("cf_knn")
+        )
+        breadth_corr = popularity_correlation(
+            activities, harness_43t.result.lists("breadth")
+        )
+        assert cf_corr > breadth_corr
+
+    def test_goal_methods_improve_goal_completeness(self, harness_43t):
+        """Direction of Table 4: goal-based beats CF on usefulness."""
+        model = harness_43t.model
+        rows = {}
+        for method in ("breadth", "cf_knn"):
+            summaries = [
+                goal_completeness_after(
+                    model, user.observed, rec, goals=user.user.goals
+                )
+                for user, rec in zip(
+                    harness_43t.split, harness_43t.result.lists(method)
+                )
+            ]
+            rows[method] = usefulness_summary(summaries)
+        assert rows["breadth"].avg_avg > rows["cf_knn"].avg_avg
+
+    def test_goal_methods_recover_hidden_actions(self, harness_43t):
+        """Direction of Figure 4: goal-based TPR is meaningfully positive."""
+        tpr = average_true_positive_rate(
+            harness_43t.result.lists("breadth"), harness_43t.hidden_sets()
+        )
+        assert tpr > 0.1
+
+
+class TestPipelineFoodmart:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        dataset = generate_foodmart(FoodMartConfig.tiny(), seed=0)
+        harness = ExperimentHarness(dataset, k=10, max_users=30, seed=0)
+        harness.run_goal_methods()
+        harness.run_baselines(["content", "cf_knn"])
+        return harness
+
+    def test_content_lists_most_self_similar(self, harness):
+        """Direction of Table 5: content-based lists are most homogeneous."""
+        from repro.eval import average_pairwise_similarity
+
+        similarity = harness.content_similarity()
+        content = average_pairwise_similarity(
+            harness.result.lists("content"), similarity
+        )
+        breadth = average_pairwise_similarity(
+            harness.result.lists("breadth"), similarity
+        )
+        assert content.average > breadth.average
+
+    def test_goal_based_overlap_among_themselves(self, harness):
+        """Direction of Table 6: Breadth and Best Match overlap heavily."""
+        breadth = harness.result.lists("breadth")
+        best_match = harness.result.lists("best_match")
+        focus = harness.result.lists("focus_cmp")
+        assert average_list_overlap(breadth, best_match) > average_list_overlap(
+            focus, harness.result.lists("cf_knn")
+        )
+
+
+class TestScalingStudy:
+    def test_rows_cover_all_pairs(self):
+        scales = (
+            ScalePoint("S", num_products=60, num_recipes=100, num_carts=10),
+            ScalePoint("M", num_products=60, num_recipes=300, num_carts=10),
+        )
+        rows = run_scaling_study(scales=scales, k=5, seed=0)
+        assert len(rows) == 2 * len(PAPER_STRATEGIES)
+        assert all(row.mean_seconds > 0 for row in rows)
+
+    def test_connectivity_grows_with_density(self):
+        scales = (
+            ScalePoint("S", num_products=60, num_recipes=100, num_carts=5),
+            ScalePoint("M", num_products=60, num_recipes=400, num_carts=5),
+        )
+        rows = run_scaling_study(scales=scales, k=5, seed=0)
+        by_scale = {row.scale: row.connectivity for row in rows}
+        assert by_scale["M"] > by_scale["S"]
+
+
+class TestTextToRecommendation:
+    def test_extracted_library_drives_recommendations(self):
+        """End-to-end: plain text -> library -> model -> recommendation."""
+        stories = [
+            GoalStory("get fit", "Join a gym. Run every morning. Drink water."),
+            GoalStory("lose weight", "I drank more water and stopped eating sugar."),
+            GoalStory("save money", "Stop eating out; cook at home."),
+        ]
+        library = extract_implementations(stories)
+        model = AssociationGoalModel.from_library(library)
+        recommender = GoalRecommender(model)
+        result = recommender.recommend({"drink water"}, k=5, strategy="breadth")
+        assert len(result) > 0
+        goals = model.goal_space_labels({"drink water"})
+        assert "get fit" in goals
+
+
+class TestStorageInPipeline:
+    def test_sqlite_roundtrip_preserves_recommendations(self, tmp_path):
+        dataset = generate_fortythree(FortyThreeConfig.tiny(), seed=1)
+        original_model = AssociationGoalModel.from_library(dataset.library)
+        with SqliteLibraryStore(tmp_path / "lib.db") as store:
+            store.save(dataset.library)
+            restored_model = AssociationGoalModel.from_library(store.load())
+        activity = dataset.users[0].full_activity
+        original = GoalRecommender(original_model).recommend(activity, k=10)
+        restored = GoalRecommender(restored_model).recommend(activity, k=10)
+        assert original.actions() == restored.actions()

@@ -1,0 +1,91 @@
+"""Unit tests for the item-based KNN baseline."""
+
+import pytest
+
+from repro.baselines.item_knn import ItemKnnRecommender
+from repro.exceptions import RecommendationError
+
+
+@pytest.fixture
+def corpus():
+    """bread and butter co-occur heavily; hammer lives in another world."""
+    return [
+        {"bread", "butter"},
+        {"bread", "butter", "jam"},
+        {"bread", "butter", "milk"},
+        {"milk", "eggs"},
+        {"hammer", "nails"},
+    ]
+
+
+class TestConfiguration:
+    def test_invalid_neighbors_rejected(self):
+        with pytest.raises(ValueError, match="num_neighbors"):
+            ItemKnnRecommender(num_neighbors=0)
+
+    def test_fit_required(self):
+        with pytest.raises(RecommendationError, match="before fit"):
+            ItemKnnRecommender().recommend({"a"})
+
+
+class TestNeighborLists:
+    def test_cooccurring_items_are_neighbors(self, corpus):
+        model = ItemKnnRecommender().fit(corpus)
+        bread = model.items.get("bread")
+        butter = model.items.get("butter")
+        neighbor_ids = [n for n, _ in model.item_neighbors(bread)]
+        assert butter in neighbor_ids
+
+    def test_disjoint_items_not_neighbors(self, corpus):
+        model = ItemKnnRecommender().fit(corpus)
+        bread = model.items.get("bread")
+        hammer = model.items.get("hammer")
+        neighbor_ids = [n for n, _ in model.item_neighbors(bread)]
+        assert hammer not in neighbor_ids
+
+    def test_similarity_values(self, corpus):
+        model = ItemKnnRecommender().fit(corpus)
+        bread = model.items.get("bread")
+        neighbors = dict(model.item_neighbors(bread))
+        butter = model.items.get("butter")
+        # bread users {0,1,2}, butter users {0,1,2} -> tanimoto 1.
+        assert neighbors[butter] == pytest.approx(1.0)
+
+    def test_neighborhood_truncated(self):
+        corpus = [{"hub", f"spoke{i}"} for i in range(10)]
+        model = ItemKnnRecommender(num_neighbors=3).fit(corpus)
+        hub = model.items.get("hub")
+        assert len(model.item_neighbors(hub)) == 3
+
+    def test_unknown_item_empty_neighbors(self, corpus):
+        model = ItemKnnRecommender().fit(corpus)
+        assert model.item_neighbors(9999) == []
+
+
+class TestRecommend:
+    def test_companion_item_recommended(self, corpus):
+        model = ItemKnnRecommender().fit(corpus)
+        assert model.recommend({"bread"}, k=1).actions() == ["butter"]
+
+    def test_scores_accumulate_over_query_items(self, corpus):
+        model = ItemKnnRecommender().fit(corpus)
+        result = model.recommend({"bread", "milk"}, k=5)
+        scores = {item.action: item.score for item in result}
+        # jam is a neighbour of bread only; butter of both bread and milk.
+        assert scores["butter"] > scores["jam"]
+
+    def test_query_items_excluded(self, corpus):
+        model = ItemKnnRecommender().fit(corpus)
+        actions = model.recommend({"bread", "butter"}, k=10).actions()
+        assert "bread" not in actions and "butter" not in actions
+
+    def test_isolated_query_gets_empty_list(self, corpus):
+        model = ItemKnnRecommender().fit(corpus)
+        # 'nails' only co-occurs with 'hammer'.
+        assert model.recommend({"nails"}, k=5).actions() == ["hammer"]
+        assert model.recommend({"unknown"}, k=5).actions() == []
+
+    def test_deterministic(self, corpus):
+        a = ItemKnnRecommender().fit(corpus).recommend({"bread"}, k=5).actions()
+        b = ItemKnnRecommender().fit(corpus).recommend({"bread"}, k=5).actions()
+        assert a == b

@@ -1,0 +1,69 @@
+"""Unit tests for the leaderboard assembly."""
+
+import pytest
+
+from repro.eval import ExperimentHarness
+from repro.eval.leaderboard import (
+    LeaderboardRow,
+    build_leaderboard,
+    method_lists,
+)
+from repro.exceptions import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def harness(fortythree_tiny):
+    return ExperimentHarness(fortythree_tiny, k=5, max_users=25, seed=0)
+
+
+class TestMethodLists:
+    def test_goal_strategy_resolved(self, harness):
+        lists = method_lists(harness, "breadth")
+        assert len(lists) == len(harness.split)
+
+    def test_baseline_resolved(self, harness):
+        lists = method_lists(harness, "popularity")
+        assert len(lists) == len(harness.split)
+
+    def test_markov_uses_sequences(self, harness):
+        lists = method_lists(harness, "markov")
+        assert len(lists) == len(harness.split)
+        # cached on second call
+        assert method_lists(harness, "markov") is lists
+
+    def test_markov_without_sequences_rejected(self, foodmart_tiny):
+        harness = ExperimentHarness(foodmart_tiny, k=5, max_users=10, seed=0)
+        with pytest.raises(EvaluationError, match="sequences"):
+            method_lists(harness, "markov")
+
+    def test_unknown_method_rejected(self, harness):
+        with pytest.raises(EvaluationError, match="unknown baseline"):
+            method_lists(harness, "astrology")
+
+
+class TestBuildLeaderboard:
+    def test_rows_in_order(self, harness):
+        rows = build_leaderboard(harness, ["breadth", "cf_knn"])
+        assert [row.method for row in rows] == ["breadth", "cf_knn"]
+
+    def test_metrics_bounded(self, harness):
+        (row,) = build_leaderboard(harness, ["breadth"])
+        assert 0.0 <= row.avg_tpr <= 1.0
+        assert 0.0 <= row.ndcg <= 1.0
+        assert 0.0 <= row.mrr <= 1.0
+        assert 0.0 <= row.completeness <= 1.0
+        assert -1.0 <= row.popularity_corr <= 1.0
+
+    def test_as_list_matches_headers(self, harness):
+        (row,) = build_leaderboard(harness, ["breadth"])
+        assert len(row.as_list()) == len(LeaderboardRow.headers())
+        assert row.as_list()[0] == "breadth"
+
+    def test_empty_methods_rejected(self, harness):
+        with pytest.raises(EvaluationError, match="methods"):
+            build_leaderboard(harness, [])
+
+    def test_goal_methods_lead_on_tiny_dataset(self, harness):
+        rows = build_leaderboard(harness, ["breadth", "cf_knn"])
+        by_method = {row.method: row for row in rows}
+        assert by_method["breadth"].avg_tpr > by_method["cf_knn"].avg_tpr

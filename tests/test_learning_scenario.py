@@ -1,0 +1,95 @@
+"""Unit tests for the online-learning scenario generator."""
+
+import pytest
+
+from repro.core import AssociationGoalModel, GoalRecommender
+from repro.data.schema import validate_dataset
+from repro.data.synthetic.learning import LearningConfig, generate_learning
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_learning(LearningConfig.tiny(), seed=2)
+
+
+class TestGeneration:
+    def test_counts(self, dataset):
+        config = LearningConfig.tiny()
+        stats = dataset.library.stats()
+        assert stats.num_goals == config.num_specializations
+        assert len(dataset.users) == config.num_students
+
+    def test_validates(self, dataset):
+        validate_dataset(dataset)
+
+    def test_deterministic(self):
+        a = generate_learning(LearningConfig.tiny(), seed=7)
+        b = generate_learning(LearningConfig.tiny(), seed=7)
+        assert a.activities() == b.activities()
+
+    def test_track_lengths_bounded(self, dataset):
+        config = LearningConfig.tiny()
+        for impl in dataset.library:
+            assert len(impl) <= config.track_length_max
+
+    def test_core_courses_are_staples(self, dataset):
+        """Service courses appear in far more tracks than electives."""
+        model = AssociationGoalModel.from_library(dataset.library)
+        freqs = model.action_frequencies()
+        core = [
+            freqs[model.action_id(f"course_{i:04d}")]
+            for i in range(LearningConfig.tiny().core_courses)
+            if model.has_action(f"course_{i:04d}")
+        ]
+        electives = [
+            value
+            for aid, value in freqs.items()
+            if model.action_label(aid) not in {
+                f"course_{i:04d}"
+                for i in range(LearningConfig.tiny().core_courses)
+            }
+        ]
+        assert sum(core) / len(core) > 3 * sum(electives) / len(electives)
+
+    def test_students_have_goals_and_sequences(self, dataset):
+        for user in dataset.users[:10]:
+            assert user.goals
+            assert user.sequence
+            assert frozenset(user.sequence) == user.full_activity
+
+    def test_features_cover_courses(self, dataset):
+        assert dataset.library.actions() <= set(dataset.item_features)
+        for features in dataset.item_features.values():
+            assert any(f.startswith("subject_") for f in features)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError, match="subjects"):
+            LearningConfig(num_courses=5, num_subjects=10)
+        with pytest.raises(ValueError, match="core_courses"):
+            LearningConfig(num_courses=10, num_subjects=2, core_courses=10)
+        with pytest.raises(ValueError, match="progress"):
+            LearningConfig(progress_min=0.9, progress_max=0.2)
+
+
+class TestRecommendationQuality:
+    def test_next_course_advances_specialization(self, dataset):
+        """Focus should recommend courses of the student's own tracks."""
+        model = AssociationGoalModel.from_library(dataset.library)
+        recommender = GoalRecommender(model)
+        hits = 0
+        for user in dataset.users[:20]:
+            result = recommender.recommend(
+                user.full_activity, k=3, strategy="focus_cmp"
+            )
+            goal_space = model.goal_space_labels(user.full_activity)
+            if set(user.goals) & goal_space and len(result) > 0:
+                hits += 1
+        assert hits >= 18  # recommendations exist and goals are reachable
+
+    def test_harness_runs_on_learning_dataset(self, dataset):
+        from repro.eval import ExperimentHarness
+
+        harness = ExperimentHarness(dataset, k=5, max_users=15, seed=0)
+        lists = harness.run_goal_methods()
+        assert all(len(v) == len(harness.split) for v in lists.values())
+        assert "content" in harness.baseline_names()

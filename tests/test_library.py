@@ -1,0 +1,110 @@
+"""Unit tests for the implementation library container."""
+
+import pytest
+
+from repro.core import GoalImplementation, ImplementationLibrary
+from repro.exceptions import DataError
+
+
+class TestAdd:
+    def test_ids_are_dense_and_ordered(self):
+        library = ImplementationLibrary()
+        first = library.add_pair("g1", {"a"})
+        second = library.add_pair("g2", {"b"})
+        assert (first, second) == (0, 1)
+        assert library[0].goal == "g1"
+        assert library[1].goal == "g2"
+
+    def test_duplicate_pair_is_idempotent(self):
+        library = ImplementationLibrary()
+        first = library.add_pair("g", {"a", "b"})
+        again = library.add_pair("g", {"b", "a"})
+        assert first == again
+        assert len(library) == 1
+
+    def test_same_actions_different_goal_is_new(self):
+        library = ImplementationLibrary()
+        library.add_pair("g1", {"a"})
+        library.add_pair("g2", {"a"})
+        assert len(library) == 2
+
+    def test_same_goal_different_actions_is_new(self):
+        library = ImplementationLibrary()
+        library.add_pair("g", {"a"})
+        library.add_pair("g", {"a", "b"})
+        assert len(library) == 2
+
+    def test_stored_impl_id_matches_position(self):
+        library = ImplementationLibrary()
+        library.add(GoalImplementation(goal="g", actions={"a"}, impl_id=999))
+        # Caller-provided ids are replaced by the library's dense id.
+        assert library[0].impl_id == 0
+
+    def test_extend_returns_ids(self):
+        library = ImplementationLibrary()
+        ids = library.extend(
+            [
+                GoalImplementation(goal="g1", actions={"a"}),
+                GoalImplementation(goal="g2", actions={"b"}),
+            ]
+        )
+        assert ids == [0, 1]
+
+    def test_getitem_unknown_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            ImplementationLibrary()[0]
+
+
+class TestQueries:
+    @pytest.fixture
+    def library(self, recipe_library):
+        return recipe_library
+
+    def test_goals(self, library):
+        assert "olivier salad" in library.goals()
+        assert len(library.goals()) == 4
+
+    def test_actions(self, library):
+        actions = library.actions()
+        assert {"potatoes", "carrots", "nutmeg"} <= actions
+
+    def test_implementations_of(self, library):
+        impls = library.implementations_of("olivier salad")
+        assert len(impls) == 1
+        assert impls[0].actions == frozenset({"potatoes", "carrots", "pickles"})
+
+    def test_implementations_of_unknown_goal_is_empty(self, library):
+        assert library.implementations_of("nope") == []
+
+    def test_iteration_order_is_insertion_order(self, library):
+        goals = [impl.goal for impl in library]
+        assert goals[0] == "olivier salad"
+        assert goals[-1] == "carrot cake"
+
+
+class TestStats:
+    def test_empty_library_stats_raises(self):
+        with pytest.raises(DataError, match="empty"):
+            ImplementationLibrary().stats()
+
+    def test_counts(self, recipe_library):
+        stats = recipe_library.stats()
+        assert stats.num_implementations == 4
+        assert stats.num_goals == 4
+        assert stats.num_actions == 9
+        assert stats.max_implementation_length == 4
+
+    def test_connectivity_definition(self, recipe_library):
+        stats = recipe_library.stats()
+        # Sum of per-action implementation counts / number of actions:
+        # potatoes 2, carrots 3, nutmeg 2, the other six appear once.
+        assert stats.connectivity == pytest.approx((2 + 3 + 2 + 6) / 9)
+
+    def test_avg_length(self, recipe_library):
+        stats = recipe_library.stats()
+        assert stats.avg_implementation_length == pytest.approx((3 + 3 + 3 + 4) / 4)
+
+    def test_str_mentions_counts(self, recipe_library):
+        text = str(recipe_library.stats())
+        assert "4 implementations" in text
+        assert "connectivity" in text

@@ -1,0 +1,103 @@
+"""Unit tests for dataset JSON (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.data import load_dataset, save_dataset
+from repro.data.loaders import (
+    dataset_from_dict,
+    dataset_to_dict,
+    library_from_dict,
+    library_to_dict,
+)
+from repro.exceptions import DataError
+
+
+class TestLibraryRoundTrip:
+    def test_roundtrip_preserves_pairs(self, recipe_library):
+        restored = library_from_dict(library_to_dict(recipe_library))
+        assert [(i.goal, i.actions) for i in restored] == [
+            (i.goal, i.actions) for i in recipe_library
+        ]
+
+    def test_missing_key_raises(self):
+        with pytest.raises(DataError, match="implementations"):
+            library_from_dict({})
+
+    def test_malformed_row_raises(self):
+        with pytest.raises(DataError, match="malformed"):
+            library_from_dict({"implementations": [{"goal": "g"}]})
+
+    def test_empty_actions_row_raises(self):
+        with pytest.raises(DataError, match="malformed"):
+            library_from_dict(
+                {"implementations": [{"goal": "g", "actions": []}]}
+            )
+
+
+class TestDatasetRoundTrip:
+    def test_roundtrip_foodmart(self, tmp_path, foodmart_tiny):
+        path = save_dataset(foodmart_tiny, tmp_path / "fm.json")
+        restored = load_dataset(path)
+        assert restored.name == foodmart_tiny.name
+        assert restored.activities() == foodmart_tiny.activities()
+        assert restored.item_features == foodmart_tiny.item_features
+
+    def test_roundtrip_fortythree_keeps_goals(self, tmp_path, fortythree_tiny):
+        path = save_dataset(fortythree_tiny, tmp_path / "ft.json")
+        restored = load_dataset(path)
+        assert restored.item_features is None
+        assert [u.goals for u in restored.users] == [
+            u.goals for u in fortythree_tiny.users
+        ]
+
+    def test_dict_roundtrip_without_disk(self, fortythree_tiny):
+        restored = dataset_from_dict(dataset_to_dict(fortythree_tiny))
+        assert restored.name == fortythree_tiny.name
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DataError, match="not found"):
+            load_dataset(tmp_path / "nope.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DataError, match="invalid dataset"):
+            load_dataset(path)
+
+    def test_wrong_version_raises(self, tmp_path, foodmart_tiny):
+        payload = dataset_to_dict(foodmart_tiny)
+        payload["format_version"] = 99
+        path = tmp_path / "v99.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(DataError, match="version"):
+            load_dataset(path)
+
+    def test_missing_users_key_raises(self, foodmart_tiny):
+        payload = dataset_to_dict(foodmart_tiny)
+        del payload["users"]
+        with pytest.raises(DataError, match="malformed"):
+            dataset_from_dict(payload)
+
+    def test_parent_directories_created(self, tmp_path, foodmart_tiny):
+        path = save_dataset(foodmart_tiny, tmp_path / "a" / "b" / "fm.json")
+        assert path.exists()
+
+
+class TestGzipDatasets:
+    def test_gz_roundtrip(self, tmp_path, fortythree_tiny):
+        path = save_dataset(fortythree_tiny, tmp_path / "ds.json.gz")
+        restored = load_dataset(path)
+        assert restored.activities() == fortythree_tiny.activities()
+
+    def test_gz_actually_compressed(self, tmp_path, fortythree_tiny):
+        plain = save_dataset(fortythree_tiny, tmp_path / "ds.json")
+        compressed = save_dataset(fortythree_tiny, tmp_path / "ds.json.gz")
+        assert compressed.stat().st_size < plain.stat().st_size / 2
+
+    def test_corrupt_gz_raises(self, tmp_path):
+        path = tmp_path / "bad.json.gz"
+        path.write_bytes(b"not gzip at all")
+        with pytest.raises(DataError, match="invalid dataset"):
+            load_dataset(path)

@@ -1,0 +1,208 @@
+"""Unit tests for the Section 6.1 metrics."""
+
+import pytest
+
+from repro.core import AssociationGoalModel
+from repro.core.entities import RecommendationList, ScoredAction
+from repro.eval.metrics import (
+    average_list_overlap,
+    average_pairwise_similarity,
+    average_true_positive_rate,
+    frequency_histogram,
+    goal_completeness_after,
+    library_frequencies,
+    list_overlap,
+    pairwise_similarity,
+    pearson,
+    popularity_correlation,
+    recommendation_frequencies,
+    true_positive_rate,
+    usefulness_summary,
+)
+from repro.exceptions import EvaluationError
+
+
+def rec(*actions, strategy="test"):
+    return RecommendationList(
+        strategy=strategy,
+        items=tuple(
+            ScoredAction(a, float(len(actions) - i)) for i, a in enumerate(actions)
+        ),
+    )
+
+
+class TestListOverlap:
+    def test_identical(self):
+        assert list_overlap(rec("a", "b"), rec("a", "b")) == 1.0
+
+    def test_disjoint(self):
+        assert list_overlap(rec("a"), rec("b")) == 0.0
+
+    def test_partial_normalized_by_longer(self):
+        assert list_overlap(rec("a", "b", "c", "d"), rec("a", "b")) == 0.5
+
+    def test_empty_lists(self):
+        assert list_overlap(rec(), rec()) == 0.0
+
+    def test_average(self):
+        a = [rec("a", "b"), rec("x")]
+        b = [rec("a", "b"), rec("y")]
+        assert average_list_overlap(a, b) == pytest.approx(0.5)
+
+    def test_average_mismatched_lengths_raises(self):
+        with pytest.raises(EvaluationError, match="mismatched"):
+            average_list_overlap([rec("a")], [])
+
+    def test_average_zero_users_raises(self):
+        with pytest.raises(EvaluationError, match="zero users"):
+            average_list_overlap([], [])
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_side_is_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(EvaluationError):
+            pearson([1], [1, 2])
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(EvaluationError):
+            pearson([1], [1])
+
+
+class TestPopularityCorrelation:
+    def test_popularity_recycler_scores_high(self):
+        activities = [{"pop", "x"}, {"pop", "y"}, {"pop", "z"}, {"rare"}]
+        # A recommender that always recommends the popular item:
+        lists = [rec("pop") for _ in activities]
+        value = popularity_correlation(activities, lists, top_n=5)
+        assert value > 0.9
+
+    def test_popularity_avoider_scores_low(self):
+        activities = [{"pop", "x"}, {"pop", "y"}, {"pop", "z"}, {"rare", "w"}]
+        lists = [rec("rare") for _ in activities]
+        value = popularity_correlation(activities, lists, top_n=5)
+        assert value < 0.0
+
+    def test_needs_two_actions(self):
+        with pytest.raises(EvaluationError, match="two distinct"):
+            popularity_correlation([{"only"}], [rec("only")])
+
+
+class TestUsefulness:
+    @pytest.fixture
+    def model(self):
+        return AssociationGoalModel.from_pairs(
+            [("g1", {"h", "r1"}), ("g2", {"h", "r2", "x"})]
+        )
+
+    def test_completeness_improves_with_recommendations(self, model):
+        before = goal_completeness_after(model, {"h"}, rec())
+        after = goal_completeness_after(model, {"h"}, rec("r1", "r2"))
+        assert after.average > before.average
+        assert after.maximum == 1.0
+
+    def test_restricted_goal_set(self, model):
+        summary = goal_completeness_after(model, {"h"}, rec("r1"), goals=["g1"])
+        assert summary.average == 1.0
+
+    def test_unknown_goals_ignored(self, model):
+        summary = goal_completeness_after(
+            model, {"h"}, rec("r1"), goals=["g1", "martian"]
+        )
+        assert summary.average == 1.0
+
+    def test_empty_goal_space_is_zero(self, model):
+        summary = goal_completeness_after(model, {"martian"}, rec("r1"))
+        assert summary == pytest.approx(
+            type(summary)(average=0.0, minimum=0.0, maximum=0.0)
+        )
+
+    def test_usefulness_summary_aggregates(self, model):
+        s1 = goal_completeness_after(model, {"h"}, rec("r1"))
+        s2 = goal_completeness_after(model, {"h"}, rec("r2"))
+        agg = usefulness_summary([s1, s2])
+        assert agg.avg_avg == pytest.approx((s1.average + s2.average) / 2)
+
+    def test_usefulness_summary_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            usefulness_summary([])
+
+
+class TestPairwiseSimilarity:
+    @staticmethod
+    def sim(a, b):
+        return 1.0 if a[0] == b[0] else 0.0  # same first letter = similar
+
+    def test_statistics(self):
+        summary = pairwise_similarity(rec("apple", "apricot", "banana"), self.sim)
+        assert summary.maximum == 1.0
+        assert summary.minimum == 0.0
+        assert summary.average == pytest.approx(1 / 3)
+
+    def test_single_item_list_is_none(self):
+        assert pairwise_similarity(rec("apple"), self.sim) is None
+
+    def test_average_over_lists(self):
+        lists = [rec("aa", "ab"), rec("aa", "ba")]
+        summary = average_pairwise_similarity(lists, self.sim)
+        assert summary.average == pytest.approx(0.5)
+
+    def test_average_no_valid_lists_raises(self):
+        with pytest.raises(EvaluationError):
+            average_pairwise_similarity([rec("a")], self.sim)
+
+
+class TestTruePositiveRate:
+    def test_fraction_of_hits(self):
+        assert true_positive_rate(rec("a", "b", "c", "d"), {"a", "b"}) == 0.5
+
+    def test_empty_list_zero(self):
+        assert true_positive_rate(rec(), {"a"}) == 0.0
+
+    def test_average(self):
+        lists = [rec("a", "b"), rec("x", "y")]
+        hidden = [{"a", "b"}, {"z"}]
+        assert average_true_positive_rate(lists, hidden) == pytest.approx(0.5)
+
+    def test_average_mismatch_raises(self):
+        with pytest.raises(EvaluationError, match="mismatched"):
+            average_true_positive_rate([rec("a")], [])
+
+
+class TestFrequencies:
+    def test_recommendation_frequencies(self):
+        lists = [rec("a", "b"), rec("a"), rec("c"), rec("a")]
+        freqs = recommendation_frequencies(lists)
+        assert freqs["a"] == pytest.approx(0.75)
+        assert freqs["b"] == pytest.approx(0.25)
+
+    def test_empty_lists_raise(self):
+        with pytest.raises(EvaluationError):
+            recommendation_frequencies([])
+
+    def test_library_frequencies(self, figure1_model):
+        freqs = library_frequencies(figure1_model, [rec("a1", "a4")])
+        assert freqs["a1"] == pytest.approx(4 / 5)
+        assert freqs["a4"] == pytest.approx(1 / 5)
+
+    def test_histogram_partitions(self):
+        freqs = {"a": 0.1, "b": 0.15, "c": 0.5, "d": 0.95}
+        histogram = frequency_histogram(freqs)
+        assert dict(histogram)[0.2] == pytest.approx(0.5)
+        assert sum(fraction for _, fraction in histogram) == pytest.approx(1.0)
+
+    def test_histogram_boundary_inclusive(self):
+        histogram = frequency_histogram({"a": 0.2})
+        assert dict(histogram)[0.2] == 1.0
+
+    def test_histogram_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            frequency_histogram({})

@@ -1,0 +1,194 @@
+"""Unit tests for the association-based goal model and its indexes."""
+
+import pytest
+
+from repro.core import AssociationGoalModel, ImplementationLibrary
+from repro.exceptions import ModelError, UnknownActionError, UnknownGoalError
+
+
+class TestConstruction:
+    def test_from_pairs_counts(self, figure1_model):
+        assert figure1_model.num_goals == 5
+        assert figure1_model.num_actions == 6
+        assert figure1_model.num_implementations == 5
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ModelError, match="zero implementations"):
+            AssociationGoalModel.from_library(ImplementationLibrary())
+
+    def test_mismatched_parallel_lists_rejected(self):
+        with pytest.raises(ModelError, match="parallel"):
+            AssociationGoalModel(["a"], ["g"], [frozenset({0})], [0, 0])
+
+    def test_empty_implementation_rejected(self):
+        with pytest.raises(ModelError, match="empty activity"):
+            AssociationGoalModel(["a"], ["g"], [frozenset()], [0])
+
+    def test_duplicate_action_labels_rejected(self):
+        with pytest.raises(ModelError, match="duplicate action"):
+            AssociationGoalModel(["a", "a"], ["g"], [frozenset({0})], [0])
+
+    def test_roundtrip_through_library(self, figure1_model):
+        rebuilt = AssociationGoalModel.from_library(figure1_model.to_library())
+        assert rebuilt.num_implementations == figure1_model.num_implementations
+        assert set(rebuilt.goal_labels()) == set(figure1_model.goal_labels())
+        assert set(rebuilt.action_labels()) == set(figure1_model.action_labels())
+
+
+class TestLabelTranslation:
+    def test_action_id_roundtrip(self, figure1_model):
+        aid = figure1_model.action_id("a1")
+        assert figure1_model.action_label(aid) == "a1"
+
+    def test_goal_id_roundtrip(self, figure1_model):
+        gid = figure1_model.goal_id("g3")
+        assert figure1_model.goal_label(gid) == "g3"
+
+    def test_unknown_action_raises(self, figure1_model):
+        with pytest.raises(UnknownActionError):
+            figure1_model.action_id("missing")
+
+    def test_unknown_goal_raises(self, figure1_model):
+        with pytest.raises(UnknownGoalError):
+            figure1_model.goal_id("missing")
+
+    def test_has_action_and_goal(self, figure1_model):
+        assert figure1_model.has_action("a1")
+        assert not figure1_model.has_action("zz")
+        assert figure1_model.has_goal("g1")
+        assert not figure1_model.has_goal("zz")
+
+    def test_encode_drops_unknown_by_default(self, figure1_model):
+        encoded = figure1_model.encode_activity({"a1", "napkins"})
+        assert encoded == frozenset({figure1_model.action_id("a1")})
+
+    def test_encode_strict_raises_on_unknown(self, figure1_model):
+        with pytest.raises(UnknownActionError):
+            figure1_model.encode_activity({"a1", "napkins"}, strict=True)
+
+    def test_decode_actions(self, figure1_model):
+        ids = [figure1_model.action_id(a) for a in ("a1", "a4")]
+        assert figure1_model.decode_actions(ids) == ["a1", "a4"]
+
+
+class TestIndexes:
+    def test_gi_a_idx(self, figure1_model):
+        m = figure1_model
+        pid = next(iter(m.implementations_of_goal(m.goal_id("g2"))))
+        actions = {m.action_label(a) for a in m.implementation_actions(pid)}
+        assert actions == {"a1", "a4"}
+
+    def test_gi_g_idx(self, figure1_model):
+        m = figure1_model
+        pid = next(iter(m.implementations_of_goal(m.goal_id("g4"))))
+        assert m.goal_label(m.implementation_goal(pid)) == "g4"
+
+    def test_a_gi_idx_example_4_3(self, figure1_model):
+        """Example 4.3: a1 participates in implementations of g1,g2,g3,g5."""
+        m = figure1_model
+        pids = m.implementations_of_action(m.action_id("a1"))
+        goals = {m.goal_label(m.implementation_goal(p)) for p in pids}
+        assert goals == {"g1", "g2", "g3", "g5"}
+
+    def test_g_gi_idx_inverse_of_gi_g_idx(self, figure1_model):
+        m = figure1_model
+        for gid in range(m.num_goals):
+            for pid in m.implementations_of_goal(gid):
+                assert m.implementation_goal(pid) == gid
+
+    def test_implementation_reconstruction(self, figure1_model):
+        impl = figure1_model.implementation(0)
+        assert impl.impl_id == 0
+        assert impl.goal == "g1"
+        assert impl.actions == frozenset({"a1", "a2", "a3"})
+
+
+class TestSpaces:
+    def test_goal_space_of_a1(self, figure1_model):
+        """Definition 4.1 on the Figure 1 example."""
+        assert figure1_model.goal_space_labels({"a1"}) == {"g1", "g2", "g3", "g5"}
+
+    def test_action_space_of_a1(self, figure1_model):
+        """Definition 4.2 on the Figure 1 example (a1's co-contributors)."""
+        space = figure1_model.action_space_labels({"a1"})
+        assert space == {"a1", "a2", "a3", "a4", "a5", "a6"}
+
+    def test_candidate_actions_exclude_activity(self, figure1_model):
+        m = figure1_model
+        encoded = m.encode_activity({"a1"})
+        candidates = {m.action_label(a) for a in m.candidate_actions(encoded)}
+        assert candidates == {"a2", "a3", "a4", "a5", "a6"}
+
+    def test_goal_space_of_set_is_union(self, figure1_model):
+        """GS({a2, a6}) = GS(a2) ∪ GS(a6)."""
+        m = figure1_model
+        union = m.goal_space_labels({"a2"}) | m.goal_space_labels({"a6"})
+        assert m.goal_space_labels({"a2", "a6"}) == union
+
+    def test_empty_activity_has_empty_spaces(self, figure1_model):
+        m = figure1_model
+        empty = frozenset()
+        assert m.implementation_space(empty) == set()
+        assert m.goal_space(empty) == set()
+        assert m.action_space(empty) == set()
+
+    def test_implementation_space_counts(self, figure1_model):
+        m = figure1_model
+        encoded = m.encode_activity({"a6"})
+        # a6 appears in the implementations of g4 and g5.
+        assert len(m.implementation_space(encoded)) == 2
+
+
+class TestDerivedStatistics:
+    def test_connectivity(self, figure1_model):
+        # a1 in 4 impls, a2 in 2, a6 in 2, a3/a4/a5 in 1 -> 11/6.
+        assert figure1_model.connectivity() == pytest.approx(11 / 6)
+
+    def test_action_frequencies_sum(self, figure1_model):
+        freqs = figure1_model.action_frequencies()
+        a1 = figure1_model.action_id("a1")
+        assert freqs[a1] == pytest.approx(4 / 5)
+
+    def test_goal_completeness_best_implementation_wins(self):
+        model = AssociationGoalModel.from_pairs(
+            [("g", {"a", "b", "c", "d"}), ("g", {"a", "b"})]
+        )
+        encoded = model.encode_activity({"a", "b"})
+        # The short implementation is fully done: completeness 1.
+        assert model.goal_completeness(model.goal_id("g"), encoded) == 1.0
+
+    def test_goal_completeness_zero_when_untouched(self, figure1_model):
+        m = figure1_model
+        encoded = m.encode_activity({"a1"})
+        assert m.goal_completeness(m.goal_id("g4"), encoded) == 0.0
+
+    def test_stats_consistency_with_library(self, recipe_model, recipe_library):
+        assert recipe_model.stats() == recipe_library.stats()
+
+
+class TestRestriction:
+    def test_projection_keeps_only_wanted_goals(self, figure1_model):
+        projected = figure1_model.restrict_to_goals({"g1", "g4"})
+        assert set(projected.goal_labels()) == {"g1", "g4"}
+        assert projected.num_implementations == 2
+
+    def test_projection_shrinks_spaces(self, figure1_model):
+        projected = figure1_model.restrict_to_goals({"g1"})
+        assert projected.goal_space_labels({"a1"}) == {"g1"}
+
+    def test_unknown_goals_ignored(self, figure1_model):
+        projected = figure1_model.restrict_to_goals({"g1", "martian"})
+        assert set(projected.goal_labels()) == {"g1"}
+
+    def test_empty_projection_rejected(self, figure1_model):
+        from repro.exceptions import ModelError
+
+        with pytest.raises(ModelError, match="no implementation"):
+            figure1_model.restrict_to_goals({"martian"})
+
+    def test_projection_recommendable(self, recipe_model):
+        from repro.core import GoalRecommender
+
+        desserts = recipe_model.restrict_to_goals({"carrot cake"})
+        result = GoalRecommender(desserts).recommend({"carrots"}, k=5)
+        assert result.action_set() <= {"flour", "eggs", "sugar"}

@@ -1,0 +1,65 @@
+"""Unit tests for library perturbation."""
+
+import pytest
+
+from repro.data.perturb import perturb_library
+
+
+class TestPerturb:
+    def test_zero_noise_is_identity(self, recipe_library):
+        noisy = perturb_library(recipe_library, seed=0)
+        assert [(i.goal, i.actions) for i in noisy] == [
+            (i.goal, i.actions) for i in recipe_library
+        ]
+
+    def test_original_untouched(self, recipe_library):
+        before = [(i.goal, i.actions) for i in recipe_library]
+        perturb_library(recipe_library, drop_prob=0.5, seed=1)
+        assert [(i.goal, i.actions) for i in recipe_library] == before
+
+    def test_drop_removes_actions(self, recipe_library):
+        noisy = perturb_library(recipe_library, drop_prob=0.5, seed=1)
+        before = sum(len(i.actions) for i in recipe_library)
+        after = sum(len(i.actions) for i in noisy)
+        assert after < before
+
+    def test_drop_never_empties_implementation(self, recipe_library):
+        noisy = perturb_library(recipe_library, drop_prob=0.99, seed=2)
+        assert all(len(impl.actions) >= 1 for impl in noisy)
+
+    def test_add_uses_library_vocabulary(self, recipe_library):
+        vocabulary = recipe_library.actions()
+        noisy = perturb_library(recipe_library, add_prob=1.0, seed=3)
+        assert noisy.actions() <= vocabulary
+
+    def test_relabel_changes_goals_but_keeps_goal_set(self, recipe_library):
+        noisy = perturb_library(recipe_library, relabel_prob=1.0, seed=4)
+        assert noisy.goals() <= recipe_library.goals()
+        relabelled = sum(
+            1
+            for original, new in zip(recipe_library, noisy)
+            if original.goal != new.goal
+        )
+        assert relabelled == len(recipe_library)
+
+    def test_deterministic(self, recipe_library):
+        a = perturb_library(recipe_library, drop_prob=0.3, add_prob=0.3, seed=5)
+        b = perturb_library(recipe_library, drop_prob=0.3, add_prob=0.3, seed=5)
+        assert [(i.goal, i.actions) for i in a] == [
+            (i.goal, i.actions) for i in b
+        ]
+
+    def test_invalid_probabilities_rejected(self, recipe_library):
+        with pytest.raises(ValueError):
+            perturb_library(recipe_library, drop_prob=1.5)
+
+    def test_model_still_buildable_under_heavy_noise(self, recipe_library):
+        from repro.core import AssociationGoalModel, GoalRecommender
+
+        noisy = perturb_library(
+            recipe_library, drop_prob=0.4, add_prob=0.5, relabel_prob=0.3,
+            seed=6,
+        )
+        model = AssociationGoalModel.from_library(noisy)
+        result = GoalRecommender(model).recommend({"potatoes"}, k=5)
+        assert len(result) >= 0  # never crashes

@@ -1,0 +1,244 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.cf_knn import tanimoto
+from repro.core import AssociationGoalModel, ImplementationLibrary
+from repro.core.distances import (
+    cosine_distance,
+    euclidean_distance,
+    manhattan_distance,
+)
+from repro.core.strategies import create_strategy
+from repro.core.strategies.focus import closeness, completeness
+from repro.data.loaders import library_from_dict, library_to_dict
+from repro.eval.metrics import list_overlap, pearson
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+action_labels = st.integers(min_value=0, max_value=25).map(lambda i: f"a{i}")
+goal_labels = st.integers(min_value=0, max_value=8).map(lambda g: f"g{g}")
+
+implementations = st.tuples(
+    goal_labels, st.frozensets(action_labels, min_size=1, max_size=6)
+)
+libraries = st.lists(implementations, min_size=1, max_size=20)
+activities = st.frozensets(action_labels, max_size=8)
+
+
+def build_model(pairs):
+    return AssociationGoalModel.from_pairs(pairs)
+
+
+# ---------------------------------------------------------------------------
+# Model invariants
+# ---------------------------------------------------------------------------
+
+@given(libraries, activities)
+@settings(max_examples=60)
+def test_goal_space_subset_of_goals(pairs, activity):
+    model = build_model(pairs)
+    encoded = model.encode_activity(activity)
+    assert model.goal_space(encoded) <= set(range(model.num_goals))
+
+
+@given(libraries, activities)
+@settings(max_examples=60)
+def test_action_space_monotone_in_activity(pairs, activity):
+    """Adding actions to H can only grow AS(H) (union semantics)."""
+    model = build_model(pairs)
+    encoded = model.encode_activity(activity)
+    for aid in list(encoded):
+        smaller = encoded - {aid}
+        assert model.action_space(smaller) <= model.action_space(encoded)
+
+
+@given(libraries, activities)
+@settings(max_examples=60)
+def test_candidates_disjoint_from_activity(pairs, activity):
+    model = build_model(pairs)
+    encoded = model.encode_activity(activity)
+    assert not model.candidate_actions(encoded) & encoded
+
+
+@given(libraries)
+@settings(max_examples=60)
+def test_goal_space_of_implementation_contains_its_goal(pairs):
+    """Every implementation's own activity reaches its goal."""
+    model = build_model(pairs)
+    for pid in range(model.num_implementations):
+        activity = model.implementation_actions(pid)
+        assert model.implementation_goal(pid) in model.goal_space(activity)
+
+
+@given(libraries)
+@settings(max_examples=40)
+def test_connectivity_positive_and_bounded(pairs):
+    model = build_model(pairs)
+    connectivity = model.connectivity()
+    assert 1.0 <= connectivity <= model.num_implementations
+
+
+# ---------------------------------------------------------------------------
+# Strategy invariants
+# ---------------------------------------------------------------------------
+
+@given(libraries, activities, st.sampled_from(
+    ["focus_cmp", "focus_cl", "breadth", "best_match"]
+))
+@settings(max_examples=60, deadline=None)
+def test_strategy_output_invariants(pairs, activity, name):
+    """Every strategy: no H actions, no duplicates, descending scores, <= k."""
+    model = build_model(pairs)
+    encoded = model.encode_activity(activity)
+    ranked = create_strategy(name).rank(model, encoded, k=5)
+    actions = [aid for aid, _ in ranked]
+    assert len(actions) == len(set(actions))
+    assert not set(actions) & encoded
+    assert len(ranked) <= 5
+    if name != "focus_cmp" and name != "focus_cl":
+        scores = [score for _, score in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+
+@given(libraries, activities)
+@settings(max_examples=40, deadline=None)
+def test_strategies_deterministic(pairs, activity):
+    model = build_model(pairs)
+    encoded = model.encode_activity(activity)
+    for name in ("focus_cmp", "focus_cl", "breadth", "best_match"):
+        strategy = create_strategy(name)
+        assert strategy.rank(model, encoded, 10) == strategy.rank(
+            model, encoded, 10
+        )
+
+
+@given(
+    st.frozensets(st.integers(0, 20), min_size=1, max_size=10),
+    st.frozensets(st.integers(0, 20), max_size=10),
+)
+def test_focus_measures_ranges(impl, activity):
+    assert 0.0 <= completeness(impl, activity) <= 1.0
+    if impl - activity:
+        assert 0.0 < closeness(impl, activity) <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Distance metric properties
+# ---------------------------------------------------------------------------
+
+# Coordinates are zero or well-conditioned positives: the distance functions
+# are used on integer count vectors, where subnormal-float underflow (which
+# makes cosine numerically meaningless) cannot occur.
+coordinate = st.floats(min_value=0.0, max_value=100.0).map(
+    lambda x: 0.0 if x < 1e-6 else x
+)
+vectors = st.lists(coordinate, min_size=1, max_size=8)
+paired_vectors = st.integers(1, 8).flatmap(
+    lambda n: st.tuples(
+        st.lists(coordinate, min_size=n, max_size=n),
+        st.lists(coordinate, min_size=n, max_size=n),
+    )
+)
+
+
+@given(paired_vectors)
+def test_distances_symmetric_and_nonnegative(pair):
+    u, v = pair
+    for metric in (cosine_distance, euclidean_distance, manhattan_distance):
+        assert metric(u, v) >= -1e-12
+        assert abs(metric(u, v) - metric(v, u)) < 1e-9
+
+
+@given(vectors)
+def test_self_distance_zero(v):
+    assert euclidean_distance(v, v) == 0.0
+    assert manhattan_distance(v, v) == 0.0
+    if any(x > 0 for x in v):
+        assert abs(cosine_distance(v, v)) < 1e-9
+
+
+@given(paired_vectors)
+def test_cosine_bounded_for_nonnegative_vectors(pair):
+    u, v = pair
+    assert -1e-9 <= cosine_distance(u, v) <= 1.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Similarity / metric properties
+# ---------------------------------------------------------------------------
+
+@given(
+    st.frozensets(st.integers(0, 30), max_size=15),
+    st.frozensets(st.integers(0, 30), max_size=15),
+)
+def test_tanimoto_properties(a, b):
+    value = tanimoto(a, b)
+    assert 0.0 <= value <= 1.0
+    assert value == tanimoto(b, a)
+    if a and a == b:
+        assert value == 1.0
+    if not (a & b):
+        assert value == 0.0
+
+
+@given(
+    st.lists(st.floats(-100, 100), min_size=2, max_size=20),
+)
+def test_pearson_bounded(x):
+    y = [2.5 * value + 1.0 for value in x]
+    value = pearson(x, y)
+    assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Serialization round-trips
+# ---------------------------------------------------------------------------
+
+@given(libraries)
+@settings(max_examples=40)
+def test_library_json_roundtrip(pairs):
+    library = ImplementationLibrary()
+    for goal, actions in pairs:
+        library.add_pair(goal, actions)
+    restored = library_from_dict(library_to_dict(library))
+    assert [(i.goal, i.actions) for i in restored] == [
+        (i.goal, i.actions) for i in library
+    ]
+
+
+@given(libraries)
+@settings(max_examples=40)
+def test_library_dedup_idempotent(pairs):
+    once = ImplementationLibrary()
+    twice = ImplementationLibrary()
+    for goal, actions in pairs:
+        once.add_pair(goal, actions)
+    for goal, actions in pairs + pairs:
+        twice.add_pair(goal, actions)
+    assert len(once) == len(twice)
+
+
+# ---------------------------------------------------------------------------
+# Metric sanity
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(action_labels, unique=True, max_size=10),
+    st.lists(action_labels, unique=True, max_size=10),
+)
+def test_list_overlap_bounded_and_symmetric(a, b):
+    from repro.core.entities import RecommendationList, ScoredAction
+
+    list_a = RecommendationList(
+        "x", tuple(ScoredAction(v, 1.0) for v in a)
+    )
+    list_b = RecommendationList(
+        "y", tuple(ScoredAction(v, 1.0) for v in b)
+    )
+    value = list_overlap(list_a, list_b)
+    assert 0.0 <= value <= 1.0
+    assert value == list_overlap(list_b, list_a)

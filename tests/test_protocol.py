@@ -1,0 +1,94 @@
+"""Unit tests for the 30%-observed evaluation split."""
+
+import pytest
+
+from repro.data.schema import Dataset, GeneratedUser
+from repro.core import ImplementationLibrary
+from repro.eval import make_split
+from repro.exceptions import EvaluationError
+
+
+def tiny_dataset(activity_sizes):
+    library = ImplementationLibrary()
+    library.add_pair("g", {"a0", "a1"})
+    users = [
+        GeneratedUser(
+            user_id=f"u{i}",
+            full_activity=frozenset(f"a{j}" for j in range(size)),
+        )
+        for i, size in enumerate(activity_sizes)
+    ]
+    return Dataset(name="tiny", library=library, users=users)
+
+
+class TestSplitShape:
+    def test_partition_is_exact(self, fortythree_tiny):
+        split = make_split(fortythree_tiny, seed=0)
+        for user in split:
+            assert user.observed | user.hidden == user.user.full_activity
+            assert not user.observed & user.hidden
+
+    def test_both_sides_nonempty(self, fortythree_tiny):
+        split = make_split(fortythree_tiny, seed=0)
+        for user in split:
+            assert user.observed
+            assert user.hidden
+
+    def test_observed_fraction_respected(self):
+        dataset = tiny_dataset([10] * 50)
+        split = make_split(dataset, observed_fraction=0.3, seed=0)
+        for user in split:
+            assert len(user.observed) == 3
+
+    def test_small_activities_keep_one_each(self):
+        dataset = tiny_dataset([2, 3])
+        split = make_split(dataset, observed_fraction=0.3, seed=0)
+        for user in split:
+            assert len(user.observed) >= 1
+            assert len(user.hidden) >= 1
+
+    def test_singleton_users_skipped(self):
+        dataset = tiny_dataset([1, 5])
+        split = make_split(dataset, seed=0)
+        assert len(split) == 1
+
+    def test_max_users_cap(self, fortythree_tiny):
+        split = make_split(fortythree_tiny, seed=0, max_users=5)
+        assert len(split) == 5
+
+
+class TestDeterminism:
+    def test_same_seed_same_split(self, fortythree_tiny):
+        a = make_split(fortythree_tiny, seed=3)
+        b = make_split(fortythree_tiny, seed=3)
+        assert [u.observed for u in a] == [u.observed for u in b]
+
+    def test_different_seed_different_split(self, fortythree_tiny):
+        a = make_split(fortythree_tiny, seed=3)
+        b = make_split(fortythree_tiny, seed=4)
+        assert [u.observed for u in a] != [u.observed for u in b]
+
+
+class TestValidation:
+    def test_degenerate_fraction_rejected(self, fortythree_tiny):
+        with pytest.raises(EvaluationError, match="strictly between"):
+            make_split(fortythree_tiny, observed_fraction=0.0)
+        with pytest.raises(EvaluationError, match="strictly between"):
+            make_split(fortythree_tiny, observed_fraction=1.0)
+
+    def test_out_of_range_fraction_rejected(self, fortythree_tiny):
+        with pytest.raises(ValueError):
+            make_split(fortythree_tiny, observed_fraction=1.5)
+
+    def test_min_activity_below_two_rejected(self, fortythree_tiny):
+        with pytest.raises(EvaluationError, match="at least 2"):
+            make_split(fortythree_tiny, min_activity=1)
+
+    def test_no_eligible_user_raises(self):
+        dataset = tiny_dataset([1, 1])
+        with pytest.raises(EvaluationError, match="no user"):
+            make_split(dataset)
+
+    def test_observed_activities_ordering(self, fortythree_tiny):
+        split = make_split(fortythree_tiny, seed=0)
+        assert split.observed_activities() == [u.observed for u in split]

@@ -1,0 +1,141 @@
+"""Unit tests for the standard ranking metrics."""
+
+import pytest
+
+from repro.core.entities import RecommendationList, ScoredAction
+from repro.eval.ranking_metrics import (
+    average_over_users,
+    average_precision,
+    ndcg_at,
+    precision_at,
+    recall_at,
+    reciprocal_rank,
+)
+from repro.exceptions import EvaluationError
+
+
+def rec(*actions):
+    return RecommendationList(
+        strategy="t",
+        items=tuple(
+            ScoredAction(a, float(len(actions) - i))
+            for i, a in enumerate(actions)
+        ),
+    )
+
+
+HIDDEN = frozenset({"x", "y"})
+
+
+class TestPrecision:
+    def test_all_relevant(self):
+        assert precision_at(2)(rec("x", "y"), HIDDEN) == 1.0
+
+    def test_half_relevant(self):
+        assert precision_at(4)(rec("x", "a", "y", "b"), HIDDEN) == 0.5
+
+    def test_short_list_penalized(self):
+        assert precision_at(4)(rec("x"), HIDDEN) == 0.25
+
+    def test_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            precision_at(0)
+
+    def test_empty_hidden_raises(self):
+        with pytest.raises(EvaluationError):
+            precision_at(2)(rec("x"), frozenset())
+
+
+class TestRecall:
+    def test_full_recall(self):
+        assert recall_at(5)(rec("x", "y", "a"), HIDDEN) == 1.0
+
+    def test_partial_recall(self):
+        assert recall_at(5)(rec("x", "a"), HIDDEN) == 0.5
+
+    def test_cutoff_limits(self):
+        assert recall_at(1)(rec("a", "x", "y"), HIDDEN) == 0.0
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank(rec("x", "a"), HIDDEN) == 1.0
+
+    def test_third_position(self):
+        assert reciprocal_rank(rec("a", "b", "y"), HIDDEN) == pytest.approx(1 / 3)
+
+    def test_no_hit(self):
+        assert reciprocal_rank(rec("a", "b"), HIDDEN) == 0.0
+
+
+class TestAveragePrecision:
+    def test_perfect_prefix(self):
+        assert average_precision(rec("x", "y", "a"), HIDDEN) == 1.0
+
+    def test_interleaved(self):
+        # hits at ranks 1 and 3: (1/1 + 2/3) / 2
+        value = average_precision(rec("x", "a", "y"), HIDDEN)
+        assert value == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_no_hits(self):
+        assert average_precision(rec("a", "b"), HIDDEN) == 0.0
+
+    def test_empty_list(self):
+        assert average_precision(rec(), HIDDEN) == 0.0
+
+    def test_short_list_normalization(self):
+        # One-slot list holding a relevant item: AP = 1, not 1/2.
+        assert average_precision(rec("x"), HIDDEN) == 1.0
+
+
+class TestNdcg:
+    def test_ideal_ordering(self):
+        assert ndcg_at(3)(rec("x", "y", "a"), HIDDEN) == pytest.approx(1.0)
+
+    def test_late_hits_discounted(self):
+        early = ndcg_at(3)(rec("x", "a", "b"), HIDDEN)
+        late = ndcg_at(3)(rec("a", "b", "x"), HIDDEN)
+        assert early > late
+
+    def test_no_hits_zero(self):
+        assert ndcg_at(3)(rec("a", "b", "c"), HIDDEN) == 0.0
+
+    def test_bounded(self):
+        value = ndcg_at(5)(rec("a", "x", "b", "y"), HIDDEN)
+        assert 0.0 < value < 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(EvaluationError):
+            ndcg_at(-1)
+
+
+class TestAverageOverUsers:
+    def test_mean_computed(self):
+        lists = [rec("x"), rec("a")]
+        hidden = [{"x"}, {"z"}]
+        value = average_over_users(precision_at(1), lists, hidden)
+        assert value == pytest.approx(0.5)
+
+    def test_empty_hidden_users_skipped(self):
+        lists = [rec("x"), rec("a")]
+        hidden = [{"x"}, set()]
+        value = average_over_users(precision_at(1), lists, hidden)
+        assert value == 1.0
+
+    def test_all_empty_raises(self):
+        with pytest.raises(EvaluationError, match="non-empty"):
+            average_over_users(precision_at(1), [rec("x")], [set()])
+
+    def test_mismatch_raises(self):
+        with pytest.raises(EvaluationError, match="mismatched"):
+            average_over_users(precision_at(1), [rec("x")], [])
+
+    def test_with_harness_outputs(self, fortythree_tiny):
+        from repro.eval import ExperimentHarness
+
+        harness = ExperimentHarness(fortythree_tiny, k=10, max_users=15, seed=0)
+        lists = harness.run_goal_method("breadth")
+        value = average_over_users(
+            ndcg_at(10), lists, harness.hidden_sets()
+        )
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,80 @@
+"""Property-based bounds for the ranking metrics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entities import RecommendationList, ScoredAction
+from repro.eval.ranking_metrics import (
+    average_precision,
+    ndcg_at,
+    precision_at,
+    recall_at,
+    reciprocal_rank,
+)
+
+labels = st.integers(0, 30).map(lambda i: f"a{i}")
+rankings = st.lists(labels, unique=True, max_size=15)
+hidden_sets = st.frozensets(labels, min_size=1, max_size=10)
+
+
+def as_list(actions):
+    return RecommendationList(
+        "t",
+        tuple(
+            ScoredAction(a, float(len(actions) - i))
+            for i, a in enumerate(actions)
+        ),
+    )
+
+
+@given(rankings, hidden_sets, st.integers(1, 20))
+@settings(max_examples=120)
+def test_all_metrics_bounded(actions, hidden, k):
+    rec = as_list(actions)
+    for metric in (
+        precision_at(k),
+        recall_at(k),
+        ndcg_at(k),
+        average_precision,
+        reciprocal_rank,
+    ):
+        value = metric(rec, hidden)
+        assert 0.0 <= value <= 1.0 + 1e-12
+
+
+@given(rankings, hidden_sets)
+@settings(max_examples=100)
+def test_recall_monotone_in_k(actions, hidden):
+    rec = as_list(actions)
+    previous = 0.0
+    for k in (1, 3, 5, 10, 15):
+        value = recall_at(k)(rec, hidden)
+        assert value >= previous - 1e-12
+        previous = value
+
+
+@given(rankings, hidden_sets)
+@settings(max_examples=100)
+def test_perfect_prefix_maximizes_metrics(actions, hidden):
+    """Putting every relevant item first gives NDCG = RR = 1 (if any hit)."""
+    relevant_first = sorted(hidden) + [a for a in actions if a not in hidden]
+    rec = as_list(relevant_first)
+    assert ndcg_at(len(relevant_first))(rec, hidden) == 1.0
+    assert reciprocal_rank(rec, hidden) == 1.0
+    assert average_precision(rec, hidden) == 1.0
+
+
+@given(rankings, hidden_sets, st.integers(1, 15))
+@settings(max_examples=100)
+def test_precision_counts_hits(actions, hidden, k):
+    rec = as_list(actions)
+    hits = sum(1 for a in actions[:k] if a in hidden)
+    assert precision_at(k)(rec, hidden) * k == hits
+
+
+@given(rankings, hidden_sets)
+@settings(max_examples=100)
+def test_rr_zero_iff_no_hit(actions, hidden):
+    rec = as_list(actions)
+    has_hit = bool(set(actions) & hidden)
+    assert (reciprocal_rank(rec, hidden) > 0) == has_hit

@@ -1,0 +1,95 @@
+"""Unit tests for the GoalRecommender facade and the strategy registry."""
+
+import pytest
+
+from repro.core import GoalRecommender, PAPER_STRATEGIES
+from repro.core.strategies import STRATEGY_REGISTRY, create_strategy
+from repro.exceptions import RecommendationError, StrategyNotFoundError
+
+
+class TestRegistry:
+    def test_paper_strategies_registered(self):
+        for name in PAPER_STRATEGIES:
+            assert name in STRATEGY_REGISTRY
+
+    def test_unknown_strategy_raises_with_choices(self):
+        with pytest.raises(StrategyNotFoundError) as excinfo:
+            create_strategy("nope")
+        assert "breadth" in str(excinfo.value)
+
+    def test_options_forwarded(self):
+        strategy = create_strategy("best_match", distance="manhattan")
+        assert strategy.distance_name == "manhattan"
+
+
+class TestRecommend:
+    def test_default_strategy_used(self, figure1_recommender):
+        result = figure1_recommender.recommend({"a1"}, k=3)
+        assert result.strategy == "breadth"
+
+    def test_explicit_strategy(self, figure1_recommender):
+        result = figure1_recommender.recommend({"a1"}, k=3, strategy="focus_cl")
+        assert result.strategy == "focus_cl"
+
+    def test_k_must_be_positive(self, figure1_recommender):
+        with pytest.raises(RecommendationError, match="positive"):
+            figure1_recommender.recommend({"a1"}, k=0)
+
+    def test_unknown_actions_ignored(self, figure1_recommender):
+        with_noise = figure1_recommender.recommend({"a1", "martian"}, k=3)
+        clean = figure1_recommender.recommend({"a1"}, k=3)
+        assert with_noise.actions() == clean.actions()
+
+    def test_fully_unknown_activity_yields_empty_list(self, figure1_recommender):
+        result = figure1_recommender.recommend({"martian"}, k=3)
+        assert len(result) == 0
+
+    def test_result_never_contains_activity(self, figure1_recommender):
+        result = figure1_recommender.recommend({"a1", "a2"}, k=10)
+        assert not result.action_set() & {"a1", "a2"}
+
+    def test_result_activity_recorded(self, figure1_recommender):
+        result = figure1_recommender.recommend({"a1"}, k=2)
+        assert result.activity == frozenset({"a1"})
+
+    def test_strategy_options_bypass_cache(self, figure1_recommender):
+        default = figure1_recommender.strategy("breadth")
+        variant = figure1_recommender.strategy("breadth", variant="count")
+        assert default is not variant
+        assert figure1_recommender.strategy("breadth") is default
+
+
+class TestRecommendAll:
+    def test_runs_all_paper_strategies(self, figure1_recommender):
+        results = figure1_recommender.recommend_all({"a1"}, k=3)
+        assert set(results) == set(PAPER_STRATEGIES)
+        for name, result in results.items():
+            assert result.strategy == name
+
+    def test_subset_of_strategies(self, figure1_recommender):
+        results = figure1_recommender.recommend_all(
+            {"a1"}, k=3, strategies=("breadth",)
+        )
+        assert list(results) == ["breadth"]
+
+
+class TestExplain:
+    def test_evidence_for_candidate(self, recipe_model):
+        recommender = GoalRecommender(recipe_model)
+        evidence = recommender.explain({"potatoes", "carrots"}, "pickles")
+        assert list(evidence) == ["olivier salad"]
+        assert evidence["olivier salad"] == [
+            frozenset({"potatoes", "carrots", "pickles"})
+        ]
+
+    def test_multi_goal_evidence(self, recipe_model):
+        recommender = GoalRecommender(recipe_model)
+        evidence = recommender.explain({"potatoes", "carrots"}, "nutmeg")
+        assert set(evidence) == {"mashed potatoes", "pan-fried carrots"}
+
+    def test_unreachable_action_has_no_evidence(self, recipe_model):
+        recommender = GoalRecommender(recipe_model)
+        # flour is only in carrot cake, reachable through carrots - so pick
+        # an activity that cannot reach it.
+        evidence = recommender.explain({"pickles"}, "flour")
+        assert evidence == {}

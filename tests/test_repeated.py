@@ -1,0 +1,80 @@
+"""Unit tests for the repeated-split evaluation."""
+
+import pytest
+
+from repro.eval.repeated import (
+    RepeatedResult,
+    repeated_evaluation,
+    tpr_metric,
+)
+from repro.exceptions import EvaluationError
+
+
+class TestRepeatedEvaluation:
+    @pytest.fixture(scope="class")
+    def results(self, request):
+        fortythree_tiny = request.getfixturevalue("fortythree_tiny")
+        return repeated_evaluation(
+            fortythree_tiny,
+            methods=("breadth", "cf_knn"),
+            seeds=(0, 1),
+            k=5,
+            max_users=25,
+        )
+
+    def test_one_result_per_method_in_order(self, results):
+        assert [r.method for r in results] == ["breadth", "cf_knn"]
+
+    def test_per_split_means_recorded(self, results):
+        for result in results:
+            assert len(result.per_split_means) == 2
+
+    def test_interval_brackets_mean(self, results):
+        for result in results:
+            assert result.interval.lower <= result.mean <= result.interval.upper
+
+    def test_goal_method_beats_cf_across_splits(self, results):
+        by_method = {r.method: r for r in results}
+        assert by_method["breadth"].mean > by_method["cf_knn"].mean
+
+    def test_custom_metric(self, fortythree_tiny):
+        def list_length(user, rec):
+            return float(len(rec))
+
+        results = repeated_evaluation(
+            fortythree_tiny,
+            methods=("breadth",),
+            metric=list_length,
+            seeds=(0,),
+            k=5,
+            max_users=10,
+        )
+        assert 0.0 < results[0].mean <= 5.0
+
+    def test_empty_seeds_rejected(self, fortythree_tiny):
+        with pytest.raises(EvaluationError, match="seeds"):
+            repeated_evaluation(fortythree_tiny, seeds=())
+
+    def test_empty_methods_rejected(self, fortythree_tiny):
+        with pytest.raises(EvaluationError, match="methods"):
+            repeated_evaluation(fortythree_tiny, methods=(), seeds=(0,))
+
+    def test_tpr_metric_definition(self, fortythree_tiny):
+        from repro.core.entities import RecommendationList, ScoredAction
+        from repro.data.schema import GeneratedUser
+        from repro.eval.protocol import UserSplit
+
+        user = UserSplit(
+            user=GeneratedUser(
+                user_id="u", full_activity=frozenset({"a", "b", "c"})
+            ),
+            observed=frozenset({"a"}),
+            hidden=frozenset({"b", "c"}),
+        )
+        rec = RecommendationList(
+            "t", (ScoredAction("b", 1.0), ScoredAction("z", 0.5))
+        )
+        assert tpr_metric(user, rec) == 0.5
+
+    def test_result_dataclass(self, results):
+        assert all(isinstance(r, RepeatedResult) for r in results)

@@ -1,0 +1,86 @@
+"""Tests for the bundled sample datasets."""
+
+import pytest
+
+from repro.core import AssociationGoalModel, GoalRecommender
+from repro.data.samples import (
+    life_goal_stories,
+    life_goals_library,
+    recipes_dataset,
+    recipes_library,
+)
+from repro.data.samples.recipes import CARTS, RECIPES
+from repro.data.schema import validate_dataset
+
+
+class TestRecipes:
+    def test_library_size(self):
+        library = recipes_library()
+        assert len(library) == len(RECIPES) == 40
+
+    def test_every_ingredient_featured(self):
+        dataset = recipes_dataset()
+        assert set(dataset.item_features) == dataset.library.actions()
+
+    def test_dataset_validates(self):
+        validate_dataset(recipes_dataset())
+
+    def test_staples_have_high_connectivity(self):
+        model = AssociationGoalModel.from_library(recipes_library())
+        freqs = model.action_frequencies()
+        onion = freqs[model.action_id("onion")]
+        saffron = freqs[model.action_id("saffron")]
+        assert onion > 5 * saffron
+
+    def test_olivier_cart_recommends_missing_ingredients(self):
+        model = AssociationGoalModel.from_library(recipes_library())
+        recommender = GoalRecommender(model)
+        result = recommender.recommend(
+            CARTS["cart_olivier"], k=3, strategy="focus_cmp"
+        )
+        # Olivier salad needs pickles and mayonnaise beyond the cart.
+        assert {"pickles", "mayonnaise"} & result.action_set()
+
+    def test_staples_cart_reaches_many_goals(self):
+        model = AssociationGoalModel.from_library(recipes_library())
+        goals = model.goal_space_labels(CARTS["cart_staples"])
+        assert len(goals) > 25
+
+    def test_carts_use_known_ingredients(self):
+        actions = recipes_library().actions()
+        for cart in CARTS.values():
+            assert cart <= actions
+
+    def test_deterministic_construction(self):
+        a = [(i.goal, i.actions) for i in recipes_library()]
+        b = [(i.goal, i.actions) for i in recipes_library()]
+        assert a == b
+
+
+class TestLifeGoals:
+    def test_stories_present(self):
+        assert len(life_goal_stories()) == 30
+
+    def test_extraction_yields_connected_library(self):
+        library = life_goals_library()
+        assert len(library) >= 25  # nearly every story yields actions
+        model = AssociationGoalModel.from_library(library)
+        # Shared actions connect goals across stories.
+        goals = model.goal_space_labels({"join gym"})
+        assert len(goals) >= 2
+
+    def test_cross_goal_recommendation(self):
+        model = AssociationGoalModel.from_library(life_goals_library())
+        recommender = GoalRecommender(model)
+        result = recommender.recommend({"drink water"}, k=5)
+        assert len(result) > 0
+
+    def test_recurring_actions_normalized_identically(self):
+        library = life_goals_library()
+        actions = library.actions()
+        assert "track spending in notebook" in actions
+        assert "cook at home" in actions
+
+    @pytest.mark.parametrize("action", ["join gym", "drink water", "walk to work"])
+    def test_staple_actions_exist(self, action):
+        assert action in life_goals_library().actions()

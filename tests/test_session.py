@@ -1,0 +1,97 @@
+"""Unit tests for the interactive recommendation session."""
+
+import pytest
+
+from repro.core.session import GoalCompleted, RecommendationSession
+from repro.exceptions import RecommendationError
+
+
+@pytest.fixture
+def session(recipe_model):
+    return RecommendationSession(recipe_model)
+
+
+class TestState:
+    def test_initial_activity_recorded(self, recipe_model):
+        session = RecommendationSession(
+            recipe_model, initial_activity={"potatoes"}
+        )
+        assert session.activity == frozenset({"potatoes"})
+        assert session.history == ("potatoes",)
+
+    def test_goal_progress(self, session):
+        session.perform("potatoes")
+        session.perform("carrots")
+        progress = session.goal_progress()
+        assert progress["olivier salad"] == pytest.approx(2 / 3)
+
+    def test_completed_goals_initially_empty(self, session):
+        assert session.completed_goals() == set()
+
+
+class TestPerform:
+    def test_event_on_goal_completion(self, session):
+        session.perform_all(["potatoes", "carrots"])
+        events = session.perform("pickles")
+        assert events == [GoalCompleted(goal="olivier salad", action="pickles")]
+
+    def test_no_event_before_completion(self, session):
+        assert session.perform("potatoes") == []
+
+    def test_duplicate_perform_is_noop(self, session):
+        session.perform("potatoes")
+        assert session.perform("potatoes") == []
+        assert session.history.count("potatoes") == 1
+
+    def test_unknown_action_recorded_silently(self, session):
+        events = session.perform("napkins")
+        assert events == []
+        assert "napkins" in session.activity
+
+    def test_multiple_goals_in_one_event_batch(self, recipe_model):
+        session = RecommendationSession(
+            recipe_model,
+            initial_activity={"potatoes", "carrots", "butter", "oil"},
+        )
+        events = session.perform("nutmeg")
+        goals = {event.goal for event in events}
+        assert goals == {"mashed potatoes", "pan-fried carrots"}
+
+    def test_perform_all_accumulates_events(self, session):
+        events = session.perform_all(["potatoes", "carrots", "pickles"])
+        assert [e.goal for e in events] == ["olivier salad"]
+
+
+class TestUndo:
+    def test_undo_removes_last_action(self, session):
+        session.perform_all(["potatoes", "carrots"])
+        assert session.undo() == "carrots"
+        assert session.activity == frozenset({"potatoes"})
+
+    def test_undo_reopens_goal(self, session):
+        session.perform_all(["potatoes", "carrots", "pickles"])
+        session.undo()
+        assert "olivier salad" not in session.completed_goals()
+
+    def test_undo_empty_raises(self, session):
+        with pytest.raises(RecommendationError, match="undo"):
+            session.undo()
+
+
+class TestRecommendations:
+    def test_recommendations_follow_activity(self, session):
+        session.perform_all(["potatoes", "carrots"])
+        assert session.next_action() in {"pickles", "nutmeg"}
+
+    def test_next_action_none_without_evidence(self, session):
+        assert session.next_action() is None
+
+    def test_strategy_override(self, session):
+        session.perform_all(["potatoes", "carrots"])
+        result = session.recommendations(k=3, strategy="focus_cl")
+        assert result.strategy == "focus_cl"
+
+    def test_completed_actions_never_recommended(self, session):
+        session.perform_all(["potatoes", "carrots", "pickles"])
+        result = session.recommendations(k=10)
+        assert not result.action_set() & session.activity

@@ -1,0 +1,69 @@
+"""Unit tests for the label-level space wrappers."""
+
+import pytest
+
+from repro.core.spaces import (
+    action_space,
+    candidate_actions,
+    goal_completeness,
+    goal_space,
+    implementation_space,
+)
+
+
+class TestImplementationSpace:
+    def test_ordered_by_id(self, figure1_model):
+        impls = implementation_space(figure1_model, {"a1"})
+        ids = [impl.impl_id for impl in impls]
+        assert ids == sorted(ids)
+
+    def test_contents(self, figure1_model):
+        impls = implementation_space(figure1_model, {"a6"})
+        assert {impl.goal for impl in impls} == {"g4", "g5"}
+
+    def test_unknown_activity_empty(self, figure1_model):
+        assert implementation_space(figure1_model, {"nope"}) == []
+
+
+class TestGoalSpace:
+    def test_figure1(self, figure1_model):
+        assert goal_space(figure1_model, {"a1"}) == {"g1", "g2", "g3", "g5"}
+
+    def test_union_over_set(self, figure1_model):
+        joint = goal_space(figure1_model, {"a2", "a5"})
+        assert joint == goal_space(figure1_model, {"a2"}) | goal_space(
+            figure1_model, {"a5"}
+        )
+
+
+class TestActionSpace:
+    def test_figure1(self, figure1_model):
+        assert action_space(figure1_model, {"a1"}) == {
+            "a1", "a2", "a3", "a4", "a5", "a6",
+        }
+
+    def test_candidates_exclude_activity(self, figure1_model):
+        assert candidate_actions(figure1_model, {"a1"}) == {
+            "a2", "a3", "a4", "a5", "a6",
+        }
+
+    def test_candidates_keep_unknown_out(self, figure1_model):
+        candidates = candidate_actions(figure1_model, {"a1", "martian"})
+        assert "martian" not in candidates
+
+
+class TestGoalCompleteness:
+    def test_partial(self, recipe_model):
+        value = goal_completeness(
+            recipe_model, "olivier salad", {"potatoes", "carrots"}
+        )
+        assert value == pytest.approx(2 / 3)
+
+    def test_complete(self, recipe_model):
+        value = goal_completeness(
+            recipe_model, "olivier salad", {"potatoes", "carrots", "pickles"}
+        )
+        assert value == 1.0
+
+    def test_untouched(self, recipe_model):
+        assert goal_completeness(recipe_model, "carrot cake", {"pickles"}) == 0.0

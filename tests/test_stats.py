@@ -1,0 +1,82 @@
+"""Unit tests for the bootstrap statistics module."""
+
+import pytest
+
+from repro.eval.stats import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    paired_bootstrap_test,
+)
+from repro.exceptions import EvaluationError
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_mean(self):
+        values = [0.1, 0.2, 0.3, 0.4, 0.5] * 10
+        ci = bootstrap_ci(values, seed=0)
+        assert ci.lower <= ci.mean <= ci.upper
+        assert ci.mean == pytest.approx(0.3)
+
+    def test_tight_for_constant_data(self):
+        ci = bootstrap_ci([0.5] * 30, seed=0)
+        assert ci.lower == pytest.approx(0.5)
+        assert ci.upper == pytest.approx(0.5)
+
+    def test_wider_for_noisier_data(self):
+        calm = bootstrap_ci([0.5, 0.51, 0.49] * 10, seed=0)
+        noisy = bootstrap_ci([0.1, 0.9, 0.2, 0.8, 0.5] * 6, seed=0)
+        assert (noisy.upper - noisy.lower) > (calm.upper - calm.lower)
+
+    def test_deterministic_given_seed(self):
+        values = [0.2, 0.4, 0.6, 0.8]
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)
+
+    def test_too_few_values_raise(self):
+        with pytest.raises(EvaluationError):
+            bootstrap_ci([0.5])
+
+    def test_str_format(self):
+        ci = ConfidenceInterval(mean=0.5, lower=0.4, upper=0.6, confidence=0.95)
+        assert "95%" in str(ci)
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_is_significant(self):
+        a = [0.8, 0.9, 0.85, 0.95, 0.9] * 6
+        b = [0.2, 0.3, 0.25, 0.35, 0.3] * 6
+        result = paired_bootstrap_test(a, b, seed=0)
+        assert result.mean_difference > 0.5
+        assert result.significant()
+
+    def test_identical_methods_not_significant(self):
+        a = [0.5, 0.6, 0.4, 0.55] * 8
+        result = paired_bootstrap_test(a, a, seed=0)
+        assert result.mean_difference == 0.0
+        assert not result.significant()
+
+    def test_noisy_tie_not_significant(self):
+        a = [0.5, 0.7, 0.3, 0.6, 0.4] * 4
+        b = [0.6, 0.4, 0.5, 0.5, 0.5] * 4
+        result = paired_bootstrap_test(a, b, seed=0)
+        assert not result.significant(alpha=0.01)
+
+    def test_one_sided_direction(self):
+        worse = [0.1] * 20
+        better = [0.9] * 20
+        result = paired_bootstrap_test(worse, better, seed=0)
+        assert result.mean_difference < 0
+        assert not result.significant()
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(EvaluationError, match="aligned"):
+            paired_bootstrap_test([0.5, 0.6], [0.5])
+
+    def test_too_few_users_raise(self):
+        with pytest.raises(EvaluationError):
+            paired_bootstrap_test([0.5], [0.4])
+
+    def test_p_value_in_unit_interval(self):
+        a = [0.6, 0.5, 0.7, 0.4]
+        b = [0.5, 0.5, 0.6, 0.5]
+        result = paired_bootstrap_test(a, b, seed=3)
+        assert 0.0 < result.p_value <= 1.0

@@ -1,0 +1,171 @@
+"""Unit tests for the JSON and SQLite library stores."""
+
+import pytest
+
+from repro.core import AssociationGoalModel, ImplementationLibrary
+from repro.exceptions import StorageError
+from repro.storage import JsonLibraryStore, SqliteLibraryStore
+
+
+def pairs(library: ImplementationLibrary) -> list[tuple[str, frozenset]]:
+    return [(impl.goal, impl.actions) for impl in library]
+
+
+class TestJsonStore:
+    def test_roundtrip(self, tmp_path, recipe_library):
+        store = JsonLibraryStore(tmp_path / "lib.json")
+        store.save(recipe_library)
+        assert pairs(store.load()) == pairs(recipe_library)
+
+    def test_exists(self, tmp_path, recipe_library):
+        store = JsonLibraryStore(tmp_path / "lib.json")
+        assert not store.exists()
+        store.save(recipe_library)
+        assert store.exists()
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(StorageError, match="no library"):
+            JsonLibraryStore(tmp_path / "missing.json").load()
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "lib.json"
+        path.write_text("{broken")
+        with pytest.raises(StorageError, match="cannot load"):
+            JsonLibraryStore(path).load()
+
+    def test_save_overwrites(self, tmp_path, recipe_library):
+        store = JsonLibraryStore(tmp_path / "lib.json")
+        store.save(recipe_library)
+        smaller = ImplementationLibrary()
+        smaller.add_pair("only", {"x"})
+        store.save(smaller)
+        assert pairs(store.load()) == [("only", frozenset({"x"}))]
+
+    def test_no_tmp_file_left_behind(self, tmp_path, recipe_library):
+        store = JsonLibraryStore(tmp_path / "lib.json")
+        store.save(recipe_library)
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestSqliteStore:
+    def test_roundtrip_file(self, tmp_path, recipe_library):
+        with SqliteLibraryStore(tmp_path / "lib.db") as store:
+            store.save(recipe_library)
+            assert pairs(store.load()) == pairs(recipe_library)
+
+    def test_roundtrip_memory(self, recipe_library):
+        with SqliteLibraryStore(":memory:") as store:
+            store.save(recipe_library)
+            assert pairs(store.load()) == pairs(recipe_library)
+
+    def test_exists(self, tmp_path, recipe_library):
+        store = SqliteLibraryStore(tmp_path / "lib.db")
+        assert not store.exists()
+        store.save(recipe_library)
+        assert store.exists()
+        store.close()
+
+    def test_load_empty_raises(self):
+        with SqliteLibraryStore(":memory:") as store:
+            with pytest.raises(StorageError, match="no library"):
+                store.load()
+
+    def test_save_replaces_previous_content(self, recipe_library):
+        with SqliteLibraryStore(":memory:") as store:
+            store.save(recipe_library)
+            smaller = ImplementationLibrary()
+            smaller.add_pair("only", {"x"})
+            store.save(smaller)
+            assert pairs(store.load()) == [("only", frozenset({"x"}))]
+
+    def test_model_equivalence_after_roundtrip(self, recipe_library):
+        with SqliteLibraryStore(":memory:") as store:
+            store.save(recipe_library)
+            restored = AssociationGoalModel.from_library(store.load())
+        original = AssociationGoalModel.from_library(recipe_library)
+        activity = {"potatoes", "carrots"}
+        assert restored.goal_space_labels(activity) == original.goal_space_labels(
+            activity
+        )
+
+
+class TestSqliteSpaceQueries:
+    @pytest.fixture
+    def store(self, recipe_library):
+        with SqliteLibraryStore(":memory:") as store:
+            store.save(recipe_library)
+            yield store
+
+    def test_goal_space_sql_matches_model(self, store, recipe_model):
+        activity = {"potatoes", "carrots"}
+        assert store.goal_space_sql(activity) == recipe_model.goal_space_labels(
+            activity
+        )
+
+    def test_action_space_sql_matches_model(self, store, recipe_model):
+        activity = {"nutmeg"}
+        assert store.action_space_sql(activity) == recipe_model.action_space_labels(
+            activity
+        )
+
+    def test_empty_activity(self, store):
+        assert store.goal_space_sql([]) == set()
+        assert store.action_space_sql([]) == set()
+
+    def test_unknown_actions_ignored(self, store):
+        assert store.goal_space_sql(["martian"]) == set()
+
+
+class TestSqliteRanking:
+    @pytest.fixture
+    def store(self, recipe_library):
+        with SqliteLibraryStore(":memory:") as store:
+            store.save(recipe_library)
+            yield store
+
+    def test_breadth_sql_matches_reference_scores(self, store, recipe_model):
+        from repro.core.strategies.breadth import BreadthStrategy
+
+        activity = {"potatoes", "carrots"}
+        sql_scores = dict(store.breadth_sql(activity, k=10))
+        encoded = recipe_model.encode_activity(activity)
+        reference = {
+            recipe_model.action_label(aid): score
+            for aid, score in BreadthStrategy().scores(
+                recipe_model, encoded
+            ).items()
+        }
+        assert sql_scores == pytest.approx(reference)
+
+    def test_breadth_sql_top2(self, store):
+        # pickles (olivier overlap 2) and nutmeg (two recipes x overlap 1)
+        # tie at score 2; SQL breaks ties alphabetically.
+        ranked = store.breadth_sql({"potatoes", "carrots"}, k=2)
+        assert ranked == [("nutmeg", 2.0), ("pickles", 2.0)]
+
+    def test_breadth_sql_excludes_activity(self, store):
+        labels = {label for label, _ in store.breadth_sql({"potatoes"}, k=20)}
+        assert "potatoes" not in labels
+
+    def test_breadth_sql_empty_activity(self, store):
+        assert store.breadth_sql([], k=5) == []
+
+    def test_breadth_sql_invalid_k(self, store):
+        with pytest.raises(StorageError, match="positive"):
+            store.breadth_sql({"potatoes"}, k=0)
+
+    def test_closest_implementations(self, store):
+        rows = store.closest_implementations_sql({"potatoes", "carrots"}, k=2)
+        # Olivier salad misses exactly one action.
+        assert rows[0][0] == "olivier salad"
+        assert rows[0][2] == 1
+
+    def test_closest_excludes_complete(self, store):
+        rows = store.closest_implementations_sql(
+            {"potatoes", "carrots", "pickles"}, k=10
+        )
+        goals = [goal for goal, _, _ in rows]
+        assert "olivier salad" not in goals
+
+    def test_closest_empty_activity(self, store):
+        assert store.closest_implementations_sql([], k=3) == []

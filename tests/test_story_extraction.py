@@ -1,0 +1,80 @@
+"""Extraction quality on synthetic labelled stories."""
+
+import pytest
+
+from repro.data.synthetic.stories import (
+    ExtractionQuality,
+    canonical_action,
+    evaluate_extractor,
+    generate_labelled_stories,
+)
+from repro.text.extraction import ActionExtractor
+
+
+class TestGenerator:
+    def test_count_and_labels(self):
+        stories = generate_labelled_stories(count=10, seed=0)
+        assert len(stories) == 10
+        for labelled in stories:
+            assert labelled.true_actions
+            assert labelled.story.text
+
+    def test_deterministic(self):
+        a = generate_labelled_stories(count=5, seed=3)
+        b = generate_labelled_stories(count=5, seed=3)
+        assert [s.story.text for s in a] == [s.story.text for s in b]
+
+    def test_gold_labels_are_canonical(self):
+        assert canonical_action("join", "a gym") == "join gym"
+        assert canonical_action("drink", "more water") == "drink water"
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            generate_labelled_stories(count=0)
+        with pytest.raises(ValueError):
+            generate_labelled_stories(distractors_per_story=-1)
+
+    def test_actions_per_story_respected(self):
+        stories = generate_labelled_stories(
+            count=5, actions_per_story=4, seed=1
+        )
+        for labelled in stories:
+            assert len(labelled.true_actions) == 4
+
+
+class TestEvaluation:
+    def test_extractor_quality_high_on_clean_corpus(self):
+        stories = generate_labelled_stories(count=40, seed=0)
+        quality = evaluate_extractor(stories)
+        assert quality.recall > 0.8
+        assert quality.precision > 0.8
+        assert quality.f1 > 0.8
+
+    def test_counts_consistent(self):
+        stories = generate_labelled_stories(count=20, seed=2)
+        quality = evaluate_extractor(stories)
+        total_gold = sum(len(s.true_actions) for s in stories)
+        assert quality.true_positives + quality.false_negatives == total_gold
+
+    def test_degenerate_extractor_scores_zero(self):
+        """An extractor with an empty lexicon finds nothing."""
+
+        class NullExtractor(ActionExtractor):
+            def extract_from_step(self, step):
+                return None
+
+        stories = generate_labelled_stories(count=5, seed=0)
+        quality = evaluate_extractor(stories, extractor=NullExtractor())
+        assert quality.recall == 0.0
+        assert quality.f1 == 0.0
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_extractor([])
+
+    def test_quality_is_dataclass(self):
+        stories = generate_labelled_stories(count=3, seed=0)
+        quality = evaluate_extractor(stories)
+        assert isinstance(quality, ExtractionQuality)
+        assert 0.0 <= quality.precision <= 1.0
+        assert 0.0 <= quality.recall <= 1.0

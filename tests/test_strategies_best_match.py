@@ -1,0 +1,131 @@
+"""Unit tests for the Best Match strategy."""
+
+import pytest
+
+from repro.core import AssociationGoalModel
+from repro.core.strategies import create_strategy
+from repro.core.strategies.best_match import BestMatchStrategy
+
+
+@pytest.fixture
+def model():
+    """Two 'effort' goals touched twice and one barely touched goal."""
+    return AssociationGoalModel.from_pairs(
+        [
+            ("main", {"h1", "h2", "x"}),
+            ("main", {"h1", "x", "y"}),
+            ("side", {"h2", "y"}),
+            ("fringe", {"h1", "z"}),
+        ]
+    )
+
+
+@pytest.fixture
+def activity(model):
+    return model.encode_activity({"h1", "h2"})
+
+
+class TestConstruction:
+    def test_invalid_vector_mode_rejected(self):
+        with pytest.raises(ValueError, match="vector_mode"):
+            BestMatchStrategy(vector_mode="nope")
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ValueError, match="unknown distance"):
+            BestMatchStrategy(distance="nope")
+
+    def test_names(self):
+        assert BestMatchStrategy().name == "best_match"
+        assert (
+            BestMatchStrategy(distance="euclidean").name
+            == "best_match_euclidean_count"
+        )
+
+    def test_registry(self):
+        assert isinstance(create_strategy("best_match"), BestMatchStrategy)
+
+
+class TestProfile:
+    def test_axis_is_sorted_goal_space(self, model, activity):
+        strategy = BestMatchStrategy()
+        axis = strategy.goal_axis(model, activity)
+        assert axis == sorted(model.goal_space(activity))
+
+    def test_profile_counts_action_implementation_pairs(self, model, activity):
+        """Equation 9: one count per (action in H, implementation) pair."""
+        strategy = BestMatchStrategy()
+        axis = strategy.goal_axis(model, activity)
+        profile = strategy.profile(model, activity, axis)
+        by_goal = dict(zip((model.goal_label(g) for g in axis), profile))
+        # main: h1 in both impls (2) + h2 in one (1) = 3.
+        assert by_goal == {"main": 3.0, "side": 1.0, "fringe": 1.0}
+
+    def test_profile_empty_activity_is_zero_vector(self, model):
+        strategy = BestMatchStrategy()
+        assert strategy.profile(model, frozenset(), [0, 1]) == [0.0, 0.0]
+
+
+class TestActionVectors:
+    def test_count_vector_equation8(self, model, activity):
+        strategy = BestMatchStrategy()
+        axis = strategy.goal_axis(model, activity)
+        vector = strategy.action_vector(model, model.action_id("x"), axis)
+        by_goal = dict(zip((model.goal_label(g) for g in axis), vector))
+        assert by_goal == {"main": 2.0, "side": 0.0, "fringe": 0.0}
+
+    def test_boolean_vector_equation7(self, model, activity):
+        strategy = BestMatchStrategy(vector_mode="boolean")
+        axis = strategy.goal_axis(model, activity)
+        vector = strategy.action_vector(model, model.action_id("x"), axis)
+        by_goal = dict(zip((model.goal_label(g) for g in axis), vector))
+        assert by_goal == {"main": 1.0, "side": 0.0, "fringe": 0.0}
+
+    def test_goals_outside_axis_ignored(self):
+        """A candidate contributing to a goal outside GS(H) ignores it."""
+        model = AssociationGoalModel.from_pairs(
+            [("inside", {"h", "x"}), ("outside", {"x", "q"})]
+        )
+        activity = model.encode_activity({"h"})
+        strategy = BestMatchStrategy()
+        axis = strategy.goal_axis(model, activity)
+        assert [model.goal_label(g) for g in axis] == ["inside"]
+        vector = strategy.action_vector(model, model.action_id("x"), axis)
+        assert vector == [1.0]
+
+
+class TestRanking:
+    def test_prefers_effort_aligned_action(self, model, activity):
+        """x serves 'main' (most effort) twice -> closer than z ('fringe')."""
+        ranked = BestMatchStrategy().rank(model, activity, k=10)
+        labels = [model.action_label(a) for a, _ in ranked]
+        assert labels.index("x") < labels.index("z")
+
+    def test_scores_are_negated_distances(self, model, activity):
+        strategy = BestMatchStrategy()
+        distances = strategy.distances(model, activity)
+        ranked = strategy.rank(model, activity, k=10)
+        for aid, score in ranked:
+            assert score == pytest.approx(-distances[aid])
+
+    def test_all_candidates_ranked(self, model, activity):
+        ranked = BestMatchStrategy().rank(model, activity, k=10)
+        assert len(ranked) == len(model.candidate_actions(activity))
+
+    def test_never_recommends_activity(self, model, activity):
+        ranked = BestMatchStrategy().rank(model, activity, k=10)
+        labels = {model.action_label(a) for a, _ in ranked}
+        assert not labels & {"h1", "h2"}
+
+    def test_distance_choice_changes_scores(self, model, activity):
+        cosine = BestMatchStrategy(distance="cosine").distances(model, activity)
+        euclid = BestMatchStrategy(distance="euclidean").distances(model, activity)
+        assert cosine != euclid
+
+    def test_paper_example_direction(self, recipe_model):
+        """Nutmeg (2 touched goals) beats oil (1 touched goal) in distance."""
+        activity = recipe_model.encode_activity({"potatoes", "carrots"})
+        strategy = BestMatchStrategy()
+        distances = strategy.distances(recipe_model, activity)
+        nutmeg = distances[recipe_model.action_id("nutmeg")]
+        oil = distances[recipe_model.action_id("oil")]
+        assert nutmeg < oil

@@ -1,0 +1,113 @@
+"""Unit tests for the Breadth strategy and its score variants."""
+
+import pytest
+
+from repro.core import AssociationGoalModel
+from repro.core.strategies import create_strategy
+from repro.core.strategies.breadth import BreadthStrategy
+
+
+class TestConstruction:
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError, match="variant"):
+            BreadthStrategy(variant="nope")
+
+    def test_names(self):
+        assert BreadthStrategy().name == "breadth"
+        assert BreadthStrategy("union").name == "breadth_union"
+        assert BreadthStrategy("count").name == "breadth_count"
+
+    def test_registry(self):
+        assert isinstance(create_strategy("breadth"), BreadthStrategy)
+
+
+class TestScores:
+    @pytest.fixture
+    def model(self):
+        return AssociationGoalModel.from_pairs(
+            [
+                ("g1", {"h1", "h2", "x"}),
+                ("g2", {"h1", "x"}),
+                ("g3", {"h2", "y"}),
+                ("g4", {"z", "w"}),  # untouched by the activity
+            ]
+        )
+
+    @pytest.fixture
+    def activity(self, model):
+        return model.encode_activity({"h1", "h2"})
+
+    def test_intersection_scores(self, model, activity):
+        """x gets |{h1,h2}|=2 from g1 plus |{h1}|=1 from g2; y gets 1."""
+        scores = BreadthStrategy().scores(model, activity)
+        labelled = {model.action_label(a): s for a, s in scores.items()}
+        assert labelled == {"x": 3.0, "y": 1.0}
+
+    def test_untouched_implementations_contribute_nothing(self, model, activity):
+        scores = BreadthStrategy().scores(model, activity)
+        labels = {model.action_label(a) for a in scores}
+        assert not labels & {"z", "w"}
+
+    def test_count_variant(self, model, activity):
+        scores = BreadthStrategy("count").scores(model, activity)
+        labelled = {model.action_label(a): s for a, s in scores.items()}
+        assert labelled == {"x": 2.0, "y": 1.0}
+
+    def test_union_variant(self, model, activity):
+        """Equation 6 as printed: |A ∪ H| per implementation."""
+        scores = BreadthStrategy("union").scores(model, activity)
+        labelled = {model.action_label(a): s for a, s in scores.items()}
+        # g1: |{h1,h2,x} ∪ {h1,h2}| = 3; g2: |{h1,x} ∪ {h1,h2}| = 3.
+        assert labelled["x"] == 6.0
+        # g3: |{h2,y} ∪ {h1,h2}| = 3.
+        assert labelled["y"] == 3.0
+
+    def test_activity_actions_never_scored(self, model, activity):
+        scores = BreadthStrategy().scores(model, activity)
+        assert model.action_id("h1") not in scores
+        assert model.action_id("h2") not in scores
+
+
+class TestRanking:
+    def test_rank_orders_by_score_then_id(self, figure1_model):
+        activity = figure1_model.encode_activity({"a1"})
+        ranked = BreadthStrategy().rank(figure1_model, activity, k=10)
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+        # Within equal scores, ids ascend.
+        for (a1, s1), (a2, s2) in zip(ranked, ranked[1:]):
+            if s1 == s2:
+                assert a1 < a2
+
+    def test_empty_activity_yields_empty(self, figure1_model):
+        assert BreadthStrategy().rank(figure1_model, frozenset(), k=5) == []
+
+    def test_k_truncation(self, figure1_model):
+        activity = figure1_model.encode_activity({"a1"})
+        assert len(BreadthStrategy().rank(figure1_model, activity, k=2)) == 2
+
+    def test_favours_multi_goal_actions(self):
+        """The strategy's raison d'être: shared actions beat niche ones."""
+        model = AssociationGoalModel.from_pairs(
+            [
+                ("g1", {"h", "shared"}),
+                ("g2", {"h", "shared"}),
+                ("g3", {"h", "niche"}),
+            ]
+        )
+        activity = model.encode_activity({"h"})
+        ranked = BreadthStrategy().rank(model, activity, k=2)
+        assert model.action_label(ranked[0][0]) == "shared"
+        assert ranked[0][1] > ranked[1][1]
+
+    def test_paper_intro_example(self, recipe_model):
+        """Potatoes+carrots cart: pickles (olivier) and nutmeg (two recipes).
+
+        Nutmeg contributes to two implementations with overlap 1 each,
+        pickles to one implementation with overlap 2 — both score 2, ahead
+        of everything else; the introduction names exactly these two.
+        """
+        activity = recipe_model.encode_activity({"potatoes", "carrots"})
+        ranked = BreadthStrategy().rank(recipe_model, activity, k=2)
+        top = {recipe_model.action_label(a) for a, _ in ranked}
+        assert top == {"pickles", "nutmeg"}

@@ -1,0 +1,135 @@
+"""Unit tests for the Focus strategy (both measures)."""
+
+import pytest
+
+from repro.core import AssociationGoalModel
+from repro.core.strategies import create_strategy
+from repro.core.strategies.focus import FocusStrategy, closeness, completeness
+
+
+class TestMeasures:
+    def test_completeness_equation3(self):
+        impl = frozenset({0, 1, 2, 3})
+        assert completeness(impl, frozenset({0, 1})) == pytest.approx(0.5)
+
+    def test_completeness_full(self):
+        impl = frozenset({0, 1})
+        assert completeness(impl, frozenset({0, 1, 5})) == 1.0
+
+    def test_completeness_zero(self):
+        assert completeness(frozenset({0}), frozenset({9})) == 0.0
+
+    def test_closeness_equation4(self):
+        impl = frozenset({0, 1, 2, 3})
+        assert closeness(impl, frozenset({0, 1})) == pytest.approx(0.5)
+
+    def test_closeness_one_missing(self):
+        assert closeness(frozenset({0, 1}), frozenset({0})) == 1.0
+
+
+class TestConstruction:
+    def test_invalid_measure_rejected(self):
+        with pytest.raises(ValueError, match="measure"):
+            FocusStrategy(measure="nope")
+
+    def test_names(self):
+        assert FocusStrategy("completeness").name == "focus_cmp"
+        assert FocusStrategy("closeness").name == "focus_cl"
+
+    def test_registry_factories(self):
+        assert create_strategy("focus_cmp").measure == "completeness"
+        assert create_strategy("focus_cl").measure == "closeness"
+
+
+class TestMeasuresDisagree:
+    """Completeness and closeness favour different implementations."""
+
+    @pytest.fixture
+    def model(self):
+        # big: 4 of 6 done (completeness 0.67, 2 missing).
+        # small: 1 of 2 done (completeness 0.5, 1 missing).
+        return AssociationGoalModel.from_pairs(
+            [
+                ("big", {"h1", "h2", "h3", "h4", "m1", "m2"}),
+                ("small", {"h1", "m3"}),
+            ]
+        )
+
+    @pytest.fixture
+    def activity(self, model):
+        return model.encode_activity({"h1", "h2", "h3", "h4"})
+
+    def test_cmp_prefers_big(self, model, activity):
+        ranked = FocusStrategy("completeness").rank(model, activity, k=1)
+        assert model.action_label(ranked[0][0]) in {"m1", "m2"}
+
+    def test_cl_prefers_small(self, model, activity):
+        ranked = FocusStrategy("closeness").rank(model, activity, k=1)
+        assert model.action_label(ranked[0][0]) == "m3"
+
+
+class TestRanking:
+    def test_never_recommends_performed_actions(self, figure1_model):
+        activity = figure1_model.encode_activity({"a1", "a2"})
+        for measure in ("completeness", "closeness"):
+            ranked = FocusStrategy(measure).rank(figure1_model, activity, k=10)
+            labels = {figure1_model.action_label(a) for a, _ in ranked}
+            assert not labels & {"a1", "a2"}
+
+    def test_fully_performed_implementations_skipped(self):
+        model = AssociationGoalModel.from_pairs(
+            [("done", {"a", "b"}), ("open", {"a", "c"})]
+        )
+        activity = model.encode_activity({"a", "b"})
+        ranked = FocusStrategy("closeness").rank(model, activity, k=10)
+        assert [model.action_label(a) for a, _ in ranked] == ["c"]
+
+    def test_no_candidates_yields_empty(self):
+        model = AssociationGoalModel.from_pairs([("g", {"a", "b"})])
+        activity = model.encode_activity({"a", "b"})
+        assert FocusStrategy("completeness").rank(model, activity, k=5) == []
+
+    def test_moves_to_next_implementation_when_exhausted(self, recipe_model):
+        """Top implementation has 1 missing action; list of 3 must continue."""
+        activity = recipe_model.encode_activity({"potatoes", "carrots"})
+        ranked = FocusStrategy("completeness").rank(recipe_model, activity, k=3)
+        labels = [recipe_model.action_label(a) for a, _ in ranked]
+        assert labels[0] == "pickles"  # olivier salad: 2/3 complete
+        assert len(labels) == 3
+
+    def test_scores_are_implementation_scores(self, recipe_model):
+        activity = recipe_model.encode_activity({"potatoes", "carrots"})
+        ranked = FocusStrategy("completeness").rank(recipe_model, activity, k=1)
+        assert ranked[0][1] == pytest.approx(2 / 3)
+
+    def test_action_kept_at_best_score(self):
+        """An action in several implementations enters at the best one."""
+        model = AssociationGoalModel.from_pairs(
+            [
+                ("near", {"h1", "h2", "x"}),   # completeness 2/3
+                ("far", {"h1", "x", "y", "z"}),  # completeness 1/4
+            ]
+        )
+        activity = model.encode_activity({"h1", "h2"})
+        ranked = FocusStrategy("completeness").rank(model, activity, k=10)
+        scores = {model.action_label(a): s for a, s in ranked}
+        assert scores["x"] == pytest.approx(2 / 3)
+
+    def test_deterministic_tie_break_by_action_id(self, figure1_model):
+        activity = figure1_model.encode_activity({"a1"})
+        first = FocusStrategy("completeness").rank(figure1_model, activity, 10)
+        second = FocusStrategy("completeness").rank(figure1_model, activity, 10)
+        assert first == second
+
+    def test_ranked_implementations_exclude_complete(self, recipe_model):
+        strategy = FocusStrategy("completeness")
+        activity = recipe_model.encode_activity(
+            {"potatoes", "carrots", "pickles"}
+        )
+        pids = [p for p, _ in strategy.ranked_implementations(recipe_model, activity)]
+        goals = {recipe_model.goal_label(recipe_model.implementation_goal(p)) for p in pids}
+        assert "olivier salad" not in goals
+
+    def test_k_truncation(self, figure1_model):
+        activity = figure1_model.encode_activity({"a1"})
+        assert len(FocusStrategy("completeness").rank(figure1_model, activity, 2)) == 2

@@ -1,0 +1,125 @@
+"""Unit tests for the hybrid goal + content strategy."""
+
+import pytest
+
+from repro.core import AssociationGoalModel
+from repro.core.strategies import create_strategy
+from repro.core.strategies.breadth import BreadthStrategy
+from repro.core.strategies.hybrid import HybridStrategy
+from repro.exceptions import RecommendationError
+
+FEATURES = {
+    "h1": {"dairy"},
+    "h2": {"dairy"},
+    "dairy_candidate": {"dairy"},
+    "tool_candidate": {"tool"},
+    "plain": set(),
+}
+
+
+@pytest.fixture
+def model():
+    # Both candidates serve the same goals equally; only content differs.
+    return AssociationGoalModel.from_pairs(
+        [
+            ("g1", {"h1", "h2", "dairy_candidate"}),
+            ("g2", {"h1", "h2", "tool_candidate"}),
+            ("g3", {"h1", "plain"}),
+        ]
+    )
+
+
+@pytest.fixture
+def activity(model):
+    return model.encode_activity({"h1", "h2"})
+
+
+class TestConstruction:
+    def test_features_required(self):
+        with pytest.raises(RecommendationError, match="item_features"):
+            HybridStrategy()
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError, match="alpha"):
+            HybridStrategy(item_features=FEATURES, alpha=1.5)
+
+    def test_name_encodes_configuration(self):
+        strategy = HybridStrategy(item_features=FEATURES, alpha=0.25)
+        assert strategy.name == "hybrid_breadth_a0.25"
+
+    def test_registry_forwarding(self):
+        strategy = create_strategy("hybrid", item_features=FEATURES, alpha=0.1)
+        assert isinstance(strategy, HybridStrategy)
+
+    def test_custom_base_strategy(self):
+        base = BreadthStrategy(variant="count")
+        strategy = HybridStrategy(item_features=FEATURES, base=base)
+        assert "breadth_count" in strategy.name
+
+
+class TestContentScore:
+    def test_matching_features_score_high(self):
+        strategy = HybridStrategy(item_features=FEATURES)
+        profile = {"dairy": 2.0}
+        assert strategy.content_score("dairy_candidate", profile) == pytest.approx(
+            1.0
+        )
+
+    def test_disjoint_features_score_zero(self):
+        strategy = HybridStrategy(item_features=FEATURES)
+        assert strategy.content_score("tool_candidate", {"dairy": 2.0}) == 0.0
+
+    def test_unknown_or_featureless_score_zero(self):
+        strategy = HybridStrategy(item_features=FEATURES)
+        assert strategy.content_score("plain", {"dairy": 1.0}) == 0.0
+        assert strategy.content_score("martian", {"dairy": 1.0}) == 0.0
+
+
+class TestBlending:
+    def test_alpha_zero_matches_base_ranking(self, model, activity):
+        base = BreadthStrategy()
+        hybrid = HybridStrategy(item_features=FEATURES, alpha=0.0)
+        base_ids = [aid for aid, _ in base.rank(model, activity, 10)]
+        hybrid_ids = [aid for aid, _ in hybrid.rank(model, activity, 10)]
+        assert base_ids == hybrid_ids
+
+    def test_content_breaks_goal_ties(self, model, activity):
+        """Equal goal scores: the dairy candidate must win under alpha>0."""
+        hybrid = HybridStrategy(item_features=FEATURES, alpha=0.5)
+        ranked = hybrid.rank(model, activity, 10)
+        labels = [model.action_label(aid) for aid, _ in ranked]
+        assert labels.index("dairy_candidate") < labels.index("tool_candidate")
+
+    def test_alpha_one_is_pure_content_over_candidates(self, model, activity):
+        hybrid = HybridStrategy(item_features=FEATURES, alpha=1.0)
+        ranked = hybrid.rank(model, activity, 10)
+        scores = {model.action_label(aid): s for aid, s in ranked}
+        assert scores["dairy_candidate"] > scores["tool_candidate"]
+        # Still goal-grounded: only candidates from AS(H) - H appear.
+        assert set(scores) <= {"dairy_candidate", "tool_candidate", "plain"}
+
+    def test_scores_bounded(self, model, activity):
+        hybrid = HybridStrategy(item_features=FEATURES, alpha=0.5)
+        for _, score in hybrid.rank(model, activity, 10):
+            assert -1e-9 <= score <= 1.0 + 1e-9
+
+    def test_empty_activity_empty_result(self, model):
+        hybrid = HybridStrategy(item_features=FEATURES)
+        assert hybrid.rank(model, frozenset(), 5) == []
+
+    def test_never_recommends_activity(self, model, activity):
+        hybrid = HybridStrategy(item_features=FEATURES, alpha=0.7)
+        labels = {
+            model.action_label(aid)
+            for aid, _ in hybrid.rank(model, activity, 10)
+        }
+        assert not labels & {"h1", "h2"}
+
+    def test_recommend_via_facade(self, model):
+        from repro.core import GoalRecommender
+
+        recommender = GoalRecommender(model)
+        result = recommender.recommend(
+            {"h1", "h2"}, k=2, strategy="hybrid", item_features=FEATURES
+        )
+        assert result.actions()[0] == "dairy_candidate"

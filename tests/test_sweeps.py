@@ -1,0 +1,64 @@
+"""Unit tests for the parameter-sweep helpers."""
+
+import pytest
+
+from repro.eval import ExperimentHarness
+from repro.eval.sweeps import SweepRow, sweep_k, sweep_observed_fraction
+from repro.exceptions import EvaluationError
+
+
+@pytest.fixture(scope="module")
+def harness(fortythree_tiny):
+    return ExperimentHarness(fortythree_tiny, k=10, max_users=25, seed=0)
+
+
+class TestSweepK:
+    def test_rows_cover_grid(self, harness):
+        rows = sweep_k(harness, k_values=(1, 5), methods=("breadth",))
+        assert len(rows) == 2
+        assert {row.value for row in rows} == {1.0, 5.0}
+
+    def test_completeness_monotone_in_k(self, harness):
+        """More recommendations can only complete goals further."""
+        rows = sweep_k(harness, k_values=(1, 5, 10), methods=("breadth",))
+        values = [row.avg_completeness for row in rows]
+        assert values == sorted(values)
+
+    def test_k_beyond_harness_rejected(self, harness):
+        with pytest.raises(EvaluationError, match="top-10"):
+            sweep_k(harness, k_values=(50,))
+
+    def test_empty_grid_rejected(self, harness):
+        with pytest.raises(EvaluationError):
+            sweep_k(harness, k_values=())
+
+    def test_baseline_methods_allowed(self, harness):
+        rows = sweep_k(harness, k_values=(5,), methods=("cf_knn",))
+        assert rows[0].method == "cf_knn"
+
+
+class TestSweepObservedFraction:
+    def test_rows_cover_grid(self, fortythree_tiny):
+        rows = sweep_observed_fraction(
+            fortythree_tiny,
+            fractions=(0.3, 0.5),
+            methods=("breadth",),
+            max_users=20,
+        )
+        assert len(rows) == 2
+        assert all(isinstance(row, SweepRow) for row in rows)
+
+    def test_more_evidence_helps_completeness(self, fortythree_tiny):
+        """Seeing more of the activity should not hurt goal completeness."""
+        rows = sweep_observed_fraction(
+            fortythree_tiny,
+            fractions=(0.1, 0.7),
+            methods=("focus_cmp",),
+            max_users=30,
+        )
+        low, high = rows[0], rows[1]
+        assert high.avg_completeness >= low.avg_completeness
+
+    def test_empty_grid_rejected(self, fortythree_tiny):
+        with pytest.raises(EvaluationError):
+            sweep_observed_fraction(fortythree_tiny, fractions=())

@@ -1,0 +1,73 @@
+"""Property-based tests for the text pipeline: never crash, stay canonical."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import ActionExtractor, GoalStory, normalize_phrase, sentences, words
+from repro.text.tokenizer import STOPWORDS, lemma_lite
+
+arbitrary_text = st.text(max_size=300)
+wordlike = st.from_regex(r"[a-zA-Z][a-zA-Z'-]{0,14}", fullmatch=True)
+
+
+@given(arbitrary_text)
+@settings(max_examples=100)
+def test_sentences_never_crash_and_never_empty_fragments(text):
+    for fragment in sentences(text):
+        assert fragment.strip() == fragment
+        assert fragment
+
+
+@given(arbitrary_text)
+@settings(max_examples=100)
+def test_words_are_lowercase_tokens(text):
+    for token in words(text):
+        assert token == token.lower()
+        assert token[0].isalpha()
+
+
+@given(arbitrary_text)
+@settings(max_examples=100)
+def test_normalize_idempotent(text):
+    once = normalize_phrase(text)
+    assert normalize_phrase(once) == once
+
+
+@given(arbitrary_text)
+@settings(max_examples=100)
+def test_normalize_has_no_stopwords_after_position_zero(text):
+    normalized = normalize_phrase(text)
+    if normalized:
+        for token in normalized.split()[1:]:
+            assert token not in STOPWORDS
+
+
+@given(wordlike)
+@settings(max_examples=150)
+def test_lemma_lite_never_empties(token):
+    lemma = lemma_lite(token.lower())
+    assert lemma
+    assert len(lemma) <= len(token) + 1  # at most one synthesized 'e'/'y'
+
+
+@given(st.text(max_size=500))
+@settings(max_examples=80, deadline=None)
+def test_extractor_never_crashes(text):
+    extractor = ActionExtractor()
+    actions = extractor.extract(GoalStory(goal="g", text=text))
+    # Extracted actions are already canonical and unique.
+    assert len(actions) == len(set(actions))
+    for action in actions:
+        assert normalize_phrase(action) == action
+
+
+@given(st.lists(st.tuples(st.text(min_size=1, max_size=20),
+                          st.text(max_size=200)), max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_extract_implementations_never_crashes(pairs):
+    from repro.text import extract_implementations
+
+    stories = [GoalStory(goal=goal, text=text) for goal, text in pairs]
+    library = extract_implementations(stories)
+    for impl in library:
+        assert impl.actions

@@ -1,0 +1,228 @@
+"""Unit tests for the utility modules (rng, validation, timing, report)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval.report import format_cell, format_table
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    require_in,
+    require_non_empty,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+class TestRng:
+    def test_int_seed_reproducible(self):
+        assert make_rng(5).integers(1000) == make_rng(5).integers(1000)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_spawn_independent_streams(self):
+        children = spawn_rngs(0, 3)
+        draws = [child.integers(10**9) for child in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [r.integers(10**9) for r in spawn_rngs(7, 2)]
+        b = [r.integers(10**9) for r in spawn_rngs(7, 2)]
+        assert a == b
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestValidation:
+    def test_require_positive(self):
+        require_positive(1, "x")
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive(0, "x")
+
+    def test_require_non_negative(self):
+        require_non_negative(0, "x")
+        with pytest.raises(ValueError):
+            require_non_negative(-1, "x")
+
+    def test_require_probability(self):
+        require_probability(0.0, "p")
+        require_probability(1.0, "p")
+        with pytest.raises(ValueError):
+            require_probability(1.01, "p")
+
+    def test_require_non_empty(self):
+        require_non_empty([1], "items")
+        with pytest.raises(ValueError, match="not be empty"):
+            require_non_empty([], "items")
+
+    def test_require_in(self):
+        require_in("a", ("a", "b"), "mode")
+        with pytest.raises(ValueError, match="mode must be one of"):
+            require_in("c", ("a", "b"), "mode")
+
+
+class TestStopwatch:
+    def test_measure_records_positive_samples(self):
+        watch = Stopwatch()
+        with watch.measure("op"):
+            time.sleep(0.001)
+        summary = watch.summary("op")
+        assert summary.count == 1
+        assert summary.mean > 0
+
+    def test_multiple_samples_aggregate(self):
+        watch = Stopwatch()
+        for value in (0.1, 0.2, 0.3):
+            watch.record("op", value)
+        summary = watch.summary("op")
+        assert summary.mean == pytest.approx(0.2)
+        assert summary.median == pytest.approx(0.2)
+        assert summary.minimum == pytest.approx(0.1)
+        assert summary.maximum == pytest.approx(0.3)
+        assert summary.total == pytest.approx(0.6)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            Stopwatch().summary("missing")
+
+    def test_names_sorted(self):
+        watch = Stopwatch()
+        watch.record("b", 1.0)
+        watch.record("a", 1.0)
+        assert watch.names() == ["a", "b"]
+
+    def test_summaries_cover_all_names(self):
+        watch = Stopwatch()
+        watch.record("a", 1.0)
+        watch.record("b", 2.0)
+        assert [s.name for s in watch.summaries()] == ["a", "b"]
+
+    def test_str_formats_milliseconds(self):
+        watch = Stopwatch()
+        watch.record("op", 0.5)
+        assert "500.000ms" in str(watch.summary("op"))
+
+    def test_timed_returns_result_and_elapsed(self):
+        result, elapsed = timed(sum, [1, 2, 3])
+        assert result == 6
+        assert elapsed >= 0
+
+
+class TestReport:
+    def test_format_cell_float_precision(self):
+        assert format_cell(0.123456, precision=2) == "0.12"
+
+    def test_format_cell_non_float(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(7) == "7"
+
+    def test_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) == {"-"}
+        assert len(lines) == 4
+
+    def test_table_title(self):
+        table = format_table(["h"], [["x"]], title="Table 1")
+        assert table.splitlines()[0] == "Table 1"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestAsciiBarChart:
+    def test_bars_scale_to_width(self):
+        from repro.eval.report import ascii_bar_chart
+
+        chart = ascii_bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a  |#####")
+        assert lines[1].startswith("bb |##########")
+
+    def test_title_line(self):
+        from repro.eval.report import ascii_bar_chart
+
+        chart = ascii_bar_chart(["x"], [1.0], title="Figure")
+        assert chart.splitlines()[0] == "Figure"
+
+    def test_zero_values_render_empty_bars(self):
+        from repro.eval.report import ascii_bar_chart
+
+        chart = ascii_bar_chart(["x", "y"], [0.0, 0.0])
+        assert "|" in chart
+
+    def test_mismatched_inputs_rejected(self):
+        from repro.eval.report import ascii_bar_chart
+
+        with pytest.raises(ValueError, match="align"):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_values_rejected(self):
+        from repro.eval.report import ascii_bar_chart
+
+        with pytest.raises(ValueError, match="non-negative"):
+            ascii_bar_chart(["a", "b"], [1.0, -0.5])
+
+    def test_empty_rejected(self):
+        from repro.eval.report import ascii_bar_chart
+
+        with pytest.raises(ValueError, match="nothing"):
+            ascii_bar_chart([], [])
+
+
+class TestStopwatchPercentiles:
+    def test_percentile_interpolates(self):
+        watch = Stopwatch()
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            watch.record("op", value)
+        assert watch.percentile("op", 0.0) == 1.0
+        assert watch.percentile("op", 1.0) == 5.0
+        assert watch.percentile("op", 0.5) == 3.0
+        assert watch.percentile("op", 0.25) == 2.0
+
+    def test_single_sample(self):
+        watch = Stopwatch()
+        watch.record("op", 7.0)
+        assert watch.percentile("op", 0.95) == 7.0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            Stopwatch().percentile("missing", 0.5)
+
+    def test_invalid_quantile_raises(self):
+        watch = Stopwatch()
+        watch.record("op", 1.0)
+        with pytest.raises(ValueError):
+            watch.percentile("op", 1.5)
+
+
+class TestMarkdownTable:
+    def test_markdown_layout(self):
+        table = format_table(
+            ["m", "v"], [["a", 1.0]], title="T", style="markdown"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "**T**"
+        assert lines[2] == "| m | v |"
+        assert lines[3] == "|---|---|"
+        assert lines[4] == "| a | 1.000 |"
+
+    def test_markdown_without_title(self):
+        table = format_table(["m"], [["a"]], style="markdown")
+        assert table.splitlines()[0] == "| m |"
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError, match="style"):
+            format_table(["m"], [["a"]], style="latex")

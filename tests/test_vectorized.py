@@ -1,0 +1,101 @@
+"""Equivalence tests: the vectorized engine must match the reference
+strategies bit for bit (same actions, same order, same scores)."""
+
+import pytest
+
+from repro.core import AssociationGoalModel, GoalRecommender
+from repro.core.vectorized import BatchRecommender
+from repro.data import (
+    FoodMartConfig,
+    FortyThreeConfig,
+    generate_foodmart,
+    generate_fortythree,
+)
+from repro.exceptions import RecommendationError
+
+STRATEGIES = ("breadth", "focus_cmp", "focus_cl", "best_match")
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    result = []
+    for dataset in (
+        generate_foodmart(FoodMartConfig.tiny(), seed=0),
+        generate_fortythree(FortyThreeConfig.tiny(), seed=1),
+    ):
+        model = AssociationGoalModel.from_library(dataset.library)
+        result.append(
+            (
+                model,
+                GoalRecommender(model),
+                BatchRecommender(model),
+                [user.full_activity for user in dataset.users[:25]],
+            )
+        )
+    return result
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_matches_reference_on_both_datasets(self, scenarios, strategy):
+        for model, reference, batch, activities in scenarios:
+            for activity in activities:
+                expected = reference.recommend(activity, k=10, strategy=strategy)
+                actual = batch.recommend(activity, k=10, strategy=strategy)
+                assert actual.actions() == expected.actions(), (
+                    f"{strategy}: ranking diverged for activity {sorted(activity)[:4]}"
+                )
+                for exp_item, act_item in zip(expected, actual):
+                    assert act_item.score == pytest.approx(exp_item.score)
+
+    def test_breadth_scores_match_reference(self, scenarios, figure1_model):
+        from repro.core.strategies.breadth import BreadthStrategy
+
+        batch = BatchRecommender(figure1_model)
+        activity = figure1_model.encode_activity({"a1"})
+        reference_scores = BreadthStrategy().scores(figure1_model, activity)
+        vector_scores = batch.breadth_scores(activity)
+        for aid, score in reference_scores.items():
+            assert vector_scores[aid] == pytest.approx(score)
+
+    def test_best_match_distances_match_reference(self, figure1_model):
+        from repro.core.strategies.best_match import BestMatchStrategy
+
+        batch = BatchRecommender(figure1_model)
+        activity = figure1_model.encode_activity({"a1", "a2"})
+        reference = BestMatchStrategy().distances(figure1_model, activity)
+        vectorized = batch.best_match_distances(activity)
+        assert set(reference) == set(vectorized)
+        for aid, distance in reference.items():
+            assert vectorized[aid] == pytest.approx(distance)
+
+
+class TestApi:
+    def test_unknown_strategy_rejected(self, figure1_model):
+        batch = BatchRecommender(figure1_model)
+        with pytest.raises(ValueError, match="strategy"):
+            batch.rank(frozenset(), k=5, strategy="nope")
+
+    def test_k_validated(self, figure1_model):
+        batch = BatchRecommender(figure1_model)
+        with pytest.raises(RecommendationError, match="positive"):
+            batch.recommend({"a1"}, k=0)
+
+    def test_empty_activity_empty_result(self, figure1_model):
+        batch = BatchRecommender(figure1_model)
+        for strategy in STRATEGIES:
+            assert batch.recommend(set(), k=5, strategy=strategy).actions() == []
+
+    def test_unknown_actions_dropped(self, figure1_model):
+        batch = BatchRecommender(figure1_model)
+        with_noise = batch.recommend({"a1", "martian"}, k=5)
+        clean = batch.recommend({"a1"}, k=5)
+        assert with_noise.actions() == clean.actions()
+
+    def test_recommend_many_order(self, figure1_model):
+        batch = BatchRecommender(figure1_model)
+        activities = [frozenset({"a1"}), frozenset({"a6"})]
+        results = batch.recommend_many(activities, k=3)
+        assert len(results) == 2
+        assert results[0].activity == frozenset({"a1"})
+        assert results[1].activity == frozenset({"a6"})

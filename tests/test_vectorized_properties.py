@@ -1,0 +1,67 @@
+"""Property-based equivalence: BatchRecommender vs reference strategies.
+
+Hypothesis generates arbitrary small libraries and activities; the
+vectorized engine must agree with the reference strategies on every one —
+the library-level counterpart of the fixed-dataset tests in
+``test_vectorized.py``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AssociationGoalModel
+from repro.core.strategies import create_strategy
+from repro.core.vectorized import BatchRecommender
+
+action_labels = st.integers(min_value=0, max_value=20).map(lambda i: f"a{i}")
+goal_labels = st.integers(min_value=0, max_value=6).map(lambda g: f"g{g}")
+libraries = st.lists(
+    st.tuples(
+        goal_labels, st.frozensets(action_labels, min_size=1, max_size=5)
+    ),
+    min_size=1,
+    max_size=15,
+)
+activities = st.frozensets(action_labels, max_size=6)
+
+
+@given(libraries, activities, st.sampled_from(
+    ["breadth", "focus_cmp", "focus_cl", "best_match"]
+))
+@settings(max_examples=60, deadline=None)
+def test_batch_matches_reference(pairs, activity, name):
+    model = AssociationGoalModel.from_pairs(pairs)
+    batch = BatchRecommender(model)
+    encoded = model.encode_activity(activity)
+    reference = create_strategy(name).rank(model, encoded, k=8)
+    vectorized = batch.rank(encoded, k=8, strategy=name)
+    assert [aid for aid, _ in vectorized] == [aid for aid, _ in reference]
+    for (_, ref_score), (_, vec_score) in zip(reference, vectorized):
+        assert abs(ref_score - vec_score) < 1e-9
+
+
+@given(libraries, activities)
+@settings(max_examples=40, deadline=None)
+def test_batch_breadth_scores_match(pairs, activity):
+    from repro.core.strategies.breadth import BreadthStrategy
+
+    model = AssociationGoalModel.from_pairs(pairs)
+    batch = BatchRecommender(model)
+    encoded = model.encode_activity(activity)
+    reference = BreadthStrategy().scores(model, encoded)
+    vector = batch.breadth_scores(encoded)
+    for aid, score in reference.items():
+        assert abs(vector[aid] - score) < 1e-9
+
+
+@given(libraries, activities)
+@settings(max_examples=40, deadline=None)
+def test_batch_candidate_mask_consistent(pairs, activity):
+    """The batch engine never returns activity actions or unreachable ones."""
+    model = AssociationGoalModel.from_pairs(pairs)
+    batch = BatchRecommender(model)
+    encoded = model.encode_activity(activity)
+    candidates = model.candidate_actions(encoded)
+    for name in ("breadth", "best_match"):
+        ranked = batch.rank(encoded, k=50, strategy=name)
+        assert {aid for aid, _ in ranked} <= candidates

@@ -1,0 +1,150 @@
+"""Unit tests for the weighted goal model extension."""
+
+import pytest
+
+from repro.core.weighted import (
+    WeightedImplementation,
+    WeightedLibrary,
+    WeightedRecommender,
+)
+from repro.exceptions import ModelError
+
+
+@pytest.fixture
+def cake():
+    return WeightedImplementation(
+        goal="cake",
+        weights={"flour": 3.0, "eggs": 2.0, "sprinkles": 0.5},
+    )
+
+
+class TestWeightedImplementation:
+    def test_actions_property(self, cake):
+        assert cake.actions == frozenset({"flour", "eggs", "sprinkles"})
+
+    def test_total_weight(self, cake):
+        assert cake.total_weight() == pytest.approx(5.5)
+
+    def test_overlap_and_remaining(self, cake):
+        assert cake.overlap_weight({"flour"}) == pytest.approx(3.0)
+        assert cake.remaining_weight({"flour"}) == pytest.approx(2.5)
+
+    def test_weighted_completeness(self, cake):
+        assert cake.completeness({"flour"}) == pytest.approx(3.0 / 5.5)
+        # Unweighted completeness would be 1/3; the heavy ingredient
+        # dominates the weighted view.
+        assert cake.completeness({"flour"}) > 1 / 3
+
+    def test_weighted_closeness(self, cake):
+        assert cake.closeness({"flour", "eggs"}) == pytest.approx(2.0)
+
+    def test_closeness_of_complete_impl_raises(self, cake):
+        with pytest.raises(ModelError, match="undefined"):
+            cake.closeness({"flour", "eggs", "sprinkles"})
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ModelError, match="no actions"):
+            WeightedImplementation(goal="g", weights={})
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ModelError, match="non-positive"):
+            WeightedImplementation(goal="g", weights={"a": 0.0})
+
+    def test_uniform_weights_match_unweighted_definitions(self):
+        impl = WeightedImplementation(
+            goal="g", weights={"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0}
+        )
+        assert impl.completeness({"a", "b"}) == pytest.approx(0.5)
+        assert impl.closeness({"a", "b"}) == pytest.approx(0.5)
+
+
+class TestWeightedLibrary:
+    def test_ids_dense(self):
+        library = WeightedLibrary()
+        assert library.add_weighted("g1", {"a": 1.0}) == 0
+        assert library.add_weighted("g2", {"b": 1.0}) == 1
+        assert library[1].goal == "g2"
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            WeightedLibrary()[0]
+
+    def test_unweighted_lowering(self):
+        library = WeightedLibrary()
+        library.add_weighted("g", {"a": 2.0, "b": 1.0})
+        plain = library.unweighted()
+        assert len(plain) == 1
+        assert plain[0].actions == frozenset({"a", "b"})
+
+
+class TestWeightedRecommender:
+    @pytest.fixture
+    def recommender(self):
+        library = WeightedLibrary()
+        # 'core' is heavy in goal A; 'garnish' is light.
+        library.add_weighted("A", {"h": 1.0, "core": 5.0, "garnish": 0.5})
+        library.add_weighted("B", {"h": 1.0, "other": 1.0})
+        return WeightedRecommender(library)
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ModelError, match="empty"):
+            WeightedRecommender(WeightedLibrary())
+
+    def test_implementation_space(self, recommender):
+        impls = recommender.implementation_space({"h"})
+        assert [impl.goal for impl in impls] == ["A", "B"]
+        assert recommender.implementation_space({"nope"}) == []
+
+    def test_focus_closeness_prefers_light_remainder(self, recommender):
+        """Goal B misses weight 1.0; goal A misses 5.5 -> B first."""
+        ranked = recommender.rank_focus({"h"}, k=1, measure="closeness")
+        assert ranked[0][0] == "other"
+
+    def test_focus_completeness_weighted(self, recommender):
+        # A: 1/6.5 done; B: 1/2 done -> B's missing action leads.
+        ranked = recommender.rank_focus({"h"}, k=1, measure="completeness")
+        assert ranked[0][0] == "other"
+
+    def test_focus_emits_heaviest_missing_first(self, recommender):
+        ranked = recommender.rank_focus({"h", "other"}, k=2)
+        assert [action for action, _ in ranked] == ["core", "garnish"]
+
+    def test_focus_unknown_measure_rejected(self, recommender):
+        with pytest.raises(ValueError, match="measure"):
+            recommender.rank_focus({"h"}, k=1, measure="nope")
+
+    def test_breadth_scales_with_candidate_weight(self, recommender):
+        ranked = dict(recommender.rank_breadth({"h"}, k=10))
+        # Same per-implementation overlap (1.0); 'core' weighs 5x 'other'.
+        assert ranked["core"] == pytest.approx(5.0)
+        assert ranked["other"] == pytest.approx(1.0)
+        assert ranked["garnish"] == pytest.approx(0.5)
+
+    def test_breadth_excludes_activity(self, recommender):
+        ranked = recommender.rank_breadth({"h", "core"}, k=10)
+        assert all(action not in {"h", "core"} for action, _ in ranked)
+
+    def test_k_validated(self, recommender):
+        with pytest.raises(ValueError):
+            recommender.rank_breadth({"h"}, k=0)
+
+    def test_uniform_weights_reduce_to_plain_breadth(self):
+        """With all weights 1, scores equal the paper's |A ∩ H| sums."""
+        from repro.core import AssociationGoalModel
+        from repro.core.strategies.breadth import BreadthStrategy
+
+        pairs = [("g1", {"h1", "h2", "x"}), ("g2", {"h1", "x"}), ("g3", {"h2", "y"})]
+        weighted = WeightedLibrary()
+        for goal, actions in pairs:
+            weighted.add_weighted(goal, {action: 1.0 for action in actions})
+        recommender = WeightedRecommender(weighted)
+        weighted_scores = dict(recommender.rank_breadth({"h1", "h2"}, k=10))
+
+        model = AssociationGoalModel.from_pairs(pairs)
+        plain = BreadthStrategy().scores(
+            model, model.encode_activity({"h1", "h2"})
+        )
+        plain_by_label = {
+            model.action_label(aid): score for aid, score in plain.items()
+        }
+        assert weighted_scores == pytest.approx(plain_by_label)
