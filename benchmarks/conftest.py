@@ -12,6 +12,7 @@ from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.data import (
     FoodMartConfig,
     FortyThreeConfig,
@@ -21,6 +22,19 @@ from repro.data import (
 from repro.eval import ExperimentHarness
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    """Benchmarks measure the uninstrumented paths unless they opt in.
+
+    Observability is off by default, but a benchmark that enables it (e.g.
+    ``bench_obs_overhead``) must not leak the flag into the timings of the
+    next module; reset around every bench.
+    """
+    obs.disable()
+    yield
+    obs.disable()
 
 #: Benchmark-scale configurations: the same *shape* as the paper's datasets
 #: (dense grocery vs sparse life goals), two orders of magnitude smaller.

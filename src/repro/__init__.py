@@ -17,7 +17,10 @@ The package ships:
   plain-text descriptions;
 - :mod:`repro.storage` — JSON and SQLite persistence for libraries;
 - :mod:`repro.eval` — the 30%-observed evaluation protocol, every metric of
-  the paper's Section 6 and the experiment harness the benchmarks drive.
+  the paper's Section 6 and the experiment harness the benchmarks drive;
+- :mod:`repro.obs` — observability: a Prometheus-style metrics registry,
+  tracing spans and structured JSON logging threaded through the recommend
+  path and the HTTP service (see ``docs/observability.md``).
 
 Quickstart::
 
@@ -30,6 +33,7 @@ Quickstart::
     print(GoalRecommender(model).recommend({"potatoes", "carrots"}).actions())
 """
 
+from repro._version import __version__
 from repro.core import (
     AssociationGoalModel,
     BestMatchStrategy,
@@ -53,8 +57,6 @@ from repro.exceptions import (
     ReproError,
     StorageError,
 )
-
-__version__ = "1.0.0"
 
 __all__ = [
     "AssociationGoalModel",

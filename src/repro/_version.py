@@ -1,0 +1,50 @@
+"""Single-source package version.
+
+``pyproject.toml`` is the authority.  In a source checkout (the common case
+for this reproduction: ``PYTHONPATH=src``) the file sits two directories
+above this module and is parsed directly; in an installed distribution the
+version comes from package metadata.  Neither failing yields a sentinel
+rather than an exception — version detection must never break imports.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_FALLBACK = "0.0.0+unknown"
+
+
+def _from_pyproject() -> str | None:
+    for parent in Path(__file__).resolve().parents:
+        candidate = parent / "pyproject.toml"
+        if not candidate.is_file():
+            continue
+        try:
+            import tomllib
+
+            with candidate.open("rb") as handle:
+                project = tomllib.load(handle).get("project", {})
+        except Exception:
+            return None
+        # Guard against an unrelated pyproject.toml higher up the tree.
+        if project.get("name") != "repro":
+            return None
+        version = project.get("version")
+        return version if isinstance(version, str) else None
+    return None
+
+
+def _from_metadata() -> str | None:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        return None
+
+
+def _detect_version() -> str:
+    return _from_pyproject() or _from_metadata() or _FALLBACK
+
+
+__version__ = _detect_version()

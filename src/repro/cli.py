@@ -8,7 +8,13 @@ Installed as the ``repro`` console script.  Subcommands:
 - ``repro evaluate`` — run the paper's protocol over a dataset and print
   the headline metrics per method;
 - ``repro extract`` — extract goal implementations from a plain-text file
-  of ``goal<TAB>story`` lines and write a library JSON.
+  of ``goal<TAB>story`` lines and write a library JSON;
+- ``repro metrics`` — dump Prometheus metrics, either from this process's
+  registry or scraped from a running service (``--url``).
+
+Global flags: ``--version``; ``--log-level {debug,info,warning,error}`` and
+``--json-logs`` configure the structured logging of :mod:`repro.obs.logs`
+(logs go to stderr, tables to stdout, so pipelines stay clean).
 
 Every subcommand is a thin shell over the library API — anything the CLI
 does can be done programmatically with the same names.
@@ -21,6 +27,8 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro import obs
+from repro._version import __version__
 from repro.core import AssociationGoalModel, GoalRecommender, PAPER_STRATEGIES
 from repro.data import (
     FoodMartConfig,
@@ -49,6 +57,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Goal/action association recommendations (EDBT 2018).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="structured-log threshold (logs go to stderr)",
+    )
+    parser.add_argument(
+        "--json-logs", action="store_true",
+        help="emit logs as JSON lines instead of text",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -111,6 +131,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default="coverage",
     )
     goals.add_argument("--top", type=int, default=10)
+
+    metrics = commands.add_parser(
+        "metrics", help="dump Prometheus metrics (local registry or --url)"
+    )
+    metrics.add_argument(
+        "--url", default=None,
+        help="base URL of a running service to scrape "
+             "(e.g. http://127.0.0.1:8080)",
+    )
 
     report = commands.add_parser(
         "report", help="regenerate every paper table over two datasets"
@@ -256,7 +285,8 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
     print(
         f"serving {model.num_implementations} implementations on "
         f"http://{args.host}:{service.port} "
-        "(endpoints: /health /recommend /spaces /explain /goals /related)"
+        "(endpoints: /health /metrics /recommend /spaces /explain "
+        "/goals /related)"
     )
     if not block:  # test hook: caller owns the lifecycle
         service.stop()
@@ -286,6 +316,26 @@ def _cmd_goals(args: argparse.Namespace) -> int:
             ["goal", "score"], rows, title=f"inferred goals ({args.scorer})"
         )
     )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.url is None:
+        # The in-process registry: useful after driving the library from the
+        # same process (``main([...])``) or for checking the exposition.
+        print(obs.get_registry().render(), end="")
+        return 0
+    import urllib.request
+
+    url = args.url.rstrip("/")
+    if not url.endswith("/metrics"):
+        url += "/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            print(response.read().decode("utf-8"), end="")
+    except OSError as exc:
+        print(f"error: cannot scrape {url}: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -322,6 +372,7 @@ _COMMANDS = {
     "extract": _cmd_extract,
     "goals": _cmd_goals,
     "serve": _cmd_serve,
+    "metrics": _cmd_metrics,
     "report": _cmd_report,
 }
 
@@ -329,6 +380,13 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    logger = obs.configure_logging(
+        level=args.log_level, json_logs=args.json_logs
+    )
+    obs.log_event(
+        logger, "cli.start", version=__version__, run_id=obs.RUN_ID,
+        command=args.command,
+    )
     try:
         return _COMMANDS[args.command](args)
     except ReproError as exc:

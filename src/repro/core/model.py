@@ -26,10 +26,21 @@ facade translates labels at the boundary.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from time import perf_counter
 
+from repro import obs
 from repro.core.entities import ActionLabel, GoalImplementation, GoalLabel
 from repro.core.library import ImplementationLibrary, LibraryStats
 from repro.exceptions import ModelError, UnknownActionError, UnknownGoalError
+
+
+def _count_space_query(space: str) -> None:
+    """Count one IS/GS/AS query (``goal``/``action`` also query ``IS``)."""
+    obs.get_registry().counter(
+        "repro_space_queries_total",
+        "Space queries answered, by space (IS/GS/AS).",
+        space=space,
+    ).inc()
 
 
 class AssociationGoalModel:
@@ -93,6 +104,23 @@ class AssociationGoalModel:
     @classmethod
     def from_library(cls, library: ImplementationLibrary) -> "AssociationGoalModel":
         """Index an :class:`ImplementationLibrary` into a model."""
+        with obs.trace_span("model.from_library") as span:
+            start = perf_counter()
+            model = cls._build_from_library(library)
+            if obs.metrics_enabled():
+                model._record_build(perf_counter() - start)
+            if span.is_recording:
+                span.set_attrs(
+                    implementations=model.num_implementations,
+                    goals=model.num_goals,
+                    actions=model.num_actions,
+                )
+        return model
+
+    @classmethod
+    def _build_from_library(
+        cls, library: ImplementationLibrary
+    ) -> "AssociationGoalModel":
         action_to_id: dict[ActionLabel, int] = {}
         goal_to_id: dict[GoalLabel, int] = {}
         actions: list[ActionLabel] = []
@@ -119,6 +147,24 @@ class AssociationGoalModel:
             impl_actions.append(frozenset(encoded))
             impl_goal.append(gid)
         return cls(actions, goals, impl_actions, impl_goal)
+
+    def _record_build(self, elapsed: float) -> None:
+        """Report one index construction into the metrics registry."""
+        registry = obs.get_registry()
+        registry.histogram(
+            "repro_model_build_seconds",
+            "AssociationGoalModel index construction time.",
+        ).observe(elapsed)
+        registry.gauge(
+            "repro_model_implementations",
+            "Implementations in the most recently built model.",
+        ).set(self.num_implementations)
+        registry.gauge(
+            "repro_model_goals", "Goals in the most recently built model."
+        ).set(self.num_goals)
+        registry.gauge(
+            "repro_model_actions", "Actions in the most recently built model."
+        ).set(self.num_actions)
 
     @classmethod
     def from_pairs(
@@ -245,6 +291,8 @@ class AssociationGoalModel:
 
     def implementation_space(self, activity: frozenset[int]) -> set[int]:
         """``IS(H)`` — ids of implementations sharing any action with ``H``."""
+        if obs.metrics_enabled():
+            _count_space_query("implementation")
         space: set[int] = set()
         for aid in activity:
             space |= self._action_impls[aid]
@@ -252,6 +300,8 @@ class AssociationGoalModel:
 
     def goal_space(self, activity: frozenset[int]) -> set[int]:
         """``GS(H)`` — goal ids reachable from the activity (Equation 1)."""
+        if obs.metrics_enabled():
+            _count_space_query("goal")
         return {
             self._impl_goal[pid] for pid in self.implementation_space(activity)
         }
@@ -263,6 +313,8 @@ class AssociationGoalModel:
         generation subtracts ``H`` afterwards, matching Algorithm 4's
         ``CA <- AS(H) - H``.
         """
+        if obs.metrics_enabled():
+            _count_space_query("action")
         space: set[int] = set()
         for pid in self.implementation_space(activity):
             space |= self._impl_actions[pid]

@@ -20,8 +20,10 @@ Example::
 from __future__ import annotations
 
 from collections.abc import Iterable
+from time import perf_counter
 from typing import Any
 
+from repro import obs
 from repro.core.entities import ActionLabel, GoalLabel, RecommendationList
 from repro.core.model import AssociationGoalModel
 from repro.core.strategies import RankingStrategy, create_strategy
@@ -81,7 +83,51 @@ class GoalRecommender:
             raise RecommendationError(f"k must be positive, got {k}")
         encoded = self.model.encode_activity(activity)
         chosen = self.strategy(strategy or self.default_strategy, **options)
-        return chosen.recommend(self.model, encoded, k)
+        if not obs.is_enabled():
+            return chosen.recommend(self.model, encoded, k)
+        return self._recommend_observed(chosen, encoded, k)
+
+    def _recommend_observed(
+        self, chosen: RankingStrategy, encoded: frozenset[int], k: int
+    ) -> RecommendationList:
+        """The instrumented recommend path (observability enabled).
+
+        Emits a ``recommend`` span carrying the strategy name and the space
+        sizes |IS(H)|, |GS(H)|, |AS(H)|, and records the per-strategy
+        latency histogram and request counter.  The space sizes are only
+        computed while tracing is on — they cost three extra index queries.
+        """
+        with obs.trace_span("recommend", strategy=chosen.name, k=k) as span:
+            start = perf_counter()
+            result = chosen.recommend(self.model, encoded, k)
+            elapsed = perf_counter() - start
+            if obs.metrics_enabled():
+                registry = obs.get_registry()
+                registry.counter(
+                    "repro_recommend_requests_total",
+                    "Recommendation requests served, by strategy.",
+                    strategy=chosen.name,
+                ).inc()
+                registry.histogram(
+                    "repro_recommend_latency_seconds",
+                    "End-to-end GoalRecommender.recommend latency, by strategy.",
+                    strategy=chosen.name,
+                ).observe(elapsed)
+            if span.is_recording:
+                model = self.model
+                impl_space = model.implementation_space(encoded)
+                action_space = model.action_space(encoded)
+                span.set_attrs(
+                    activity_size=len(encoded),
+                    is_size=len(impl_space),
+                    gs_size=len(
+                        {model.implementation_goal(pid) for pid in impl_space}
+                    ),
+                    as_size=len(action_space),
+                    candidates=len(action_space - encoded),
+                    returned=len(result.items),
+                )
+        return result
 
     def recommend_all(
         self,
@@ -94,10 +140,18 @@ class GoalRecommender:
         The activity is encoded once; returns ``{strategy_name: list}``.
         """
         encoded = self.model.encode_activity(activity)
-        return {
-            name: self.strategy(name).recommend(self.model, encoded, k)
-            for name in strategies
-        }
+        if not obs.is_enabled():
+            return {
+                name: self.strategy(name).recommend(self.model, encoded, k)
+                for name in strategies
+            }
+        with obs.trace_span("recommend_all", k=k) as span:
+            results = {
+                name: self._recommend_observed(self.strategy(name), encoded, k)
+                for name in strategies
+            }
+            span.set_attr("strategies", list(results))
+        return results
 
     def explain(
         self, activity: Iterable[ActionLabel], action: ActionLabel

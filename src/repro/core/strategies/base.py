@@ -16,8 +16,10 @@ nondeterministic tail of a top-10 list would add noise to overlap figures.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from time import perf_counter
 from typing import Any, Callable
 
+from repro import obs
 from repro.core.entities import RecommendationList, ScoredAction
 from repro.core.model import AssociationGoalModel
 from repro.exceptions import RecommendationError, StrategyNotFoundError
@@ -61,7 +63,20 @@ class RankingStrategy(ABC):
         """Validate the request, rank, and decode to a label-level list."""
         if k <= 0:
             raise RecommendationError(f"k must be positive, got {k}")
-        ranked = self.rank(model, activity, k)
+        if not obs.is_enabled():
+            ranked = self.rank(model, activity, k)
+        else:
+            with obs.trace_span("rank", strategy=self.name) as span:
+                start = perf_counter()
+                ranked = self.rank(model, activity, k)
+                elapsed = perf_counter() - start
+                if obs.metrics_enabled():
+                    obs.get_registry().histogram(
+                        "repro_strategy_rank_seconds",
+                        "Strategy rank() latency (scoring only), by strategy.",
+                        strategy=self.name,
+                    ).observe(elapsed)
+                span.set_attrs(k=k, returned=len(ranked))
         items = tuple(
             ScoredAction(action=model.action_label(aid), score=score)
             for aid, score in ranked

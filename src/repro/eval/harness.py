@@ -16,7 +16,9 @@ reuse the lists computed for Table 3 within one session.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from time import perf_counter
 
+from repro import obs
 from repro.baselines import (
     AssociationRuleRecommender,
     BaselineRecommender,
@@ -32,6 +34,8 @@ from repro.data.schema import Dataset
 from repro.eval.protocol import EvaluationSplit, make_split
 from repro.exceptions import EvaluationError
 from repro.utils.rng import SeedLike
+
+_LOG = obs.get_logger("repro.eval")
 
 
 class ExperimentResult:
@@ -114,12 +118,32 @@ class ExperimentHarness:
         """Run one goal-based strategy over every split user (cached)."""
         if strategy in self.result:
             return self.result.lists(strategy)
-        lists = [
-            self.recommender.recommend(user.observed, k=self.k, strategy=strategy)
-            for user in self.split
-        ]
+        with obs.trace_span(
+            "eval.goal_method", method=strategy, users=len(self.split), k=self.k
+        ):
+            start = perf_counter()
+            lists = [
+                self.recommender.recommend(
+                    user.observed, k=self.k, strategy=strategy
+                )
+                for user in self.split
+            ]
+            self._record_method(strategy, perf_counter() - start)
         self.result.add(strategy, lists)
         return lists
+
+    def _record_method(self, method: str, elapsed: float) -> None:
+        """Account one full method run (all split users) in metrics/logs."""
+        if obs.metrics_enabled():
+            obs.get_registry().histogram(
+                "repro_eval_method_seconds",
+                "Wall-clock time to answer every split user, by method.",
+                method=method,
+            ).observe(elapsed)
+        obs.log_event(
+            _LOG, "eval.method", method=method, dataset=self.dataset.name,
+            users=len(self.split), k=self.k, seconds=round(elapsed, 4),
+        )
 
     def run_goal_methods(
         self, strategies: Iterable[str] = PAPER_STRATEGIES
@@ -175,13 +199,19 @@ class ExperimentHarness:
         """Fit one baseline on the observed corpus and answer every request."""
         if name in self.result:
             return self.result.lists(name)
-        baseline = self.make_baseline(name)
-        baseline.fit(self.split.observed_activities())
-        if name == "content":
-            self._content = baseline  # kept for Table 5's similarity metric
-        lists = [
-            baseline.recommend(user.observed, k=self.k) for user in self.split
-        ]
+        with obs.trace_span(
+            "eval.baseline", method=name, users=len(self.split), k=self.k
+        ):
+            start = perf_counter()
+            baseline = self.make_baseline(name)
+            baseline.fit(self.split.observed_activities())
+            if name == "content":
+                self._content = baseline  # kept for Table 5's similarity metric
+            lists = [
+                baseline.recommend(user.observed, k=self.k)
+                for user in self.split
+            ]
+            self._record_method(name, perf_counter() - start)
         self.result.add(name, lists)
         return lists
 

@@ -1,0 +1,107 @@
+"""Observability: metrics, tracing spans, structured logs, timing.
+
+This package is the single entry point for everything the system reports
+about itself:
+
+- :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  counters, gauges and fixed-bucket histograms with Prometheus text
+  exposition (served by ``GET /metrics`` on the HTTP service);
+- :mod:`repro.obs.tracing` — nested :func:`trace_span` context managers
+  carrying strategy names, space sizes (|IS|, |GS|, |AS|) and candidate
+  counts, exportable as a JSON span tree;
+- :mod:`repro.obs.logs` — structured JSON logging with a process run-id
+  and per-request ids;
+- :mod:`repro.obs.runtime` — the :func:`enable`/:func:`disable` switches.
+  Both subsystems start **off**; disabled instrumentation costs one boolean
+  check per site, so benchmarks of the uninstrumented paths stay honest.
+- :class:`~repro.utils.timing.Stopwatch` (re-exported) — the thread-safe
+  sample accumulator the Figure 7 scalability experiments use.
+
+Quickstart::
+
+    from repro import obs
+
+    obs.enable(metrics=True, tracing=True)
+    recommender.recommend(activity, k=10)
+    print(obs.get_registry().render())        # Prometheus text
+    print(obs.get_tracer().export_json())     # span tree with |IS|/|GS|/|AS|
+
+Metric naming follows Prometheus conventions (``repro_`` prefix, base
+units, ``_total``/``_seconds`` suffixes); ``docs/observability.md`` lists
+every metric and span attribute.
+"""
+
+from repro.obs.logs import (
+    RUN_ID,
+    JsonLogFormatter,
+    TextLogFormatter,
+    configure_logging,
+    current_request_id,
+    get_logger,
+    log_event,
+    new_request_id,
+    request_context,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.runtime import (
+    disable,
+    enable,
+    is_enabled,
+    metrics_enabled,
+    tracing_enabled,
+)
+from repro.obs.tracing import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace_span,
+)
+from repro.utils.timing import Stopwatch, TimingSummary, timed
+
+__all__ = [
+    # runtime switches
+    "enable",
+    "disable",
+    "is_enabled",
+    "metrics_enabled",
+    "tracing_enabled",
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+    # tracing
+    "Span",
+    "Tracer",
+    "trace_span",
+    "get_tracer",
+    "set_tracer",
+    "NOOP_SPAN",
+    # structured logs
+    "configure_logging",
+    "get_logger",
+    "log_event",
+    "request_context",
+    "current_request_id",
+    "new_request_id",
+    "JsonLogFormatter",
+    "TextLogFormatter",
+    "RUN_ID",
+    # timing (re-exported for one observability entry point)
+    "Stopwatch",
+    "TimingSummary",
+    "timed",
+]

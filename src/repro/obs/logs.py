@@ -1,0 +1,149 @@
+"""Structured logging helpers with shared run and request identifiers.
+
+Built on :mod:`logging` so existing handlers, levels and capture tooling
+keep working; what this module adds is *structure*:
+
+- every record carries the process-wide :data:`RUN_ID`, so lines from one
+  process correlate across log aggregation;
+- a per-request id propagated through a :class:`~contextvars.ContextVar`
+  (:func:`request_context`), set by the HTTP service from the incoming
+  ``X-Request-Id`` header and echoed back to the client;
+- :func:`log_event` attaches machine-readable key/value fields to a record,
+  rendered as JSON by :class:`JsonLogFormatter` (``--json-logs``) or as
+  ``key=value`` suffixes by :class:`TextLogFormatter`.
+
+Example JSON line::
+
+    {"event": "http.request", "level": "info", "logger": "repro.service",
+     "run_id": "1f0c2a9d8e3b", "request_id": "a6f...", "endpoint":
+     "/recommend", "status": 200, "seconds": 0.0021, "ts": 1754000000.0}
+
+Nothing emits anywhere until :func:`configure_logging` installs a handler
+(the CLI does this from ``--log-level``/``--json-logs``); libraries log into
+the void by default, which keeps test output quiet.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import uuid
+from collections.abc import Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import IO
+
+#: Process-wide correlation id, minted once at import.
+RUN_ID: str = uuid.uuid4().hex[:12]
+
+_request_id: ContextVar[str | None] = ContextVar("repro_request_id", default=None)
+
+_FIELDS_ATTR = "repro_fields"
+
+
+def new_request_id() -> str:
+    """Mint a fresh request id (opaque hex token)."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_request_id() -> str | None:
+    """The request id bound to the current context, if any."""
+    return _request_id.get()
+
+
+@contextmanager
+def request_context(request_id: str | None = None) -> Iterator[str]:
+    """Bind a request id to the current context; mints one when omitted."""
+    rid = request_id or new_request_id()
+    token = _request_id.set(rid)
+    try:
+        yield rid
+    finally:
+        _request_id.reset(token)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Render each record as one JSON object per line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+            "run_id": RUN_ID,
+        }
+        rid = _request_id.get()
+        if rid is not None:
+            payload["request_id"] = rid
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, sort_keys=True)
+
+
+class TextLogFormatter(logging.Formatter):
+    """Human-readable rendering with structured fields as a suffix."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = f"{record.levelname.lower():<7} {record.name}: {record.getMessage()}"
+        parts: list[str] = []
+        rid = _request_id.get()
+        if rid is not None:
+            parts.append(f"request_id={rid}")
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            parts.extend(f"{key}={value}" for key, value in fields.items())
+        if parts:
+            base = f"{base} [{' '.join(parts)}]"
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy."""
+    return logging.getLogger(name)
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    level: int = logging.INFO,
+    **fields: object,
+) -> None:
+    """Log ``event`` with structured ``fields`` attached to the record."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={_FIELDS_ATTR: fields})
+
+
+def configure_logging(
+    level: int | str = "WARNING",
+    json_logs: bool = False,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Install one handler on the ``repro`` logger; idempotent.
+
+    Re-running replaces the previously installed handler (handlers added by
+    the application or test harness are left alone).  Returns the configured
+    logger.
+    """
+    if isinstance(level, str):
+        numeric = logging.getLevelName(level.upper())
+        if not isinstance(numeric, int):
+            raise ValueError(f"unknown log level {level!r}")
+    else:
+        numeric = level
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(JsonLogFormatter() if json_logs else TextLogFormatter())
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    return root

@@ -1,0 +1,66 @@
+"""Global on/off switches for the observability layer.
+
+Instrumentation in the hot path (``GoalRecommender.recommend``, the ranking
+strategies, the space queries) is guarded by these flags so that a process
+that never calls :func:`enable` pays only a boolean check per guarded site —
+benchmarks against the uninstrumented code stay honest.
+
+Both subsystems start **disabled**.  The HTTP service enables metrics when it
+is constructed (a service without request accounting is not observable);
+everything else is opt-in:
+
+    from repro import obs
+
+    obs.enable(metrics=True, tracing=True)
+    ...
+    obs.disable()
+
+The flags are plain module-level booleans: reads and writes are atomic under
+the GIL, and the guarded sites tolerate a stale read for one operation (a
+sample more or less around the toggle instant is not a correctness issue),
+so no lock is needed.
+"""
+
+from __future__ import annotations
+
+_metrics_enabled: bool = False
+_tracing_enabled: bool = False
+
+
+def enable(metrics: bool = True, tracing: bool = True) -> None:
+    """Turn observability subsystems on.
+
+    Arguments select *which* subsystems to enable; ``False`` leaves the
+    corresponding flag untouched (it never turns a subsystem off — use
+    :func:`disable` for that), so ``enable(metrics=True, tracing=False)``
+    composes with a tracing session enabled elsewhere.
+    """
+    global _metrics_enabled, _tracing_enabled
+    if metrics:
+        _metrics_enabled = True
+    if tracing:
+        _tracing_enabled = True
+
+
+def disable(metrics: bool = True, tracing: bool = True) -> None:
+    """Turn observability subsystems off (both by default)."""
+    global _metrics_enabled, _tracing_enabled
+    if metrics:
+        _metrics_enabled = False
+    if tracing:
+        _tracing_enabled = False
+
+
+def metrics_enabled() -> bool:
+    """``True`` when metric recording is on."""
+    return _metrics_enabled
+
+
+def tracing_enabled() -> bool:
+    """``True`` when span recording is on."""
+    return _tracing_enabled
+
+
+def is_enabled() -> bool:
+    """``True`` when any observability subsystem is on."""
+    return _metrics_enabled or _tracing_enabled

@@ -1,0 +1,161 @@
+"""Lightweight tracing spans with JSON export.
+
+A span is one timed operation; spans opened while another span is active
+become its children, so one traced ``recommend`` call yields a tree::
+
+    recommend(strategy=breadth, is_size=.., gs_size=.., as_size=..)
+    └── rank(strategy=breadth)
+
+Usage mirrors OpenTelemetry's context-manager API without the dependency::
+
+    with obs.trace_span("recommend", strategy="breadth", k=10) as span:
+        ...
+        span.set_attr("candidates", len(candidates))
+
+    obs.get_tracer().spans()        # list of root-span dicts
+    obs.get_tracer().export_json()  # the same, as a JSON document
+
+:func:`trace_span` is the only entry point instrumented code uses: when
+tracing is disabled (:mod:`repro.obs.runtime`) it yields the shared
+:data:`NOOP_SPAN` without touching the tracer — one boolean check, no
+allocation.  Parenting uses a :class:`~contextvars.ContextVar`, so spans
+nest correctly across the HTTP service's handler threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from collections.abc import Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from repro.obs import runtime
+
+
+class Span:
+    """One timed operation with attributes and child spans."""
+
+    __slots__ = ("name", "attributes", "start_time", "duration", "children")
+
+    is_recording = True
+
+    def __init__(self, name: str, attributes: dict[str, object]) -> None:
+        self.name = name
+        self.attributes = dict(attributes)
+        self.start_time = time.time()
+        self.duration: float | None = None
+        self.children: list["Span"] = []
+
+    def set_attr(self, key: str, value: object) -> None:
+        """Attach one attribute to the span."""
+        self.attributes[key] = value
+
+    def set_attrs(self, **attributes: object) -> None:
+        """Attach several attributes at once."""
+        self.attributes.update(attributes)
+
+    def to_dict(self) -> dict:
+        """The span tree as plain JSON-serializable data."""
+        return {
+            "name": self.name,
+            "start_time": round(self.start_time, 6),
+            "duration_ms": (
+                None if self.duration is None else round(self.duration * 1e3, 4)
+            ),
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _NoopSpan:
+    """Inert stand-in yielded when tracing is disabled."""
+
+    __slots__ = ()
+
+    is_recording = False
+
+    def set_attr(self, key: str, value: object) -> None:
+        """Discard the attribute."""
+
+    def set_attrs(self, **attributes: object) -> None:
+        """Discard the attributes."""
+
+
+#: The shared no-op span; ``span.is_recording`` distinguishes it, letting
+#: call sites skip computing expensive attributes when tracing is off.
+NOOP_SPAN = _NoopSpan()
+
+_current_span: ContextVar[Span | None] = ContextVar("repro_obs_span", default=None)
+
+
+class Tracer:
+    """Collects finished root spans, bounded to the most recent ``max_spans``."""
+
+    def __init__(self, max_spans: int = 1024) -> None:
+        self._lock = threading.Lock()
+        self._roots: deque[Span] = deque(maxlen=max_spans)
+
+    @contextmanager
+    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+        """Open a recording span; nests under the context's active span."""
+        parent = _current_span.get()
+        span = Span(name, attributes)
+        token = _current_span.set(span)
+        start = time.perf_counter()
+        try:
+            yield span
+        except BaseException as exc:
+            span.set_attr("error", f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            span.duration = time.perf_counter() - start
+            _current_span.reset(token)
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                with self._lock:
+                    self._roots.append(span)
+
+    def spans(self) -> list[dict]:
+        """Finished root spans (oldest first) as dict trees."""
+        with self._lock:
+            roots = list(self._roots)
+        return [span.to_dict() for span in roots]
+
+    def export_json(self, indent: int | None = None) -> str:
+        """The finished root spans as one JSON document."""
+        return json.dumps({"spans": self.spans()}, indent=indent, default=str)
+
+    def reset(self) -> None:
+        """Drop all finished spans."""
+        with self._lock:
+            self._roots.clear()
+
+
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer all built-in instrumentation uses."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the process-wide tracer; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+@contextmanager
+def trace_span(name: str, **attributes: object) -> Iterator[Span | _NoopSpan]:
+    """Open a span on the global tracer, or yield :data:`NOOP_SPAN` when off."""
+    if not runtime.tracing_enabled():
+        yield NOOP_SPAN
+        return
+    with get_tracer().span(name, **attributes) as span:
+        yield span

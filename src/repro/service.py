@@ -5,9 +5,13 @@ provides one with zero dependencies beyond the standard library, suitable
 for demos and integration tests (it is *not* hardened for the open
 internet).
 
-Endpoints (all JSON):
+Endpoints (JSON unless noted):
 
-- ``GET  /health`` — liveness plus model statistics;
+- ``GET  /health`` — liveness plus version, model statistics and library
+  size;
+- ``GET  /metrics`` — Prometheus text exposition of the process metrics
+  registry (request/error counters, per-strategy recommend latency
+  histograms, model gauges);
 - ``POST /recommend`` — body ``{"activity": [...], "k": 10,
   "strategy": "breadth"}`` → ranked actions with scores;
 - ``POST /spaces`` — body ``{"activity": [...]}`` → the goal and action
@@ -15,26 +19,49 @@ Endpoints (all JSON):
 - ``POST /explain`` — body ``{"activity": [...], "action": "..."}`` → the
   implementations grounding that candidate.
 
+Conventions:
+
+- errors share one shape, ``{"error": <message>, "detail": <context>}``;
+- a known route hit with the wrong method answers ``405`` with an ``Allow``
+  header (unknown paths answer ``404``);
+- every response echoes an ``X-Request-Id`` header — the client's, when it
+  sent one, else a freshly minted id — and the same id is bound to the
+  structured-log context for the duration of the request.
+
 Usage::
 
     server = RecommenderService(model, port=0)   # 0 = ephemeral port
     server.start()
     ...  # requests against http://127.0.0.1:{server.port}
     server.stop()
+
+Constructing a service enables metric recording process-wide
+(``obs.enable(metrics=True, tracing=False)``) — a service without request
+accounting is not observable.  Pass ``enable_metrics=False`` to opt out.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from repro import obs
+from repro._version import __version__
 from repro.core.model import AssociationGoalModel
 from repro.core.recommender import GoalRecommender, PAPER_STRATEGIES
 from repro.exceptions import ReproError
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB: an activity list, not a bulk upload
+
+#: Known routes by supported method; wrong-method hits answer 405.
+_GET_ROUTES = ("/health", "/metrics")
+_POST_ROUTES = ("/recommend", "/spaces", "/explain", "/goals", "/related")
+
+_LOG = obs.get_logger("repro.service")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -44,32 +71,66 @@ class _Handler(BaseHTTPRequestHandler):
     service: "RecommenderService"
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        """Silence per-request stderr logging (tests run many requests)."""
+        """Silence per-request stderr logging (structured logs replace it)."""
 
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_headers(
+        self, status: int, content_type: str, length: int, allow: str | None
+    ) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(length))
+        self.send_header("X-Request-Id", self._request_id)
+        if allow is not None:
+            self.send_header("Allow", allow)
         self.end_headers()
+
+    def _send_json(
+        self, status: int, payload: dict, allow: str | None = None
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send_headers(status, "application/json", len(body), allow)
+        self.wfile.write(body)
+
+    def _send_error(
+        self,
+        status: int,
+        error: str,
+        detail: object = None,
+        allow: str | None = None,
+    ) -> None:
+        """Send the service's uniform error shape."""
+        self._send_json(status, {"error": error, "detail": detail}, allow=allow)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self._send_headers(status, content_type, len(body), None)
         self.wfile.write(body)
 
     def _read_json(self) -> dict | None:
         length = int(self.headers.get("Content-Length", 0))
         if length <= 0 or length > _MAX_BODY_BYTES:
-            self._send_json(400, {"error": "missing or oversized body"})
+            self._send_error(
+                400,
+                "missing or oversized body",
+                detail=f"Content-Length must be in (0, {_MAX_BODY_BYTES}]",
+            )
             return None
         try:
             payload = json.loads(self.rfile.read(length))
-        except json.JSONDecodeError:
-            self._send_json(400, {"error": "invalid JSON body"})
+        except json.JSONDecodeError as exc:
+            self._send_error(400, "invalid JSON body", detail=str(exc))
             return None
         if not isinstance(payload, dict):
-            self._send_json(400, {"error": "body must be a JSON object"})
+            self._send_error(
+                400,
+                "body must be a JSON object",
+                detail=f"got {type(payload).__name__}",
+            )
             return None
         return payload
 
@@ -78,51 +139,134 @@ class _Handler(BaseHTTPRequestHandler):
         if not isinstance(activity, list) or not all(
             isinstance(item, str) for item in activity
         ):
-            self._send_json(
-                400, {"error": "'activity' must be a list of strings"}
+            self._send_error(
+                400,
+                "'activity' must be a list of strings",
+                detail="body key 'activity'",
             )
             return None
         return activity
 
     # ------------------------------------------------------------------
-    # Routes
+    # Dispatch
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        if self.path != "/health":
-            self._send_json(404, {"error": f"unknown path {self.path}"})
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch("DELETE")
+
+    def _dispatch(self, method: str) -> None:
+        """Route one request with request-id, metrics and error envelope."""
+        path = self.path.split("?", 1)[0]
+        self._request_id = self.headers.get(
+            "X-Request-Id"
+        ) or obs.new_request_id()
+        self._status = 0
+        endpoint = (
+            path if path in _GET_ROUTES or path in _POST_ROUTES else "<unknown>"
+        )
+        start = time.perf_counter()
+        with obs.request_context(self._request_id):
+            try:
+                self._route(method, path)
+            except ReproError as exc:
+                self._send_error(422, str(exc), detail=type(exc).__name__)
+            except (BrokenPipeError, ConnectionResetError):  # client went away
+                raise
+            except Exception as exc:  # keep the handler thread alive
+                obs.log_event(
+                    _LOG, "http.error", level=40,
+                    endpoint=endpoint, error=f"{type(exc).__name__}: {exc}",
+                )
+                if not self._status:
+                    self._send_error(
+                        500,
+                        "internal server error",
+                        detail=f"{type(exc).__name__}: {exc}",
+                    )
+            finally:
+                # Record inside the request context so the http.request log
+                # line carries the request_id for correlation.
+                elapsed = time.perf_counter() - start
+                self.service._record_request(
+                    endpoint, method, self._status, elapsed
+                )
+
+    def _route(self, method: str, path: str) -> None:
+        if path in _GET_ROUTES:
+            if method != "GET":
+                self._send_error(
+                    405,
+                    "method not allowed",
+                    detail=f"{path} supports GET",
+                    allow="GET",
+                )
+                return
+            if path == "/health":
+                self._handle_health()
+            else:
+                self._handle_metrics()
             return
+        if path in _POST_ROUTES:
+            if method != "POST":
+                self._send_error(
+                    405,
+                    "method not allowed",
+                    detail=f"{path} supports POST",
+                    allow="POST",
+                )
+                return
+            payload = self._read_json()
+            if payload is None:
+                return
+            handlers = {
+                "/recommend": self._handle_recommend,
+                "/spaces": self._handle_spaces,
+                "/explain": self._handle_explain,
+                "/goals": self._handle_goals,
+                "/related": self._handle_related,
+            }
+            handlers[path](payload)
+            return
+        self._send_error(
+            404,
+            f"unknown path {path}",
+            detail={"get": list(_GET_ROUTES), "post": list(_POST_ROUTES)},
+        )
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+
+    def _handle_health(self) -> None:
         model = self.service.model
         self._send_json(
             200,
             {
                 "status": "ok",
+                "version": __version__,
                 "implementations": model.num_implementations,
                 "goals": model.num_goals,
                 "actions": model.num_actions,
                 "strategies": list(PAPER_STRATEGIES),
+                "library": dataclasses.asdict(model.stats()),
             },
         )
 
-    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
-        handlers = {
-            "/recommend": self._handle_recommend,
-            "/spaces": self._handle_spaces,
-            "/explain": self._handle_explain,
-            "/goals": self._handle_goals,
-            "/related": self._handle_related,
-        }
-        handler = handlers.get(self.path)
-        if handler is None:
-            self._send_json(404, {"error": f"unknown path {self.path}"})
-            return
-        payload = self._read_json()
-        if payload is None:
-            return
-        try:
-            handler(payload)
-        except ReproError as exc:
-            self._send_json(422, {"error": str(exc)})
+    def _handle_metrics(self) -> None:
+        self._send_text(
+            200,
+            self.service.registry.render(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
 
     def _handle_recommend(self, payload: dict) -> None:
         activity = self._activity_from(payload)
@@ -131,7 +275,9 @@ class _Handler(BaseHTTPRequestHandler):
         k = payload.get("k", 10)
         strategy = payload.get("strategy", "breadth")
         if not isinstance(k, int):
-            self._send_json(400, {"error": "'k' must be an integer"})
+            self._send_error(
+                400, "'k' must be an integer", detail=f"got {k!r}"
+            )
             return
         result = self.service.recommender.recommend(
             activity, k=k, strategy=strategy
@@ -171,12 +317,14 @@ class _Handler(BaseHTTPRequestHandler):
         scorer = payload.get("scorer", "coverage")
         top = payload.get("top", 10)
         if not isinstance(top, int) or top <= 0:
-            self._send_json(400, {"error": "'top' must be a positive integer"})
+            self._send_error(
+                400, "'top' must be a positive integer", detail=f"got {top!r}"
+            )
             return
         try:
             inferencer = GoalInferencer(self.service.model, scorer=scorer)
         except ValueError as exc:
-            self._send_json(400, {"error": str(exc)})
+            self._send_error(400, str(exc), detail="body key 'scorer'")
             return
         inferred = inferencer.infer(activity, top=top)
         self._send_json(
@@ -195,11 +343,15 @@ class _Handler(BaseHTTPRequestHandler):
 
         action = payload.get("action")
         if not isinstance(action, str):
-            self._send_json(400, {"error": "'action' must be a string"})
+            self._send_error(
+                400, "'action' must be a string", detail=f"got {action!r}"
+            )
             return
         k = payload.get("k", 10)
         if not isinstance(k, int) or k <= 0:
-            self._send_json(400, {"error": "'k' must be a positive integer"})
+            self._send_error(
+                400, "'k' must be a positive integer", detail=f"got {k!r}"
+            )
             return
         related = related_actions(self.service.model, action, k=k)
         self._send_json(
@@ -219,7 +371,9 @@ class _Handler(BaseHTTPRequestHandler):
             return
         action = payload.get("action")
         if not isinstance(action, str):
-            self._send_json(400, {"error": "'action' must be a string"})
+            self._send_error(
+                400, "'action' must be a string", detail=f"got {action!r}"
+            )
             return
         evidence = self.service.recommender.explain(activity, action)
         self._send_json(
@@ -242,6 +396,12 @@ class RecommenderService:
         host: bind address (loopback by default).
         port: TCP port; 0 binds an ephemeral port (read :attr:`port` after
             construction).
+        registry: metrics registry backing ``GET /metrics`` and the request
+            accounting; defaults to the process-wide registry (resolved at
+            request time), which is also where the recommend-path
+            instrumentation records.
+        enable_metrics: turn on process-wide metric recording at
+            construction (tracing is left as-is).
     """
 
     def __init__(
@@ -249,17 +409,54 @@ class RecommenderService:
         model: AssociationGoalModel,
         host: str = "127.0.0.1",
         port: int = 0,
+        registry: obs.MetricsRegistry | None = None,
+        enable_metrics: bool = True,
     ) -> None:
         self.model = model
         self.recommender = GoalRecommender(model)
+        self._registry = registry
+        if enable_metrics:
+            obs.enable(metrics=True, tracing=False)
         handler = type("BoundHandler", (_Handler,), {"service": self})
         self._server = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
 
     @property
+    def registry(self) -> obs.MetricsRegistry:
+        """The registry served by ``GET /metrics``."""
+        return self._registry if self._registry is not None else obs.get_registry()
+
+    @property
     def port(self) -> int:
         """The bound TCP port (useful with ``port=0``)."""
         return self._server.server_address[1]
+
+    def _record_request(
+        self, endpoint: str, method: str, status: int, elapsed: float
+    ) -> None:
+        """Account one handled request in the registry and the logs."""
+        registry = self.registry
+        registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by endpoint, method and status.",
+            endpoint=endpoint, method=method, status=str(status),
+        ).inc()
+        if status >= 400:
+            registry.counter(
+                "repro_http_errors_total",
+                "HTTP error responses (status >= 400), by endpoint and status.",
+                endpoint=endpoint, status=str(status),
+            ).inc()
+        registry.histogram(
+            "repro_http_request_seconds",
+            "Wall-clock request handling time, by endpoint.",
+            endpoint=endpoint,
+        ).observe(elapsed)
+        obs.log_event(
+            _LOG, "http.request", level=20,
+            endpoint=endpoint, method=method, status=status,
+            seconds=round(elapsed, 6),
+        )
 
     def start(self) -> "RecommenderService":
         """Serve requests on a daemon thread; returns ``self``."""
@@ -269,6 +466,10 @@ class RecommenderService:
             target=self._server.serve_forever, daemon=True
         )
         self._thread.start()
+        obs.log_event(
+            _LOG, "service.start", version=__version__,
+            port=self.port, implementations=self.model.num_implementations,
+        )
         return self
 
     def stop(self) -> None:
@@ -279,6 +480,7 @@ class RecommenderService:
         self._thread.join()
         self._server.server_close()
         self._thread = None
+        obs.log_event(_LOG, "service.stop")
 
     def __enter__(self) -> "RecommenderService":
         return self.start()

@@ -123,13 +123,7 @@ def lemma_lite(token: str) -> str:
     return token
 
 
-def normalize_phrase(phrase: str) -> str:
-    """Canonical form of an action phrase.
-
-    Lowercases, tokenizes, strips lead-ins and stopwords, lemmatizes the
-    verb position and joins with single spaces.  Returns ``""`` when nothing
-    content-bearing remains.
-    """
+def _normalize_once(phrase: str) -> str:
     tokens = strip_trailing_fillers(strip_leading_prefixes(words(phrase)))
     content = [token for token in tokens if token not in STOPWORDS]
     while content and content[-1] in TRAILING_DANGLERS:
@@ -138,3 +132,25 @@ def normalize_phrase(phrase: str) -> str:
         return ""
     content[0] = lemma_lite(content[0])
     return " ".join(content)
+
+
+def normalize_phrase(phrase: str) -> str:
+    """Canonical form of an action phrase.
+
+    Lowercases, tokenizes, strips lead-ins and stopwords, lemmatizes the
+    verb position and joins with single spaces.  Returns ``""`` when nothing
+    content-bearing remains.
+
+    One pass is not a fixed point: dropping a stopword can expose a leading
+    prefix ("a i" -> "i" -> "") or a trailing filler ("run every day the" ->
+    "run every day" -> "run"), and lemmatization can surface a strippable
+    form.  Each pass shortens the phrase (or ends the loop), so iterating to
+    a fixed point terminates and makes the result idempotent — a requirement
+    for canonical action identity.
+    """
+    result = _normalize_once(phrase)
+    while True:
+        again = _normalize_once(result)
+        if again == result:
+            return result
+        result = again

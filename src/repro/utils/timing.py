@@ -5,11 +5,17 @@ strategies as the implementation library grows.  :class:`Stopwatch`
 accumulates named timings across repeated calls, and :func:`timed` measures a
 single callable.  ``time.perf_counter`` is used throughout: it is monotonic
 and has the highest available resolution.
+
+:class:`Stopwatch` is thread-safe: the HTTP service's handler threads (and
+any other concurrent caller) may record into one shared instance.  Both
+classes are re-exported from :mod:`repro.obs`, the observability entry
+point.
 """
 
 from __future__ import annotations
 
 import statistics
+import threading
 import time
 from collections import defaultdict
 from collections.abc import Callable, Iterator
@@ -52,6 +58,7 @@ class Stopwatch:
     """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._samples: dict[str, list[float]] = defaultdict(list)
 
     @contextmanager
@@ -61,26 +68,30 @@ class Stopwatch:
         try:
             yield
         finally:
-            self._samples[name].append(time.perf_counter() - start)
+            self.record(name, time.perf_counter() - start)
 
     def record(self, name: str, seconds: float) -> None:
         """Record an externally measured sample."""
-        self._samples[name].append(seconds)
+        with self._lock:
+            self._samples[name].append(seconds)
 
     def samples(self, name: str) -> list[float]:
         """Return a copy of the raw samples recorded under ``name``."""
-        return list(self._samples[name])
+        with self._lock:
+            return list(self._samples[name])
 
     def names(self) -> list[str]:
         """Return the labels that have at least one sample, sorted."""
-        return sorted(self._samples)
+        with self._lock:
+            return sorted(self._samples)
 
     def summary(self, name: str) -> TimingSummary:
         """Return aggregate statistics for ``name``.
 
         Raises :class:`KeyError` when no samples were recorded for ``name``.
         """
-        samples = self._samples.get(name)
+        with self._lock:
+            samples = list(self._samples.get(name) or ())
         if not samples:
             raise KeyError(f"no samples recorded for {name!r}")
         return TimingSummary(
@@ -102,7 +113,8 @@ class Stopwatch:
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
-        samples = self._samples.get(name)
+        with self._lock:
+            samples = list(self._samples.get(name) or ())
         if not samples:
             raise KeyError(f"no samples recorded for {name!r}")
         ordered = sorted(samples)
