@@ -119,6 +119,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--library", type=Path, required=True)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="recommendation LRU capacity (0 disables result caching)",
+    )
+    serve.add_argument(
+        "--space-cache-size", type=int, default=4096,
+        help="implementation-space memo capacity (0 disables the memo)",
+    )
 
     goals = commands.add_parser(
         "goals", help="infer the goals an activity points at"
@@ -280,13 +288,21 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
 
     library = JsonLibraryStore(args.library).load()
     model = AssociationGoalModel.from_library(library)
-    service = RecommenderService(model, host=args.host, port=args.port)
+    service = RecommenderService(
+        model,
+        host=args.host,
+        port=args.port,
+        # getattr: tests drive this with hand-built Namespace objects that
+        # predate the cache flags.
+        cache_size=getattr(args, "cache_size", 1024),
+        space_cache_size=getattr(args, "space_cache_size", 4096),
+    )
     service.start()
     print(
         f"serving {model.num_implementations} implementations on "
         f"http://{args.host}:{service.port} "
-        "(endpoints: /health /metrics /recommend /spaces /explain "
-        "/goals /related)"
+        "(endpoints: /health /metrics /model /recommend /recommend/batch "
+        "/spaces /explain /goals /related)"
     )
     if not block:  # test hook: caller owns the lifecycle
         service.stop()

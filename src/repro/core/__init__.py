@@ -6,6 +6,12 @@ from repro.core.entities import (
     ScoredAction,
     UserActivity,
 )
+from repro.core.caching import (
+    CachedModelView,
+    CacheStats,
+    CachingRecommender,
+    LRUCache,
+)
 from repro.core.explain import Explanation, explain_action, render_explanation
 from repro.core.goal_inference import GoalInferencer
 from repro.core.incremental import IncrementalGoalModel
@@ -31,6 +37,10 @@ __all__ = [
     "LibraryStats",
     "AssociationGoalModel",
     "IncrementalGoalModel",
+    "LRUCache",
+    "CacheStats",
+    "CachedModelView",
+    "CachingRecommender",
     "GoalInferencer",
     "Explanation",
     "explain_action",

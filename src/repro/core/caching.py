@@ -1,0 +1,331 @@
+"""Serving-layer caches over the goal model (paper Section 4's indexes, warm).
+
+The reference strategies recompute the implementation space ``IS(H)`` and the
+full ranking on every request.  At serving scale (the paper motivates the
+index structures with a 20K-cart FoodMart workload) two observations make a
+cache pay for itself:
+
+- activities repeat — carts cluster around popular product combinations, so
+  a small LRU keyed on ``(strategy, frozen activity, k)`` answers a large
+  fraction of ``/recommend`` traffic without ranking at all;
+- distinct activities overlap — different requests share ``IS(H)``
+  sub-queries, so memoizing ``implementation_space`` accelerates even cache
+  *misses*.
+
+Three pieces live here:
+
+- :class:`LRUCache` — a thread-safe, size-bounded LRU with hit/miss/eviction
+  counters and a lookup-latency histogram registered in :mod:`repro.obs`
+  (families ``repro_cache_*``, labelled by cache name);
+- :class:`CachedModelView` — a read-only proxy over an
+  :class:`~repro.core.model.AssociationGoalModel` that memoizes
+  ``implementation_space`` (and the ``GS``/``AS`` queries derived from it)
+  through an :class:`LRUCache`;
+- :class:`CachingRecommender` — a :class:`~repro.core.recommender.GoalRecommender`
+  wrapper that consults the recommendation LRU before ranking.
+
+All caches are invalidated wholesale by the serving layer's *generation
+counter* when the model mutates (see ``docs/serving.md``); entries never
+carry their own TTL, so a cached value is exactly as fresh as its
+generation.  Results served from the cache are the same
+:class:`~repro.core.entities.RecommendationList` objects the reference path
+produced — bit-identical by construction (asserted in the parity suite).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Iterable
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any
+
+from repro import obs
+from repro.core.entities import ActionLabel, GoalLabel, RecommendationList
+from repro.core.model import AssociationGoalModel
+from repro.core.recommender import GoalRecommender
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """A point-in-time view of one cache's counters."""
+
+    name: str
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, 0.0 before the first lookup."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """A thread-safe, size-bounded LRU cache with metrics.
+
+    Lookups and stores are O(1); the least recently *looked up* entry is
+    evicted when the cache is full.  Counters are kept locally (so
+    :meth:`stats` works with observability off) and mirrored into the
+    process metrics registry when metric recording is enabled:
+
+    - ``repro_cache_hits_total{cache=...}`` / ``repro_cache_misses_total``
+    - ``repro_cache_evictions_total`` / ``repro_cache_invalidations_total``
+    - ``repro_cache_size`` (gauge)
+    - ``repro_cache_lookup_seconds`` (histogram, sub-microsecond buckets)
+
+    A ``maxsize`` of 0 disables the cache: every lookup misses and stores
+    are dropped, so call sites need no branching.
+    """
+
+    def __init__(self, maxsize: int, name: str = "default") -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self.name = name
+        self._maxsize = maxsize
+        self._lock = threading.Lock()
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Metrics plumbing
+    # ------------------------------------------------------------------
+
+    def _record_lookup(self, hit: bool, elapsed: float) -> None:
+        registry = obs.get_registry()
+        outcome = "hits" if hit else "misses"
+        registry.counter(
+            f"repro_cache_{outcome}_total",
+            f"Cache lookup {outcome}, by cache name.",
+            cache=self.name,
+        ).inc()
+        registry.histogram(
+            "repro_cache_lookup_seconds",
+            "Cache lookup latency (hit or miss), by cache name.",
+            buckets=obs.CACHE_LOOKUP_BUCKETS,
+            cache=self.name,
+        ).observe(elapsed)
+
+    def _record_gauge(self, size: int) -> None:
+        obs.get_registry().gauge(
+            "repro_cache_size",
+            "Live entries in the cache, by cache name.",
+            cache=self.name,
+        ).set(size)
+
+    # ------------------------------------------------------------------
+    # Cache operations
+    # ------------------------------------------------------------------
+
+    @property
+    def maxsize(self) -> int:
+        """The configured capacity (0 = caching disabled)."""
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def lookup(self, key: Any) -> tuple[bool, Any]:
+        """Return ``(hit, value)``; ``value`` is ``None`` on a miss."""
+        start = perf_counter()
+        with self._lock:
+            value = self._data.get(key, _SENTINEL)
+            if value is not _SENTINEL:
+                self._data.move_to_end(key)
+                self._hits += 1
+                hit = True
+            else:
+                self._misses += 1
+                hit = False
+                value = None
+        if obs.metrics_enabled():
+            self._record_lookup(hit, perf_counter() - start)
+        return hit, value
+
+    def store(self, key: Any, value: Any) -> None:
+        """Insert (or refresh) ``key``, evicting the LRU entry when full."""
+        if self._maxsize == 0:
+            return
+        evicted = 0
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+                evicted += 1
+            self._evictions += evicted
+            size = len(self._data)
+        if obs.metrics_enabled():
+            if evicted:
+                obs.get_registry().counter(
+                    "repro_cache_evictions_total",
+                    "Entries evicted by the LRU policy, by cache name.",
+                    cache=self.name,
+                ).inc(evicted)
+            self._record_gauge(size)
+
+    def get_or_compute(self, key: Any, compute: Any) -> Any:
+        """Return the cached value for ``key``, computing and storing on miss.
+
+        ``compute`` runs *outside* the cache lock, so concurrent misses on
+        the same key may compute twice — both arrive at the same value (the
+        compute functions used here are deterministic), and the second store
+        simply refreshes the entry.
+        """
+        hit, value = self.lookup(key)
+        if hit:
+            return value
+        value = compute()
+        self.store(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry and count one invalidation."""
+        with self._lock:
+            self._data.clear()
+            self._invalidations += 1
+        if obs.metrics_enabled():
+            obs.get_registry().counter(
+                "repro_cache_invalidations_total",
+                "Wholesale cache invalidations (e.g. model generation "
+                "swaps), by cache name.",
+                cache=self.name,
+            ).inc()
+            self._record_gauge(0)
+
+    def stats(self) -> CacheStats:
+        """Snapshot the counters (works with observability disabled)."""
+        with self._lock:
+            return CacheStats(
+                name=self.name,
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                size=len(self._data),
+                maxsize=self._maxsize,
+            )
+
+
+class CachedModelView:
+    """Read-only model proxy memoizing ``implementation_space``.
+
+    ``IS(H)`` is the shared sub-query of every space query and every
+    strategy: ``GS``/``AS`` are projections of it, and each ranking pass
+    starts from it.  This view delegates the full
+    :class:`AssociationGoalModel` query surface and routes the three space
+    queries through one memoized ``IS`` lookup, so repeated and overlapping
+    activities skip the inverted-index unions.
+
+    The view never mutates the underlying model and the memoized sets are
+    handed out by reference — callers (the shipped strategies) treat them as
+    read-only, which keeps hits allocation-free.
+    """
+
+    def __init__(
+        self, model: AssociationGoalModel, cache: LRUCache | None = None
+    ) -> None:
+        self._model = model
+        self._cache = cache if cache is not None else LRUCache(
+            4096, name="implementation_space"
+        )
+
+    @property
+    def wrapped(self) -> AssociationGoalModel:
+        """The underlying immutable model."""
+        return self._model
+
+    @property
+    def space_cache(self) -> LRUCache:
+        """The LRU memoizing ``implementation_space``."""
+        return self._cache
+
+    def __getattr__(self, name: str) -> Any:
+        # Everything not overridden below (label translation, index access,
+        # derived statistics) delegates to the wrapped model unchanged.
+        return getattr(self._model, name)
+
+    def implementation_space(self, activity: frozenset[int]) -> set[int]:
+        """Memoized ``IS(H)``."""
+        return self._cache.get_or_compute(
+            activity, lambda: self._model.implementation_space(activity)
+        )
+
+    def goal_space(self, activity: frozenset[int]) -> set[int]:
+        """``GS(H)`` derived from the memoized ``IS(H)``."""
+        return {
+            self._model.implementation_goal(pid)
+            for pid in self.implementation_space(activity)
+        }
+
+    def action_space(self, activity: frozenset[int]) -> set[int]:
+        """``AS(H)`` derived from the memoized ``IS(H)``."""
+        space: set[int] = set()
+        for pid in self.implementation_space(activity):
+            space |= self._model.implementation_actions(pid)
+        return space
+
+    def candidate_actions(self, activity: frozenset[int]) -> set[int]:
+        """``AS(H) − H`` via the memoized space."""
+        return self.action_space(activity) - activity
+
+    def goal_space_labels(
+        self, activity: Iterable[ActionLabel]
+    ) -> set[GoalLabel]:
+        """Label-level ``GS(H)`` through the memoized path."""
+        encoded = self._model.encode_activity(activity)
+        return {
+            self._model.goal_label(gid) for gid in self.goal_space(encoded)
+        }
+
+    def action_space_labels(
+        self, activity: Iterable[ActionLabel]
+    ) -> set[ActionLabel]:
+        """Label-level ``AS(H)`` through the memoized path."""
+        encoded = self._model.encode_activity(activity)
+        return {
+            self._model.action_label(aid) for aid in self.action_space(encoded)
+        }
+
+
+class CachingRecommender:
+    """LRU front over a :class:`GoalRecommender`.
+
+    Results are keyed on ``(strategy, frozen activity, k)`` — the activity
+    at the *label* level, so two raw activities that encode to the same id
+    set still get their own entries (their ``RecommendationList.activity``
+    fields differ).  A hit returns the exact object the reference path
+    produced earlier; a miss delegates and stores.
+    """
+
+    def __init__(
+        self, recommender: GoalRecommender, cache: LRUCache
+    ) -> None:
+        self.recommender = recommender
+        self.cache = cache
+
+    def recommend(
+        self,
+        activity: Iterable[ActionLabel],
+        k: int = 10,
+        strategy: str | None = None,
+    ) -> tuple[RecommendationList, bool]:
+        """Return ``(result, cache_hit)`` for one request."""
+        chosen = strategy or self.recommender.default_strategy
+        key = (chosen, frozenset(activity), k)
+        hit, cached = self.cache.lookup(key)
+        if hit:
+            return cached, True
+        result = self.recommender.recommend(key[1], k=k, strategy=chosen)
+        self.cache.store(key, result)
+        return result, False

@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.core.entities import ActionLabel, GoalImplementation, GoalLabel
-from repro.core.library import ImplementationLibrary
+from repro.core.library import ImplementationLibrary, LibraryStats
 from repro.core.model import AssociationGoalModel
 from repro.exceptions import ModelError, UnknownActionError, UnknownGoalError
 
@@ -265,6 +265,53 @@ class IncrementalGoalModel:
         """Label-level ``GS(H)``."""
         encoded = self.encode_activity(activity)
         return {self._goals[gid] for gid in self.goal_space(encoded)}
+
+    # ------------------------------------------------------------------
+    # Derived statistics (defined for every model state, including empty)
+    # ------------------------------------------------------------------
+
+    def live_implementation_ids(self) -> list[int]:
+        """Ids of the live implementations, ascending."""
+        return sorted(self._impl_actions)
+
+    def connectivity(self) -> float:
+        """Average live implementations per action *with* live implementations.
+
+        Orphaned actions (interned, but every implementation containing them
+        was removed) are excluded from the denominator, matching what a
+        freeze-and-recount would measure.  A model with no live
+        implementations has connectivity 0.0 — not a :class:`ZeroDivisionError`.
+        """
+        live_counts = [len(s) for s in self._action_impls.values() if s]
+        if not live_counts:
+            return 0.0
+        return sum(live_counts) / len(live_counts)
+
+    def stats(self) -> LibraryStats:
+        """Library statistics over the *live* implementations.
+
+        Counts goals and actions that currently participate in at least one
+        live implementation, so the numbers agree with :meth:`freeze` (which
+        drops orphans).  With zero live implementations every field is a
+        well-defined zero — the incremental model intentionally outlives the
+        remove-the-last-implementation edge that the frozen model rejects.
+        """
+        lengths = [len(actions) for actions in self._impl_actions.values()]
+        live_goals = sum(1 for pids in self._goal_impls.values() if pids)
+        live_actions = sum(1 for pids in self._action_impls.values() if pids)
+        return LibraryStats(
+            num_implementations=len(lengths),
+            num_goals=live_goals,
+            num_actions=live_actions,
+            connectivity=self.connectivity(),
+            avg_implementation_length=(
+                sum(lengths) / len(lengths) if lengths else 0.0
+            ),
+            max_implementation_length=max(lengths, default=0),
+            avg_implementations_per_goal=(
+                len(lengths) / live_goals if live_goals else 0.0
+            ),
+        )
 
     def action_space_labels(self, activity: Iterable[ActionLabel]) -> set[ActionLabel]:
         """Label-level ``AS(H)``."""

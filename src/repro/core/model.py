@@ -390,18 +390,53 @@ class AssociationGoalModel:
         :class:`ModelError` when no implementation survives (the projection
         would be empty).
         """
-        wanted = {goal for goal in goals if goal in self._goal_to_id}
-        library = ImplementationLibrary()
-        for pid in range(len(self._impl_actions)):
-            impl = self.implementation(pid)
-            if impl.goal in wanted:
-                library.add(impl)
-        if len(library) == 0:
+        wanted = {
+            self._goal_to_id[goal]
+            for goal in goals
+            if goal in self._goal_to_id
+        }
+        # Project at the id level via G-GI-idx: collect the surviving
+        # implementation ids directly instead of round-tripping every
+        # implementation through label-level objects and a fresh library.
+        pids = sorted(pid for gid in wanted for pid in self._goal_impls[gid])
+        if not pids:
             raise ModelError(
                 "restriction matches no implementation; the projected "
                 "model would be empty"
             )
-        return AssociationGoalModel.from_library(library)
+        # Re-densify ids exactly as from_library would: goals in first-seen
+        # order, actions in first-seen order of the per-implementation
+        # label-sorted walk, duplicates collapsed.
+        actions: list[ActionLabel] = []
+        action_map: dict[int, int] = {}
+        new_goals: list[GoalLabel] = []
+        goal_map: dict[int, int] = {}
+        impl_actions: list[frozenset[int]] = []
+        impl_goal: list[int] = []
+        seen: set[tuple[int, frozenset[int]]] = set()
+        for pid in pids:
+            old_actions = self._impl_actions[pid]
+            old_gid = self._impl_goal[pid]
+            key = (old_gid, old_actions)
+            if key in seen:
+                continue
+            seen.add(key)
+            new_gid = goal_map.get(old_gid)
+            if new_gid is None:
+                new_gid = len(new_goals)
+                goal_map[old_gid] = new_gid
+                new_goals.append(self._goals[old_gid])
+            encoded = set()
+            for aid in sorted(old_actions, key=lambda a: str(self._actions[a])):
+                new_aid = action_map.get(aid)
+                if new_aid is None:
+                    new_aid = len(actions)
+                    action_map[aid] = new_aid
+                    actions.append(self._actions[aid])
+                encoded.add(new_aid)
+            impl_actions.append(frozenset(encoded))
+            impl_goal.append(new_gid)
+        return AssociationGoalModel(actions, new_goals, impl_actions, impl_goal)
 
     def goal_space_labels(self, activity: Iterable[ActionLabel]) -> set[GoalLabel]:
         """Label-level convenience wrapper over :meth:`goal_space`."""

@@ -51,6 +51,18 @@ class GoalRecommender:
         self.default_strategy = default_strategy
         self._strategies: dict[str, RankingStrategy] = {}
 
+    def with_model(self, model: AssociationGoalModel) -> "GoalRecommender":
+        """A recommender over ``model`` sharing this one's strategy cache.
+
+        Strategies are stateless with respect to the model (it is passed to
+        every ``rank`` call), so a hot-reloading serving layer can rebind
+        the facade to each new model generation without re-instantiating
+        the strategy objects.
+        """
+        rebound = GoalRecommender(model, default_strategy=self.default_strategy)
+        rebound._strategies = self._strategies
+        return rebound
+
     def strategy(self, name: str, **options: Any) -> RankingStrategy:
         """Return (and cache) a strategy instance by registry name.
 

@@ -43,6 +43,7 @@ from repro.obs.logs import (
     request_context,
 )
 from repro.obs.metrics import (
+    CACHE_LOOKUP_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
     Counter,
     Gauge,
@@ -81,6 +82,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DEFAULT_LATENCY_BUCKETS",
+    "CACHE_LOOKUP_BUCKETS",
     "get_registry",
     "set_registry",
     # tracing

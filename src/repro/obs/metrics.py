@@ -43,6 +43,14 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
     0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+#: Buckets for sub-microsecond operations (cache lookups, dict probes):
+#: 100ns .. 10ms.  ``DEFAULT_LATENCY_BUCKETS`` starts at 100µs, which would
+#: collapse every cache hit into the first bucket.
+CACHE_LOOKUP_BUCKETS: tuple[float, ...] = (
+    1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5,
+    5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 1e-2,
+)
+
 _METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 

@@ -1,4 +1,4 @@
-"""A minimal HTTP JSON service over the goal recommender (stdlib only).
+"""An HTTP JSON service over the goal recommender (stdlib only).
 
 Deployments usually front a recommender with a small service; this module
 provides one with zero dependencies beyond the standard library, suitable
@@ -7,21 +7,45 @@ internet).
 
 Endpoints (JSON unless noted):
 
-- ``GET  /health`` — liveness plus version, model statistics and library
-  size;
+- ``GET  /health`` — liveness plus version, model statistics, library size
+  and the current model generation;
 - ``GET  /metrics`` — Prometheus text exposition of the process metrics
   registry (request/error counters, per-strategy recommend latency
-  histograms, model gauges);
+  histograms, cache hit/miss/eviction counters, model gauges);
+- ``GET  /model`` — the serving state: generation counter, live model
+  sizes, and per-cache statistics (hits, misses, evictions, hit rate);
 - ``POST /recommend`` — body ``{"activity": [...], "k": 10,
-  "strategy": "breadth"}`` → ranked actions with scores;
+  "strategy": "breadth"}`` → ranked actions with scores (served through
+  the recommendation LRU; the response carries ``"cached"``);
+- ``POST /recommend/batch`` — body ``{"activities": [[...], ...], "k": 10,
+  "strategy": "breadth"}`` → one ranked list per activity, scored in bulk
+  by the CSR :class:`~repro.core.vectorized.BatchRecommender` (built once
+  per model generation, reused across requests);
 - ``POST /spaces`` — body ``{"activity": [...]}`` → the goal and action
   spaces of the activity (paper Equations 1-2);
 - ``POST /explain`` — body ``{"activity": [...], "action": "..."}`` → the
-  implementations grounding that candidate.
+  implementations grounding that candidate;
+- ``PUT    /model/implementations`` — body ``{"implementations":
+  [{"goal": g, "actions": [...]}, ...]}`` → hot-add implementations;
+- ``DELETE /model/implementations/<id>`` — hot-remove one implementation
+  by its (stable, incremental) id.
+
+Hot reload semantics: the service owns an
+:class:`~repro.core.incremental.IncrementalGoalModel` behind a
+readers-writer lock.  Mutations take the write lock, update the incremental
+indexes, refreeze a serving snapshot and bump the **generation counter**;
+the swap invalidates the recommendation and implementation-space LRUs and
+drops the CSR matrices, so no ``ThreadingHTTPServer`` worker thread ever
+observes a half-updated index.  Reads resolve the current snapshot under
+the read lock and then run lock-free against immutable state.
 
 Conventions:
 
 - errors share one shape, ``{"error": <message>, "detail": <context>}``;
+- invalid client input (bad ``k``, malformed ``Content-Length``, wrong
+  body shapes) answers ``400``; domain errors (unknown strategy, unknown
+  action) answer ``422``; a removal of an unknown implementation id
+  answers ``404``;
 - a known route hit with the wrong method answers ``405`` with an ``Allow``
   header (unknown paths answer ``404``);
 - every response echoes an ``X-Request-Id`` header — the client's, when it
@@ -46,22 +70,259 @@ import dataclasses
 import json
 import threading
 import time
+from collections.abc import Iterable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro import obs
 from repro._version import __version__
+from repro.core.caching import CachedModelView, CachingRecommender, LRUCache
+from repro.core.entities import ActionLabel, GoalLabel, RecommendationList
+from repro.core.incremental import IncrementalGoalModel
 from repro.core.model import AssociationGoalModel
 from repro.core.recommender import GoalRecommender, PAPER_STRATEGIES
-from repro.exceptions import ReproError
+from repro.exceptions import ModelError, ReproError
+from repro.utils.concurrency import RWLock
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB: an activity list, not a bulk upload
+_MAX_BATCH_BODY_BYTES = 8 << 20  # batch scoring legitimately ships more
+_MAX_BATCH_ACTIVITIES = 50_000  # backstop against unbounded fan-out
 
 #: Known routes by supported method; wrong-method hits answer 405.
-_GET_ROUTES = ("/health", "/metrics")
-_POST_ROUTES = ("/recommend", "/spaces", "/explain", "/goals", "/related")
+_GET_ROUTES = ("/health", "/metrics", "/model")
+_POST_ROUTES = (
+    "/recommend", "/recommend/batch", "/spaces", "/explain", "/goals",
+    "/related",
+)
+_PUT_ROUTES = ("/model/implementations",)
+#: Prefix for the parametrized DELETE route; the trailing segment is the
+#: implementation id.  Metrics label it with the literal ``<id>`` placeholder
+#: to keep cardinality bounded.
+_DELETE_PREFIX = "/model/implementations/"
+_DELETE_ENDPOINT = "/model/implementations/<id>"
 
 _LOG = obs.get_logger("repro.service")
+
+
+class ModelSnapshot:
+    """One immutable model generation plus its lazily built scorers.
+
+    Everything a read path needs hangs off the snapshot, so a handler
+    resolves it once (under the read lock) and then runs against state that
+    no writer will ever mutate.  ``frozen`` is ``None`` for the empty model
+    (every implementation removed) — read endpoints degrade to empty
+    results instead of erroring.
+    """
+
+    __slots__ = (
+        "generation", "frozen", "recommender", "caching_recommender",
+        "_batch", "_batch_lock",
+    )
+
+    def __init__(
+        self,
+        generation: int,
+        frozen: AssociationGoalModel | None,
+        recommender: GoalRecommender | None,
+        caching_recommender: CachingRecommender | None,
+    ) -> None:
+        self.generation = generation
+        self.frozen = frozen
+        self.recommender = recommender
+        self.caching_recommender = caching_recommender
+        self._batch = None
+        self._batch_lock = threading.Lock()
+
+    def batch(self):
+        """The CSR :class:`BatchRecommender` for this generation.
+
+        Built on first use and reused for every later batch request of the
+        same generation; returns ``None`` when the model is empty or the
+        vectorized engine's dependencies (NumPy/SciPy) are unavailable.
+        """
+        if self.frozen is None:
+            return None
+        with self._batch_lock:
+            if self._batch is None:
+                try:
+                    from repro.core.vectorized import BatchRecommender
+                except ImportError:
+                    return None
+                self._batch = BatchRecommender(self.frozen)
+            return self._batch
+
+
+class ModelManager:
+    """The mutable serving state: incremental model, caches, generation.
+
+    Readers call :meth:`snapshot` (read lock, O(1)) and work against the
+    returned :class:`ModelSnapshot`.  Writers (:meth:`add_implementations`,
+    :meth:`remove_implementation`) take the write lock for the whole
+    mutate-refreeze-invalidate-swap sequence, so the generation counter,
+    the caches and the indexes always change together.
+    """
+
+    def __init__(
+        self,
+        incremental: IncrementalGoalModel,
+        cache_size: int = 1024,
+        space_cache_size: int = 4096,
+    ) -> None:
+        self._lock = RWLock()
+        self._incremental = incremental
+        self._generation = 0
+        self.recommendation_cache = LRUCache(cache_size, name="recommendations")
+        self.space_cache = LRUCache(space_cache_size, name="implementation_space")
+        self._base_recommender: GoalRecommender | None = None
+        self._snapshot = self._build_snapshot()
+        self._publish_generation()
+
+    # ------------------------------------------------------------------
+    # Snapshot construction and swap (callers hold the write lock, or are
+    # still single-threaded in __init__)
+    # ------------------------------------------------------------------
+
+    def _build_snapshot(self) -> ModelSnapshot:
+        if self._incremental.num_implementations == 0:
+            return ModelSnapshot(self._generation, None, None, None)
+        frozen = self._incremental.freeze()
+        cached_view = CachedModelView(frozen, cache=self.space_cache)
+        if self._base_recommender is None:
+            recommender = GoalRecommender(cached_view)
+        else:
+            # Rebind instead of rebuilding so strategy instances survive
+            # generation swaps.
+            recommender = self._base_recommender.with_model(cached_view)
+        self._base_recommender = recommender
+        return ModelSnapshot(
+            self._generation,
+            frozen,
+            recommender,
+            CachingRecommender(recommender, self.recommendation_cache),
+        )
+
+    def _publish_generation(self) -> None:
+        if obs.metrics_enabled():
+            obs.get_registry().gauge(
+                "repro_model_generation",
+                "Current model generation of the serving layer.",
+            ).set(self._generation)
+
+    def _swap_locked(self, op: str) -> ModelSnapshot:
+        self._generation += 1
+        # Invalidate both caches before the new snapshot becomes visible:
+        # every entry was computed against the previous generation.
+        self.recommendation_cache.clear()
+        self.space_cache.clear()
+        self._snapshot = self._build_snapshot()
+        self._publish_generation()
+        if obs.metrics_enabled():
+            obs.get_registry().counter(
+                "repro_model_reloads_total",
+                "Hot model mutations applied, by operation.",
+                op=op,
+            ).inc()
+        obs.log_event(
+            _LOG, "model.reload", op=op, generation=self._generation,
+            implementations=self._incremental.num_implementations,
+        )
+        return self._snapshot
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The current generation counter."""
+        with self._lock.read_locked():
+            return self._generation
+
+    def snapshot(self) -> ModelSnapshot:
+        """The current immutable serving snapshot."""
+        with self._lock.read_locked():
+            return self._snapshot
+
+    def stats(self) -> dict[str, Any]:
+        """Live model statistics for ``/health`` (consistent read)."""
+        with self._lock.read_locked():
+            model = self._incremental
+            return {
+                "generation": self._generation,
+                "implementations": model.num_implementations,
+                "goals": model.num_goals,
+                "actions": model.num_actions,
+                "library": dataclasses.asdict(model.stats()),
+            }
+
+    def describe(self) -> dict[str, Any]:
+        """Serving-state summary for ``GET /model``."""
+        with self._lock.read_locked():
+            model = self._incremental
+            generation = self._generation
+            live = model.live_implementation_ids()
+        caches = {}
+        for cache in (self.recommendation_cache, self.space_cache):
+            stats = cache.stats()
+            payload = dataclasses.asdict(stats)
+            payload["hit_rate"] = stats.hit_rate
+            caches[stats.name] = payload
+        return {
+            "generation": generation,
+            "implementations": len(live),
+            "max_implementation_id": live[-1] if live else None,
+            "caches": caches,
+        }
+
+    def recommend(
+        self,
+        activity: Iterable[ActionLabel],
+        k: int,
+        strategy: str,
+    ) -> tuple[RecommendationList, bool, int]:
+        """One cached recommendation: ``(result, cache_hit, generation)``."""
+        snap = self.snapshot()
+        if snap.caching_recommender is None:
+            return (
+                RecommendationList(strategy=strategy, items=(),
+                                   activity=frozenset(activity)),
+                False,
+                snap.generation,
+            )
+        result, hit = snap.caching_recommender.recommend(
+            activity, k=k, strategy=strategy
+        )
+        return result, hit, snap.generation
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+
+    def add_implementations(
+        self, pairs: list[tuple[GoalLabel, list[ActionLabel]]]
+    ) -> tuple[list[int], ModelSnapshot]:
+        """Hot-add implementations; returns their ids and the new snapshot."""
+        with self._lock.write_locked():
+            ids = [
+                self._incremental.add_implementation(goal, actions)
+                for goal, actions in pairs
+            ]
+            return ids, self._swap_locked("add")
+
+    def remove_implementation(self, pid: int) -> ModelSnapshot:
+        """Hot-remove implementation ``pid``; returns the new snapshot.
+
+        Raises :class:`ModelError` when ``pid`` is not live (mapped to 404
+        by the HTTP layer).
+        """
+        with self._lock.write_locked():
+            self._incremental.remove_implementation(pid)
+            return self._swap_locked("remove")
+
+    @property
+    def incremental(self) -> IncrementalGoalModel:
+        """The underlying incremental model (mutate via the manager only)."""
+        return self._incremental
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -111,13 +372,24 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_headers(status, content_type, len(body), None)
         self.wfile.write(body)
 
-    def _read_json(self) -> dict | None:
-        length = int(self.headers.get("Content-Length", 0))
-        if length <= 0 or length > _MAX_BODY_BYTES:
+    def _read_json(self, max_bytes: int = _MAX_BODY_BYTES) -> dict | None:
+        raw_length = self.headers.get("Content-Length", "0")
+        try:
+            length = int(raw_length)
+        except (TypeError, ValueError):
+            # A malformed header is client error, not a reason to take the
+            # handler thread down with a ValueError.
+            self._send_error(
+                400,
+                "malformed Content-Length header",
+                detail=f"got {raw_length!r}",
+            )
+            return None
+        if length <= 0 or length > max_bytes:
             self._send_error(
                 400,
                 "missing or oversized body",
-                detail=f"Content-Length must be in (0, {_MAX_BODY_BYTES}]",
+                detail=f"Content-Length must be in (0, {max_bytes}]",
             )
             return None
         try:
@@ -147,6 +419,37 @@ class _Handler(BaseHTTPRequestHandler):
             return None
         return activity
 
+    def _positive_int_from(
+        self, payload: dict, key: str, default: int
+    ) -> int | None:
+        """Validate an optional positive-integer body key, else answer 400.
+
+        Booleans are rejected explicitly — ``True`` is an ``int`` to
+        ``isinstance`` but never a meaningful ``k``.
+        """
+        value = payload.get(key, default)
+        if (
+            isinstance(value, bool)
+            or not isinstance(value, int)
+            or value <= 0
+        ):
+            self._send_error(
+                400,
+                f"'{key}' must be a positive integer",
+                detail=f"got {value!r}",
+            )
+            return None
+        return value
+
+    def _strategy_from(self, payload: dict) -> str | None:
+        strategy = payload.get("strategy", "breadth")
+        if not isinstance(strategy, str):
+            self._send_error(
+                400, "'strategy' must be a string", detail=f"got {strategy!r}"
+            )
+            return None
+        return strategy
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
@@ -163,6 +466,15 @@ class _Handler(BaseHTTPRequestHandler):
     def do_DELETE(self) -> None:  # noqa: N802 (stdlib naming)
         self._dispatch("DELETE")
 
+    @staticmethod
+    def _endpoint_label(path: str) -> str:
+        """Metrics endpoint label; parametrized paths collapse to one label."""
+        if path in _GET_ROUTES or path in _POST_ROUTES or path in _PUT_ROUTES:
+            return path
+        if path.startswith(_DELETE_PREFIX):
+            return _DELETE_ENDPOINT
+        return "<unknown>"
+
     def _dispatch(self, method: str) -> None:
         """Route one request with request-id, metrics and error envelope."""
         path = self.path.split("?", 1)[0]
@@ -170,9 +482,7 @@ class _Handler(BaseHTTPRequestHandler):
             "X-Request-Id"
         ) or obs.new_request_id()
         self._status = 0
-        endpoint = (
-            path if path in _GET_ROUTES or path in _POST_ROUTES else "<unknown>"
-        )
+        endpoint = self._endpoint_label(path)
         start = time.perf_counter()
         with obs.request_context(self._request_id):
             try:
@@ -200,35 +510,39 @@ class _Handler(BaseHTTPRequestHandler):
                     endpoint, method, self._status, elapsed
                 )
 
+    def _method_not_allowed(self, path: str, allow: str) -> None:
+        self._send_error(
+            405,
+            "method not allowed",
+            detail=f"{path} supports {allow}",
+            allow=allow,
+        )
+
     def _route(self, method: str, path: str) -> None:
         if path in _GET_ROUTES:
             if method != "GET":
-                self._send_error(
-                    405,
-                    "method not allowed",
-                    detail=f"{path} supports GET",
-                    allow="GET",
-                )
+                self._method_not_allowed(path, "GET")
                 return
             if path == "/health":
                 self._handle_health()
+            elif path == "/model":
+                self._handle_model_info()
             else:
                 self._handle_metrics()
             return
         if path in _POST_ROUTES:
             if method != "POST":
-                self._send_error(
-                    405,
-                    "method not allowed",
-                    detail=f"{path} supports POST",
-                    allow="POST",
-                )
+                self._method_not_allowed(path, "POST")
                 return
-            payload = self._read_json()
+            payload = self._read_json(
+                _MAX_BATCH_BODY_BYTES if path == "/recommend/batch"
+                else _MAX_BODY_BYTES
+            )
             if payload is None:
                 return
             handlers = {
                 "/recommend": self._handle_recommend,
+                "/recommend/batch": self._handle_recommend_batch,
                 "/spaces": self._handle_spaces,
                 "/explain": self._handle_explain,
                 "/goals": self._handle_goals,
@@ -236,10 +550,30 @@ class _Handler(BaseHTTPRequestHandler):
             }
             handlers[path](payload)
             return
+        if path in _PUT_ROUTES:
+            if method != "PUT":
+                self._method_not_allowed(path, "PUT")
+                return
+            payload = self._read_json()
+            if payload is None:
+                return
+            self._handle_put_implementations(payload)
+            return
+        if path.startswith(_DELETE_PREFIX):
+            if method != "DELETE":
+                self._method_not_allowed(_DELETE_ENDPOINT, "DELETE")
+                return
+            self._handle_delete_implementation(path[len(_DELETE_PREFIX):])
+            return
         self._send_error(
             404,
             f"unknown path {path}",
-            detail={"get": list(_GET_ROUTES), "post": list(_POST_ROUTES)},
+            detail={
+                "get": list(_GET_ROUTES),
+                "post": list(_POST_ROUTES),
+                "put": list(_PUT_ROUTES),
+                "delete": [_DELETE_ENDPOINT],
+            },
         )
 
     # ------------------------------------------------------------------
@@ -247,17 +581,14 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def _handle_health(self) -> None:
-        model = self.service.model
+        stats = self.service.manager.stats()
         self._send_json(
             200,
             {
                 "status": "ok",
                 "version": __version__,
-                "implementations": model.num_implementations,
-                "goals": model.num_goals,
-                "actions": model.num_actions,
                 "strategies": list(PAPER_STRATEGIES),
-                "library": dataclasses.asdict(model.stats()),
+                **stats,
             },
         )
 
@@ -268,24 +599,28 @@ class _Handler(BaseHTTPRequestHandler):
             "text/plain; version=0.0.4; charset=utf-8",
         )
 
+    def _handle_model_info(self) -> None:
+        self._send_json(200, self.service.manager.describe())
+
     def _handle_recommend(self, payload: dict) -> None:
         activity = self._activity_from(payload)
         if activity is None:
             return
-        k = payload.get("k", 10)
-        strategy = payload.get("strategy", "breadth")
-        if not isinstance(k, int):
-            self._send_error(
-                400, "'k' must be an integer", detail=f"got {k!r}"
-            )
+        k = self._positive_int_from(payload, "k", 10)
+        if k is None:
             return
-        result = self.service.recommender.recommend(
+        strategy = self._strategy_from(payload)
+        if strategy is None:
+            return
+        result, cached, generation = self.service.manager.recommend(
             activity, k=k, strategy=strategy
         )
         self._send_json(
             200,
             {
                 "strategy": result.strategy,
+                "cached": cached,
+                "generation": generation,
                 "recommendations": [
                     {"action": str(item.action), "score": item.score}
                     for item in result
@@ -293,11 +628,87 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    def _handle_recommend_batch(self, payload: dict) -> None:
+        activities = payload.get("activities")
+        if not isinstance(activities, list) or not all(
+            isinstance(activity, list)
+            and all(isinstance(item, str) for item in activity)
+            for activity in activities
+        ):
+            self._send_error(
+                400,
+                "'activities' must be a list of lists of strings",
+                detail="body key 'activities'",
+            )
+            return
+        if len(activities) > _MAX_BATCH_ACTIVITIES:
+            self._send_error(
+                400,
+                "batch too large",
+                detail=f"at most {_MAX_BATCH_ACTIVITIES} activities "
+                       f"per request, got {len(activities)}",
+            )
+            return
+        k = self._positive_int_from(payload, "k", 10)
+        if k is None:
+            return
+        strategy = self._strategy_from(payload)
+        if strategy is None:
+            return
+        if strategy not in PAPER_STRATEGIES:
+            self._send_error(
+                400,
+                f"'strategy' must be one of {', '.join(PAPER_STRATEGIES)}",
+                detail=f"got {strategy!r}",
+            )
+            return
+        snap = self.service.manager.snapshot()
+        start = time.perf_counter()
+        if snap.frozen is None:
+            results: list[list[dict]] = [[] for _ in activities]
+        else:
+            batch = snap.batch()
+            if batch is None:
+                self._send_error(
+                    501,
+                    "batch scoring unavailable",
+                    detail="the vectorized engine requires numpy and scipy",
+                )
+                return
+            ranked = batch.recommend_many(
+                [frozenset(activity) for activity in activities],
+                k=k,
+                strategy=strategy,
+            )
+            results = [
+                [
+                    {"action": str(item.action), "score": item.score}
+                    for item in result
+                ]
+                for result in ranked
+            ]
+        elapsed = time.perf_counter() - start
+        self.service._record_batch(strategy, len(activities), elapsed)
+        self._send_json(
+            200,
+            {
+                "strategy": strategy,
+                "k": k,
+                "generation": snap.generation,
+                "count": len(results),
+                "results": results,
+            },
+        )
+
     def _handle_spaces(self, payload: dict) -> None:
         activity = self._activity_from(payload)
         if activity is None:
             return
-        model = self.service.model
+        snap = self.service.manager.snapshot()
+        if snap.recommender is None:
+            self._send_json(200, {"goal_space": [], "action_space": []})
+            return
+        model = snap.recommender.model
         self._send_json(
             200,
             {
@@ -315,14 +726,15 @@ class _Handler(BaseHTTPRequestHandler):
         if activity is None:
             return
         scorer = payload.get("scorer", "coverage")
-        top = payload.get("top", 10)
-        if not isinstance(top, int) or top <= 0:
-            self._send_error(
-                400, "'top' must be a positive integer", detail=f"got {top!r}"
-            )
+        top = self._positive_int_from(payload, "top", 10)
+        if top is None:
+            return
+        snap = self.service.manager.snapshot()
+        if snap.frozen is None:
+            self._send_json(200, {"scorer": scorer, "goals": []})
             return
         try:
-            inferencer = GoalInferencer(self.service.model, scorer=scorer)
+            inferencer = GoalInferencer(snap.recommender.model, scorer=scorer)
         except ValueError as exc:
             self._send_error(400, str(exc), detail="body key 'scorer'")
             return
@@ -347,13 +759,18 @@ class _Handler(BaseHTTPRequestHandler):
                 400, "'action' must be a string", detail=f"got {action!r}"
             )
             return
-        k = payload.get("k", 10)
-        if not isinstance(k, int) or k <= 0:
+        k = self._positive_int_from(payload, "k", 10)
+        if k is None:
+            return
+        snap = self.service.manager.snapshot()
+        if snap.frozen is None:
             self._send_error(
-                400, "'k' must be a positive integer", detail=f"got {k!r}"
+                422,
+                "model has no live implementations",
+                detail="ModelError",
             )
             return
-        related = related_actions(self.service.model, action, k=k)
+        related = related_actions(snap.recommender.model, action, k=k)
         self._send_json(
             200,
             {
@@ -375,7 +792,15 @@ class _Handler(BaseHTTPRequestHandler):
                 400, "'action' must be a string", detail=f"got {action!r}"
             )
             return
-        evidence = self.service.recommender.explain(activity, action)
+        snap = self.service.manager.snapshot()
+        if snap.recommender is None:
+            self._send_error(
+                422,
+                "model has no live implementations",
+                detail="ModelError",
+            )
+            return
+        evidence = snap.recommender.explain(activity, action)
         self._send_json(
             200,
             {
@@ -387,12 +812,81 @@ class _Handler(BaseHTTPRequestHandler):
             },
         )
 
+    # ------------------------------------------------------------------
+    # Hot reload routes
+    # ------------------------------------------------------------------
+
+    def _handle_put_implementations(self, payload: dict) -> None:
+        raw = payload.get("implementations")
+        if not isinstance(raw, list) or not raw:
+            self._send_error(
+                400,
+                "'implementations' must be a non-empty list",
+                detail="body key 'implementations'",
+            )
+            return
+        pairs: list[tuple[GoalLabel, list[ActionLabel]]] = []
+        for index, item in enumerate(raw):
+            if (
+                not isinstance(item, dict)
+                or not isinstance(item.get("goal"), str)
+                or not isinstance(item.get("actions"), list)
+                or not item["actions"]
+                or not all(isinstance(a, str) for a in item["actions"])
+            ):
+                self._send_error(
+                    400,
+                    "each implementation needs a 'goal' string and a "
+                    "non-empty 'actions' list of strings",
+                    detail=f"implementations[{index}]",
+                )
+                return
+            pairs.append((item["goal"], item["actions"]))
+        ids, snap = self.service.manager.add_implementations(pairs)
+        self._send_json(
+            200,
+            {
+                "added": ids,
+                "generation": snap.generation,
+                "implementations":
+                    self.service.manager.incremental.num_implementations,
+            },
+        )
+
+    def _handle_delete_implementation(self, suffix: str) -> None:
+        try:
+            pid = int(suffix)
+        except ValueError:
+            self._send_error(
+                400,
+                "implementation id must be an integer",
+                detail=f"got {suffix!r}",
+            )
+            return
+        try:
+            snap = self.service.manager.remove_implementation(pid)
+        except ModelError as exc:
+            self._send_error(404, str(exc), detail=type(exc).__name__)
+            return
+        self._send_json(
+            200,
+            {
+                "removed": pid,
+                "generation": snap.generation,
+                "implementations":
+                    self.service.manager.incremental.num_implementations,
+            },
+        )
+
 
 class RecommenderService:
-    """Threaded HTTP server wrapping a :class:`GoalRecommender`.
+    """Threaded HTTP server wrapping the cached, hot-reloadable serving layer.
 
     Args:
-        model: the goal model to serve.
+        model: the goal model to serve — either a frozen
+            :class:`AssociationGoalModel` (re-indexed into an incremental
+            model so hot reload works) or an
+            :class:`IncrementalGoalModel` used as-is.
         host: bind address (loopback by default).
         port: TCP port; 0 binds an ephemeral port (read :attr:`port` after
             construction).
@@ -402,24 +896,47 @@ class RecommenderService:
             instrumentation records.
         enable_metrics: turn on process-wide metric recording at
             construction (tracing is left as-is).
+        cache_size: capacity of the ``(strategy, activity, k)``
+            recommendation LRU; 0 disables result caching.
+        space_cache_size: capacity of the memoized ``implementation_space``
+            LRU; 0 disables the memo.
     """
 
     def __init__(
         self,
-        model: AssociationGoalModel,
+        model: AssociationGoalModel | IncrementalGoalModel,
         host: str = "127.0.0.1",
         port: int = 0,
         registry: obs.MetricsRegistry | None = None,
         enable_metrics: bool = True,
+        cache_size: int = 1024,
+        space_cache_size: int = 4096,
     ) -> None:
-        self.model = model
-        self.recommender = GoalRecommender(model)
         self._registry = registry
         if enable_metrics:
             obs.enable(metrics=True, tracing=False)
+        if isinstance(model, IncrementalGoalModel):
+            incremental = model
+        else:
+            incremental = IncrementalGoalModel.from_library(model.to_library())
+        self.manager = ModelManager(
+            incremental,
+            cache_size=cache_size,
+            space_cache_size=space_cache_size,
+        )
         handler = type("BoundHandler", (_Handler,), {"service": self})
         self._server = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
+
+    @property
+    def model(self) -> AssociationGoalModel | None:
+        """The frozen model of the current generation (``None`` if empty)."""
+        return self.manager.snapshot().frozen
+
+    @property
+    def recommender(self) -> GoalRecommender | None:
+        """The reference recommender of the current generation."""
+        return self.manager.snapshot().recommender
 
     @property
     def registry(self) -> obs.MetricsRegistry:
@@ -458,6 +975,27 @@ class RecommenderService:
             seconds=round(elapsed, 6),
         )
 
+    def _record_batch(
+        self, strategy: str, activities: int, elapsed: float
+    ) -> None:
+        """Account one batch scoring pass."""
+        registry = self.registry
+        registry.counter(
+            "repro_batch_requests_total",
+            "Batch recommendation requests served, by strategy.",
+            strategy=strategy,
+        ).inc()
+        registry.counter(
+            "repro_batch_activities_total",
+            "Activities scored through /recommend/batch, by strategy.",
+            strategy=strategy,
+        ).inc(activities)
+        registry.histogram(
+            "repro_batch_scoring_seconds",
+            "Bulk scoring time of one /recommend/batch request, by strategy.",
+            strategy=strategy,
+        ).observe(elapsed)
+
     def start(self) -> "RecommenderService":
         """Serve requests on a daemon thread; returns ``self``."""
         if self._thread is not None:
@@ -468,7 +1006,8 @@ class RecommenderService:
         self._thread.start()
         obs.log_event(
             _LOG, "service.start", version=__version__,
-            port=self.port, implementations=self.model.num_implementations,
+            port=self.port,
+            implementations=self.manager.incremental.num_implementations,
         )
         return self
 

@@ -1,0 +1,100 @@
+"""Concurrency primitives for the serving layer.
+
+The standard library ships locks and conditions but no readers-writer lock.
+The hot-reload serving path needs one: many handler threads read the model
+artifacts concurrently, while a mutation (``PUT``/``DELETE`` on
+``/model/implementations``) must exclude *every* reader for the duration of
+the index update and snapshot swap, so no thread ever observes a
+half-updated index.
+
+:class:`RWLock` is a writer-preferring readers-writer lock: once a writer is
+waiting, new readers queue behind it, so a steady stream of read traffic
+cannot starve reloads.  Both sides are exposed as context managers::
+
+    lock = RWLock()
+    with lock.read_locked():
+        ...  # shared with other readers
+    with lock.write_locked():
+        ...  # exclusive
+
+The lock is not reentrant and not upgradable — a thread holding the read
+lock must release it before acquiring the write lock (an upgrade attempt
+deadlocks, as with every non-upgradable RW lock).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from collections.abc import Iterator
+
+
+class RWLock:
+    """A writer-preferring readers-writer lock."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then share the lock."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Release one reader hold."""
+        with self._cond:
+            if self._readers <= 0:
+                raise RuntimeError("release_read without a matching acquire")
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Context manager around :meth:`acquire_read`/:meth:`release_read`."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        """Block until the lock is exclusively held by this thread."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        """Release the exclusive hold."""
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without a matching acquire")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Context manager around :meth:`acquire_write`/:meth:`release_write`."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

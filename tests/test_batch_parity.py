@@ -1,0 +1,199 @@
+"""Property/parity suite: the cached and batched paths must be bit-identical
+to the reference recommender.
+
+Three serving-path variants are checked against ``GoalRecommender`` on
+randomized libraries and on an adversarially tie-heavy library (many equal
+scores, so any tie-breaking divergence surfaces):
+
+- ``BatchRecommender.recommend`` (per-activity vectorized path),
+- ``BatchRecommender.recommend_many`` (chunked bulk path),
+- ``CachingRecommender`` (LRU front, including the hit path),
+
+and the parity must survive a cache-invalidating mutation (implementations
+added and removed through ``IncrementalGoalModel``, model refrozen).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    AssociationGoalModel,
+    CachingRecommender,
+    GoalRecommender,
+    IncrementalGoalModel,
+    LRUCache,
+)
+from repro.core.vectorized import BatchRecommender
+
+STRATEGIES = ("breadth", "focus_cmp", "focus_cl", "best_match")
+
+
+def random_pairs(rng: random.Random, implementations: int = 40):
+    """A random library over 10 goals and 26 actions with heavy overlap."""
+    goals = [f"g{i}" for i in range(10)]
+    actions = [f"a{i:02d}" for i in range(26)]
+    pairs = []
+    for _ in range(implementations):
+        size = rng.randint(2, 6)
+        pairs.append((rng.choice(goals), set(rng.sample(actions, size))))
+    return pairs
+
+
+def tie_heavy_pairs():
+    """A library built to produce score collisions everywhere.
+
+    Every goal has several implementations of identical shape over disjoint
+    action blocks, so distinct candidates tie on every strategy's score and
+    only the deterministic tie-break (ascending action id) orders them.
+    """
+    pairs = []
+    for block in range(6):
+        base = [f"t{block}_{i}" for i in range(4)]
+        for goal_index in range(3):
+            pairs.append((f"goal{goal_index}", set(base)))
+            pairs.append(
+                (f"goal{goal_index}", set(base[:2]) | {f"x{block}_{goal_index}"})
+            )
+    # One shared action links the blocks so activities reach across them.
+    pairs.append(("bridge", {"t0_0", "t1_0", "t2_0", "t3_0"}))
+    return pairs
+
+
+def sample_activities(rng: random.Random, model, count: int = 30):
+    """Random activities over the model's actions, including edge shapes."""
+    labels = [model.action_label(aid) for aid in range(model.num_actions)]
+    activities = [set(), {labels[0]}, set(labels[:3])]
+    for _ in range(count):
+        size = rng.randint(1, 5)
+        activities.append(set(rng.sample(labels, min(size, len(labels)))))
+    # Deduplicate (stable order): the cache checks below assume the first
+    # lookup of each activity is a miss.
+    unique = []
+    seen = set()
+    for activity in activities:
+        key = frozenset(activity)
+        if key not in seen:
+            seen.add(key)
+            unique.append(activity)
+    return unique
+
+
+def assert_identical(expected, actual, context, exact=True):
+    """Compare a serving-path result against the reference result.
+
+    With ``exact`` (breadth and the focus variants — small integer counts
+    and their ratios, exact in float64 on both paths) actions and scores
+    must be bit-identical.  ``best_match`` accumulates float cosines in a
+    different order on the vectorized path, so mathematically tied
+    candidates can differ in the last ulp and permute within their tie
+    group; there the score *profile* must agree position by position, and
+    the actions must agree everywhere the scores are not ulp-level ties.
+    """
+    if exact:
+        assert actual.actions() == expected.actions(), context
+        for exp_item, act_item in zip(expected, actual):
+            assert act_item.score == exp_item.score, (
+                f"{context}: score diverged on {act_item.action}"
+            )
+        return
+    assert len(actual.items) == len(expected.items), context
+    for exp_item, act_item in zip(expected, actual):
+        assert act_item.score == pytest.approx(exp_item.score, rel=1e-9), (
+            f"{context}: score profile diverged at {act_item.action}"
+        )
+        if act_item.action != exp_item.action:
+            # Only a tie may permute: both candidates carry (ulp-)equal
+            # scores, ordered differently by the two summation orders.
+            assert act_item.score == pytest.approx(exp_item.score, rel=1e-9), (
+                f"{context}: non-tied rank divergence at {act_item.action}"
+            )
+
+
+def check_parity(model, activities, k=10):
+    reference = GoalRecommender(model)
+    batch = BatchRecommender(model)
+    caching = CachingRecommender(reference, LRUCache(256, name="parity"))
+    for strategy in STRATEGIES:
+        exact = strategy != "best_match"
+        expected = [
+            reference.recommend(activity, k=k, strategy=strategy)
+            for activity in activities
+        ]
+        for activity, want in zip(activities, expected):
+            got = batch.recommend(activity, k=k, strategy=strategy)
+            assert_identical(
+                want, got, f"batch/{strategy}/{sorted(activity)}", exact
+            )
+            # Twice through the cache: miss path, then hit path.  The cache
+            # wraps the reference recommender, so scores are bit-identical
+            # for every strategy here.
+            first, hit1 = caching.recommend(activity, k=k, strategy=strategy)
+            second, hit2 = caching.recommend(activity, k=k, strategy=strategy)
+            assert (hit1, hit2) == (False, True)
+            assert_identical(want, first, f"cache/{strategy}/{sorted(activity)}")
+            assert second is first
+        # Bulk path, with a chunk size that forces several chunks.
+        many = batch.recommend_many(
+            [frozenset(activity) for activity in activities],
+            k=k, strategy=strategy, chunk_size=7,
+        )
+        for activity, want, got in zip(activities, expected, many):
+            assert_identical(
+                want, got, f"many/{strategy}/{sorted(activity)}", exact
+            )
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_libraries(self, seed):
+        rng = random.Random(seed)
+        model = AssociationGoalModel.from_pairs(random_pairs(rng))
+        check_parity(model, sample_activities(rng, model))
+
+    def test_tie_heavy_library(self):
+        rng = random.Random(99)
+        model = AssociationGoalModel.from_pairs(tie_heavy_pairs())
+        check_parity(model, sample_activities(rng, model))
+
+
+class TestParityAcrossMutation:
+    def test_parity_survives_add_and_remove(self):
+        """The serving paths agree before and after a hot mutation."""
+        rng = random.Random(7)
+        incremental = IncrementalGoalModel()
+        pids = [
+            incremental.add_implementation(goal, actions)
+            for goal, actions in random_pairs(rng, implementations=30)
+        ]
+        frozen = incremental.freeze()
+        activities = sample_activities(rng, frozen, count=15)
+        check_parity(frozen, activities)
+        # The cache-invalidating mutation: drop a third, add fresh ones.
+        for pid in pids[::3]:
+            incremental.remove_implementation(pid)
+        for goal, actions in random_pairs(rng, implementations=10):
+            incremental.add_implementation(goal, actions)
+        mutated = incremental.freeze()
+        activities = [
+            {a for a in activity if mutated.has_action(a)}
+            for activity in activities
+        ]
+        check_parity(mutated, activities)
+
+    def test_stale_cache_would_be_wrong(self):
+        """The invalidation is load-bearing: pre- and post-mutation results
+        differ, so serving a stale entry would be observable."""
+        incremental = IncrementalGoalModel()
+        incremental.add_implementation("salad", {"potatoes", "carrots", "pickles"})
+        incremental.add_implementation("mash", {"potatoes", "butter"})
+        before = GoalRecommender(incremental.freeze()).recommend(
+            {"potatoes"}, k=5
+        )
+        incremental.remove_implementation(0)
+        after = GoalRecommender(incremental.freeze()).recommend(
+            {"potatoes"}, k=5
+        )
+        assert before.actions() != after.actions()

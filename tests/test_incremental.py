@@ -160,3 +160,80 @@ class TestMisc:
             model.implementation_actions(0)
         with pytest.raises(ModelError):
             model.implementation_goal(0)
+
+
+class TestEmptyModelLifecycle:
+    """Removing the last implementation must leave every derived statistic
+    well-defined, and the model must accept implementations again."""
+
+    def test_remove_all_then_stats_are_zero(self, model):
+        for pid in model.live_implementation_ids():
+            model.remove_implementation(pid)
+        assert model.num_implementations == 0
+        assert model.connectivity() == 0.0
+        stats = model.stats()
+        assert stats.num_implementations == 0
+        assert stats.num_goals == 0
+        assert stats.num_actions == 0
+        assert stats.connectivity == 0.0
+        assert stats.avg_implementation_length == 0.0
+        assert stats.max_implementation_length == 0
+        assert stats.avg_implementations_per_goal == 0.0
+
+    def test_remove_all_freeze_message_is_clear(self, model):
+        for pid in model.live_implementation_ids():
+            model.remove_implementation(pid)
+        with pytest.raises(
+            ModelError, match="cannot freeze a model with no live"
+        ):
+            model.freeze()
+
+    def test_remove_all_then_add_again(self, model):
+        before = model.num_implementations
+        for pid in model.live_implementation_ids():
+            model.remove_implementation(pid)
+        pid = model.add_implementation("revived", {"a1", "brand-new"})
+        assert pid == before  # monotonic ids, never reused
+        assert model.num_implementations == 1
+        assert model.goal_space_labels({"a1"}) == {"revived"}
+        frozen = model.freeze()
+        assert frozen.num_implementations == 1
+        assert frozen.has_action("brand-new")
+
+    def test_empty_model_spaces_are_empty(self, model):
+        for pid in model.live_implementation_ids():
+            model.remove_implementation(pid)
+        encoded = model.encode_activity({"a1", "a2"})
+        assert model.implementation_space(encoded) == set()
+        assert model.goal_space(encoded) == set()
+        assert model.action_space(encoded) == set()
+
+
+class TestDerivedStatistics:
+    def test_stats_match_frozen_model(self, model):
+        assert model.stats() == model.freeze().stats()
+
+    def test_stats_exclude_orphans(self, model):
+        model.add_implementation("temp", {"ephemeral", "a1"})
+        gid = model.goal_id("temp")
+        (pid,) = model.implementations_of_goal(gid)
+        model.remove_implementation(pid)
+        stats = model.stats()
+        # "ephemeral" and "temp" are interned but orphaned: live counts
+        # must agree with what freeze() would keep.
+        assert stats == model.freeze().stats()
+        assert not any(
+            model.implementations_of_action(model.action_id("ephemeral"))
+        )
+
+    def test_connectivity_matches_frozen(self, model):
+        assert model.connectivity() == pytest.approx(
+            model.freeze().connectivity()
+        )
+
+    def test_live_implementation_ids_sorted(self, model):
+        model.remove_implementation(1)
+        assert model.live_implementation_ids() == sorted(
+            model.live_implementation_ids()
+        )
+        assert 1 not in model.live_implementation_ids()

@@ -192,3 +192,35 @@ class TestRestriction:
         desserts = recipe_model.restrict_to_goals({"carrot cake"})
         result = GoalRecommender(desserts).recommend({"carrots"}, k=5)
         assert result.action_set() <= {"flour", "eggs", "sugar"}
+
+    def test_projection_identical_to_label_level_rebuild(self):
+        """The id-level projection must equal rebuilding from the filtered
+        label-level pairs (the previous implementation's semantics)."""
+        import random
+
+        from repro.core import GoalRecommender
+
+        rng = random.Random(5)
+        goals = [f"g{i}" for i in range(8)]
+        actions = [f"a{i}" for i in range(20)]
+        pairs = [
+            (rng.choice(goals), set(rng.sample(actions, rng.randint(2, 5))))
+            for _ in range(35)
+        ]
+        model = AssociationGoalModel.from_pairs(pairs)
+        wanted = {"g0", "g3", "g5"}
+        projected = model.restrict_to_goals(wanted)
+        rebuilt = AssociationGoalModel.from_pairs(
+            [(g, a) for g, a in pairs if g in wanted]
+        )
+        assert projected.num_implementations == rebuilt.num_implementations
+        assert set(projected.goal_labels()) == set(rebuilt.goal_labels())
+        for pid in range(projected.num_implementations):
+            ours = projected.implementation(pid)
+            theirs = rebuilt.implementation(pid)
+            assert (ours.goal, ours.actions) == (theirs.goal, theirs.actions)
+        for activity in ({"a0"}, {"a1", "a2"}, set(actions[:5])):
+            left = GoalRecommender(projected).recommend(activity, k=10)
+            right = GoalRecommender(rebuilt).recommend(activity, k=10)
+            assert left.actions() == right.actions()
+            assert [i.score for i in left] == [i.score for i in right]

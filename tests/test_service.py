@@ -82,11 +82,18 @@ class TestRecommend:
         assert status == 422
         assert "unknown strategy" in body["error"]
 
-    def test_invalid_k_422(self, service):
+    def test_non_positive_k_400(self, service):
         status, body = call(
             service, "/recommend", {"activity": ["potatoes"], "k": -1}
         )
-        assert status == 422
+        assert status == 400
+        assert "positive" in body["error"]
+
+    def test_boolean_k_400(self, service):
+        status, body = call(
+            service, "/recommend", {"activity": ["potatoes"], "k": True}
+        )
+        assert status == 400
 
     def test_non_integer_k_400(self, service):
         status, body = call(

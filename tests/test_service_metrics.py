@@ -89,13 +89,17 @@ class TestMetricsEndpoint:
             'repro_http_requests_total{endpoint="/recommend",'
             'method="POST",status="200"} 3' in text
         )
-        # The per-strategy recommend latency histogram, via the core path.
+        # The three identical requests collapse onto one core ranking pass:
+        # the first misses the recommendation LRU, the other two hit it.
         assert (
-            'repro_recommend_latency_seconds_count{strategy="breadth"} 3'
+            'repro_recommend_latency_seconds_count{strategy="breadth"} 1'
             in text
         )
         assert 'repro_recommend_latency_seconds_bucket{strategy="breadth"' in text
-        assert 'repro_recommend_requests_total{strategy="breadth"} 3' in text
+        assert 'repro_recommend_requests_total{strategy="breadth"} 1' in text
+        assert 'repro_cache_misses_total{cache="recommendations"} 1' in text
+        assert 'repro_cache_hits_total{cache="recommendations"} 2' in text
+        assert 'repro_cache_lookup_seconds_count{cache="recommendations"} 3' in text
 
     def test_metrics_count_errors_on_bad_bodies(self, service):
         url = f"http://127.0.0.1:{service.port}/recommend"

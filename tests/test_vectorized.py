@@ -99,3 +99,46 @@ class TestApi:
         assert len(results) == 2
         assert results[0].activity == frozenset({"a1"})
         assert results[1].activity == frozenset({"a6"})
+
+    def test_recommend_many_breadth_matches_per_activity_path(self, scenarios):
+        for model, reference, batch, activities in scenarios:
+            bulk = batch.recommend_many(
+                [frozenset(a) for a in activities], k=10, strategy="breadth",
+                chunk_size=4,  # force several chunks
+            )
+            for activity, result in zip(activities, bulk):
+                expected = batch.recommend(activity, k=10, strategy="breadth")
+                assert result.actions() == expected.actions()
+                for exp_item, act_item in zip(expected, result):
+                    assert act_item.score == exp_item.score  # bit-identical
+
+    def test_recommend_many_validates_arguments(self, figure1_model):
+        batch = BatchRecommender(figure1_model)
+        with pytest.raises(RecommendationError, match="k must be positive"):
+            batch.recommend_many([frozenset({"a1"})], k=0)
+        with pytest.raises(RecommendationError, match="chunk_size"):
+            batch.recommend_many([frozenset({"a1"})], chunk_size=0)
+        with pytest.raises(ValueError, match="strategy"):
+            batch.recommend_many([frozenset({"a1"})], strategy="nope")
+
+    def test_recommend_many_empty_batch(self, figure1_model):
+        batch = BatchRecommender(figure1_model)
+        assert batch.recommend_many([], k=5) == []
+
+    def test_rank_many_breadth_empty_activities(self, figure1_model):
+        batch = BatchRecommender(figure1_model)
+        rankings = batch.rank_many_breadth(
+            [frozenset(), figure1_model.encode_activity({"a1"})], k=5
+        )
+        assert rankings[0] == []
+        assert rankings[1] == batch.rank(
+            figure1_model.encode_activity({"a1"}), k=5, strategy="breadth"
+        )
+
+    def test_recommend_many_non_breadth_delegates(self, figure1_model):
+        batch = BatchRecommender(figure1_model)
+        results = batch.recommend_many(
+            [frozenset({"a1"})], k=5, strategy="focus_cmp"
+        )
+        expected = batch.recommend({"a1"}, k=5, strategy="focus_cmp")
+        assert results[0].actions() == expected.actions()
