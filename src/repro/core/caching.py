@@ -6,8 +6,9 @@ index structures with a 20K-cart FoodMart workload) two observations make a
 cache pay for itself:
 
 - activities repeat — carts cluster around popular product combinations, so
-  a small LRU keyed on ``(strategy, frozen activity, k)`` answers a large
-  fraction of ``/recommend`` traffic without ranking at all;
+  a small LRU keyed on ``(generation, strategy, frozen activity, k)``
+  answers a large fraction of ``/recommend`` traffic without ranking at
+  all;
 - distinct activities overlap — different requests share ``IS(H)``
   sub-queries, so memoizing ``implementation_space`` accelerates even cache
   *misses*.
@@ -27,7 +28,11 @@ Three pieces live here:
 All caches are invalidated wholesale by the serving layer's *generation
 counter* when the model mutates (see ``docs/serving.md``); entries never
 carry their own TTL, so a cached value is exactly as fresh as its
-generation.  Results served from the cache are the same
+generation.  The generation is also part of every cache key: a request
+that resolved a snapshot before a model swap may ``store()`` *after* the
+swap's ``clear()``, and the key prefix makes that late entry unreachable
+from the new generation instead of poisoning it with results computed
+against retired implementation ids.  Results served from the cache are the same
 :class:`~repro.core.entities.RecommendationList` objects the reference path
 produced — bit-identical by construction (asserted in the parity suite).
 """
@@ -230,12 +235,23 @@ class CachedModelView:
     The view never mutates the underlying model and the memoized sets are
     handed out by reference — callers (the shipped strategies) treat them as
     read-only, which keeps hits allocation-free.
+
+    ``generation`` is baked into every cache key so views over different
+    model generations can safely share one :class:`LRUCache`: a late store
+    by an in-flight request against a retired generation lands under that
+    generation's keys and is unreachable from the current one (frozen ids
+    are re-densified on every freeze, so a cross-generation hit would be
+    outright wrong, not merely stale).
     """
 
     def __init__(
-        self, model: AssociationGoalModel, cache: LRUCache | None = None
+        self,
+        model: AssociationGoalModel,
+        cache: LRUCache | None = None,
+        generation: int = 0,
     ) -> None:
         self._model = model
+        self._generation = generation
         self._cache = cache if cache is not None else LRUCache(
             4096, name="implementation_space"
         )
@@ -258,7 +274,8 @@ class CachedModelView:
     def implementation_space(self, activity: frozenset[int]) -> set[int]:
         """Memoized ``IS(H)``."""
         return self._cache.get_or_compute(
-            activity, lambda: self._model.implementation_space(activity)
+            (self._generation, activity),
+            lambda: self._model.implementation_space(activity),
         )
 
     def goal_space(self, activity: frozenset[int]) -> set[int]:
@@ -301,18 +318,26 @@ class CachedModelView:
 class CachingRecommender:
     """LRU front over a :class:`GoalRecommender`.
 
-    Results are keyed on ``(strategy, frozen activity, k)`` — the activity
-    at the *label* level, so two raw activities that encode to the same id
-    set still get their own entries (their ``RecommendationList.activity``
-    fields differ).  A hit returns the exact object the reference path
-    produced earlier; a miss delegates and stores.
+    Results are keyed on ``(generation, strategy, frozen activity, k)`` —
+    the activity at the *label* level, so two raw activities that encode to
+    the same id set still get their own entries (their
+    ``RecommendationList.activity`` fields differ).  A hit returns the
+    exact object the reference path produced earlier; a miss delegates and
+    stores.  As with :class:`CachedModelView`, the ``generation`` prefix
+    keeps a shared cache safe across hot model swaps: an in-flight request
+    that stores after the swap's invalidation cannot serve its stale result
+    to the new generation.
     """
 
     def __init__(
-        self, recommender: GoalRecommender, cache: LRUCache
+        self,
+        recommender: GoalRecommender,
+        cache: LRUCache,
+        generation: int = 0,
     ) -> None:
         self.recommender = recommender
         self.cache = cache
+        self.generation = generation
 
     def recommend(
         self,
@@ -322,10 +347,11 @@ class CachingRecommender:
     ) -> tuple[RecommendationList, bool]:
         """Return ``(result, cache_hit)`` for one request."""
         chosen = strategy or self.recommender.default_strategy
-        key = (chosen, frozenset(activity), k)
+        frozen = frozenset(activity)
+        key = (self.generation, chosen, frozen, k)
         hit, cached = self.cache.lookup(key)
         if hit:
             return cached, True
-        result = self.recommender.recommend(key[1], k=k, strategy=chosen)
+        result = self.recommender.recommend(frozen, k=k, strategy=chosen)
         self.cache.store(key, result)
         return result, False

@@ -37,7 +37,10 @@ indexes, refreeze a serving snapshot and bump the **generation counter**;
 the swap invalidates the recommendation and implementation-space LRUs and
 drops the CSR matrices, so no ``ThreadingHTTPServer`` worker thread ever
 observes a half-updated index.  Reads resolve the current snapshot under
-the read lock and then run lock-free against immutable state.
+the read lock and then run lock-free against immutable state; the
+generation is part of every cache key, so a request still in flight on a
+retired snapshot can finish (and even store its result) without ever
+being visible to the new generation.
 
 Conventions:
 
@@ -48,6 +51,8 @@ Conventions:
   answers ``404``;
 - a known route hit with the wrong method answers ``405`` with an ``Allow``
   header (unknown paths answer ``404``);
+- a client that disconnects mid-request is recorded in the metrics under
+  the nginx-style ``499`` sentinel status (no response is written);
 - every response echoes an ``X-Request-Id`` header — the client's, when it
   sent one, else a freshly minted id — and the same id is bound to the
   structured-log context for the duration of the request.
@@ -81,6 +86,7 @@ from repro.core.entities import ActionLabel, GoalLabel, RecommendationList
 from repro.core.incremental import IncrementalGoalModel
 from repro.core.model import AssociationGoalModel
 from repro.core.recommender import GoalRecommender, PAPER_STRATEGIES
+from repro.core.strategies import create_strategy
 from repro.exceptions import ModelError, ReproError
 from repro.utils.concurrency import RWLock
 
@@ -186,7 +192,12 @@ class ModelManager:
         if self._incremental.num_implementations == 0:
             return ModelSnapshot(self._generation, None, None, None)
         frozen = self._incremental.freeze()
-        cached_view = CachedModelView(frozen, cache=self.space_cache)
+        # The caches are shared across generations; the generation baked
+        # into every key keeps a late store from an in-flight request of a
+        # retired snapshot unreachable from this one.
+        cached_view = CachedModelView(
+            frozen, cache=self.space_cache, generation=self._generation
+        )
         if self._base_recommender is None:
             recommender = GoalRecommender(cached_view)
         else:
@@ -198,7 +209,11 @@ class ModelManager:
             self._generation,
             frozen,
             recommender,
-            CachingRecommender(recommender, self.recommendation_cache),
+            CachingRecommender(
+                recommender,
+                self.recommendation_cache,
+                generation=self._generation,
+            ),
         )
 
     def _publish_generation(self) -> None:
@@ -283,6 +298,11 @@ class ModelManager:
         """One cached recommendation: ``(result, cache_hit, generation)``."""
         snap = self.snapshot()
         if snap.caching_recommender is None:
+            # Validate the request exactly as the live path would, so the
+            # answer for bad input does not depend on the model state:
+            # an unknown strategy is 422 whether or not implementations
+            # are loaded.
+            create_strategy(strategy)
             return (
                 RecommendationList(strategy=strategy, items=(),
                                    activity=frozenset(activity)),
@@ -301,12 +321,30 @@ class ModelManager:
     def add_implementations(
         self, pairs: list[tuple[GoalLabel, list[ActionLabel]]]
     ) -> tuple[list[int], ModelSnapshot]:
-        """Hot-add implementations; returns their ids and the new snapshot."""
+        """Hot-add implementations; returns their ids and the new snapshot.
+
+        The batch is atomic from the serving layer's point of view: every
+        pair is validated before the first index mutation (an empty action
+        set raises :class:`ModelError` with nothing applied), and if an add
+        still fails mid-list the already-applied ones are published through
+        the normal invalidate-and-swap so serving state never diverges from
+        the incremental model.
+        """
+        materialized = [(goal, list(actions)) for goal, actions in pairs]
+        for goal, actions in materialized:
+            if not actions:
+                raise ModelError(f"implementation of {goal!r} has no actions")
         with self._lock.write_locked():
-            ids = [
-                self._incremental.add_implementation(goal, actions)
-                for goal, actions in pairs
-            ]
+            ids: list[int] = []
+            try:
+                for goal, actions in materialized:
+                    ids.append(
+                        self._incremental.add_implementation(goal, actions)
+                    )
+            except BaseException:
+                if ids:
+                    self._swap_locked("add")
+                raise
             return ids, self._swap_locked("add")
 
     def remove_implementation(self, pid: int) -> ModelSnapshot:
@@ -486,22 +524,30 @@ class _Handler(BaseHTTPRequestHandler):
         start = time.perf_counter()
         with obs.request_context(self._request_id):
             try:
-                self._route(method, path)
-            except ReproError as exc:
-                self._send_error(422, str(exc), detail=type(exc).__name__)
-            except (BrokenPipeError, ConnectionResetError):  # client went away
-                raise
-            except Exception as exc:  # keep the handler thread alive
-                obs.log_event(
-                    _LOG, "http.error", level=40,
-                    endpoint=endpoint, error=f"{type(exc).__name__}: {exc}",
-                )
-                if not self._status:
-                    self._send_error(
-                        500,
-                        "internal server error",
-                        detail=f"{type(exc).__name__}: {exc}",
+                try:
+                    self._route(method, path)
+                except ReproError as exc:
+                    self._send_error(422, str(exc), detail=type(exc).__name__)
+                except (BrokenPipeError, ConnectionResetError):
+                    raise  # handled below, bypassing the 500 path
+                except Exception as exc:  # keep the handler thread alive
+                    obs.log_event(
+                        _LOG, "http.error", level=40,
+                        endpoint=endpoint, error=f"{type(exc).__name__}: {exc}",
                     )
+                    if not self._status:
+                        self._send_error(
+                            500,
+                            "internal server error",
+                            detail=f"{type(exc).__name__}: {exc}",
+                        )
+            except (BrokenPipeError, ConnectionResetError):
+                # The client went away mid-request (possibly while an error
+                # response was being written): there is nobody left to
+                # answer, and propagating would make socketserver print a
+                # traceback.  Record the nginx-style 499 sentinel instead
+                # of the meaningless initial 0.
+                self._status = 499
             finally:
                 # Record inside the request context so the http.request log
                 # line carries the request_id for correlation.
@@ -896,7 +942,7 @@ class RecommenderService:
             instrumentation records.
         enable_metrics: turn on process-wide metric recording at
             construction (tracing is left as-is).
-        cache_size: capacity of the ``(strategy, activity, k)``
+        cache_size: capacity of the ``(generation, strategy, activity, k)``
             recommendation LRU; 0 disables result caching.
         space_cache_size: capacity of the memoized ``implementation_space``
             LRU; 0 disables the memo.

@@ -224,6 +224,43 @@ class TestCachingRecommender:
         assert result == expected
 
 
+class TestGenerationKeying:
+    """The generation prefix keeps shared caches safe across model swaps.
+
+    Serving shares one LRU across generations; a request still in flight on
+    a retired snapshot may store *after* the swap's ``clear()``.  Its entry
+    must be unreachable from the new generation (frozen ids are
+    re-densified on every freeze, so a cross-generation hit would be
+    wrong, not merely stale).
+    """
+
+    def test_caching_recommender_generations_do_not_collide(
+        self, figure1_model
+    ):
+        cache = LRUCache(16, name="gen")
+        old = CachingRecommender(
+            GoalRecommender(figure1_model), cache, generation=0
+        )
+        new = CachingRecommender(
+            GoalRecommender(figure1_model), cache, generation=1
+        )
+        old.recommend({"a1"}, k=5)  # late store under generation 0
+        _, hit = new.recommend({"a1"}, k=5)
+        assert hit is False
+        _, hit_same_gen = new.recommend({"a1"}, k=5)
+        assert hit_same_gen is True
+
+    def test_cached_model_view_generations_do_not_collide(self, figure1_model):
+        cache = LRUCache(16, name="gen-space")
+        old = CachedModelView(figure1_model, cache=cache, generation=0)
+        new = CachedModelView(figure1_model, cache=cache, generation=1)
+        encoded = figure1_model.encode_activity({"a1"})
+        old.implementation_space(encoded)
+        new.implementation_space(encoded)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (0, 2)
+
+
 def test_exports_available_from_core():
     from repro.core import CacheStats  # noqa: F401
 

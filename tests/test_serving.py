@@ -293,6 +293,78 @@ class TestEmptyModelLifecycle:
         assert status == 200
         assert [row["action"] for row in rec["recommendations"]] == ["pickles"]
 
+    def test_unknown_strategy_422_regardless_of_model_state(self, service):
+        payload = {"activity": ["potatoes"], "strategy": "nope"}
+        status, body = call(service, "/recommend", payload)
+        assert status == 422
+        assert "nope" in body["error"]
+        for pid in range(3):
+            call(service, f"/model/implementations/{pid}", method="DELETE")
+        # The empty-model short-circuit must validate the same way.
+        status, body = call(service, "/recommend", payload)
+        assert status == 422
+        assert "nope" in body["error"]
+        status, body = call(
+            service, "/recommend", {"activity": ["potatoes"]}
+        )
+        assert status == 200
+        assert body["recommendations"] == []
+
+
+class TestStaleSnapshotIsolation:
+    def test_late_store_from_old_generation_cannot_poison_new(self, service):
+        """An in-flight request of a retired snapshot must stay invisible.
+
+        A reader resolves the snapshot, then a hot mutation swaps the
+        generation and clears the caches, and only *then* does the reader
+        finish and store into the shared LRUs.  Without the generation in
+        the key those late entries would answer new-generation lookups
+        with rankings over retired (and re-densified) implementation ids.
+        """
+        manager = service.manager
+        activity = ["potatoes", "carrots"]
+        old_snap = manager.snapshot()
+        # The model mutates while the old-generation request is in flight:
+        # implementation 0 (olivier salad, the only one with "pickles")
+        # goes away and the swap clears both caches.
+        status, _ = call(service, "/model/implementations/0", method="DELETE")
+        assert status == 200
+        # The old-generation request now finishes, storing its result (and
+        # its IS(H) sub-query) into the shared caches *after* the clear.
+        stale, hit = old_snap.caching_recommender.recommend(
+            activity, k=5, strategy="breadth"
+        )
+        assert hit is False
+        assert "pickles" in [str(item.action) for item in stale]
+        old_view = old_snap.recommender.model
+        old_view.implementation_space(old_view.encode_activity(activity))
+        # A new-generation request must recompute, not hit the stale entry.
+        result, hit, generation = manager.recommend(activity, 5, "breadth")
+        assert hit is False
+        assert generation == 1
+        assert "pickles" not in [str(item.action) for item in result]
+        # ... and the old generation's entries never come back: repeating
+        # the request hits the cache and still excludes the retired
+        # implementation.
+        repeat, hit, _ = manager.recommend(activity, 5, "breadth")
+        assert hit is True
+        assert repeat == result
+
+
+class TestAtomicAdds:
+    def test_invalid_pair_leaves_state_untouched(self, service):
+        """A bad pair anywhere in the batch must not half-apply the adds."""
+        from repro.exceptions import ModelError
+
+        manager = service.manager
+        before = manager.stats()
+        with pytest.raises(ModelError, match="no actions"):
+            manager.add_implementations(
+                [("soup", ["leek", "salt"]), ("broken", [])]
+            )
+        assert manager.stats() == before
+        assert manager.generation == 0
+
 
 class TestModelEndpoint:
     def test_reports_generation_and_cache_stats(self, service):
@@ -364,6 +436,37 @@ class TestHardenedEdgeCases:
             service, "/related", {"action": "nutmeg", "k": True}
         )
         assert status == 400
+
+    def test_client_disconnect_recorded_as_499(self, service, monkeypatch):
+        """A dropped connection is accounted as 499, not re-raised."""
+        from repro import service as service_module
+
+        def drop(handler) -> None:
+            raise BrokenPipeError("client went away")
+
+        monkeypatch.setattr(service_module._Handler, "_handle_health", drop)
+        with socket.create_connection(
+            ("127.0.0.1", service.port), timeout=10
+        ) as conn:
+            conn.sendall(
+                b"GET /health HTTP/1.1\r\n"
+                b"Host: localhost\r\n"
+                b"Connection: close\r\n\r\n"
+            )
+            chunks = []
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        # Nothing was written for the aborted request ...
+        assert b"".join(chunks) == b""
+        # ... and it is accounted under the 499 sentinel, not status 0.
+        _, text = call(service, "/metrics")
+        assert (
+            'repro_http_requests_total'
+            '{endpoint="/health",method="GET",status="499"} 1'
+        ) in text
 
     def test_errors_counted_per_endpoint(self, service):
         call(service, "/recommend", {"activity": ["potatoes"], "k": -3})
