@@ -1,0 +1,47 @@
+"""Repo-specific static analysis (the ``repro-lint`` tool).
+
+Generic linters check style; this package machine-checks the *semantic*
+invariants this codebase's concurrency and caching design depends on —
+rules that pytest can only probe and a reviewer can only hope to spot:
+
+- **RL001 lock-discipline** — attributes registered in a module-level
+  ``_GUARDED_BY`` map may only be touched under their declared lock
+  (or, for externally synchronized state, only by their owning class);
+- **RL002 strategy-purity** — ranking strategies stay pure functions of
+  ``(model, H)`` after construction, which is what makes every result
+  cacheable by ``(generation, strategy, activity, k)``;
+- **RL003 metrics-naming** — every metric family name is a literal,
+  follows the ``repro_*`` naming convention, and is registered at exactly
+  one call site;
+- **RL004 error-shape** — HTTP handlers can only emit non-2xx responses
+  through the uniform ``{"error": ..., "detail": ...}`` envelope;
+- **RL005 nondeterminism** — no wall-clock or unseeded randomness inside
+  the scoring paths of :mod:`repro.core`.
+
+See ``docs/static-analysis.md`` for the full rule catalogue, the
+``_GUARDED_BY`` registration convention and the pragma syntax
+(``# repro-lint: disable=RL001``).
+
+Rule modules self-register on import, so importing this package is enough
+to populate :data:`repro.analysis.registry.RULES`.
+"""
+
+from repro.analysis.engine import LintResult, ModuleInfo, Violation, run_lint
+from repro.analysis.registry import RULES, Rule, register_rule
+
+# Importing the rule modules registers every shipped rule.
+from repro.analysis import determinism as _determinism  # noqa: F401
+from repro.analysis import error_shape as _error_shape  # noqa: F401
+from repro.analysis import guards as _guards  # noqa: F401
+from repro.analysis import metrics_names as _metrics_names  # noqa: F401
+from repro.analysis import purity as _purity  # noqa: F401
+
+__all__ = [
+    "LintResult",
+    "ModuleInfo",
+    "RULES",
+    "Rule",
+    "Violation",
+    "register_rule",
+    "run_lint",
+]

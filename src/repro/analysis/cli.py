@@ -1,0 +1,133 @@
+"""The ``repro-lint`` command line.
+
+Usage::
+
+    repro-lint src/                 # lint a tree; exit 1 on violations
+    repro-lint src/repro/service.py tests/fixture.py
+    repro-lint --select RL001,RL003 src/
+    repro-lint --list-rules
+    repro-lint --self-check         # registry/docs consistency, exit 1 on drift
+
+Exit codes: ``0`` clean, ``1`` violations (or failed self-check), ``2``
+usage or internal error.  Violations print one per line as
+``path:line:col CODE message``, sorted by location, to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import UsageError, run_lint
+from repro.analysis.registry import RULES, self_check
+
+#: Walk at most this many directories up from the package (or cwd) when
+#: looking for the documentation file ``--self-check`` cross-references.
+_DOCS_RELATIVE = Path("docs") / "static-analysis.md"
+
+
+def _find_docs(explicit: str | None) -> Path | None:
+    if explicit is not None:
+        path = Path(explicit)
+        return path if path.is_file() else None
+    for base in (Path.cwd(), *Path.cwd().parents):
+        candidate = base / _DOCS_RELATIVE
+        if candidate.is_file():
+            return candidate
+    # Fall back to the repo layout relative to the installed package
+    # (src/repro/analysis/cli.py -> repo root).
+    candidate = Path(__file__).resolve().parents[3] / _DOCS_RELATIVE
+    return candidate if candidate.is_file() else None
+
+
+def _run_self_check(docs: str | None, out) -> int:
+    docs_path = _find_docs(docs)
+    docs_text = docs_path.read_text(encoding="utf-8") if docs_path else None
+    problems = self_check(docs_text)
+    if problems:
+        for problem in problems:
+            print(f"self-check: {problem}", file=out)
+        return 1
+    print(
+        f"self-check: {len(RULES)} rules registered, all documented in "
+        f"{docs_path}",
+        file=out,
+    )
+    return 0
+
+
+def _list_rules(out) -> int:
+    for rule in RULES.values():
+        print(f"{rule.code} {rule.name}: {rule.summary}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Repo-specific static analysis: lock discipline (RL001), "
+            "strategy purity (RL002), metrics naming (RL003), error "
+            "shape (RL004), determinism (RL005)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="verify the rule registry is consistent and documented",
+    )
+    parser.add_argument(
+        "--docs",
+        metavar="PATH",
+        help="path to static-analysis.md for --self-check "
+        "(default: discovered from cwd / package layout)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        return _list_rules(out)
+    if args.self_check:
+        return _run_self_check(args.docs, out)
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro-lint: error: no paths given", file=sys.stderr)
+        return 2
+    select = None
+    if args.select:
+        select = [c.strip() for c in args.select.split(",") if c.strip()]
+    try:
+        result = run_lint(args.paths, select=select)
+    except UsageError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    if result.violations:
+        try:
+            print(result.render(), file=out)
+        except BrokenPipeError:
+            # Downstream closed early (e.g. ``repro-lint src/ | head``).
+            # Point stdout at devnull so interpreter shutdown does not
+            # trip over the dead pipe, and keep the lint exit status.
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via entry point
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""RL005 — no wall-clock or unseeded randomness in ``repro.core``.
+
+The paper's strategies are deterministic functions of ``(model, H)``, the
+parity suite asserts bit-identical results across the reference and
+vectorized paths, and the serving cache stores results keyed only by
+``(generation, strategy, H, k)``.  A ``time.time()`` or bare ``random``
+call inside a scoring path silently breaks all three — results stop being
+reproducible and cached entries stop being interchangeable with computed
+ones.
+
+Inside every module under ``repro/core``:
+
+- calls to ``time.time``/``time.time_ns``/``time.monotonic`` and
+  ``datetime.now``/``utcnow``/``today`` are violations
+  (``time.perf_counter`` is explicitly allowed: it measures *duration*
+  for metrics and never feeds a score);
+- any use of the stdlib ``random`` module — ``import random`` usage or
+  names imported from it — is a violation (seed it or inject it:
+  ``repro.utils.rng`` exists for exactly this);
+- ``numpy.random`` *module-level* calls (``np.random.rand``,
+  ``np.random.shuffle``, the legacy global-state API) are violations,
+  as is ``np.random.default_rng()`` with **no seed argument**.  Seeded
+  construction — ``default_rng(seed)``, ``SeedSequence(...)``,
+  ``Generator(...)`` — is allowed, and methods on the resulting generator
+  objects are not module-level calls, so they pass.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import ModuleInfo, Violation, attr_chain
+from repro.analysis.registry import register_rule
+
+#: Path fragment selecting the modules this rule applies to.
+CORE_PATH_FRAGMENT = "repro/core"
+
+_CLOCK_ATTRS = {"time", "time_ns", "monotonic", "monotonic_ns"}
+_DATETIME_ATTRS = {"now", "utcnow", "today"}
+_SEEDED_NUMPY = {"default_rng", "SeedSequence", "Generator", "PCG64"}
+
+
+def _imported_names(module: ModuleInfo) -> tuple[set[str], set[str], set[str]]:
+    """(names bound to the time module's clocks, random-module names,
+    aliases of the numpy module) as they appear in this file."""
+    clock_funcs: set[str] = set()
+    random_names: set[str] = set()
+    numpy_aliases: set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in _CLOCK_ATTRS:
+                        clock_funcs.add(alias.asname or alias.name)
+            elif node.module == "random":
+                for alias in node.names:
+                    random_names.add(alias.asname or alias.name)
+            elif node.module == "datetime":
+                # from datetime import datetime -> datetime.now() calls are
+                # caught through the attribute check below.
+                pass
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    random_names.add(alias.asname or alias.name)
+                elif alias.name in ("numpy", "numpy.random"):
+                    numpy_aliases.add((alias.asname or alias.name).split(".")[0])
+    return clock_funcs, random_names, numpy_aliases
+
+
+@register_rule(
+    "RL005",
+    "nondeterminism",
+    "No wall-clock reads (time.time, datetime.now) and no unseeded "
+    "randomness (stdlib random, numpy.random module calls, "
+    "default_rng() without a seed) inside repro/core scoring paths; "
+    "inject clocks and seeded generators instead.",
+)
+def check_determinism(modules: list[ModuleInfo]) -> list[Violation]:
+    violations: list[Violation] = []
+    for module in modules:
+        if CORE_PATH_FRAGMENT not in module.posix:
+            continue
+        clock_funcs, random_names, numpy_aliases = _imported_names(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if chain is None:
+                continue
+            head, tail = chain[0], chain[-1]
+            if len(chain) == 1:
+                if head in clock_funcs:
+                    violations.append(
+                        module.violation(
+                            "RL005",
+                            node,
+                            f"wall-clock call {head}(); inject a clock "
+                            "(perf_counter is allowed for durations)",
+                        )
+                    )
+                elif head in random_names:
+                    violations.append(
+                        module.violation(
+                            "RL005",
+                            node,
+                            f"stdlib random call {head}(); use a seeded "
+                            "generator from repro.utils.rng",
+                        )
+                    )
+                continue
+            dotted = ".".join(chain)
+            if head == "time" and tail in _CLOCK_ATTRS:
+                violations.append(
+                    module.violation(
+                        "RL005",
+                        node,
+                        f"wall-clock call {dotted}(); inject a clock "
+                        "(time.perf_counter is allowed for durations)",
+                    )
+                )
+            elif head == "datetime" and tail in _DATETIME_ATTRS:
+                violations.append(
+                    module.violation(
+                        "RL005",
+                        node,
+                        f"wall-clock call {dotted}(); pass timestamps in "
+                        "explicitly",
+                    )
+                )
+            elif head in random_names:
+                violations.append(
+                    module.violation(
+                        "RL005",
+                        node,
+                        f"stdlib random call {dotted}(); use a seeded "
+                        "generator from repro.utils.rng",
+                    )
+                )
+            elif (
+                head in numpy_aliases
+                and len(chain) >= 3
+                and chain[1] == "random"
+            ):
+                func_name = chain[2]
+                if func_name == "default_rng" and not (
+                    node.args or node.keywords
+                ):
+                    violations.append(
+                        module.violation(
+                            "RL005",
+                            node,
+                            f"{dotted}() without a seed; pass an explicit "
+                            "seed or SeedSequence",
+                        )
+                    )
+                elif func_name not in _SEEDED_NUMPY:
+                    violations.append(
+                        module.violation(
+                            "RL005",
+                            node,
+                            f"global-state numpy.random call {dotted}(); "
+                            "use a seeded Generator instead",
+                        )
+                    )
+    return violations

@@ -1,0 +1,275 @@
+"""File collection, pragma handling and reporting for ``repro-lint``.
+
+The engine parses every target file once into a :class:`ModuleInfo`, hands
+the full list to each registered rule (several rules are cross-file), then
+filters the collected :class:`Violation` stream through the suppression
+pragmas and sorts it into the canonical ``path:line:col CODE message``
+order.
+
+Pragma syntax (documented in ``docs/static-analysis.md``)::
+
+    x = self._data          # repro-lint: disable=RL001
+    # repro-lint: disable=RL003,RL005   <- standalone: applies to next line
+
+Suppressions are per-line and per-code; there is deliberately no
+file-level or blanket ``disable`` — a pragma should be as narrow as the
+exception it grants.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.registry import PARSE_ERROR_CODE, RULES
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
+
+
+class UsageError(Exception):
+    """A bad invocation (unknown path, unknown rule code) — CLI exit 2."""
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding, ordered by location for stable output."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed target file plus the helpers every rule needs."""
+
+    path: Path
+    tree: ast.Module
+    lines: list[str]
+    #: line number -> codes suppressed on that line (pragmas already folded).
+    suppressed: dict[int, set[str]] = field(default_factory=dict)
+
+    @property
+    def posix(self) -> str:
+        return self.path.as_posix()
+
+    def violation(self, code: str, node: ast.AST, message: str) -> Violation:
+        """Build a violation at ``node`` (1-based line, 1-based column)."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Violation(
+            path=str(self.path), line=line, col=col, code=code, message=message
+        )
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        return violation.code in self.suppressed.get(violation.line, set())
+
+
+def parse_pragmas(lines: Sequence[str]) -> dict[int, set[str]]:
+    """Map line numbers to the rule codes suppressed there.
+
+    A trailing pragma suppresses its own line; a standalone pragma comment
+    suppresses the next line (so a long statement can carry a pragma
+    without blowing the line length).
+    """
+    suppressed: dict[int, set[str]] = {}
+    for lineno, raw in enumerate(lines, start=1):
+        match = _PRAGMA.search(raw)
+        if not match:
+            continue
+        codes = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        target = lineno + 1 if raw.lstrip().startswith("#") else lineno
+        suppressed.setdefault(target, set()).update(codes)
+    return suppressed
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            candidates = sorted(
+                p
+                for p in root.rglob("*.py")
+                if "__pycache__" not in p.parts
+                and not any(part.startswith(".") for part in p.parts)
+            )
+        elif root.is_file():
+            candidates = [root]
+        else:
+            raise UsageError(f"no such file or directory: {root}")
+        for path in candidates:
+            key = path.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(path)
+    return out
+
+
+def load_module(path: Path) -> ModuleInfo | Violation:
+    """Parse one file; a syntax/decoding error becomes an RL000 violation."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        col = (getattr(exc, "offset", None) or 1) or 1
+        reason = getattr(exc, "msg", None) or str(exc)
+        return Violation(
+            path=str(path),
+            line=int(line),
+            col=int(col),
+            code=PARSE_ERROR_CODE,
+            message=f"cannot analyze file: {reason}",
+        )
+    lines = source.splitlines()
+    return ModuleInfo(
+        path=path, tree=tree, lines=lines, suppressed=parse_pragmas(lines)
+    )
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Everything one ``repro-lint`` run produced."""
+
+    files: tuple[str, ...]
+    violations: tuple[Violation, ...]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.violations else 0
+
+    def render(self) -> str:
+        return "\n".join(v.render() for v in self.violations)
+
+
+def run_lint(
+    paths: Iterable[str | Path], select: Iterable[str] | None = None
+) -> LintResult:
+    """Lint ``paths`` with the registered rules (optionally only ``select``).
+
+    Raises :class:`UsageError` for unknown paths or unknown rule codes.
+    """
+    rules = list(RULES.values())
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - set(RULES)
+        if unknown:
+            raise UsageError(
+                "unknown rule code(s): " + ", ".join(sorted(unknown))
+            )
+        rules = [rule for rule in rules if rule.code in wanted]
+
+    files = collect_files(paths)
+    modules: list[ModuleInfo] = []
+    findings: list[Violation] = []
+    by_path: dict[str, ModuleInfo] = {}
+    for path in files:
+        loaded = load_module(path)
+        if isinstance(loaded, Violation):
+            findings.append(loaded)
+            continue
+        modules.append(loaded)
+        by_path[loaded.path.as_posix()] = loaded
+
+    for rule in rules:
+        findings.extend(rule.check(modules))
+
+    kept: list[Violation] = []
+    for violation in findings:
+        module = by_path.get(Path(violation.path).as_posix())
+        if module is not None and module.is_suppressed(violation):
+            continue
+        kept.append(violation)
+    return LintResult(
+        files=tuple(str(p) for p in files), violations=tuple(sorted(kept))
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers used by the rule modules
+# ----------------------------------------------------------------------
+
+
+def attr_chain(node: ast.AST) -> list[str] | None:
+    """``self._lock.read_locked`` -> ``["self", "_lock", "read_locked"]``.
+
+    Returns ``None`` when the expression is not a pure Name/Attribute
+    chain (calls, subscripts, literals... break the chain).
+    """
+    parts: list[str] = []
+    cursor = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        parts.append(cursor.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def chain_root(node: ast.AST) -> str | None:
+    """The base :class:`ast.Name` of an attribute/subscript/call chain.
+
+    ``model._impls[pid].actions`` -> ``"model"``; ``f(x).y`` -> ``None``
+    (the receiver is a fresh value, not a tracked binding).
+    """
+    cursor = node
+    while True:
+        if isinstance(cursor, ast.Attribute | ast.Subscript | ast.Starred):
+            cursor = cursor.value
+        elif isinstance(cursor, ast.Call):
+            cursor = cursor.func
+        elif isinstance(cursor, ast.Name):
+            return cursor.id
+        else:
+            return None
+
+
+def iter_methods(classdef: ast.ClassDef) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """The function definitions directly in a class body."""
+    for stmt in classdef.body:
+        if isinstance(stmt, ast.FunctionDef | ast.AsyncFunctionDef):
+            yield stmt
+
+
+def iter_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    """Every class definition in the module, including nested ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def init_assigned_attrs(classdef: ast.ClassDef) -> set[str]:
+    """Attribute names assigned on ``self`` inside ``__init__``."""
+    attrs: set[str] = set()
+    for method in iter_methods(classdef):
+        if method.name != "__init__":
+            continue
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Store | ast.Del)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                attrs.add(node.attr)
+    return attrs
+
+
+def literal_str(node: ast.AST) -> str | None:
+    """The value of a string constant node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

@@ -1,0 +1,143 @@
+"""RL004 — every non-2xx HTTP response carries the ``{error, detail}`` shape.
+
+PR 2 standardized the service's error envelope: clients (and the batch
+harness's retry logic) match on ``{"error": <slug>, "detail": <human>}``.
+A handler that writes a bare ``self.send_response(500)`` or ships a non-2xx
+JSON body without the envelope silently breaks that contract — no test
+fails unless that exact path is exercised.
+
+Statically enforced choke points:
+
+- ``self.send_response(...)`` may only be called inside a method named
+  ``_send_headers`` — the one place allowed to talk to the raw
+  ``BaseHTTPRequestHandler`` API;
+- ``self._send_json(status, payload, ...)`` with a literal ``status >=
+  300`` must pass a **dict literal** containing both ``"error"`` and
+  ``"detail"`` keys (a computed payload can't be verified here, so
+  error paths must inline the envelope or go through ``_send_error``);
+- ``self._send_headers(status, ...)`` with a literal ``status >= 300``
+  may only appear inside ``_send_json`` — bodies for error statuses must
+  flow through the JSON envelope path, never through the bare-bytes
+  helpers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from repro.analysis.engine import ModuleInfo, Violation
+from repro.analysis.registry import register_rule
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _self_method_call(node: ast.Call, name: str) -> bool:
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == name
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "self"
+    )
+
+
+def _literal_status(node: ast.Call) -> int | None:
+    """The first positional argument when it is an int literal."""
+    if node.args and isinstance(node.args[0], ast.Constant):
+        value = node.args[0].value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+    return None
+
+
+def _payload_arg(node: ast.Call) -> ast.expr | None:
+    if len(node.args) >= 2:
+        return node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "payload":
+            return kw.value
+    return None
+
+
+def _has_envelope_keys(payload: ast.expr) -> bool:
+    if not isinstance(payload, ast.Dict):
+        return False
+    keys = {
+        key.value
+        for key in payload.keys
+        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+    }
+    return {"error", "detail"} <= keys
+
+
+def _walk_functions(
+    node: ast.AST, current: _FuncNode | None = None
+) -> list[tuple[ast.Call, _FuncNode | None]]:
+    """All calls paired with their innermost enclosing function def."""
+    out: list[tuple[ast.Call, _FuncNode | None]] = []
+    for child in ast.iter_child_nodes(node):
+        inner = (
+            child
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            else current
+        )
+        if isinstance(child, ast.Call):
+            out.append((child, inner))
+        out.extend(_walk_functions(child, inner))
+    return out
+
+
+@register_rule(
+    "RL004",
+    "error-shape",
+    "Service handlers emit non-2xx responses only through the "
+    '{"error": ..., "detail": ...} JSON envelope: raw send_response is '
+    "confined to _send_headers, and _send_json with a literal status >= "
+    "300 must pass a dict literal containing both keys.",
+)
+def check_error_shape(modules: list[ModuleInfo]) -> list[Violation]:
+    violations: list[Violation] = []
+    for module in modules:
+        for call, func in _walk_functions(module.tree):
+            func_name = func.name if func is not None else "<module>"
+            if _self_method_call(call, "send_response"):
+                if func_name != "_send_headers":
+                    violations.append(
+                        module.violation(
+                            "RL004",
+                            call,
+                            "raw self.send_response() outside _send_headers; "
+                            "route responses through _send_json/_send_error",
+                        )
+                    )
+            elif _self_method_call(call, "_send_json"):
+                status = _literal_status(call)
+                if status is not None and status >= 300:
+                    payload = _payload_arg(call)
+                    if payload is None or not _has_envelope_keys(payload):
+                        violations.append(
+                            module.violation(
+                                "RL004",
+                                call,
+                                f"non-2xx _send_json({status}, ...) must "
+                                'pass a dict literal with "error" and '
+                                '"detail" keys (or use _send_error)',
+                            )
+                        )
+            elif _self_method_call(call, "_send_headers"):
+                status = _literal_status(call)
+                if (
+                    status is not None
+                    and status >= 300
+                    and func_name != "_send_json"
+                ):
+                    violations.append(
+                        module.violation(
+                            "RL004",
+                            call,
+                            f"_send_headers({status}, ...) outside "
+                            "_send_json; error bodies must use the JSON "
+                            "envelope",
+                        )
+                    )
+    return violations

@@ -1,0 +1,126 @@
+"""RL003 — metric family names: literal, conventional, registered once.
+
+The Prometheus-style registry in :mod:`repro.obs.metrics` creates (or
+fetches) a family on every ``registry.counter/gauge/histogram(...)`` call,
+so nothing at runtime stops two call sites from registering the same name
+with different help text or label sets — the second silently wins — or a
+dynamic f-string name from exploding family cardinality.  This rule checks
+every registration call site statically:
+
+- the name argument must be a **string literal** (dynamic names defeat
+  both this rule and dashboard grep-ability);
+- the name must match ``repro_[a-z0-9_]+(_total|_seconds|_bytes)?`` and
+  carry the unit suffix its kind implies: counters end in ``_total``,
+  histograms in ``_seconds`` or ``_bytes``, gauges in neither (a gauge is
+  a current level, not an accumulated total);
+- across the entire linted tree each name is registered at **exactly one**
+  call site — shared families must be reached through one helper, not
+  re-declared.
+
+Method *definitions* named ``counter``/``gauge``/``histogram`` (the
+registry itself) are not call sites and are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.engine import ModuleInfo, Violation, literal_str
+from repro.analysis.registry import register_rule
+
+#: The naming convention from the issue, anchored.
+NAME_PATTERN = re.compile(r"^repro_[a-z0-9_]+?(_total|_seconds|_bytes)?$")
+
+_KINDS = ("counter", "gauge", "histogram")
+_UNIT_SUFFIXES = ("_total", "_seconds", "_bytes")
+
+
+def _registration_calls(
+    module: ModuleInfo,
+) -> list[tuple[str, ast.Call, ast.expr | None]]:
+    """Every ``<obj>.counter/gauge/histogram(...)`` call in the module."""
+    calls: list[tuple[str, ast.Call, ast.expr | None]] = []
+    for node in ast.walk(module.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _KINDS
+        ):
+            continue
+        name_arg: ast.expr | None = None
+        if node.args:
+            name_arg = node.args[0]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "name":
+                    name_arg = kw.value
+                    break
+        calls.append((node.func.attr, node, name_arg))
+    return calls
+
+
+def _check_name(kind: str, name: str) -> str | None:
+    """Return a problem description for ``name``, or ``None`` if clean."""
+    if not NAME_PATTERN.match(name):
+        return (
+            f"{name!r} does not match "
+            "repro_[a-z0-9_]+(_total|_seconds|_bytes)?"
+        )
+    if kind == "counter" and not name.endswith("_total"):
+        return f"counter {name!r} must end in _total"
+    if kind == "histogram" and not (
+        name.endswith("_seconds") or name.endswith("_bytes")
+    ):
+        return f"histogram {name!r} must end in _seconds or _bytes"
+    if kind == "gauge" and name.endswith(_UNIT_SUFFIXES):
+        return (
+            f"gauge {name!r} must not carry an accumulation suffix "
+            "(_total/_seconds/_bytes)"
+        )
+    return None
+
+
+@register_rule(
+    "RL003",
+    "metrics-naming",
+    "Every counter/gauge/histogram registration uses a literal name "
+    "matching repro_[a-z0-9_]+(_total|_seconds|_bytes)? with the suffix "
+    "its kind implies, and each name is registered at exactly one call "
+    "site across the linted tree.",
+)
+def check_metric_names(modules: list[ModuleInfo]) -> list[Violation]:
+    violations: list[Violation] = []
+    sites: dict[str, list[tuple[ModuleInfo, ast.Call]]] = {}
+    for module in modules:
+        for kind, call, name_arg in _registration_calls(module):
+            name = literal_str(name_arg) if name_arg is not None else None
+            if name is None:
+                violations.append(
+                    module.violation(
+                        "RL003",
+                        name_arg if name_arg is not None else call,
+                        f"{kind}() name must be a string literal, not a "
+                        "computed expression",
+                    )
+                )
+                continue
+            problem = _check_name(kind, name)
+            if problem is not None:
+                violations.append(module.violation("RL003", call, problem))
+            sites.setdefault(name, []).append((module, call))
+    for name, occurrences in sites.items():
+        if len(occurrences) <= 1:
+            continue
+        first_module, first_call = occurrences[0]
+        origin = f"{first_module.path}:{first_call.lineno}"
+        for module, call in occurrences[1:]:
+            violations.append(
+                module.violation(
+                    "RL003",
+                    call,
+                    f"metric {name!r} is already registered at {origin}; "
+                    "register each family at exactly one call site",
+                )
+            )
+    return violations

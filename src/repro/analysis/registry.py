@@ -1,0 +1,100 @@
+"""The rule registry behind ``repro-lint``.
+
+Each rule module declares its checks with :func:`register_rule`; the engine
+iterates :data:`RULES` in code order.  Registration enforces the structural
+invariants that ``repro-lint --self-check`` re-verifies from the outside:
+codes are unique, match ``RLnnn``, and carry a human-readable summary (the
+self-check additionally cross-references ``docs/static-analysis.md`` so a
+rule cannot ship undocumented).
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.analysis.engine import ModuleInfo, Violation
+
+#: Shape every rule code must have (``RL`` + three digits).
+CODE_PATTERN = re.compile(r"^RL\d{3}$")
+
+#: Reserved pseudo-code used for files the engine cannot parse.  It is not a
+#: registered rule (there is nothing to configure) but it shares the output
+#: format and can be suppressed like any other code.
+PARSE_ERROR_CODE = "RL000"
+
+CheckFn = Callable[[list["ModuleInfo"]], Iterable["Violation"]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule.
+
+    ``check`` receives *every* parsed module at once (rules like RL001's
+    ``<caller>`` guards and RL003's exactly-once registration are
+    cross-file) and yields violations in any order; the engine sorts.
+    """
+
+    code: str
+    name: str
+    summary: str
+    check: CheckFn
+
+
+#: All registered rules, keyed by code, in registration order.
+RULES: dict[str, Rule] = {}
+
+
+def register_rule(code: str, name: str, summary: str) -> Callable[[CheckFn], CheckFn]:
+    """Class/function decorator registering ``fn`` as the check for ``code``.
+
+    Raises :class:`ValueError` on a malformed code, a duplicate code, or an
+    empty summary — the same conditions ``--self-check`` validates — so a
+    bad rule fails at import time, before it can silently not run.
+    """
+
+    def decorator(fn: CheckFn) -> CheckFn:
+        if not CODE_PATTERN.match(code):
+            raise ValueError(f"rule code {code!r} does not match RLnnn")
+        if code == PARSE_ERROR_CODE:
+            raise ValueError(f"{code} is reserved for parse errors")
+        if code in RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        if not name or not summary.strip():
+            raise ValueError(f"rule {code} needs a non-empty name and summary")
+        RULES[code] = Rule(code=code, name=name, summary=summary.strip(), check=fn)
+        return fn
+
+    return decorator
+
+
+def self_check(docs_text: str | None) -> list[str]:
+    """Validate registry consistency; return a list of problem strings.
+
+    ``docs_text`` is the content of ``docs/static-analysis.md`` (or ``None``
+    when the caller could not locate it, which is itself a finding): every
+    registered code must appear in the documentation so the rule catalogue
+    and the docs cannot drift apart.
+    """
+    problems: list[str] = []
+    if not RULES:
+        problems.append("no rules registered")
+    for code, rule in RULES.items():
+        if not CODE_PATTERN.match(code):
+            problems.append(f"{code}: code does not match RLnnn")
+        if code != rule.code:
+            problems.append(f"{code}: registry key disagrees with rule.code {rule.code}")
+        if not rule.summary.strip():
+            problems.append(f"{code}: empty summary")
+        if not rule.name.strip():
+            problems.append(f"{code}: empty name")
+    if docs_text is None:
+        problems.append("docs/static-analysis.md not found (pass --docs PATH)")
+    else:
+        for code in RULES:
+            if code not in docs_text:
+                problems.append(f"{code}: not documented in docs/static-analysis.md")
+    return problems

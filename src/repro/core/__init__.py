@@ -17,6 +17,7 @@ from repro.core.goal_inference import GoalInferencer
 from repro.core.incremental import IncrementalGoalModel
 from repro.core.library import ImplementationLibrary, LibraryStats
 from repro.core.model import AssociationGoalModel
+from repro.core.protocols import ModelView, Strategy
 from repro.core.recommender import GoalRecommender, PAPER_STRATEGIES
 from repro.core.related import implementation_similarity, related_actions
 from repro.core.session import GoalCompleted, RecommendationSession
@@ -37,6 +38,8 @@ __all__ = [
     "LibraryStats",
     "AssociationGoalModel",
     "IncrementalGoalModel",
+    "ModelView",
+    "Strategy",
     "LRUCache",
     "CacheStats",
     "CachedModelView",

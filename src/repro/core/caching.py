@@ -53,6 +53,22 @@ from repro.core.recommender import GoalRecommender
 
 _SENTINEL = object()
 
+#: Lock discipline, machine-checked by ``repro-lint`` (rule RL001, see
+#: docs/static-analysis.md).  ``LRUCache`` state lives under its lock;
+#: ``CachedModelView`` is an immutable proxy — its fields are bound once
+#: in ``__init__`` and never reassigned, which is what makes sharing one
+#: view across handler threads safe without any locking.
+_GUARDED_BY = {
+    "LRUCache._data": "_lock",
+    "LRUCache._hits": "_lock",
+    "LRUCache._misses": "_lock",
+    "LRUCache._evictions": "_lock",
+    "LRUCache._invalidations": "_lock",
+    "CachedModelView._model": "<final>",
+    "CachedModelView._cache": "<final>",
+    "CachedModelView._generation": "<final>",
+}
+
 
 @dataclass(frozen=True, slots=True)
 class CacheStats:
@@ -108,12 +124,18 @@ class LRUCache:
 
     def _record_lookup(self, hit: bool, elapsed: float) -> None:
         registry = obs.get_registry()
-        outcome = "hits" if hit else "misses"
-        registry.counter(
-            f"repro_cache_{outcome}_total",
-            f"Cache lookup {outcome}, by cache name.",
-            cache=self.name,
-        ).inc()
+        if hit:
+            registry.counter(
+                "repro_cache_hits_total",
+                "Cache lookup hits, by cache name.",
+                cache=self.name,
+            ).inc()
+        else:
+            registry.counter(
+                "repro_cache_misses_total",
+                "Cache lookup misses, by cache name.",
+                cache=self.name,
+            ).inc()
         registry.histogram(
             "repro_cache_lookup_seconds",
             "Cache lookup latency (hit or miss), by cache name.",
@@ -138,7 +160,8 @@ class LRUCache:
         return self._maxsize
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def lookup(self, key: Any) -> tuple[bool, Any]:
         """Return ``(hit, value)``; ``value`` is ``None`` on a miss."""

@@ -13,6 +13,7 @@ label-level, immutable public representation.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import Hashable
 
@@ -81,7 +82,7 @@ class UserActivity:
     def __contains__(self, action: ActionLabel) -> bool:
         return action in self.actions
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ActionLabel]:
         return iter(self.actions)
 
 
@@ -118,7 +119,7 @@ class RecommendationList:
     def __len__(self) -> int:
         return len(self.items)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[ScoredAction]:
         return iter(self.items)
 
     def actions(self) -> list[ActionLabel]:

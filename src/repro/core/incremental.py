@@ -28,6 +28,20 @@ from repro.core.library import ImplementationLibrary, LibraryStats
 from repro.core.model import AssociationGoalModel
 from repro.exceptions import ModelError, UnknownActionError, UnknownGoalError
 
+#: Lock discipline, machine-checked by ``repro-lint`` (rule RL001, see
+#: docs/static-analysis.md).  The incremental model carries no lock of its
+#: own: the serving layer's ``ModelManager`` wraps every mutation and every
+#: consistent read in its writer-preferring RWLock.  ``<caller>`` marks the
+#: index dicts as externally synchronized — only this class's own methods
+#: may touch them, so synchronization stays the manager's job.
+_GUARDED_BY = {
+    "IncrementalGoalModel._impl_actions": "<caller>",
+    "IncrementalGoalModel._impl_goal": "<caller>",
+    "IncrementalGoalModel._action_impls": "<caller>",
+    "IncrementalGoalModel._goal_impls": "<caller>",
+    "IncrementalGoalModel._dedup": "<caller>",
+}
+
 
 class IncrementalGoalModel:
     """A goal model supporting live insertion and removal of implementations.

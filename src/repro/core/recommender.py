@@ -25,7 +25,7 @@ from typing import Any
 
 from repro import obs
 from repro.core.entities import ActionLabel, GoalLabel, RecommendationList
-from repro.core.model import AssociationGoalModel
+from repro.core.protocols import ModelView
 from repro.core.strategies import RankingStrategy, create_strategy
 from repro.exceptions import RecommendationError
 
@@ -44,14 +44,14 @@ class GoalRecommender:
 
     def __init__(
         self,
-        model: AssociationGoalModel,
+        model: ModelView,
         default_strategy: str = "breadth",
     ) -> None:
         self.model = model
         self.default_strategy = default_strategy
         self._strategies: dict[str, RankingStrategy] = {}
 
-    def with_model(self, model: AssociationGoalModel) -> "GoalRecommender":
+    def with_model(self, model: ModelView) -> "GoalRecommender":
         """A recommender over ``model`` sharing this one's strategy cache.
 
         Strategies are stateless with respect to the model (it is passed to

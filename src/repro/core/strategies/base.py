@@ -21,7 +21,7 @@ from typing import Any, Callable
 
 from repro import obs
 from repro.core.entities import RecommendationList, ScoredAction
-from repro.core.model import AssociationGoalModel
+from repro.core.protocols import ModelView
 from repro.exceptions import RecommendationError, StrategyNotFoundError
 
 
@@ -43,7 +43,7 @@ class RankingStrategy(ABC):
     @abstractmethod
     def rank(
         self,
-        model: AssociationGoalModel,
+        model: ModelView,
         activity: frozenset[int],
         k: int,
     ) -> list[tuple[int, float]]:
@@ -56,7 +56,7 @@ class RankingStrategy(ABC):
 
     def recommend(
         self,
-        model: AssociationGoalModel,
+        model: ModelView,
         activity: frozenset[int],
         k: int,
     ) -> RecommendationList:

@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.core.distances import DistanceFunc, get_distance
-from repro.core.model import AssociationGoalModel
+from repro.core.protocols import ModelView
 from repro.core.strategies.base import RankingStrategy, register_strategy
 from repro.utils.validation import require_in
 
@@ -56,7 +56,7 @@ class BestMatchStrategy(RankingStrategy):
     # ------------------------------------------------------------------
 
     def goal_axis(
-        self, model: AssociationGoalModel, activity: frozenset[int]
+        self, model: ModelView, activity: frozenset[int]
     ) -> list[int]:
         """The ordered goal ids spanning the feature space ``F_GS(H)``.
 
@@ -67,7 +67,7 @@ class BestMatchStrategy(RankingStrategy):
 
     def profile(
         self,
-        model: AssociationGoalModel,
+        model: ModelView,
         activity: frozenset[int],
         axis: list[int] | None = None,
     ) -> list[float]:
@@ -88,7 +88,7 @@ class BestMatchStrategy(RankingStrategy):
 
     def action_vector(
         self,
-        model: AssociationGoalModel,
+        model: ModelView,
         aid: int,
         axis: list[int],
         axis_set: set[int] | None = None,
@@ -110,7 +110,7 @@ class BestMatchStrategy(RankingStrategy):
     # ------------------------------------------------------------------
 
     def distances(
-        self, model: AssociationGoalModel, activity: frozenset[int]
+        self, model: ModelView, activity: frozenset[int]
     ) -> dict[int, float]:
         """``{candidate_action_id: dist(H⃗, a⃗)}`` for every candidate."""
         axis = self.goal_axis(model, activity)
@@ -124,7 +124,7 @@ class BestMatchStrategy(RankingStrategy):
 
     def rank(
         self,
-        model: AssociationGoalModel,
+        model: ModelView,
         activity: frozenset[int],
         k: int,
     ) -> list[tuple[int, float]]:

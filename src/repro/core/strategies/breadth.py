@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.core.model import AssociationGoalModel
+from repro.core.protocols import ModelView
 from repro.core.strategies.base import (
     RankingStrategy,
     rank_scored_ids,
@@ -64,7 +64,7 @@ class BreadthStrategy(RankingStrategy):
         return 1
 
     def scores(
-        self, model: AssociationGoalModel, activity: frozenset[int]
+        self, model: ModelView, activity: frozenset[int]
     ) -> dict[int, float]:
         """Full ``{candidate_action_id: score}`` map for the activity.
 
@@ -84,7 +84,7 @@ class BreadthStrategy(RankingStrategy):
 
     def rank(
         self,
-        model: AssociationGoalModel,
+        model: ModelView,
         activity: frozenset[int],
         k: int,
     ) -> list[tuple[int, float]]:

@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Sequence
 
-from repro.core.model import AssociationGoalModel
+from repro.core.protocols import ModelView
 from repro.core.strategies.base import (
     RankingStrategy,
     create_strategy,
@@ -73,7 +73,7 @@ class EnsembleStrategy(RankingStrategy):
 
     def rank(
         self,
-        model: AssociationGoalModel,
+        model: ModelView,
         activity: frozenset[int],
         k: int,
     ) -> list[tuple[int, float]]:

@@ -25,7 +25,7 @@ to recommend; they are skipped (for ``closeness`` this also avoids the
 
 from __future__ import annotations
 
-from repro.core.model import AssociationGoalModel
+from repro.core.protocols import ModelView
 from repro.core.strategies.base import RankingStrategy, register_strategy
 from repro.utils.validation import require_in
 
@@ -69,7 +69,7 @@ class FocusStrategy(RankingStrategy):
         return closeness(impl_actions, activity)
 
     def ranked_implementations(
-        self, model: AssociationGoalModel, activity: frozenset[int]
+        self, model: ModelView, activity: frozenset[int]
     ) -> list[tuple[int, float]]:
         """Score and order the recommendable implementations of ``IS(H)``.
 
@@ -88,7 +88,7 @@ class FocusStrategy(RankingStrategy):
 
     def rank(
         self,
-        model: AssociationGoalModel,
+        model: ModelView,
         activity: frozenset[int],
         k: int,
     ) -> list[tuple[int, float]]:

@@ -27,7 +27,7 @@ from collections import defaultdict
 from collections.abc import Iterable, Mapping
 
 from repro.core.entities import ActionLabel
-from repro.core.model import AssociationGoalModel
+from repro.core.protocols import ModelView
 from repro.core.strategies.base import (
     RankingStrategy,
     rank_scored_ids,
@@ -103,7 +103,7 @@ class HybridStrategy(RankingStrategy):
 
     def rank(
         self,
-        model: AssociationGoalModel,
+        model: ModelView,
         activity: frozenset[int],
         k: int,
     ) -> list[tuple[int, float]]:

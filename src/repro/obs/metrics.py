@@ -54,6 +54,18 @@ CACHE_LOOKUP_BUCKETS: tuple[float, ...] = (
 _METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
+#: Lock discipline, machine-checked by ``repro-lint`` (rule RL001, see
+#: docs/static-analysis.md): these attributes may only be touched inside
+#: ``with self.<lock>``.
+_GUARDED_BY = {
+    "Counter._value": "_lock",
+    "Gauge._value": "_lock",
+    "Histogram._counts": "_lock",
+    "Histogram._sum": "_lock",
+    "Histogram._count": "_lock",
+    "MetricsRegistry._families": "_lock",
+}
+
 
 def _escape_label_value(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
@@ -95,7 +107,8 @@ class Counter:
     @property
     def value(self) -> float:
         """The current count."""
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -124,7 +137,8 @@ class Gauge:
     @property
     def value(self) -> float:
         """The current value."""
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Histogram:
@@ -167,12 +181,14 @@ class Histogram:
     @property
     def sum(self) -> float:
         """Sum of all observed samples."""
-        return self._sum
+        with self._lock:
+            return self._sum
 
     @property
     def count(self) -> int:
         """Number of observed samples."""
-        return self._count
+        with self._lock:
+            return self._count
 
     def cumulative_counts(self) -> list[int]:
         """Cumulative per-bucket counts, ``+Inf`` last (Prometheus ``le``)."""

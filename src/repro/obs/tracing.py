@@ -34,6 +34,13 @@ from contextvars import ContextVar
 
 from repro.obs import runtime
 
+#: Lock discipline, machine-checked by ``repro-lint`` (rule RL001, see
+#: docs/static-analysis.md): the bounded root-span deque is shared across
+#: handler threads.
+_GUARDED_BY = {
+    "Tracer._roots": "_lock",
+}
+
 
 class Span:
     """One timed operation with attributes and child spans."""

@@ -77,7 +77,10 @@ import threading
 import time
 from collections.abc import Iterable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - the runtime import is lazy (optional dep)
+    from repro.core.vectorized import BatchRecommender
 
 from repro import obs
 from repro._version import __version__
@@ -109,6 +112,18 @@ _DELETE_ENDPOINT = "/model/implementations/<id>"
 
 _LOG = obs.get_logger("repro.service")
 
+#: Lock discipline, machine-checked by ``repro-lint`` (rule RL001, see
+#: docs/static-analysis.md).  ``ModelManager`` methods either take the
+#: RWLock themselves or carry the ``_locked`` suffix marking that their
+#: caller already holds it.
+_GUARDED_BY = {
+    "ModelSnapshot._batch": "_batch_lock",
+    "ModelManager._incremental": "_lock",
+    "ModelManager._generation": "_lock",
+    "ModelManager._snapshot": "_lock",
+    "ModelManager._base_recommender": "_lock",
+}
+
 
 class ModelSnapshot:
     """One immutable model generation plus its lazily built scorers.
@@ -136,10 +151,10 @@ class ModelSnapshot:
         self.frozen = frozen
         self.recommender = recommender
         self.caching_recommender = caching_recommender
-        self._batch = None
+        self._batch: BatchRecommender | None = None
         self._batch_lock = threading.Lock()
 
-    def batch(self):
+    def batch(self) -> "BatchRecommender | None":
         """The CSR :class:`BatchRecommender` for this generation.
 
         Built on first use and reused for every later batch request of the
@@ -180,15 +195,15 @@ class ModelManager:
         self.recommendation_cache = LRUCache(cache_size, name="recommendations")
         self.space_cache = LRUCache(space_cache_size, name="implementation_space")
         self._base_recommender: GoalRecommender | None = None
-        self._snapshot = self._build_snapshot()
-        self._publish_generation()
+        self._snapshot = self._build_snapshot_locked()
+        self._publish_generation_locked()
 
     # ------------------------------------------------------------------
     # Snapshot construction and swap (callers hold the write lock, or are
     # still single-threaded in __init__)
     # ------------------------------------------------------------------
 
-    def _build_snapshot(self) -> ModelSnapshot:
+    def _build_snapshot_locked(self) -> ModelSnapshot:
         if self._incremental.num_implementations == 0:
             return ModelSnapshot(self._generation, None, None, None)
         frozen = self._incremental.freeze()
@@ -216,7 +231,7 @@ class ModelManager:
             ),
         )
 
-    def _publish_generation(self) -> None:
+    def _publish_generation_locked(self) -> None:
         if obs.metrics_enabled():
             obs.get_registry().gauge(
                 "repro_model_generation",
@@ -229,8 +244,8 @@ class ModelManager:
         # every entry was computed against the previous generation.
         self.recommendation_cache.clear()
         self.space_cache.clear()
-        self._snapshot = self._build_snapshot()
-        self._publish_generation()
+        self._snapshot = self._build_snapshot_locked()
+        self._publish_generation_locked()
         if obs.metrics_enabled():
             obs.get_registry().counter(
                 "repro_model_reloads_total",
@@ -357,10 +372,15 @@ class ModelManager:
             self._incremental.remove_implementation(pid)
             return self._swap_locked("remove")
 
-    @property
-    def incremental(self) -> IncrementalGoalModel:
-        """The underlying incremental model (mutate via the manager only)."""
-        return self._incremental
+    def num_implementations(self) -> int:
+        """Live implementation count, read consistently under the lock.
+
+        The previous ``incremental`` property handed the unsynchronized
+        model out to callers; every remaining use only ever needed this
+        one number, so expose exactly that instead of the mutable object.
+        """
+        with self._lock.read_locked():
+            return self._incremental.num_implementations
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -895,7 +915,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "added": ids,
                 "generation": snap.generation,
                 "implementations":
-                    self.service.manager.incremental.num_implementations,
+                    self.service.manager.num_implementations(),
             },
         )
 
@@ -920,7 +940,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "removed": pid,
                 "generation": snap.generation,
                 "implementations":
-                    self.service.manager.incremental.num_implementations,
+                    self.service.manager.num_implementations(),
             },
         )
 
@@ -1053,7 +1073,7 @@ class RecommenderService:
         obs.log_event(
             _LOG, "service.start", version=__version__,
             port=self.port,
-            implementations=self.manager.incremental.num_implementations,
+            implementations=self.manager.num_implementations(),
         )
         return self
 

@@ -28,6 +28,15 @@ import threading
 from contextlib import contextmanager
 from collections.abc import Iterator
 
+#: Lock discipline, machine-checked by ``repro-lint`` (rule RL001, see
+#: docs/static-analysis.md): the reader/writer bookkeeping only changes
+#: under the condition variable that readers and writers wait on.
+_GUARDED_BY = {
+    "RWLock._readers": "_cond",
+    "RWLock._writer_active": "_cond",
+    "RWLock._writers_waiting": "_cond",
+}
+
 
 class RWLock:
     """A writer-preferring readers-writer lock."""

@@ -25,6 +25,12 @@ from typing import Any, TypeVar
 
 T = TypeVar("T")
 
+#: Lock discipline, machine-checked by ``repro-lint`` (rule RL001, see
+#: docs/static-analysis.md).
+_GUARDED_BY = {
+    "Stopwatch._samples": "_lock",
+}
+
 
 @dataclass(frozen=True)
 class TimingSummary:

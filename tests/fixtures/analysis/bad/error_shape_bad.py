@@ -1,0 +1,8 @@
+"""Known-bad RL004 corpus: three ways to leak a malformed error response."""
+
+
+class Handler:
+    def _handle(self):
+        self.send_response(500)  # raw status write outside _send_headers
+        self._send_json(404, {"message": "nope"})  # envelope keys missing
+        self._send_headers(503, "text/plain", 4)  # error body skips the envelope

@@ -1,0 +1,35 @@
+"""Known-bad RL001 corpus: one violation per guard kind."""
+
+import threading
+
+_GUARDED_BY = {
+    "Box._items": "_lock",
+    "View._model": "<final>",
+    "Registry._index": "<caller>",
+}
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def add(self, item):
+        self._items.append(item)  # lock-guarded access without the lock
+
+
+class View:
+    def __init__(self, model):
+        self._model = model
+
+    def rebind(self, model):
+        self._model = model  # <final> assigned outside __init__
+
+
+class Registry:
+    def __init__(self):
+        self._index = {}
+
+
+def poke(registry):
+    registry._index["k"] = "v"  # <caller> reach-in from outside the owner

@@ -1,0 +1,11 @@
+"""Known-bad RL003 corpus: six naming/registration violations."""
+
+
+def register(registry, which):
+    registry.counter("repro_requests")  # counter without _total
+    registry.counter(f"repro_{which}_total")  # computed name
+    registry.histogram("repro_latency_total")  # histogram needs _seconds/_bytes
+    registry.gauge("repro_queue_depth_total")  # gauge with accumulation suffix
+    registry.counter("BadName_total")  # does not match repro_[a-z0-9_]+
+    registry.counter("repro_dup_total")
+    registry.counter("repro_dup_total")  # second registration site

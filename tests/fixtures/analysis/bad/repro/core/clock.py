@@ -1,0 +1,15 @@
+"""Known-bad RL005 corpus: five nondeterminism violations."""
+
+import random
+import time
+from random import choice
+
+import numpy as np
+
+
+def jitter(scores):
+    now = time.time()  # wall clock in a scoring path
+    pick = choice(sorted(scores))  # stdlib random via from-import
+    rng = np.random.default_rng()  # unseeded generator
+    np.random.shuffle(scores)  # legacy global-state numpy API
+    return now, pick, rng, random.random()  # stdlib random module call

@@ -1,0 +1,16 @@
+"""Known-bad RL002 corpus: four distinct purity violations in one rank()."""
+
+
+class LeakyStrategy:
+    name = "leaky"
+
+    def __init__(self):
+        self._memo = {}
+
+    def rank(self, model, activity, k):
+        self._memo[activity] = k  # subscript write into self-reachable state
+        model.add_implementations([])  # mutating call on the model
+        space = model.implementation_space(activity)
+        space.add(0)  # mutating the index set the model handed out
+        self.cached = space  # attribute assignment outside __init__
+        return []

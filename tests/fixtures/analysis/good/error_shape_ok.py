@@ -1,0 +1,16 @@
+"""Known-good RL004 corpus: errors flow through the JSON envelope."""
+
+
+class Handler:
+    def _send_headers(self, status, content_type, length):
+        # The one method allowed to talk to the raw response API.
+        self.send_response(status)
+
+    def _send_json(self, status, payload):
+        self._send_headers(status, "application/json", 2)
+
+    def _handle(self):
+        self._send_json(200, {"ok": True})
+        self._send_json(
+            422, {"error": "bad_strategy", "detail": "unknown strategy"}
+        )

@@ -1,0 +1,60 @@
+"""Known-good RL001 corpus: every guarded access follows its declaration."""
+
+import threading
+
+_GUARDED_BY = {
+    "Box._items": "_lock",
+    "Box._total": "_lock",
+    "View._model": "<final>",
+    "Registry._index": "<caller>",
+}
+
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+        self._total = 0
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._total += 1
+
+    def drain_locked(self):
+        # _locked suffix: the caller holds self._lock for us.
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def snapshot(self):
+        with self._lock:
+            return list(self._items), self._total
+
+
+class View:
+    def __init__(self, model):
+        self._model = model
+
+    def get(self):
+        # Reads of a <final> attribute are unrestricted.
+        return self._model
+
+
+class Registry:
+    def __init__(self):
+        self._index = {}
+
+    def put(self, key, value):
+        # <caller>: the owning class may touch its own state via self.
+        self._index[key] = value
+
+
+class Unrelated:
+    def __init__(self):
+        # Same attribute name, different class: initializing it in
+        # __init__ makes it this class's own copy, out of RL001's scope.
+        self._index = []
+
+    def grow(self):
+        self._index.append(1)

@@ -1,0 +1,8 @@
+"""Known-good RL003 corpus: literal, conventional, registered once."""
+
+
+def register(registry):
+    registry.counter("repro_requests_total", "Requests served.").inc()
+    registry.gauge("repro_queue_depth", "Requests in flight.").set(3)
+    registry.histogram("repro_request_seconds", "Request latency.").observe(0.1)
+    registry.histogram("repro_payload_bytes", "Payload size.").observe(512)

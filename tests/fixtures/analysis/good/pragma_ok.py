@@ -1,0 +1,23 @@
+"""Pragma corpus: the same RL001 violations as guarded_bad, suppressed.
+
+The trailing form suppresses its own line; the standalone form suppresses
+the next line.  ``tests/test_analysis.py`` re-lints this file with the
+pragmas stripped to prove they are what keeps it clean.
+"""
+
+import threading
+
+_GUARDED_BY = {"Tally._n": "_lock"}
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    def peek(self):
+        return self._n  # repro-lint: disable=RL001
+
+    def poke(self):
+        # repro-lint: disable=RL001
+        self._n += 1

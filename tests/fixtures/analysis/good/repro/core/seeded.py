@@ -1,0 +1,12 @@
+"""Known-good RL005 corpus: durations and seeded randomness only."""
+
+from time import perf_counter
+
+import numpy as np
+
+
+def score(activity, seed):
+    start = perf_counter()  # perf_counter measures durations: allowed
+    rng = np.random.default_rng(np.random.SeedSequence([seed, len(activity)]))
+    values = rng.random(3)  # generator methods are fine: the seed is pinned
+    return list(values), perf_counter() - start

@@ -1,0 +1,21 @@
+"""Known-good RL002 corpus: a strategy that stays pure after __init__."""
+
+
+class PureStrategy:
+    name = "pure"
+
+    def __init__(self, weight=1.0):
+        self.weight = weight
+
+    def rank(self, model, activity, k):
+        scores = {}
+        # set(...) copies: the constructor call breaks the taint chain,
+        # so mutating the copy is legal.
+        space = set(model.implementation_space(activity))
+        space.discard(-1)
+        for pid in space:
+            for aid in model.implementation_actions(pid):
+                if aid not in activity:
+                    scores[aid] = scores.get(aid, 0.0) + self.weight
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]

@@ -1,0 +1,250 @@
+"""The linter linted: repro-lint's rules against the fixture corpus.
+
+Each RL rule runs against known-good and known-bad snippets under
+``tests/fixtures/analysis/``; further tests pin the ``path:line:col CODE``
+output format, pragma handling, exit codes, ``--select``, the
+``--self-check`` registry gate, and — the acceptance criterion that
+matters most — that the repo's own ``src/`` tree is clean.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, run_lint
+from repro.analysis.cli import main
+from repro.analysis.engine import UsageError, parse_pragmas
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+GOOD = FIXTURES / "good"
+BAD = FIXTURES / "bad"
+DOCS = REPO_ROOT / "docs" / "static-analysis.md"
+
+
+def _line_of(path: Path, needle: str) -> int:
+    """1-based line number of the first line containing ``needle``."""
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if needle in line:
+            return lineno
+    raise AssertionError(f"{needle!r} not found in {path}")
+
+
+# ----------------------------------------------------------------------
+# Rule-by-rule corpus
+# ----------------------------------------------------------------------
+
+
+def test_registry_has_the_five_rules():
+    assert sorted(RULES) == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+
+
+def test_good_corpus_is_clean():
+    result = run_lint([GOOD])
+    assert result.violations == ()
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize(
+    ("fixture", "code", "count"),
+    [
+        (BAD / "guarded_bad.py", "RL001", 3),
+        (BAD / "repro" / "core" / "strategies" / "impure.py", "RL002", 4),
+        (BAD / "metrics_bad.py", "RL003", 6),
+        (BAD / "error_shape_bad.py", "RL004", 3),
+        (BAD / "repro" / "core" / "clock.py", "RL005", 5),
+    ],
+)
+def test_bad_corpus_fires_exactly_one_rule(fixture, code, count):
+    result = run_lint([fixture])
+    assert result.exit_code == 1
+    assert len(result.violations) == count
+    assert {v.code for v in result.violations} == {code}
+
+
+def test_rl001_flags_each_guard_kind_where_expected():
+    fixture = BAD / "guarded_bad.py"
+    messages = {
+        (v.line, v.message) for v in run_lint([fixture]).violations
+    }
+    lines = {line for line, _ in messages}
+    assert _line_of(fixture, "self._items.append(item)") in lines
+    assert _line_of(fixture, "self._model = model  # <final>") in lines
+    assert _line_of(fixture, 'registry._index["k"]') in lines
+    assert any("with self._lock" in m for _, m in messages)
+    assert any("<final>" in m for _, m in messages)
+    assert any("<caller>" in m for _, m in messages)
+
+
+def test_rl002_taint_reaches_aliased_model_state():
+    fixture = BAD / "repro" / "core" / "strategies" / "impure.py"
+    result = run_lint([fixture])
+    alias_line = _line_of(fixture, "space.add(0)")
+    hit = [v for v in result.violations if v.line == alias_line]
+    assert len(hit) == 1
+    assert "space-reachable" in hit[0].message
+
+
+def test_rl003_duplicate_registration_points_at_first_site():
+    fixture = BAD / "metrics_bad.py"
+    result = run_lint([fixture])
+    dup = [v for v in result.violations if "already registered" in v.message]
+    assert len(dup) == 1
+    first_line = _line_of(fixture, 'registry.counter("repro_dup_total")')
+    assert f"{fixture}:{first_line}" in dup[0].message
+    assert dup[0].line == first_line + 1
+
+
+def test_rl003_duplicates_detected_across_files(tmp_path):
+    (tmp_path / "a.py").write_text(
+        'def f(r):\n    r.counter("repro_x_total")\n'
+    )
+    (tmp_path / "b.py").write_text(
+        'def g(r):\n    r.counter("repro_x_total")\n'
+    )
+    result = run_lint([tmp_path])
+    assert len(result.violations) == 1
+    assert "already registered" in result.violations[0].message
+
+
+# ----------------------------------------------------------------------
+# Output format and exit codes
+# ----------------------------------------------------------------------
+
+
+def test_output_format_path_line_col_code_message():
+    out = io.StringIO()
+    exit_code = main([str(BAD / "guarded_bad.py")], out=out)
+    assert exit_code == 1
+    lines = out.getvalue().strip().splitlines()
+    assert len(lines) == 3
+    pattern = re.compile(r"^(?P<path>.+\.py):(?P<line>\d+):(?P<col>\d+) RL001 \S")
+    for line in lines:
+        match = pattern.match(line)
+        assert match, f"malformed output line: {line!r}"
+        assert match.group("path").endswith("guarded_bad.py")
+        assert int(match.group("line")) >= 1
+        assert int(match.group("col")) >= 1
+
+
+def test_violations_sorted_by_location():
+    result = run_lint([BAD])
+    keys = [(v.path, v.line, v.col, v.code) for v in result.violations]
+    assert keys == sorted(keys)
+
+
+def test_exit_codes():
+    assert main([str(GOOD)], out=io.StringIO()) == 0
+    assert main([str(BAD)], out=io.StringIO()) == 1
+    assert main([str(FIXTURES / "no_such_dir")], out=io.StringIO()) == 2
+    assert main([], out=io.StringIO()) == 2
+
+
+def test_unparseable_file_reports_rl000(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    result = run_lint([broken])
+    assert result.exit_code == 1
+    assert [v.code for v in result.violations] == ["RL000"]
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+
+
+def test_pragma_forms_parse():
+    suppressed = parse_pragmas(
+        [
+            "x = 1  # repro-lint: disable=RL001",
+            "# repro-lint: disable=RL003,RL005",
+            "y = 2",
+        ]
+    )
+    assert suppressed == {1: {"RL001"}, 3: {"RL003", "RL005"}}
+
+
+def test_pragmas_are_what_keep_the_fixture_clean(tmp_path):
+    pragma_fixture = GOOD / "pragma_ok.py"
+    assert run_lint([pragma_fixture]).violations == ()
+    stripped = tmp_path / "pragma_stripped.py"
+    stripped.write_text(
+        re.sub(
+            r"\s*# repro-lint: disable=[A-Z0-9,]+",
+            "",
+            pragma_fixture.read_text(),
+        )
+    )
+    result = run_lint([stripped])
+    assert len(result.violations) == 2
+    assert {v.code for v in result.violations} == {"RL001"}
+
+
+def test_pragma_only_suppresses_the_named_code(tmp_path):
+    target = tmp_path / "wrong_code.py"
+    target.write_text(
+        "import threading\n"
+        '_GUARDED_BY = {"T._n": "_lock"}\n'
+        "class T:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._n = 0\n"
+        "    def peek(self):\n"
+        "        return self._n  # repro-lint: disable=RL002\n"
+    )
+    result = run_lint([target])
+    assert [v.code for v in result.violations] == ["RL001"]
+
+
+# ----------------------------------------------------------------------
+# --select and --self-check
+# ----------------------------------------------------------------------
+
+
+def test_select_restricts_rules():
+    result = run_lint([BAD], select=["RL003"])
+    assert result.violations
+    assert {v.code for v in result.violations} == {"RL003"}
+
+
+def test_select_unknown_code_is_usage_error():
+    with pytest.raises(UsageError):
+        run_lint([BAD], select=["RL999"])
+    assert main(["--select", "RL999", str(BAD)], out=io.StringIO()) == 2
+
+
+def test_self_check_passes_against_repo_docs():
+    out = io.StringIO()
+    assert main(["--self-check", "--docs", str(DOCS)], out=out) == 0
+    assert "5 rules registered" in out.getvalue()
+
+
+def test_self_check_fails_on_undocumented_rule(tmp_path):
+    partial = tmp_path / "docs.md"
+    partial.write_text("Only RL001 and RL002 are described here.\n")
+    out = io.StringIO()
+    assert main(["--self-check", "--docs", str(partial)], out=out) == 1
+    text = out.getvalue()
+    for missing in ("RL003", "RL004", "RL005"):
+        assert missing in text
+
+
+def test_every_rule_documented_in_docs():
+    text = DOCS.read_text()
+    for code, rule in RULES.items():
+        assert code in text
+        assert rule.summary
+
+
+# ----------------------------------------------------------------------
+# The repo itself
+# ----------------------------------------------------------------------
+
+
+def test_src_tree_is_clean():
+    result = run_lint([REPO_ROOT / "src"])
+    assert result.violations == (), result.render()
