@@ -2,11 +2,17 @@
 
 The instrumentation contract (``docs/observability.md``) is *near-zero
 overhead when disabled* and *cheap when enabled*: a disabled process pays
-one boolean check per guarded site, and an enabled one pays a histogram
-observation and a counter increment per request.  This bench quantifies
-both against the synthetic FoodMart library and enforces the enabled-path
-budget: per-request latency with metrics on must be within 10% of the
+one boolean check per guarded site, and an enabled one pays the span
+guards, a histogram observation (with exemplar capture) and a counter
+increment per request.  This bench quantifies both against the synthetic
+FoodMart library and enforces the enabled-path budget: per-request latency
+with **metrics, tracing and exemplars all on** must be within 10% of the
 uninstrumented (disabled) path.
+
+*Trace detail* (``obs.enable(trace_detail=True)``) is deliberately outside
+the budget: its space-size span attributes cost three extra index queries
+per request — an opt-in debugging depth, not the production default (see
+``docs/profiling.md``).
 
 Timings interleave the two configurations round-robin and take the best of
 several repetitions, so background noise hits both sides equally.
@@ -42,7 +48,7 @@ def _interleaved_timings(recommender, activities) -> tuple[float, float]:
     for _ in range(REPEATS):
         obs.disable()
         disabled_times.append(_run_once(recommender, activities))
-        obs.enable(metrics=True, tracing=False)
+        obs.enable(metrics=True, tracing=True, exemplars=True)
         enabled_times.append(_run_once(recommender, activities))
     obs.disable()
     return min(disabled_times), min(enabled_times)
@@ -62,7 +68,7 @@ def test_obs_overhead(foodmart_harness, benchmark):
     per_request_us = 1e6 / len(activities)
     rows = [
         ["disabled", best_disabled * per_request_us, 1.0],
-        ["metrics enabled", best_enabled * per_request_us, ratio],
+        ["metrics+tracing+exemplars", best_enabled * per_request_us, ratio],
     ]
     publish(
         "obs_overhead",
@@ -77,11 +83,16 @@ def test_obs_overhead(foodmart_harness, benchmark):
     )
 
     assert ratio <= OVERHEAD_BUDGET, (
-        f"metrics-enabled recommend is {ratio:.3f}x the disabled path "
+        f"fully-enabled recommend is {ratio:.3f}x the disabled path "
         f"(budget {OVERHEAD_BUDGET}x)"
     )
     # Sanity: the enabled run actually recorded per-strategy samples.
-    histogram = obs.get_registry().histogram(
+    histogram = obs.get_registry().histogram(  # repro-lint: disable=RL003
         "repro_recommend_latency_seconds", strategy="breadth"
     )
     assert histogram.count >= REPEATS * len(activities)
+    # ... and actually produced span trees for the traced requests.
+    assert any(
+        span["name"] == "recommend"
+        for span in obs.get_tracer().spans()
+    ), "tracing was enabled but no recommend spans were recorded"

@@ -20,39 +20,73 @@ import os
 import sys
 from pathlib import Path
 
-from repro.analysis.engine import UsageError, run_lint
+from repro.analysis.engine import (
+    ModuleInfo,
+    UsageError,
+    collect_files,
+    load_module,
+    run_lint,
+)
 from repro.analysis.registry import RULES, self_check
 
 #: Walk at most this many directories up from the package (or cwd) when
-#: looking for the documentation file ``--self-check`` cross-references.
+#: looking for the documentation files ``--self-check`` cross-references.
 _DOCS_RELATIVE = Path("docs") / "static-analysis.md"
+_METRICS_DOCS_RELATIVE = Path("docs") / "observability.md"
 
 
-def _find_docs(explicit: str | None) -> Path | None:
+def _find_docs(explicit: str | None, relative: Path) -> Path | None:
     if explicit is not None:
         path = Path(explicit)
         return path if path.is_file() else None
     for base in (Path.cwd(), *Path.cwd().parents):
-        candidate = base / _DOCS_RELATIVE
+        candidate = base / relative
         if candidate.is_file():
             return candidate
     # Fall back to the repo layout relative to the installed package
     # (src/repro/analysis/cli.py -> repo root).
-    candidate = Path(__file__).resolve().parents[3] / _DOCS_RELATIVE
+    candidate = Path(__file__).resolve().parents[3] / relative
     return candidate if candidate.is_file() else None
 
 
-def _run_self_check(docs: str | None, out) -> int:
-    docs_path = _find_docs(docs)
+def _metric_modules() -> list[ModuleInfo]:
+    """The parsed ``repro`` package, for the metrics/docs cross-reference.
+
+    Scanning the package next to this file (rather than a caller-supplied
+    path) keeps ``--self-check`` argument-free: it validates the shipped
+    code against the shipped docs.  Unparseable files are skipped here —
+    reporting them is the lint run's job, not the self-check's.
+    """
+    package_root = Path(__file__).resolve().parents[1]
+    modules = []
+    for path in collect_files([package_root]):
+        loaded = load_module(path)
+        if isinstance(loaded, ModuleInfo):
+            modules.append(loaded)
+    return modules
+
+
+def _run_self_check(docs: str | None, metrics_docs: str | None, out) -> int:
+    docs_path = _find_docs(docs, _DOCS_RELATIVE)
     docs_text = docs_path.read_text(encoding="utf-8") if docs_path else None
-    problems = self_check(docs_text)
+    metrics_docs_path = _find_docs(metrics_docs, _METRICS_DOCS_RELATIVE)
+    metrics_docs_text = (
+        metrics_docs_path.read_text(encoding="utf-8")
+        if metrics_docs_path
+        else None
+    )
+    problems = self_check(
+        docs_text,
+        metrics_docs_text=metrics_docs_text,
+        metric_modules=_metric_modules(),
+    )
     if problems:
         for problem in problems:
             print(f"self-check: {problem}", file=out)
         return 1
     print(
         f"self-check: {len(RULES)} rules registered, all documented in "
-        f"{docs_path}",
+        f"{docs_path}; metric registrations agree with {metrics_docs_path}",
         file=out,
     )
     return 0
@@ -93,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: discovered from cwd / package layout)",
     )
     parser.add_argument(
+        "--metrics-docs",
+        metavar="PATH",
+        help="path to observability.md for the --self-check metric-table "
+        "cross-reference (default: discovered like --docs)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
     return parser
@@ -105,7 +145,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     if args.list_rules:
         return _list_rules(out)
     if args.self_check:
-        return _run_self_check(args.docs, out)
+        return _run_self_check(args.docs, args.metrics_docs, out)
     if not args.paths:
         parser.print_usage(sys.stderr)
         print("repro-lint: error: no paths given", file=sys.stderr)

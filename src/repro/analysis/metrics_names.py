@@ -81,6 +81,62 @@ def _check_name(kind: str, name: str) -> str | None:
     return None
 
 
+def registered_metric_names(modules: list[ModuleInfo]) -> set[str]:
+    """Every literal ``repro_*`` family name registered in ``modules``."""
+    names: set[str] = set()
+    for module in modules:
+        for _kind, _call, name_arg in _registration_calls(module):
+            name = literal_str(name_arg) if name_arg is not None else None
+            if name is not None and name.startswith("repro_"):
+                names.add(name)
+    return names
+
+
+#: A metric-table row of ``docs/observability.md``: a Markdown table line
+#: whose first cell carries at least one backticked ``repro_*`` name.
+_DOC_METRIC_NAME = re.compile(r"`(repro_[a-z0-9_]+)")
+
+
+def documented_metric_names(docs_text: str) -> set[str]:
+    """The ``repro_*`` names listed in the docs' metric table.
+
+    Only table rows count (lines starting with ``|``): prose may mention
+    the ``repro_`` prefix or metric fragments without declaring a family.
+    """
+    names: set[str] = set()
+    for line in docs_text.splitlines():
+        if not line.lstrip().startswith("|"):
+            continue
+        names.update(_DOC_METRIC_NAME.findall(line))
+    return names
+
+
+def metrics_docs_problems(
+    modules: list[ModuleInfo], docs_text: str | None
+) -> list[str]:
+    """Drift between registered metric families and the documented table.
+
+    Both directions are findings: a family registered in code but missing
+    from ``docs/observability.md`` ships an undocumented metric; a table
+    row for a name no call site registers documents a ghost.
+    """
+    if docs_text is None:
+        return ["docs/observability.md not found (pass --metrics-docs PATH)"]
+    registered = registered_metric_names(modules)
+    documented = documented_metric_names(docs_text)
+    problems = [
+        f"{name}: registered in code but missing from the metric table in "
+        "docs/observability.md"
+        for name in sorted(registered - documented)
+    ]
+    problems.extend(
+        f"{name}: documented in docs/observability.md but registered "
+        "nowhere in the scanned sources"
+        for name in sorted(documented - registered)
+    )
+    return problems
+
+
 @register_rule(
     "RL003",
     "metrics-naming",

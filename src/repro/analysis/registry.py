@@ -71,13 +71,23 @@ def register_rule(code: str, name: str, summary: str) -> Callable[[CheckFn], Che
     return decorator
 
 
-def self_check(docs_text: str | None) -> list[str]:
+def self_check(
+    docs_text: str | None,
+    metrics_docs_text: str | None = None,
+    metric_modules: "list[ModuleInfo] | None" = None,
+) -> list[str]:
     """Validate registry consistency; return a list of problem strings.
 
     ``docs_text`` is the content of ``docs/static-analysis.md`` (or ``None``
     when the caller could not locate it, which is itself a finding): every
     registered code must appear in the documentation so the rule catalogue
     and the docs cannot drift apart.
+
+    When ``metric_modules`` is given (the parsed source tree), the metric
+    registrations found in it are additionally cross-referenced against the
+    metric table of ``docs/observability.md`` (``metrics_docs_text``) in
+    both directions — see
+    :func:`repro.analysis.metrics_names.metrics_docs_problems`.
     """
     problems: list[str] = []
     if not RULES:
@@ -97,4 +107,12 @@ def self_check(docs_text: str | None) -> list[str]:
         for code in RULES:
             if code not in docs_text:
                 problems.append(f"{code}: not documented in docs/static-analysis.md")
+    if metric_modules is not None:
+        # Local import: metrics_names registers itself through this module,
+        # so the top level would be a cycle.
+        from repro.analysis.metrics_names import metrics_docs_problems
+
+        problems.extend(
+            metrics_docs_problems(metric_modules, metrics_docs_text)
+        )
     return problems

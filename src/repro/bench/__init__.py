@@ -1,0 +1,36 @@
+"""Machine-readable benchmark regression harness.
+
+The package behind the ``repro-bench`` console script.  A *suite* is a
+declared list of :class:`~repro.bench.suite.BenchmarkSpec` objects; running
+one produces a ``BENCH_PERF.json`` report (schema in
+:mod:`repro.bench.schema`) that a CI job compares against the committed
+``benchmarks/baseline.json`` with per-metric tolerance bands.
+
+Gating policy (machine independence): exact counts, checksums and other
+deterministic quantities are gated exactly; ratios (e.g. observability
+overhead) are gated with wide relative bands; absolute wall-clock numbers
+are *informational only* and never gated, so the baseline is portable
+across machines.
+
+Usage::
+
+    repro-bench --suite smoke                 # run + compare + write report
+    repro-bench --suite smoke --update-baseline
+    repro-bench --check benchmarks/results/BENCH_PERF.json
+"""
+
+from repro.bench.runner import build_report, compare_reports, main
+from repro.bench.schema import SCHEMA_VERSION, validate_report
+from repro.bench.suite import BenchmarkSpec, Metric, get_suite, suite_names
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchmarkSpec",
+    "Metric",
+    "build_report",
+    "compare_reports",
+    "get_suite",
+    "main",
+    "suite_names",
+    "validate_report",
+]

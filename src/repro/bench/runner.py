@@ -1,0 +1,256 @@
+"""The ``repro-bench`` entry point.
+
+Runs a declared suite (:mod:`repro.bench.suite`), writes a schema-valid
+``BENCH_PERF.json`` report and compares it against the committed baseline
+with per-metric tolerance bands.  Exit codes: ``0`` clean, ``1`` regression
+(or invalid report under ``--check``), ``2`` usage/environment problems.
+
+The *baseline* is a full report produced by ``--update-baseline`` and
+committed to the repository; the comparator reads the gating policy
+(``kind``/``tolerance``) from the baseline, so loosening or tightening a
+band is a reviewed change to ``benchmarks/baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+from repro._version import __version__
+from repro.bench.schema import SCHEMA_VERSION, validate_report
+from repro.bench.suite import build_smoke_harness, get_suite, suite_names
+
+_DEFAULT_OUTPUT = Path("benchmarks/results/BENCH_PERF.json")
+_DEFAULT_BASELINE = Path("benchmarks/baseline.json")
+
+
+def _git_sha() -> str:
+    """The current commit, or ``"unknown"`` outside a git checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except OSError:
+        return "unknown"
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else "unknown"
+
+
+def _environment() -> dict[str, str]:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "implementation": platform.python_implementation(),
+    }
+
+
+def build_report(suite_name: str) -> dict[str, Any]:
+    """Run every benchmark of ``suite_name`` and assemble the report."""
+    specs = get_suite(suite_name)
+    harness = build_smoke_harness()
+    benchmarks: list[dict[str, Any]] = []
+    for spec in specs:
+        print(f"running {suite_name}:{spec.name} ...", file=sys.stderr)
+        metrics = spec.run(harness)
+        benchmarks.append(
+            {
+                "name": spec.name,
+                "description": spec.description,
+                "metrics": {
+                    name: metric.to_dict()
+                    for name, metric in sorted(metrics.items())
+                },
+            }
+        )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite_name,
+        "version": __version__,
+        "git_sha": _git_sha(),
+        "environment": _environment(),
+        "benchmarks": benchmarks,
+    }
+
+
+def compare_reports(
+    report: dict[str, Any], baseline: dict[str, Any]
+) -> list[str]:
+    """Every regression of ``report`` against ``baseline`` (empty = clean).
+
+    The baseline's ``kind``/``tolerance`` govern each metric; ``info``
+    metrics and benchmarks added since the baseline are never gated.
+    """
+    regressions: list[str] = []
+    if report.get("suite") != baseline.get("suite"):
+        return [
+            f"suite mismatch: report ran {report.get('suite')!r}, "
+            f"baseline is {baseline.get('suite')!r}"
+        ]
+    current = {
+        bench["name"]: bench["metrics"] for bench in report["benchmarks"]
+    }
+    for bench in baseline["benchmarks"]:
+        name = bench["name"]
+        measured = current.get(name)
+        if measured is None:
+            regressions.append(f"{name}: benchmark missing from report")
+            continue
+        for metric_name, base in bench["metrics"].items():
+            kind = base["kind"]
+            if kind == "info":
+                continue
+            got = measured.get(metric_name)
+            if got is None:
+                regressions.append(f"{name}.{metric_name}: metric missing")
+                continue
+            expected = float(base["value"])
+            value = float(got["value"])
+            if kind == "exact":
+                if value != expected:
+                    regressions.append(
+                        f"{name}.{metric_name}: expected exactly "
+                        f"{expected!r}, got {value!r}"
+                    )
+            else:  # relative
+                tolerance = float(base["tolerance"])
+                scale = max(abs(expected), 1e-12)
+                drift = abs(value - expected) / scale
+                if drift > tolerance:
+                    regressions.append(
+                        f"{name}.{metric_name}: {value!r} drifted "
+                        f"{drift:.4f} from baseline {expected!r} "
+                        f"(tolerance {tolerance})"
+                    )
+    return regressions
+
+
+def _load_json(path: Path) -> dict[str, Any] | None:
+    try:
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return None
+    if not isinstance(loaded, dict):
+        print(f"error: {path} is not a JSON object", file=sys.stderr)
+        return None
+    return loaded
+
+
+def _write_json(path: Path, payload: dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run the declared benchmark suites and gate on the "
+                    "committed baseline.",
+    )
+    parser.add_argument("--suite", default="smoke", choices=suite_names())
+    parser.add_argument(
+        "--output", type=Path, default=_DEFAULT_OUTPUT,
+        help=f"where to write the report (default {_DEFAULT_OUTPUT})",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=_DEFAULT_BASELINE,
+        help=f"baseline to gate against (default {_DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the fresh report to --baseline instead of gating",
+    )
+    parser.add_argument(
+        "--check", type=Path, default=None, metavar="REPORT",
+        help="validate and gate an existing report instead of running",
+    )
+    parser.add_argument(
+        "--no-compare", action="store_true",
+        help="run and write the report but skip the baseline gate",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list the declared suites and their benchmarks, then exit",
+    )
+    return parser
+
+
+def _gate(report: dict[str, Any], baseline_path: Path) -> int:
+    if not baseline_path.exists():
+        print(
+            f"note: no baseline at {baseline_path}; skipping the gate "
+            "(create one with --update-baseline)",
+            file=sys.stderr,
+        )
+        return 0
+    baseline = _load_json(baseline_path)
+    if baseline is None:
+        return 2
+    problems = validate_report(baseline)
+    if problems:
+        for problem in problems:
+            print(f"baseline invalid: {problem}", file=sys.stderr)
+        return 2
+    regressions = compare_reports(report, baseline)
+    if regressions:
+        print(f"REGRESSION: {len(regressions)} gate(s) failed:")
+        for regression in regressions:
+            print(f"  - {regression}")
+        return 1
+    print(f"baseline gate passed ({baseline_path})")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``repro-bench`` entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.list:
+        for suite_name in suite_names():
+            print(f"{suite_name}:")
+            for spec in get_suite(suite_name):
+                print(f"  {spec.name}: {spec.description}")
+        return 0
+
+    if args.check is not None:
+        report = _load_json(args.check)
+        if report is None:
+            return 2
+        problems = validate_report(report)
+        if problems:
+            for problem in problems:
+                print(f"report invalid: {problem}", file=sys.stderr)
+            return 1
+        return _gate(report, args.baseline)
+
+    report = build_report(args.suite)
+    problems = validate_report(report)
+    if problems:  # a suite bug, not a regression — fail loudly
+        for problem in problems:
+            print(f"internal error, report invalid: {problem}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        _write_json(args.baseline, report)
+        print(f"wrote baseline -> {args.baseline}")
+        return 0
+
+    _write_json(args.output, report)
+    print(f"wrote report -> {args.output}")
+    if args.no_compare:
+        return 0
+    return _gate(report, args.baseline)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""The BENCH_PERF.json report schema, hand-validated.
+
+The environment ships no JSON-schema library, so :func:`validate_report`
+walks the structure by hand and returns a list of human-readable problems
+(empty means valid).  Keeping the validator in-package means the runner,
+the CI gate and the tests all agree on one definition.
+
+Report shape (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "suite": "smoke",
+      "git_sha": "abc123..." | "unknown",
+      "environment": {"python": "...", "platform": "...",
+                      "implementation": "..."},
+      "benchmarks": [
+        {
+          "name": "recommend_strategies",
+          "description": "...",
+          "metrics": {
+            "breadth_checksum": {"value": 123.0, "kind": "exact",
+                                  "tolerance": 0.0},
+            "wall_seconds":     {"value": 0.01,  "kind": "info",
+                                  "tolerance": 0.0}
+          }
+        }
+      ]
+    }
+
+Metric ``kind`` drives the baseline comparison: ``exact`` values must match
+bit-for-bit, ``relative`` values may drift by ``tolerance`` (relative to
+the baseline value), ``info`` values are never gated.
+"""
+
+from __future__ import annotations
+
+SCHEMA_VERSION = 1
+
+#: The metric kinds the comparator understands.
+METRIC_KINDS = ("exact", "relative", "info")
+
+_ENVIRONMENT_KEYS = ("python", "platform", "implementation")
+
+
+def _check_metric(path: str, metric: object, problems: list[str]) -> None:
+    if not isinstance(metric, dict):
+        problems.append(f"{path}: metric must be an object, got {type(metric).__name__}")
+        return
+    value = metric.get("value")
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        problems.append(f"{path}.value: must be a number, got {value!r}")
+    kind = metric.get("kind")
+    if kind not in METRIC_KINDS:
+        problems.append(f"{path}.kind: must be one of {METRIC_KINDS}, got {kind!r}")
+    tolerance = metric.get("tolerance")
+    if not isinstance(tolerance, (int, float)) or isinstance(tolerance, bool):
+        problems.append(f"{path}.tolerance: must be a number, got {tolerance!r}")
+    elif tolerance < 0:
+        problems.append(f"{path}.tolerance: must be non-negative, got {tolerance}")
+    extra = set(metric) - {"value", "kind", "tolerance"}
+    if extra:
+        problems.append(f"{path}: unexpected keys {sorted(extra)}")
+
+
+def _check_benchmark(path: str, bench: object, problems: list[str]) -> None:
+    if not isinstance(bench, dict):
+        problems.append(f"{path}: benchmark must be an object")
+        return
+    name = bench.get("name")
+    if not isinstance(name, str) or not name:
+        problems.append(f"{path}.name: must be a non-empty string, got {name!r}")
+    if not isinstance(bench.get("description"), str):
+        problems.append(f"{path}.description: must be a string")
+    metrics = bench.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        problems.append(f"{path}.metrics: must be a non-empty object")
+        return
+    for metric_name, metric in metrics.items():
+        if not isinstance(metric_name, str) or not metric_name:
+            problems.append(f"{path}.metrics: metric names must be strings")
+            continue
+        _check_metric(f"{path}.metrics.{metric_name}", metric, problems)
+
+
+def validate_report(report: object) -> list[str]:
+    """Return every schema problem in ``report`` (empty list means valid)."""
+    problems: list[str] = []
+    if not isinstance(report, dict):
+        return [f"report must be an object, got {type(report).__name__}"]
+    version = report.get("schema_version")
+    if version != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version: expected {SCHEMA_VERSION}, got {version!r}"
+        )
+    if not isinstance(report.get("suite"), str) or not report.get("suite"):
+        problems.append("suite: must be a non-empty string")
+    if not isinstance(report.get("git_sha"), str):
+        problems.append("git_sha: must be a string")
+    environment = report.get("environment")
+    if not isinstance(environment, dict):
+        problems.append("environment: must be an object")
+    else:
+        for key in _ENVIRONMENT_KEYS:
+            if not isinstance(environment.get(key), str):
+                problems.append(f"environment.{key}: must be a string")
+    benchmarks = report.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        problems.append("benchmarks: must be a non-empty array")
+        return problems
+    seen: set[str] = set()
+    for index, bench in enumerate(benchmarks):
+        _check_benchmark(f"benchmarks[{index}]", bench, problems)
+        if isinstance(bench, dict) and isinstance(bench.get("name"), str):
+            if bench["name"] in seen:
+                problems.append(f"benchmarks[{index}]: duplicate name {bench['name']!r}")
+            seen.add(bench["name"])
+    return problems

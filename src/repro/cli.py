@@ -14,7 +14,10 @@ Installed as the ``repro`` console script.  Subcommands:
 
 Global flags: ``--version``; ``--log-level {debug,info,warning,error}`` and
 ``--json-logs`` configure the structured logging of :mod:`repro.obs.logs`
-(logs go to stderr, tables to stdout, so pipelines stay clean).
+(logs go to stderr, tables to stdout, so pipelines stay clean);
+``--profile`` wraps the command in a :class:`repro.obs.ProfileSession` and
+prints (or with ``--profile-out``, writes) the ``pstats`` report after the
+command finishes, so any subcommand can be profiled without code changes.
 
 Every subcommand is a thin shell over the library API — anything the CLI
 does can be done programmatically with the same names.
@@ -69,6 +72,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json-logs", action="store_true",
         help="emit logs as JSON lines instead of text",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the command under cProfile and print a pstats report",
+    )
+    parser.add_argument(
+        "--profile-out", type=Path, default=None,
+        help="write the --profile report here instead of stderr",
+    )
+    parser.add_argument(
+        "--profile-sort", default="cumulative",
+        choices=("cumulative", "tottime", "calls"),
+        help="pstats sort order for the --profile report",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -126,6 +142,27 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--space-cache-size", type=int, default=4096,
         help="implementation-space memo capacity (0 disables the memo)",
+    )
+    serve.add_argument(
+        "--no-tracing", action="store_true",
+        help="disable request span collection (also disables trace detail)",
+    )
+    serve.add_argument(
+        "--no-exemplars", action="store_true",
+        help="disable OpenMetrics exemplars on latency histograms",
+    )
+    serve.add_argument(
+        "--no-trace-detail", action="store_true",
+        help="skip the per-request space-size span attributes "
+             "(cheaper traced requests)",
+    )
+    serve.add_argument(
+        "--slow-threshold", type=float, default=0.1, metavar="SECONDS",
+        help="requests slower than this land in GET /debug/slow",
+    )
+    serve.add_argument(
+        "--slow-log-size", type=int, default=32,
+        help="how many slow requests /debug/slow retains (slowest kept)",
     )
 
     goals = commands.add_parser(
@@ -296,13 +333,19 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
         # predate the cache flags.
         cache_size=getattr(args, "cache_size", 1024),
         space_cache_size=getattr(args, "space_cache_size", 4096),
+        enable_tracing=not getattr(args, "no_tracing", False),
+        enable_exemplars=not getattr(args, "no_exemplars", False),
+        trace_detail=not getattr(args, "no_trace_detail", False),
+        slow_threshold_seconds=getattr(args, "slow_threshold", 0.1),
+        slow_log_size=getattr(args, "slow_log_size", 32),
     )
     service.start()
     print(
         f"serving {model.num_implementations} implementations on "
         f"http://{args.host}:{service.port} "
         "(endpoints: /health /metrics /model /recommend /recommend/batch "
-        "/spaces /explain /goals /related)"
+        "/spaces /explain /goals /related /debug/vars /debug/slow "
+        "/debug/profile)"
     )
     if not block:  # test hook: caller owns the lifecycle
         service.stop()
@@ -393,6 +436,14 @@ _COMMANDS = {
 }
 
 
+def _run_command(args: argparse.Namespace) -> int:
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -403,11 +454,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         logger, "cli.start", version=__version__, run_id=obs.RUN_ID,
         command=args.command,
     )
+    if not args.profile:
+        return _run_command(args)
+    session = obs.ProfileSession()
+    session.start()
     try:
-        return _COMMANDS[args.command](args)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        exit_code = session.profile_call(_run_command, args)
+    finally:
+        report = session.stop(sort=args.profile_sort)
+    if args.profile_out is not None:
+        args.profile_out.parent.mkdir(parents=True, exist_ok=True)
+        args.profile_out.write_text(report, encoding="utf-8")
+        print(f"wrote profile -> {args.profile_out}", file=sys.stderr)
+    else:
+        print(report, file=sys.stderr)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

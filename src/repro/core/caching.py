@@ -296,13 +296,34 @@ class CachedModelView:
 
     def implementation_space(self, activity: frozenset[int]) -> set[int]:
         """Memoized ``IS(H)``."""
-        return self._cache.get_or_compute(
-            (self._generation, activity),
-            lambda: self._model.implementation_space(activity),
-        )
+        if not obs.tracing_enabled():
+            return self._cache.get_or_compute(
+                (self._generation, activity),
+                lambda: self._model.implementation_space(activity),
+            )
+        # Stage span even on a cache hit: the per-stage breakdown and the
+        # slow-request trees must show where a request spent its time
+        # whether or not the memo answered.  A miss nests the model's own
+        # ``implementation_space`` span inside this one; the stage profiler
+        # counts only the outermost occurrence of a stage name.
+        with obs.trace_span("implementation_space") as span:
+            hit, value = self._cache.lookup((self._generation, activity))
+            if not hit:
+                value = self._model.implementation_space(activity)
+                self._cache.store((self._generation, activity), value)
+            span.set_attrs(cached=hit, size=len(value))
+        return value
 
     def goal_space(self, activity: frozenset[int]) -> set[int]:
         """``GS(H)`` derived from the memoized ``IS(H)``."""
+        if not obs.tracing_enabled():
+            return self._goal_space_ids(activity)
+        with obs.trace_span("goal_space") as span:
+            space = self._goal_space_ids(activity)
+            span.set_attrs(size=len(space))
+        return space
+
+    def _goal_space_ids(self, activity: frozenset[int]) -> set[int]:
         return {
             self._model.implementation_goal(pid)
             for pid in self.implementation_space(activity)
@@ -310,6 +331,14 @@ class CachedModelView:
 
     def action_space(self, activity: frozenset[int]) -> set[int]:
         """``AS(H)`` derived from the memoized ``IS(H)``."""
+        if not obs.tracing_enabled():
+            return self._action_space_ids(activity)
+        with obs.trace_span("action_space") as span:
+            space = self._action_space_ids(activity)
+            span.set_attrs(size=len(space))
+        return space
+
+    def _action_space_ids(self, activity: frozenset[int]) -> set[int]:
         space: set[int] = set()
         for pid in self.implementation_space(activity):
             space |= self._model.implementation_actions(pid)

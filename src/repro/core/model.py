@@ -34,13 +34,32 @@ from repro.core.library import ImplementationLibrary, LibraryStats
 from repro.exceptions import ModelError, UnknownActionError, UnknownGoalError
 
 
+#: Call-site memo for the space-query counters: ``(registry, {space: child})``,
+#: swapped atomically as one tuple so a concurrent registry swap can at worst
+#: rebuild the memo, never mix children across registries.  Space queries are
+#: the hottest instrumented call in the pipeline; skipping the registry's
+#: name/label validation on every hit keeps the enabled path inside the ≤10%
+#: budget of ``benchmarks/bench_obs_overhead.py``.
+_space_counters: tuple[object, dict[str, obs.Counter]] | None = None
+
+
 def _count_space_query(space: str) -> None:
     """Count one IS/GS/AS query (``goal``/``action`` also query ``IS``)."""
-    obs.get_registry().counter(
-        "repro_space_queries_total",
-        "Space queries answered, by space (IS/GS/AS).",
-        space=space,
-    ).inc()
+    global _space_counters
+    registry = obs.get_registry()
+    cached = _space_counters
+    if cached is None or cached[0] is not registry:
+        cached = (registry, {})
+        _space_counters = cached
+    counter = cached[1].get(space)
+    if counter is None:
+        counter = registry.counter(
+            "repro_space_queries_total",
+            "Space queries answered, by space (IS/GS/AS).",
+            space=space,
+        )
+        cached[1][space] = counter
+    counter.inc()
 
 
 class AssociationGoalModel:
@@ -293,6 +312,14 @@ class AssociationGoalModel:
         """``IS(H)`` — ids of implementations sharing any action with ``H``."""
         if obs.metrics_enabled():
             _count_space_query("implementation")
+        if not obs.tracing_enabled():
+            return self._implementation_space_ids(activity)
+        with obs.trace_span("implementation_space") as span:
+            space = self._implementation_space_ids(activity)
+            span.set_attrs(activity_size=len(activity), size=len(space))
+        return space
+
+    def _implementation_space_ids(self, activity: frozenset[int]) -> set[int]:
         space: set[int] = set()
         for aid in activity:
             space |= self._action_impls[aid]
@@ -302,6 +329,18 @@ class AssociationGoalModel:
         """``GS(H)`` — goal ids reachable from the activity (Equation 1)."""
         if obs.metrics_enabled():
             _count_space_query("goal")
+        if not obs.tracing_enabled():
+            return self._goal_space_ids(activity)
+        # The stage span contains the nested implementation_space span:
+        # GS(H) is defined over IS(H), so its stage time includes the
+        # subquery (the stage profiler keeps nested *same-name* spans from
+        # double counting; distinct stages report their inclusive time).
+        with obs.trace_span("goal_space") as span:
+            space = self._goal_space_ids(activity)
+            span.set_attrs(activity_size=len(activity), size=len(space))
+        return space
+
+    def _goal_space_ids(self, activity: frozenset[int]) -> set[int]:
         return {
             self._impl_goal[pid] for pid in self.implementation_space(activity)
         }
@@ -315,6 +354,14 @@ class AssociationGoalModel:
         """
         if obs.metrics_enabled():
             _count_space_query("action")
+        if not obs.tracing_enabled():
+            return self._action_space_ids(activity)
+        with obs.trace_span("action_space") as span:
+            space = self._action_space_ids(activity)
+            span.set_attrs(activity_size=len(activity), size=len(space))
+        return space
+
+    def _action_space_ids(self, activity: frozenset[int]) -> set[int]:
         space: set[int] = set()
         for pid in self.implementation_space(activity):
             space |= self._impl_actions[pid]

@@ -50,6 +50,12 @@ class GoalRecommender:
         self.model = model
         self.default_strategy = default_strategy
         self._strategies: dict[str, RankingStrategy] = {}
+        # Call-site memo for the per-strategy counter/histogram children,
+        # ``(registry, {strategy: (counter, histogram)})`` swapped as one
+        # tuple (see ``model._space_counters`` for the pattern/rationale).
+        self._metric_handles: (
+            tuple[object, dict[str, tuple[obs.Counter, obs.Histogram]]] | None
+        ) = None
 
     def with_model(self, model: ModelView) -> "GoalRecommender":
         """A recommender over ``model`` sharing this one's strategy cache.
@@ -104,10 +110,13 @@ class GoalRecommender:
     ) -> RecommendationList:
         """The instrumented recommend path (observability enabled).
 
-        Emits a ``recommend`` span carrying the strategy name and the space
-        sizes |IS(H)|, |GS(H)|, |AS(H)|, and records the per-strategy
-        latency histogram and request counter.  The space sizes are only
-        computed while tracing is on — they cost three extra index queries.
+        Emits a ``recommend`` span carrying the strategy name, and records
+        the per-strategy latency histogram and request counter.  The space
+        sizes |IS(H)|, |GS(H)|, |AS(H)| cost three extra index queries —
+        far more than the span machinery itself — so they are computed only
+        when *trace detail* is enabled on top of tracing
+        (``obs.enable(trace_detail=True)``); the ≤10% enabled-path overhead
+        budget of ``benchmarks/bench_obs_overhead.py`` holds without them.
         """
         with obs.trace_span("recommend", strategy=chosen.name, k=k) as span:
             start = perf_counter()
@@ -115,30 +124,43 @@ class GoalRecommender:
             elapsed = perf_counter() - start
             if obs.metrics_enabled():
                 registry = obs.get_registry()
-                registry.counter(
-                    "repro_recommend_requests_total",
-                    "Recommendation requests served, by strategy.",
-                    strategy=chosen.name,
-                ).inc()
-                registry.histogram(
-                    "repro_recommend_latency_seconds",
-                    "End-to-end GoalRecommender.recommend latency, by strategy.",
-                    strategy=chosen.name,
-                ).observe(elapsed)
+                handles = self._metric_handles
+                if handles is None or handles[0] is not registry:
+                    handles = (registry, {})
+                    self._metric_handles = handles
+                pair = handles[1].get(chosen.name)
+                if pair is None:
+                    pair = (
+                        registry.counter(
+                            "repro_recommend_requests_total",
+                            "Recommendation requests served, by strategy.",
+                            strategy=chosen.name,
+                        ),
+                        registry.histogram(
+                            "repro_recommend_latency_seconds",
+                            "End-to-end GoalRecommender.recommend latency, "
+                            "by strategy.",
+                            strategy=chosen.name,
+                        ),
+                    )
+                    handles[1][chosen.name] = pair
+                pair[0].inc()
+                pair[1].observe(elapsed)
             if span.is_recording:
-                model = self.model
-                impl_space = model.implementation_space(encoded)
-                action_space = model.action_space(encoded)
                 span.set_attrs(
                     activity_size=len(encoded),
-                    is_size=len(impl_space),
-                    gs_size=len(
-                        {model.implementation_goal(pid) for pid in impl_space}
-                    ),
-                    as_size=len(action_space),
-                    candidates=len(action_space - encoded),
                     returned=len(result.items),
                 )
+                if obs.trace_detail_enabled():
+                    model = self.model
+                    impl_space = model.implementation_space(encoded)
+                    action_space = model.action_space(encoded)
+                    span.set_attrs(
+                        is_size=len(impl_space),
+                        gs_size=len(model.goal_space(encoded)),
+                        as_size=len(action_space),
+                        candidates=len(action_space - encoded),
+                    )
         return result
 
     def recommend_all(

@@ -11,8 +11,12 @@ about itself:
   counts, exportable as a JSON span tree;
 - :mod:`repro.obs.logs` — structured JSON logging with a process run-id
   and per-request ids;
+- :mod:`repro.obs.profiling` — the :class:`StageProfiler` per-stage latency
+  breakdown (p50/p95/p99 over the IS/GS/AS/rank pipeline stages), the
+  :class:`SlowRequestLog` behind ``GET /debug/slow``, and guarded on-demand
+  :class:`ProfileSession` cProfile captures;
 - :mod:`repro.obs.runtime` — the :func:`enable`/:func:`disable` switches.
-  Both subsystems start **off**; disabled instrumentation costs one boolean
+  Every subsystem starts **off**; disabled instrumentation costs one boolean
   check per site, so benchmarks of the uninstrumented paths stay honest.
 - :class:`~repro.utils.timing.Stopwatch` (re-exported) — the thread-safe
   sample accumulator the Figure 7 scalability experiments use.
@@ -46,17 +50,28 @@ from repro.obs.metrics import (
     CACHE_LOOKUP_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
     Counter,
+    Exemplar,
     Gauge,
     Histogram,
     MetricsRegistry,
     get_registry,
     set_registry,
 )
+from repro.obs.profiling import (
+    STAGES,
+    ProfileSession,
+    SlowRequestLog,
+    StageProfiler,
+    get_profiler,
+    set_profiler,
+)
 from repro.obs.runtime import (
     disable,
     enable,
+    exemplars_enabled,
     is_enabled,
     metrics_enabled,
+    trace_detail_enabled,
     tracing_enabled,
 )
 from repro.obs.tracing import (
@@ -76,15 +91,25 @@ __all__ = [
     "is_enabled",
     "metrics_enabled",
     "tracing_enabled",
+    "exemplars_enabled",
+    "trace_detail_enabled",
     # metrics
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
+    "Exemplar",
     "DEFAULT_LATENCY_BUCKETS",
     "CACHE_LOOKUP_BUCKETS",
     "get_registry",
     "set_registry",
+    # profiling
+    "STAGES",
+    "StageProfiler",
+    "SlowRequestLog",
+    "ProfileSession",
+    "get_profiler",
+    "set_profiler",
     # tracing
     "Span",
     "Tracer",

@@ -24,7 +24,12 @@ Everything is stdlib-only and thread-safe: family/child creation takes the
 registry lock, and each child serializes its own updates, so handler threads
 of the HTTP service can record concurrently.  :meth:`MetricsRegistry.render`
 produces the Prometheus text exposition format (version 0.0.4) served by the
-``GET /metrics`` endpoint.
+``GET /metrics`` endpoint; :meth:`MetricsRegistry.render_openmetrics`
+produces OpenMetrics 1.0, which additionally carries **exemplars** — when
+exemplar capture is enabled (:mod:`repro.obs.runtime`) each histogram bucket
+remembers the request id of a recent observation that landed in it, so a
+slow bucket on a dashboard links straight to a concrete request whose span
+tree sits in ``GET /debug/slow``.
 """
 
 from __future__ import annotations
@@ -32,8 +37,12 @@ from __future__ import annotations
 import math
 import re
 import threading
+import time
 from bisect import bisect_left
 from collections.abc import Sequence
+
+from repro.obs import runtime
+from repro.obs.logs import current_request_id
 
 #: Default latency buckets, in seconds: 100µs .. 10s, roughly 1-2.5-5 per
 #: decade.  Chosen to straddle both the microsecond-scale space queries and
@@ -63,8 +72,33 @@ _GUARDED_BY = {
     "Histogram._counts": "_lock",
     "Histogram._sum": "_lock",
     "Histogram._count": "_lock",
+    "Histogram._exemplars": "_lock",
     "MetricsRegistry._families": "_lock",
 }
+
+
+class Exemplar:
+    """One concrete observation attached to a histogram bucket.
+
+    OpenMetrics lets each ``_bucket`` sample carry a labelled exemplar —
+    here the ``trace_id`` is the request id minted by the service (also
+    returned as ``X-Request-Id`` and recorded in ``/debug/slow``), so the
+    bucket links to a findable trace.
+    """
+
+    __slots__ = ("trace_id", "value", "timestamp")
+
+    def __init__(self, trace_id: str, value: float, timestamp: float) -> None:
+        self.trace_id = trace_id
+        self.value = value
+        self.timestamp = timestamp
+
+    def render(self) -> str:
+        """The OpenMetrics exemplar suffix, without the leading ``# ``."""
+        return (
+            f'{{trace_id="{_escape_label_value(self.trace_id)}"}} '
+            f"{_format_value(self.value)} {_format_value(round(self.timestamp, 3))}"
+        )
 
 
 def _escape_label_value(value: str) -> str:
@@ -149,7 +183,7 @@ class Histogram:
     sample.
     """
 
-    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count", "_exemplars")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
@@ -164,14 +198,29 @@ class Histogram:
         self._counts = [0] * (len(bounds) + 1)
         self._sum = 0.0
         self._count = 0
+        self._exemplars: list[Exemplar | None] = [None] * (len(bounds) + 1)
 
     def observe(self, value: float) -> None:
-        """Record one sample."""
+        """Record one sample.
+
+        When exemplar capture is on and a request id is in scope, the
+        sample's bucket remembers ``(request_id, value, now)`` — last
+        writer wins, which keeps exemplars recent without extra state.
+        The request-id lookup happens outside the lock; only the slot
+        write is serialized.
+        """
         index = bisect_left(self._bounds, value)
+        exemplar: Exemplar | None = None
+        if runtime.exemplars_enabled():
+            trace_id = current_request_id()
+            if trace_id is not None:
+                exemplar = Exemplar(trace_id, value, time.time())
         with self._lock:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None:
+                self._exemplars[index] = exemplar
 
     @property
     def bounds(self) -> tuple[float, ...]:
@@ -200,6 +249,11 @@ class Histogram:
             total += bucket_count
             cumulative.append(total)
         return cumulative
+
+    def exemplars(self) -> list[Exemplar | None]:
+        """Per-bucket exemplars (``+Inf`` last); ``None`` where never captured."""
+        with self._lock:
+            return list(self._exemplars)
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -373,6 +427,59 @@ class MetricsRegistry:
                         f"{_format_value(child.value)}"  # type: ignore[union-attr]
                     )
         return "\n".join(lines) + ("\n" if lines else "")
+
+    def render_openmetrics(self) -> str:
+        """The OpenMetrics 1.0 text exposition, exemplars included.
+
+        Differences from :meth:`render` (Prometheus 0.0.4), per the
+        OpenMetrics spec:
+
+        - counter metadata (``# TYPE``/``# HELP``) names the family
+          *without* the ``_total`` suffix; the sample line keeps it;
+        - histogram ``_bucket`` samples may carry an exemplar suffix
+          ``# {trace_id="..."} value timestamp``;
+        - the exposition ends with ``# EOF``.
+        """
+        with self._lock:
+            families = [self._families[name] for name in sorted(self._families)]
+        lines: list[str] = []
+        for family in families:
+            meta_name = family.name
+            if family.kind == "counter" and meta_name.endswith("_total"):
+                meta_name = meta_name[: -len("_total")]
+            lines.append(f"# TYPE {meta_name} {family.kind}")
+            if family.help:
+                escaped = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+                lines.append(f"# HELP {meta_name} {escaped}")
+            for key, child in sorted(family.children.items()):
+                if isinstance(child, Histogram):
+                    cumulative = child.cumulative_counts()
+                    exemplars = child.exemplars()
+                    bounds = [*child.bounds, math.inf]
+                    for index, (bound, count) in enumerate(zip(bounds, cumulative)):
+                        le = f'le="{_format_value(bound)}"'
+                        line = f"{family.name}_bucket{_format_labels(key, le)} {count}"
+                        exemplar = exemplars[index]
+                        if exemplar is not None:
+                            line = f"{line} # {exemplar.render()}"
+                        lines.append(line)
+                    lines.append(
+                        f"{family.name}_sum{_format_labels(key)} "
+                        f"{_format_value(child.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_format_labels(key)} {child.count}"
+                    )
+                else:
+                    sample_name = family.name
+                    if family.kind == "counter" and not sample_name.endswith("_total"):
+                        sample_name = f"{sample_name}_total"
+                    lines.append(
+                        f"{sample_name}{_format_labels(key)} "
+                        f"{_format_value(child.value)}"  # type: ignore[union-attr]
+                    )
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
 
 
 _registry = MetricsRegistry()

@@ -20,6 +20,12 @@ tracing is disabled (:mod:`repro.obs.runtime`) it yields the shared
 :data:`NOOP_SPAN` without touching the tracer — one boolean check, no
 allocation.  Parenting uses a :class:`~contextvars.ContextVar`, so spans
 nest correctly across the HTTP service's handler threads.
+
+Consumers that want every finished root span — the stage profiler, the
+service's slow-request log — register a *sink* (:meth:`Tracer.add_sink`)
+instead of polling :meth:`Tracer.spans`: sinks see each root exactly once,
+including roots that the bounded buffer has already evicted by the time a
+poller would run.
 """
 
 from __future__ import annotations
@@ -28,17 +34,18 @@ import json
 import threading
 import time
 from collections import deque
-from collections.abc import Iterator
-from contextlib import contextmanager
 from contextvars import ContextVar
+from types import TracebackType
+from typing import Callable
 
 from repro.obs import runtime
 
 #: Lock discipline, machine-checked by ``repro-lint`` (rule RL001, see
-#: docs/static-analysis.md): the bounded root-span deque is shared across
-#: handler threads.
+#: docs/static-analysis.md): the bounded root-span deque and the sink list
+#: are shared across handler threads.
 _GUARDED_BY = {
     "Tracer._roots": "_lock",
+    "Tracer._sinks": "_lock",
 }
 
 
@@ -51,7 +58,10 @@ class Span:
 
     def __init__(self, name: str, attributes: dict[str, object]) -> None:
         self.name = name
-        self.attributes = dict(attributes)
+        # The dict is taken by reference, not copied: every constructor site
+        # passes a fresh ``**kwargs`` dict, and spans sit on the hot traced
+        # path where the copy is measurable.
+        self.attributes = attributes
         self.start_time = time.time()
         self.duration: float | None = None
         self.children: list["Span"] = []
@@ -98,33 +108,118 @@ NOOP_SPAN = _NoopSpan()
 _current_span: ContextVar[Span | None] = ContextVar("repro_obs_span", default=None)
 
 
+class _SpanGuard:
+    """Class-based span context manager.
+
+    A hand-rolled ``__enter__``/``__exit__`` pair is roughly 3x cheaper
+    than the generator-based ``@contextmanager`` it replaced — spans open
+    on every instrumented pipeline stage, so the constant matters for the
+    ≤10% enabled-path budget of ``benchmarks/bench_obs_overhead.py``.
+    """
+
+    __slots__ = ("_tracer", "_span", "_parent", "_token", "_start")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        span = self._span
+        self._parent = _current_span.get()
+        self._token = _current_span.set(span)
+        self._start = time.perf_counter()
+        return span
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        span = self._span
+        span.duration = time.perf_counter() - self._start
+        _current_span.reset(self._token)
+        if exc is not None:
+            span.attributes["error"] = f"{type(exc).__name__}: {exc}"
+        parent = self._parent
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self._tracer._finish_root(span)
+        return False
+
+
+class _NoopGuard:
+    """Inert context manager yielded when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        return False
+
+
+#: Shared inert guard: stateless, so one instance serves every disabled
+#: ``trace_span`` call without allocation.
+_NOOP_GUARD = _NoopGuard()
+
+
 class Tracer:
-    """Collects finished root spans, bounded to the most recent ``max_spans``."""
+    """Collects finished root spans, bounded to the most recent ``max_spans``.
+
+    When the buffer is full the **oldest** root is dropped to make room —
+    a tracer favours recent traffic, matching the bounded deque semantics
+    (``tests/test_obs.py`` pins this down).  :attr:`capacity` and
+    :meth:`occupancy` expose the buffer state for ``GET /debug/vars``.
+    """
 
     def __init__(self, max_spans: int = 1024) -> None:
         self._lock = threading.Lock()
         self._roots: deque[Span] = deque(maxlen=max_spans)
+        self._sinks: list[Callable[[Span], None]] = []
+        self.capacity = max_spans
 
-    @contextmanager
-    def span(self, name: str, **attributes: object) -> Iterator[Span]:
+    def span(self, name: str, **attributes: object) -> _SpanGuard:
         """Open a recording span; nests under the context's active span."""
-        parent = _current_span.get()
-        span = Span(name, attributes)
-        token = _current_span.set(span)
-        start = time.perf_counter()
-        try:
-            yield span
-        except BaseException as exc:
-            span.set_attr("error", f"{type(exc).__name__}: {exc}")
-            raise
-        finally:
-            span.duration = time.perf_counter() - start
-            _current_span.reset(token)
-            if parent is not None:
-                parent.children.append(span)
-            else:
-                with self._lock:
-                    self._roots.append(span)
+        return _SpanGuard(self, Span(name, attributes))
+
+    def _finish_root(self, span: Span) -> None:
+        """Buffer a finished root span and fan it out to the sinks."""
+        with self._lock:
+            self._roots.append(span)
+            sinks = list(self._sinks)
+        # Sinks run outside the lock: a sink that re-enters the tracer (or
+        # just takes time) must not stall other handler threads finishing
+        # their roots.
+        for sink in sinks:
+            try:
+                sink(span)
+            except Exception:  # noqa: BLE001 - sinks must not break tracing
+                pass
+
+    def add_sink(self, sink: Callable[[Span], None]) -> None:
+        """Register a callable invoked with every finished root span."""
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[Span], None]) -> None:
+        """Unregister a sink; unknown sinks are ignored."""
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+    def occupancy(self) -> int:
+        """Number of root spans currently buffered (≤ :attr:`capacity`)."""
+        with self._lock:
+            return len(self._roots)
 
     def spans(self) -> list[dict]:
         """Finished root spans (oldest first) as dict trees."""
@@ -158,11 +253,8 @@ def set_tracer(tracer: Tracer) -> Tracer:
     return previous
 
 
-@contextmanager
-def trace_span(name: str, **attributes: object) -> Iterator[Span | _NoopSpan]:
+def trace_span(name: str, **attributes: object) -> _SpanGuard | _NoopGuard:
     """Open a span on the global tracer, or yield :data:`NOOP_SPAN` when off."""
     if not runtime.tracing_enabled():
-        yield NOOP_SPAN
-        return
-    with get_tracer().span(name, **attributes) as span:
-        yield span
+        return _NOOP_GUARD
+    return _SpanGuard(_tracer, Span(name, attributes))

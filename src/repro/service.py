@@ -11,9 +11,20 @@ Endpoints (JSON unless noted):
   and the current model generation;
 - ``GET  /metrics`` — Prometheus text exposition of the process metrics
   registry (request/error counters, per-strategy recommend latency
-  histograms, cache hit/miss/eviction counters, model gauges);
+  histograms, cache hit/miss/eviction counters, model gauges); with
+  ``Accept: application/openmetrics-text`` the OpenMetrics 1.0 rendering
+  is served instead, carrying per-bucket request-id exemplars;
 - ``GET  /model`` — the serving state: generation counter, live model
   sizes, and per-cache statistics (hits, misses, evictions, hit rate);
+- ``GET  /debug/vars`` — introspection snapshot: uptime, model generation,
+  cache statistics, in-flight requests, span-buffer occupancy, per-stage
+  latency breakdown (p50/p95/p99), slow-log and profile-session state;
+- ``GET  /debug/slow`` — the N slowest requests above the configured
+  threshold, each with its full span tree;
+- ``POST /debug/profile`` / ``DELETE /debug/profile`` — start/stop a
+  guarded on-demand cProfile session (409 when already active, 404 when
+  none is); DELETE returns the :mod:`pstats` report as plain text and
+  accepts ``?sort=...&limit=...``;
 - ``POST /recommend`` — body ``{"activity": [...], "k": 10,
   "strategy": "breadth"}`` → ranked actions with scores (served through
   the recommendation LRU; the response carries ``"cached"``);
@@ -64,9 +75,12 @@ Usage::
     ...  # requests against http://127.0.0.1:{server.port}
     server.stop()
 
-Constructing a service enables metric recording process-wide
-(``obs.enable(metrics=True, tracing=False)``) — a service without request
-accounting is not observable.  Pass ``enable_metrics=False`` to opt out.
+Constructing a service enables metrics, tracing, exemplar capture and
+trace detail process-wide — a service without request accounting is not
+observable, and its ``/debug/slow`` span trees and ``/metrics`` exemplars
+need spans and request ids recorded.  Pass ``enable_metrics=False`` /
+``enable_tracing=False`` / ``enable_exemplars=False`` /
+``trace_detail=False`` to opt out piecewise.
 """
 
 from __future__ import annotations
@@ -98,12 +112,20 @@ _MAX_BATCH_BODY_BYTES = 8 << 20  # batch scoring legitimately ships more
 _MAX_BATCH_ACTIVITIES = 50_000  # backstop against unbounded fan-out
 
 #: Known routes by supported method; wrong-method hits answer 405.
-_GET_ROUTES = ("/health", "/metrics", "/model")
+_GET_ROUTES = ("/health", "/metrics", "/model", "/debug/vars", "/debug/slow")
 _POST_ROUTES = (
     "/recommend", "/recommend/batch", "/spaces", "/explain", "/goals",
     "/related",
 )
 _PUT_ROUTES = ("/model/implementations",)
+#: The cProfile session route: POST starts, DELETE stops.  Routed before
+#: the generic blocks because it is the one POST route without a JSON body.
+_PROFILE_ROUTE = "/debug/profile"
+#: ``?sort=`` values accepted by ``DELETE /debug/profile`` (pstats keys).
+_PROFILE_SORTS = (
+    "cumulative", "tottime", "time", "calls", "ncalls", "filename",
+    "line", "name", "module", "pcalls", "stdname",
+)
 #: Prefix for the parametrized DELETE route; the trailing segment is the
 #: implementation id.  Metrics label it with the literal ``<id>`` placeholder
 #: to keep cardinality bounded.
@@ -122,6 +144,7 @@ _GUARDED_BY = {
     "ModelManager._generation": "_lock",
     "ModelManager._snapshot": "_lock",
     "ModelManager._base_recommender": "_lock",
+    "RecommenderService._inflight": "_inflight_lock",
 }
 
 
@@ -527,54 +550,84 @@ class _Handler(BaseHTTPRequestHandler):
     @staticmethod
     def _endpoint_label(path: str) -> str:
         """Metrics endpoint label; parametrized paths collapse to one label."""
-        if path in _GET_ROUTES or path in _POST_ROUTES or path in _PUT_ROUTES:
+        if (
+            path in _GET_ROUTES or path in _POST_ROUTES
+            or path in _PUT_ROUTES or path == _PROFILE_ROUTE
+        ):
             return path
         if path.startswith(_DELETE_PREFIX):
             return _DELETE_ENDPOINT
         return "<unknown>"
 
     def _dispatch(self, method: str) -> None:
-        """Route one request with request-id, metrics and error envelope."""
-        path = self.path.split("?", 1)[0]
+        """Route one request with request-id, span, metrics and error envelope."""
+        path, _, self._query = self.path.partition("?")
         self._request_id = self.headers.get(
             "X-Request-Id"
         ) or obs.new_request_id()
         self._status = 0
         endpoint = self._endpoint_label(path)
         start = time.perf_counter()
+        self.service._publish_inflight(1)
+        root: obs.Span | None = None
         with obs.request_context(self._request_id):
             try:
                 try:
-                    self._route(method, path)
-                except ReproError as exc:
-                    self._send_error(422, str(exc), detail=type(exc).__name__)
+                    with obs.trace_span(
+                        "http.request", endpoint=endpoint, method=method
+                    ) as span:
+                        if isinstance(span, obs.Span):
+                            root = span
+                        try:
+                            if path.startswith("/debug/"):
+                                # Never profile the debug surface: DELETE
+                                # /debug/profile must not wait on itself,
+                                # and the report should show serving work.
+                                self._route(method, path)
+                            else:
+                                self.service.profile_session.profile_call(
+                                    self._route, method, path
+                                )
+                        except ReproError as exc:
+                            self._send_error(
+                                422, str(exc), detail=type(exc).__name__
+                            )
+                        except (BrokenPipeError, ConnectionResetError):
+                            raise  # handled below, bypassing the 500 path
+                        except Exception as exc:  # keep the handler thread alive
+                            obs.log_event(
+                                _LOG, "http.error", level=40,
+                                endpoint=endpoint,
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                            if not self._status:
+                                self._send_error(
+                                    500,
+                                    "internal server error",
+                                    detail=f"{type(exc).__name__}: {exc}",
+                                )
+                        span.set_attr("status", self._status)
                 except (BrokenPipeError, ConnectionResetError):
-                    raise  # handled below, bypassing the 500 path
-                except Exception as exc:  # keep the handler thread alive
-                    obs.log_event(
-                        _LOG, "http.error", level=40,
-                        endpoint=endpoint, error=f"{type(exc).__name__}: {exc}",
-                    )
-                    if not self._status:
-                        self._send_error(
-                            500,
-                            "internal server error",
-                            detail=f"{type(exc).__name__}: {exc}",
-                        )
-            except (BrokenPipeError, ConnectionResetError):
-                # The client went away mid-request (possibly while an error
-                # response was being written): there is nobody left to
-                # answer, and propagating would make socketserver print a
-                # traceback.  Record the nginx-style 499 sentinel instead
-                # of the meaningless initial 0.
-                self._status = 499
+                    # The client went away mid-request (possibly while an
+                    # error response was being written): there is nobody
+                    # left to answer, and propagating would make
+                    # socketserver print a traceback.  Record the
+                    # nginx-style 499 sentinel instead of the meaningless
+                    # initial 0.
+                    self._status = 499
             finally:
                 # Record inside the request context so the http.request log
-                # line carries the request_id for correlation.
+                # line carries the request_id for correlation (and the
+                # latency histograms pick it up as their exemplar).
                 elapsed = time.perf_counter() - start
                 self.service._record_request(
                     endpoint, method, self._status, elapsed
                 )
+                self.service._record_slow(
+                    self._request_id, endpoint, method, self._status,
+                    elapsed, [root.to_dict()] if root is not None else [],
+                )
+                self.service._publish_inflight(-1)
 
     def _method_not_allowed(self, path: str, allow: str) -> None:
         self._send_error(
@@ -593,8 +646,20 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_health()
             elif path == "/model":
                 self._handle_model_info()
+            elif path == "/debug/vars":
+                self._handle_debug_vars()
+            elif path == "/debug/slow":
+                self._handle_debug_slow()
             else:
                 self._handle_metrics()
+            return
+        if path == _PROFILE_ROUTE:
+            if method == "POST":
+                self._handle_profile_start()
+            elif method == "DELETE":
+                self._handle_profile_stop()
+            else:
+                self._method_not_allowed(path, "POST, DELETE")
             return
         if path in _POST_ROUTES:
             if method != "POST":
@@ -636,9 +701,9 @@ class _Handler(BaseHTTPRequestHandler):
             f"unknown path {path}",
             detail={
                 "get": list(_GET_ROUTES),
-                "post": list(_POST_ROUTES),
+                "post": [*_POST_ROUTES, _PROFILE_ROUTE],
                 "put": list(_PUT_ROUTES),
-                "delete": [_DELETE_ENDPOINT],
+                "delete": [_DELETE_ENDPOINT, _PROFILE_ROUTE],
             },
         )
 
@@ -659,6 +724,13 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
     def _handle_metrics(self) -> None:
+        if "application/openmetrics-text" in self.headers.get("Accept", ""):
+            self._send_text(
+                200,
+                self.service.registry.render_openmetrics(),
+                "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            )
+            return
         self._send_text(
             200,
             self.service.registry.render(),
@@ -667,6 +739,68 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_model_info(self) -> None:
         self._send_json(200, self.service.manager.describe())
+
+    # ------------------------------------------------------------------
+    # Debug surface
+    # ------------------------------------------------------------------
+
+    def _handle_debug_vars(self) -> None:
+        self._send_json(200, self.service.debug_vars())
+
+    def _handle_debug_slow(self) -> None:
+        log = self.service.slow_log
+        self._send_json(
+            200,
+            {
+                "threshold_seconds": log.threshold_seconds,
+                "capacity": log.size,
+                "count": len(log),
+                "requests": log.snapshot(),
+            },
+        )
+
+    def _handle_profile_start(self) -> None:
+        try:
+            self.service.profile_session.start()
+        except RuntimeError as exc:
+            self._send_error(409, str(exc), detail="ProfileSession")
+            return
+        self.service._set_profile_active(1)
+        obs.log_event(_LOG, "profile.start")
+        self._send_json(200, {"profiling": True})
+
+    def _handle_profile_stop(self) -> None:
+        params = dict(
+            part.split("=", 1) for part in self._query.split("&") if "=" in part
+        )
+        sort = params.get("sort", "cumulative")
+        if sort not in _PROFILE_SORTS:
+            self._send_error(
+                400,
+                f"'sort' must be one of {', '.join(_PROFILE_SORTS)}",
+                detail=f"got {sort!r}",
+            )
+            return
+        raw_limit = params.get("limit", "40")
+        try:
+            limit = int(raw_limit)
+        except ValueError:
+            limit = 0
+        if limit <= 0:
+            self._send_error(
+                400,
+                "'limit' must be a positive integer",
+                detail=f"got {raw_limit!r}",
+            )
+            return
+        try:
+            report = self.service.profile_session.stop(sort=sort, limit=limit)
+        except RuntimeError as exc:
+            self._send_error(404, str(exc), detail="ProfileSession")
+            return
+        self.service._set_profile_active(0)
+        obs.log_event(_LOG, "profile.stop", sort=sort, limit=limit)
+        self._send_text(200, report, "text/plain; charset=utf-8")
 
     def _handle_recommend(self, payload: dict) -> None:
         activity = self._activity_from(payload)
@@ -961,11 +1095,24 @@ class RecommenderService:
             request time), which is also where the recommend-path
             instrumentation records.
         enable_metrics: turn on process-wide metric recording at
-            construction (tracing is left as-is).
+            construction.
+        enable_tracing: turn on process-wide span recording — required for
+            the ``/debug/slow`` span trees and the per-stage breakdown in
+            ``/debug/vars``.
+        enable_exemplars: capture per-bucket request-id exemplars on the
+            latency histograms (rendered by the OpenMetrics ``/metrics``
+            variant); implies nothing unless metrics are on.
+        trace_detail: recommend spans additionally carry the space sizes
+            |IS|, |GS|, |AS| and the candidate count (three extra index
+            queries per request); implies nothing unless tracing is on.
         cache_size: capacity of the ``(generation, strategy, activity, k)``
             recommendation LRU; 0 disables result caching.
         space_cache_size: capacity of the memoized ``implementation_space``
             LRU; 0 disables the memo.
+        slow_threshold_seconds: requests at least this slow are logged in
+            ``/debug/slow`` and counted in ``repro_slow_requests_total``.
+        slow_log_size: how many slow requests ``/debug/slow`` retains (the
+            slowest seen, not the most recent).
     """
 
     def __init__(
@@ -975,12 +1122,21 @@ class RecommenderService:
         port: int = 0,
         registry: obs.MetricsRegistry | None = None,
         enable_metrics: bool = True,
+        enable_tracing: bool = True,
+        enable_exemplars: bool = True,
+        trace_detail: bool = True,
         cache_size: int = 1024,
         space_cache_size: int = 4096,
+        slow_threshold_seconds: float = 0.1,
+        slow_log_size: int = 32,
     ) -> None:
         self._registry = registry
-        if enable_metrics:
-            obs.enable(metrics=True, tracing=False)
+        obs.enable(
+            metrics=enable_metrics,
+            tracing=enable_tracing,
+            exemplars=enable_metrics and enable_exemplars,
+            trace_detail=enable_tracing and trace_detail,
+        )
         if isinstance(model, IncrementalGoalModel):
             incremental = model
         else:
@@ -990,6 +1146,17 @@ class RecommenderService:
             cache_size=cache_size,
             space_cache_size=space_cache_size,
         )
+        self._started_at = time.time()
+        self.slow_log = obs.SlowRequestLog(
+            size=slow_log_size, threshold_seconds=slow_threshold_seconds
+        )
+        self.profile_session = obs.ProfileSession()
+        self._inflight_lock = threading.Lock()
+        self._inflight = 0
+        # Feed every finished root span into the process stage profiler so
+        # /debug/vars serves a per-stage breakdown; removed again in stop().
+        self._tracer = obs.get_tracer()
+        self._tracer.add_sink(obs.get_profiler().observe_span)
         handler = type("BoundHandler", (_Handler,), {"service": self})
         self._server = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None
@@ -1041,6 +1208,86 @@ class RecommenderService:
             seconds=round(elapsed, 6),
         )
 
+    def _publish_inflight(self, delta: int) -> None:
+        """Track one request entering (+1) or leaving (-1) the handler."""
+        with self._inflight_lock:
+            self._inflight += delta
+            inflight = self._inflight
+        if obs.metrics_enabled():
+            self.registry.gauge(
+                "repro_http_inflight_requests",
+                "HTTP requests currently being handled.",
+            ).set(inflight)
+
+    @property
+    def inflight_requests(self) -> int:
+        """Requests currently inside the handler (including this one)."""
+        with self._inflight_lock:
+            return self._inflight
+
+    def _record_slow(
+        self,
+        request_id: str,
+        endpoint: str,
+        method: str,
+        status: int,
+        elapsed: float,
+        spans: list[dict[str, object]],
+    ) -> None:
+        """Log and count one request if it crossed the slow threshold."""
+        if elapsed < self.slow_log.threshold_seconds:
+            return
+        self.slow_log.offer(
+            request_id, endpoint, method, status, elapsed, spans
+        )
+        if obs.metrics_enabled():
+            self.registry.counter(
+                "repro_slow_requests_total",
+                "Requests at or above the slow-log threshold, by endpoint.",
+                endpoint=endpoint,
+            ).inc()
+
+    def _set_profile_active(self, value: int) -> None:
+        """Publish the cProfile-session state gauge (1 active, 0 idle)."""
+        if obs.metrics_enabled():
+            self.registry.gauge(
+                "repro_profile_active",
+                "1 while an on-demand cProfile session is running.",
+            ).set(value)
+
+    def debug_vars(self) -> dict[str, Any]:
+        """The ``GET /debug/vars`` introspection snapshot."""
+        tracer = obs.get_tracer()
+        profiler = obs.get_profiler()
+        return {
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "generation": self.manager.generation,
+            "implementations": self.manager.num_implementations(),
+            "inflight_requests": self.inflight_requests,
+            "caches": self.manager.describe()["caches"],
+            "span_buffer": {
+                "occupancy": tracer.occupancy(),
+                "capacity": tracer.capacity,
+            },
+            "slow_log": {
+                "count": len(self.slow_log),
+                "capacity": self.slow_log.size,
+                "threshold_seconds": self.slow_log.threshold_seconds,
+            },
+            "profile": {
+                "active": self.profile_session.active,
+                "calls": self.profile_session.calls,
+            },
+            "stages": profiler.breakdown(),
+            "flags": {
+                "metrics": obs.metrics_enabled(),
+                "tracing": obs.tracing_enabled(),
+                "exemplars": obs.exemplars_enabled(),
+                "trace_detail": obs.trace_detail_enabled(),
+            },
+        }
+
     def _record_batch(
         self, strategy: str, activities: int, elapsed: float
     ) -> None:
@@ -1085,6 +1332,7 @@ class RecommenderService:
         self._thread.join()
         self._server.server_close()
         self._thread = None
+        self._tracer.remove_sink(obs.get_profiler().observe_span)
         obs.log_event(_LOG, "service.stop")
 
     def __enter__(self) -> "RecommenderService":

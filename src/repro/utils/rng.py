@@ -33,5 +33,6 @@ def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
-    root = make_rng(seed)
-    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(count)]
+    # Generator.spawn (numpy >= 1.25) is the typed spelling of the older
+    # ``bit_generator.seed_seq.spawn`` dance and yields the same streams.
+    return make_rng(seed).spawn(count)

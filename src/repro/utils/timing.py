@@ -52,6 +52,27 @@ class TimingSummary:
         )
 
 
+def quantile(samples: list[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``samples``, linearly interpolated.
+
+    Raises :class:`ValueError` for an empty sample list or a quantile
+    outside ``[0, 1]``.  This is the shared implementation behind
+    :meth:`Stopwatch.percentile` and the stage profiler's p50/p95/p99.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not samples:
+        raise ValueError("quantile of an empty sample list")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
 class Stopwatch:
     """Accumulates wall-clock samples under named labels.
 
@@ -123,14 +144,7 @@ class Stopwatch:
             samples = list(self._samples.get(name) or ())
         if not samples:
             raise KeyError(f"no samples recorded for {name!r}")
-        ordered = sorted(samples)
-        if len(ordered) == 1:
-            return ordered[0]
-        position = q * (len(ordered) - 1)
-        low = int(position)
-        high = min(low + 1, len(ordered) - 1)
-        fraction = position - low
-        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+        return quantile(samples, q)
 
     def summaries(self) -> list[TimingSummary]:
         """Return summaries for every label, sorted by label."""

@@ -6,3 +6,17 @@ def register(registry):
     registry.gauge("repro_queue_depth", "Requests in flight.").set(3)
     registry.histogram("repro_request_seconds", "Request latency.").observe(0.1)
     registry.histogram("repro_payload_bytes", "Payload size.").observe(512)
+
+
+def register_with_exemplar(registry):
+    # An exemplar-carrying histogram registers like any other family: the
+    # exemplar is captured per observation (from the ambient request id),
+    # not declared at the registration site, so the rule sees one literal,
+    # conventional name — and accessor calls like exemplars() are not
+    # registration sites at all.
+    histogram = registry.histogram(
+        "repro_exemplar_request_seconds",
+        "Request latency with exemplar capture enabled.",
+    )
+    histogram.observe(0.05)
+    return histogram.exemplars()

@@ -241,6 +241,99 @@ def test_every_rule_documented_in_docs():
 
 
 # ----------------------------------------------------------------------
+# The self-check's metrics/docs cross-reference
+# ----------------------------------------------------------------------
+
+
+def _parsed(tmp_path, source: str):
+    from repro.analysis.engine import load_module
+
+    target = tmp_path / "mod.py"
+    target.write_text(source)
+    return [load_module(target)]
+
+
+def test_metrics_docs_agreement_is_clean(tmp_path):
+    from repro.analysis.metrics_names import metrics_docs_problems
+
+    modules = _parsed(
+        tmp_path, 'def f(r):\n    r.counter("repro_widget_total")\n'
+    )
+    docs = "| Metric | Kind |\n|---|---|\n| `repro_widget_total` | counter |\n"
+    assert metrics_docs_problems(modules, docs) == []
+
+
+def test_undocumented_metric_is_a_problem(tmp_path):
+    from repro.analysis.metrics_names import metrics_docs_problems
+
+    modules = _parsed(
+        tmp_path, 'def f(r):\n    r.counter("repro_widget_total")\n'
+    )
+    problems = metrics_docs_problems(modules, "| `repro_other_total` |\n")
+    assert any(
+        "repro_widget_total" in p and "missing from the metric table" in p
+        for p in problems
+    )
+    assert any(
+        "repro_other_total" in p and "registered nowhere" in p
+        for p in problems
+    )
+
+
+def test_prose_mentions_do_not_count_as_documentation(tmp_path):
+    from repro.analysis.metrics_names import metrics_docs_problems
+
+    modules = _parsed(
+        tmp_path, 'def f(r):\n    r.counter("repro_widget_total")\n'
+    )
+    prose_only = "The `repro_widget_total` family counts widgets.\n"
+    problems = metrics_docs_problems(modules, prose_only)
+    assert any("missing from the metric table" in p for p in problems)
+
+
+def test_missing_metrics_docs_is_itself_a_problem(tmp_path):
+    from repro.analysis.metrics_names import metrics_docs_problems
+
+    modules = _parsed(tmp_path, "x = 1\n")
+    problems = metrics_docs_problems(modules, None)
+    assert problems == [
+        "docs/observability.md not found (pass --metrics-docs PATH)"
+    ]
+
+
+def test_self_check_cross_references_the_repo_metric_table():
+    out = io.StringIO()
+    metrics_docs = REPO_ROOT / "docs" / "observability.md"
+    code = main(
+        [
+            "--self-check",
+            "--docs", str(DOCS),
+            "--metrics-docs", str(metrics_docs),
+        ],
+        out=out,
+    )
+    assert code == 0, out.getvalue()
+    assert "metric registrations agree" in out.getvalue()
+
+
+def test_self_check_flags_metric_table_drift(tmp_path):
+    stale = tmp_path / "observability.md"
+    stale.write_text(
+        "| Metric | Kind |\n|---|---|\n| `repro_ghost_total` | counter |\n"
+    )
+    out = io.StringIO()
+    code = main(
+        ["--self-check", "--docs", str(DOCS), "--metrics-docs", str(stale)],
+        out=out,
+    )
+    assert code == 1
+    text = out.getvalue()
+    assert "repro_ghost_total" in text
+    # Real registrations are now all undocumented in the stale table.
+    assert "repro_recommend_requests_total" in text
+
+
+# ----------------------------------------------------------------------
 # The repo itself
 # ----------------------------------------------------------------------
 

@@ -192,3 +192,47 @@ class TestServe:
             ]
         )
         assert code == 2
+
+
+class TestProfileFlag:
+    def test_profile_report_goes_to_stderr(self, library_path, capsys):
+        code = main(
+            [
+                "--profile", "--profile-sort", "tottime",
+                "recommend", "--library", str(library_path),
+                "--activity", "potatoes", "-k", "3",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "# profiled calls: 1" in captured.err
+        assert "tottime" in captured.err
+        # stdout still carries the command's own table, uncontaminated.
+        assert "profiled calls" not in captured.out
+
+    def test_profile_out_writes_report_file(
+        self, library_path, tmp_path, capsys
+    ):
+        report_path = tmp_path / "deep" / "profile.txt"
+        code = main(
+            [
+                "--profile", "--profile-out", str(report_path),
+                "inspect", str(library_path),
+            ]
+        )
+        assert code == 0
+        assert report_path.read_text().startswith("# profiled calls: 1")
+        assert "wrote profile" in capsys.readouterr().err
+
+    def test_profile_preserves_the_command_exit_code(
+        self, library_path, capsys
+    ):
+        code = main(
+            [
+                "--profile",
+                "recommend", "--library", str(library_path),
+                "--activity", "martian",
+            ]
+        )
+        assert code == 1
+        assert "# profiled calls: 1" in capsys.readouterr().err

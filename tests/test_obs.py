@@ -242,13 +242,21 @@ class TestTracing:
         assert tracer.spans() == []
 
 
+def _span_names(span: dict) -> set[str]:
+    """All span names in one tree, root included."""
+    names = {span["name"]}
+    for child in span["children"]:
+        names |= _span_names(child)
+    return names
+
+
 class TestRecommendTracing:
     """The acceptance-criterion span tree: strategy name + space sizes."""
 
     def test_recommend_span_carries_space_sizes(self, figure1_recommender):
         tracer = Tracer()
         previous = obs.set_tracer(tracer)
-        obs.enable(metrics=False, tracing=True)
+        obs.enable(metrics=False, tracing=True, trace_detail=True)
         try:
             figure1_recommender.recommend({"a1"}, k=3, strategy="breadth")
         finally:
@@ -263,9 +271,36 @@ class TestRecommendTracing:
         assert attrs["gs_size"] == 4
         assert attrs["as_size"] == 6
         assert attrs["candidates"] == 5
-        (rank,) = recommend["children"]
-        assert rank["name"] == "rank"
+        child_names = [child["name"] for child in recommend["children"]]
+        assert "rank" in child_names
+        rank = recommend["children"][child_names.index("rank")]
         assert rank["attributes"]["strategy"] == "breadth"
+        # With trace detail on, the tree carries all four stage spans.
+        assert {
+            "implementation_space", "goal_space", "action_space", "rank"
+        } <= _span_names(recommend)
+
+    def test_recommend_span_skips_space_sizes_without_detail(
+        self, figure1_recommender
+    ):
+        tracer = Tracer()
+        previous = obs.set_tracer(tracer)
+        obs.enable(metrics=False, tracing=True)
+        try:
+            figure1_recommender.recommend({"a1"}, k=3, strategy="breadth")
+        finally:
+            obs.disable()
+            obs.set_tracer(previous)
+        recommend = next(
+            s for s in tracer.spans() if s["name"] == "recommend"
+        )
+        attrs = recommend["attributes"]
+        # The space sizes cost three extra index queries; without the
+        # trace-detail flag only the cheap attributes are recorded.
+        assert attrs["strategy"] == "breadth"
+        assert "is_size" not in attrs
+        assert "gs_size" not in attrs
+        assert attrs["returned"] == 3
 
 
 class TestRecommendMetrics:

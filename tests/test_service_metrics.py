@@ -9,6 +9,7 @@ the enriched ``/health`` payload.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 
@@ -223,21 +224,50 @@ class TestHealth:
         assert "max_implementation_length" in library
 
 
+def _find_spans(trees, name):
+    """Depth-first search for every span called ``name`` in the trees."""
+    found = []
+    for span in trees:
+        if span["name"] == name:
+            found.append(span)
+        found.extend(_find_spans(span["children"], name))
+    return found
+
+
 class TestTracedService:
     def test_traced_recommend_yields_span_tree_with_space_sizes(self, service):
-        obs.enable(tracing=True)
+        obs.enable(tracing=True, trace_detail=True)
         status, _, _ = call(
             service, "/recommend", {"activity": ["potatoes"], "k": 3}
         )
         obs.disable(metrics=False, tracing=True)
         assert status == 200
-        spans = obs.get_tracer().spans()
-        recommend = next(s for s in spans if s["name"] == "recommend")
+        # The request root is the http.request span; recommend nests inside.
+        # The root closes *after* the response bytes reach the client, so
+        # poll briefly instead of racing the handler thread.
+        deadline = time.monotonic() + 2.0
+        roots = []
+        while not roots and time.monotonic() < deadline:
+            roots = [
+                s for s in obs.get_tracer().spans()
+                if s["name"] == "http.request"
+                and s["attributes"]["endpoint"] == "/recommend"
+            ]
+            if not roots:
+                time.sleep(0.01)
+        assert roots, "no http.request root span recorded"
+        recommend = _find_spans(roots, "recommend")[-1]
         attrs = recommend["attributes"]
         assert attrs["strategy"] == "breadth"
         assert attrs["is_size"] == 2  # potatoes -> salad + mash
         assert attrs["gs_size"] == 2
         assert attrs["as_size"] == 5  # salad ∪ mash actions
-        assert [child["name"] for child in recommend["children"]] == ["rank"]
+        child_names = {child["name"] for child in recommend["children"]}
+        assert "rank" in child_names
+        # All four pipeline stages appear somewhere under the request root.
+        for stage in (
+            "implementation_space", "goal_space", "action_space", "rank"
+        ):
+            assert _find_spans([recommend], stage), f"missing stage {stage}"
         # The tree is valid JSON end to end.
         json.loads(obs.get_tracer().export_json())
