@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -163,6 +164,41 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--slow-log-size", type=int, default=32,
         help="how many slow requests /debug/slow retains (slowest kept)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="work requests executing concurrently before admission "
+             "control starts queueing",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=128,
+        help="requests allowed to wait for an execution slot; beyond "
+             "this, requests are shed with 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--queue-timeout", type=float, default=0.5, metavar="SECONDS",
+        help="longest a request waits in the admission queue",
+    )
+    serve.add_argument(
+        "--retry-after", type=float, default=1.0, metavar="SECONDS",
+        help="Retry-After hint sent with 429/503 responses",
+    )
+    serve.add_argument(
+        "--default-deadline-ms", type=float, default=None,
+        help="deadline for requests without an X-Request-Deadline-Ms "
+             "header (default: none)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="how long SIGTERM/SIGINT waits for in-flight requests "
+             "before exiting",
+    )
+    serve.add_argument(
+        "--fault-spec", default=None, metavar="SPEC",
+        help="enable deterministic fault injection, e.g. "
+             "'seed=7,storage:exception:0.5,model:latency:1.0:25' "
+             "(sites: model, cache, storage; kinds: latency, exception, "
+             "slow_storage) — testing only",
     )
 
     goals = commands.add_parser(
@@ -321,9 +357,20 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
+    from repro.resilience import install_faults, parse_fault_spec
     from repro.service import RecommenderService
+    from repro.storage import RetryingLibraryStore
 
-    library = JsonLibraryStore(args.library).load()
+    fault_spec = getattr(args, "fault_spec", None)
+    if fault_spec:
+        try:
+            install_faults(parse_fault_spec(fault_spec))
+        except ValueError as exc:
+            print(f"error: --fault-spec: {exc}", file=sys.stderr)
+            return 2
+    # The retrying wrapper absorbs transient load failures (a writer
+    # mid-replace, an injected storage fault) with deterministic backoff.
+    library = RetryingLibraryStore(JsonLibraryStore(args.library)).load()
     model = AssociationGoalModel.from_library(library)
     service = RecommenderService(
         model,
@@ -338,6 +385,11 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
         trace_detail=not getattr(args, "no_trace_detail", False),
         slow_threshold_seconds=getattr(args, "slow_threshold", 0.1),
         slow_log_size=getattr(args, "slow_log_size", 32),
+        max_inflight=getattr(args, "max_inflight", 64),
+        max_queue=getattr(args, "max_queue", 128),
+        queue_timeout_seconds=getattr(args, "queue_timeout", 0.5),
+        retry_after_seconds=getattr(args, "retry_after", 1.0),
+        default_deadline_ms=getattr(args, "default_deadline_ms", None),
     )
     service.start()
     print(
@@ -345,16 +397,45 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
         f"http://{args.host}:{service.port} "
         "(endpoints: /health /metrics /model /recommend /recommend/batch "
         "/spaces /explain /goals /related /debug/vars /debug/slow "
-        "/debug/profile)"
+        "/debug/profile)",
+        flush=True,
     )
     if not block:  # test hook: caller owns the lifecycle
         service.stop()
         return 0
-    try:  # pragma: no cover - interactive loop
-        service._thread.join()
-    except KeyboardInterrupt:  # pragma: no cover
-        service.stop()
+    _serve_until_signalled(service, getattr(args, "drain_timeout", 10.0))
     return 0
+
+
+def _serve_until_signalled(service: object, drain_timeout: float) -> None:
+    """Block on the serving thread; SIGTERM/SIGINT trigger a graceful drain.
+
+    Without the handlers, ``docker stop``/Kubernetes termination kills the
+    process mid-request.  With them, a signal flips ``/health`` to
+    ``draining``, stops accepting, waits for in-flight requests up to
+    ``drain_timeout`` and exits 0.  Handlers can only be installed from
+    the main thread; elsewhere (tests driving the CLI from a worker
+    thread) the plain KeyboardInterrupt path remains.
+    """
+    import signal
+
+    def _drain(signum: int, _frame: object) -> None:
+        print(
+            f"received signal {signum}; draining "
+            f"(timeout {drain_timeout:g}s)",
+            file=sys.stderr,
+            flush=True,
+        )
+        service.drain(timeout=drain_timeout)  # type: ignore[attr-defined]
+
+    in_main = threading.current_thread() is threading.main_thread()
+    if in_main:
+        signal.signal(signal.SIGTERM, _drain)
+        signal.signal(signal.SIGINT, _drain)
+    try:
+        service._thread.join()  # type: ignore[attr-defined]
+    except KeyboardInterrupt:  # pragma: no cover - non-main-thread fallback
+        service.stop()  # type: ignore[attr-defined]
 
 
 def _cmd_goals(args: argparse.Namespace) -> int:

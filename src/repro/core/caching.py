@@ -50,6 +50,7 @@ from repro import obs
 from repro.core.entities import ActionLabel, GoalLabel, RecommendationList
 from repro.core.model import AssociationGoalModel
 from repro.core.recommender import GoalRecommender
+from repro.resilience.faults import inject
 
 _SENTINEL = object()
 
@@ -165,6 +166,7 @@ class LRUCache:
 
     def lookup(self, key: Any) -> tuple[bool, Any]:
         """Return ``(hit, value)``; ``value`` is ``None`` on a miss."""
+        inject("cache")
         start = perf_counter()
         with self._lock:
             value = self._data.get(key, _SENTINEL)

@@ -28,6 +28,7 @@ from repro.core.entities import ActionLabel, GoalLabel, RecommendationList
 from repro.core.protocols import ModelView
 from repro.core.strategies import RankingStrategy, create_strategy
 from repro.exceptions import RecommendationError
+from repro.resilience.deadlines import Deadline, active_deadline
 
 #: The strategy names the paper evaluates, in its presentation order.
 PAPER_STRATEGIES = ("focus_cmp", "focus_cl", "breadth", "best_match")
@@ -101,9 +102,38 @@ class GoalRecommender:
             raise RecommendationError(f"k must be positive, got {k}")
         encoded = self.model.encode_activity(activity)
         chosen = self.strategy(strategy or self.default_strategy, **options)
+        deadline = active_deadline()
+        if deadline is not None:
+            self._run_stages_with_deadline(deadline, encoded)
         if not obs.is_enabled():
             return chosen.recommend(self.model, encoded, k)
         return self._recommend_observed(chosen, encoded, k)
+
+    def _run_stages_with_deadline(
+        self, deadline: Deadline, encoded: frozenset[int]
+    ) -> None:
+        """Walk the space pipeline with a deadline check entering each stage.
+
+        The paper's pipeline is ``IS(H) -> GS(H) -> AS(H) -> rank``; when a
+        request carries a deadline, each space query is driven here with a
+        checkpoint in front of it, so an expired request stops at the next
+        stage boundary (raising
+        :class:`~repro.resilience.deadlines.DeadlineExceededError` naming
+        the stage about to be entered) instead of completing a ranking
+        nobody is waiting for.  On the serving path the model is a
+        :class:`~repro.core.caching.CachedModelView`, so the spaces computed
+        here are memoized and the strategy's own queries hit the memo —
+        the pipeline runs once, just with checkpoints in between.  Without
+        an active deadline this method is skipped entirely and the
+        recommend path is unchanged.
+        """
+        deadline.check("implementation_space")
+        self.model.implementation_space(encoded)
+        deadline.check("goal_space")
+        self.model.goal_space(encoded)
+        deadline.check("action_space")
+        self.model.action_space(encoded)
+        deadline.check("rank")
 
     def _recommend_observed(
         self, chosen: RankingStrategy, encoded: frozenset[int], k: int

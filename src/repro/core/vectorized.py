@@ -27,6 +27,9 @@ suite), including the deterministic tie-breaking.
 
 from __future__ import annotations
 
+import math
+from collections.abc import Callable
+
 import numpy as np
 from scipy import sparse
 
@@ -171,18 +174,26 @@ class BatchRecommender:
             return {}
         # Profile over the goal axis: Gᵀ (M h) restricted to GS(H).
         profile = (self._g.T @ overlaps)[touched_goals]
-        profile_norm = float(np.sqrt(profile @ profile))
+        profile_norm_sq = float(profile @ profile)
         candidate_ids = np.flatnonzero(mask)
         vectors = self._c[candidate_ids][:, touched_goals].toarray()
-        norms = np.sqrt((vectors * vectors).sum(axis=1))
+        dots = vectors @ profile
+        norms_sq = (vectors * vectors).sum(axis=1)
         distances: dict[int, float] = {}
         for row, aid in enumerate(candidate_ids):
-            norm = norms[row]
-            if norm == 0.0 or profile_norm == 0.0:
+            norm_sq = float(norms_sq[row])
+            if norm_sq == 0.0 or profile_norm_sq == 0.0:
                 distances[int(aid)] = 1.0
             else:
-                cosine = float(vectors[row] @ profile) / (norm * profile_norm)
-                distances[int(aid)] = 1.0 - cosine
+                # One sqrt of the product, exactly like the reference
+                # ``cosine_distance`` — ``sqrt(a) * sqrt(b)`` differs from
+                # ``sqrt(a * b)`` by 1 ulp on some inputs, which is enough
+                # to split a tie group and reorder the ranking relative to
+                # the scalar strategy (all accumulations here are
+                # integer-valued, hence exact in float64).
+                distances[int(aid)] = 1.0 - float(dots[row]) / math.sqrt(
+                    norm_sq * profile_norm_sq
+                )
         return distances
 
     # ------------------------------------------------------------------
@@ -271,6 +282,7 @@ class BatchRecommender:
         k: int = 10,
         strategy: str = "breadth",
         chunk_size: int = 1024,
+        checkpoint: Callable[[int], None] | None = None,
     ) -> list[RecommendationList]:
         """Bulk entry point: one list per activity, in input order.
 
@@ -279,6 +291,12 @@ class BatchRecommender:
         stay bounded at ``chunk_size × num_actions``); the other strategies
         reuse the per-activity vectorized path, which already amortizes the
         CSR build across the batch.
+
+        ``checkpoint``, when given, is invoked with the index of the first
+        activity of each chunk before the chunk is scored.  The serving
+        layer uses it to abandon a batch whose deadline has expired (the
+        callback raises) instead of scoring the remaining chunks; any
+        exception it raises propagates unchanged.
         """
         if k <= 0:
             raise RecommendationError(f"k must be positive, got {k}")
@@ -289,15 +307,21 @@ class BatchRecommender:
             )
         activities = list(activities)
         if strategy != "breadth":
-            return [
-                self.recommend(activity, k=k, strategy=strategy)
-                for activity in activities
-            ]
+            results_scalar: list[RecommendationList] = []
+            for i, activity in enumerate(activities):
+                if checkpoint is not None and i % chunk_size == 0:
+                    checkpoint(i)
+                results_scalar.append(
+                    self.recommend(activity, k=k, strategy=strategy)
+                )
+            return results_scalar
         encoded = [
             self.model.encode_activity(activity) for activity in activities
         ]
         results: list[RecommendationList] = []
         for start in range(0, len(activities), chunk_size):
+            if checkpoint is not None:
+                checkpoint(start)
             block = encoded[start:start + chunk_size]
             for offset, ranked in enumerate(self.rank_many_breadth(block, k)):
                 results.append(

@@ -1,0 +1,156 @@
+"""Bounded-concurrency admission control for the HTTP serving layer.
+
+The serving pipeline is CPU-bound, so past a point extra concurrent
+requests add queueing delay without adding throughput.  The
+:class:`AdmissionController` enforces two limits in front of the work:
+
+- ``max_inflight`` — how many requests may execute concurrently;
+- ``max_queue`` — how many more may *wait* for an execution slot.
+
+A request beyond both limits is **shed** immediately: the HTTP layer
+answers ``429 {error, detail}`` with a ``Retry-After`` hint instead of
+letting the connection sit in an unbounded backlog until the client
+times out (the tail-at-scale argument: a fast "no" beats a slow maybe).
+A queued request additionally respects its own deadline — there is no
+point waiting for a slot longer than the caller is willing to wait for
+the answer.
+
+The controller publishes ``repro_queue_depth`` (a gauge of waiters) and
+counts every rejection in ``repro_shed_requests_total{reason}`` where
+``reason`` is one of :data:`SHED_REASONS`.  Ops endpoints (``/health``,
+``/metrics``, ``/debug/*``) bypass admission entirely — an overloaded
+server must stay observable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+from repro import obs
+from repro.resilience.deadlines import Deadline
+
+#: Bounded label set for ``repro_shed_requests_total{reason}``:
+#: ``saturated`` — in-flight and queue both full; ``queue_timeout`` — a
+#: slot did not free up while the request could still wait;
+#: ``draining`` — the service is shutting down and not accepting work.
+SHED_REASONS: tuple[str, ...] = ("saturated", "queue_timeout", "draining")
+
+#: Lock discipline (RL001): every mutable field is guarded by ``_cond``.
+_GUARDED_BY = {
+    "AdmissionController._active": "_cond",
+    "AdmissionController._waiters": "_cond",
+}
+
+
+def record_shed(reason: str) -> None:
+    """Count one shed request in the metrics registry (if enabled)."""
+    if obs.metrics_enabled():
+        obs.get_registry().counter(
+            "repro_shed_requests_total",
+            "Requests rejected by admission control, by reason.",
+            reason=reason if reason in SHED_REASONS else "other",
+        ).inc()
+
+
+class AdmissionController:
+    """Bounded in-flight / bounded queue gate with deadline-aware waits.
+
+    Usage (the HTTP layer)::
+
+        admitted, reason = controller.try_acquire(deadline)
+        if not admitted:
+            ... answer 429 with Retry-After ...
+        try:
+            ... run the request ...
+        finally:
+            controller.release()
+    """
+
+    def __init__(
+        self,
+        max_inflight: int,
+        max_queue: int,
+        queue_timeout_seconds: float = 0.5,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if queue_timeout_seconds < 0:
+            raise ValueError("queue_timeout_seconds must be >= 0")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.queue_timeout_seconds = queue_timeout_seconds
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiters = 0
+
+    def _publish_queue_depth_locked(self) -> None:
+        if obs.metrics_enabled():
+            obs.get_registry().gauge(
+                "repro_queue_depth",
+                "Requests waiting for an admission slot.",
+            ).set(self._waiters)
+
+    def try_acquire(
+        self, deadline: Deadline | None = None
+    ) -> tuple[bool, str | None]:
+        """Claim an execution slot, waiting briefly if the server is busy.
+
+        Returns ``(True, None)`` when admitted — the caller **must**
+        pair it with :meth:`release`.  Returns ``(False, reason)`` when
+        shed, with ``reason`` in :data:`SHED_REASONS`.
+        """
+        with self._cond:
+            if self._active < self.max_inflight:
+                self._active += 1
+                return True, None
+            if self._waiters >= self.max_queue:
+                return False, "saturated"
+            # Wait for a slot, but never longer than the request itself
+            # is allowed to take.
+            budget = self.queue_timeout_seconds
+            if deadline is not None:
+                budget = min(budget, deadline.remaining_seconds())
+            if budget <= 0:
+                return False, "queue_timeout"
+            expires = self._clock() + budget
+            self._waiters += 1
+            self._publish_queue_depth_locked()
+            try:
+                while self._active >= self.max_inflight:
+                    remaining = expires - self._clock()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        # Condition.wait returning False is its own
+                        # timeout signal; re-deriving from the clock
+                        # covers spurious wakeups near the boundary.
+                        if self._active < self.max_inflight:
+                            break
+                        return False, "queue_timeout"
+                self._active += 1
+                return True, None
+            finally:
+                self._waiters -= 1
+                self._publish_queue_depth_locked()
+
+    def release(self) -> None:
+        """Return an execution slot and wake one waiter."""
+        with self._cond:
+            if self._active <= 0:
+                raise RuntimeError("release() without matching try_acquire()")
+            self._active -= 1
+            self._cond.notify()
+
+    def active(self) -> int:
+        """Requests currently holding an execution slot."""
+        with self._cond:
+            return self._active
+
+    def waiting(self) -> int:
+        """Requests currently queued for a slot."""
+        with self._cond:
+            return self._waiters

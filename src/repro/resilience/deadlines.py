@@ -1,0 +1,146 @@
+"""Per-request deadlines, propagated via ContextVar, checked between stages.
+
+A deadline is a point on the monotonic clock by which a request must have
+answered.  The HTTP layer creates one per request (from the
+``X-Request-Deadline-Ms`` header or the service's ``--default-deadline-ms``)
+and installs it in a :class:`contextvars.ContextVar`, so every function on
+the request's call path — however deep — can ask "is it still worth
+continuing?" without threading a parameter through the recommender stack.
+
+Checkpoints sit at the natural seams of the paper's pipeline:
+
+- between the four recommend stages (``implementation_space`` →
+  ``goal_space`` → ``action_space`` → ``rank``) in
+  :class:`~repro.core.recommender.GoalRecommender`;
+- before every scoring chunk of the batch path
+  (:meth:`~repro.core.vectorized.BatchRecommender.recommend_many`);
+- while waiting in the admission queue
+  (:class:`~repro.resilience.admission.AdmissionController`).
+
+An expired checkpoint raises :class:`DeadlineExceededError` carrying the
+**stage reached**, which the HTTP layer maps to ``504`` (and records on the
+request span as ``deadline_stage``).  With no deadline installed every
+checkpoint is a single ``ContextVar.get() is None`` test — cheap enough to
+leave in the hot path unconditionally.
+
+Clocks are injectable (``Deadline(expires_at, clock=...)``) so tests can
+drive expiry deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from collections.abc import Callable, Iterator
+
+from repro import obs
+from repro.exceptions import ReproError
+
+#: The bounded set of checkpoint names a deadline can expire at; used as
+#: the ``stage`` label of ``repro_deadline_exceeded_total`` (bounded label
+#: values keep the family's cardinality fixed).
+DEADLINE_STAGES: tuple[str, ...] = (
+    "admission",
+    "implementation_space",
+    "goal_space",
+    "action_space",
+    "rank",
+    "batch",
+)
+
+_ACTIVE: ContextVar["Deadline | None"] = ContextVar(
+    "repro_resilience_deadline", default=None
+)
+
+
+class DeadlineExceededError(ReproError):
+    """The request's deadline expired; ``stage`` names the checkpoint.
+
+    ``stage`` is one of :data:`DEADLINE_STAGES` — the pipeline stage the
+    request was *about to enter* when the deadline fired.  The HTTP layer
+    maps this to ``504 {error, detail}`` with the stage in the detail.
+    """
+
+    def __init__(self, stage: str, budget_ms: float | None = None) -> None:
+        self.stage = stage
+        self.budget_ms = budget_ms
+        budget = (
+            f" (budget {budget_ms:.0f} ms)" if budget_ms is not None else ""
+        )
+        super().__init__(
+            f"deadline exceeded entering stage {stage!r}{budget}"
+        )
+
+
+class Deadline:
+    """An absolute expiry on an injectable monotonic clock."""
+
+    __slots__ = ("expires_at", "budget_ms", "_clock")
+
+    def __init__(
+        self,
+        expires_at: float,
+        budget_ms: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.expires_at = expires_at
+        self.budget_ms = budget_ms
+        self._clock = clock
+
+    @classmethod
+    def after_ms(
+        cls, budget_ms: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """A deadline ``budget_ms`` milliseconds from now."""
+        return cls(clock() + budget_ms / 1000.0, budget_ms, clock)
+
+    def remaining_seconds(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self.expires_at - self._clock()
+
+    def expired(self) -> bool:
+        """``True`` once the clock has passed the expiry point."""
+        return self._clock() >= self.expires_at
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceededError` if expired, else return."""
+        if self.expired():
+            raise DeadlineExceededError(stage, self.budget_ms)
+
+
+def active_deadline() -> Deadline | None:
+    """The deadline of the current context, or ``None``."""
+    return _ACTIVE.get()
+
+
+def check_deadline(stage: str) -> None:
+    """Checkpoint: no-op without an active deadline, else :meth:`~Deadline.check`."""
+    deadline = _ACTIVE.get()
+    if deadline is not None:
+        deadline.check(stage)
+
+
+@contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[None]:
+    """Install ``deadline`` for the duration of the ``with`` block.
+
+    Passing ``None`` explicitly clears any inherited deadline, so nested
+    scopes behave predictably.
+    """
+    token = _ACTIVE.set(deadline)
+    try:
+        yield
+    finally:
+        _ACTIVE.reset(token)
+
+
+def record_deadline_exceeded(stage: str) -> None:
+    """Count one deadline expiry in the metrics registry (if enabled)."""
+    if obs.metrics_enabled():
+        obs.get_registry().counter(
+            "repro_deadline_exceeded_total",
+            "Requests abandoned because their deadline expired, by the "
+            "pipeline stage reached.",
+            stage=stage if stage in DEADLINE_STAGES else "other",
+        ).inc()

@@ -1,0 +1,225 @@
+"""Deterministic, seeded fault injection at the serving seams.
+
+Resilience code that only runs when production breaks is untested code.
+This module lets tests (and ``repro serve --fault-spec``) *make* the
+serving stack break in controlled, reproducible ways, at three seams:
+
+- ``model`` — :class:`~repro.service.ModelManager` snapshot/mutation
+  (covers ``/recommend``, ``/recommend/batch`` and hot reload);
+- ``cache`` — :class:`~repro.core.caching.LRUCache` lookups;
+- ``storage`` — :mod:`repro.storage` load paths (where the retry
+  wrappers from :mod:`repro.resilience.retry` earn their keep).
+
+Three fault kinds are supported per rule: ``latency`` (sleep before
+proceeding), ``exception`` (raise :class:`FaultInjectedError`) and
+``slow_storage`` (latency that the retry layer's per-attempt budget can
+classify as a transient stall).  Every rule has a probability and the
+injector draws from one seeded :class:`random.Random`, so a given spec
+and seed produce the same fault sequence run after run — failures found
+under injection are *replayable*.
+
+The harness is inert by default: :func:`inject` is a module-global
+``None`` check until :func:`install_faults` installs an injector, so the
+production hot path pays one attribute load and one comparison.
+
+Spec format (``--fault-spec``, comma-separated rules)::
+
+    site:kind[:probability[:delay_ms]]
+    # e.g.  storage:exception:0.5  model:latency:1.0:25  cache:slow_storage
+
+Probability defaults to ``1.0``; ``delay_ms`` (latency kinds only)
+defaults to ``10``.  Prefix the whole spec with ``seed=N,`` to pick the
+decision-sequence seed (default ``0``).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro import obs
+
+#: Seams where :func:`inject` hooks are installed.
+FAULT_SITES: tuple[str, ...] = ("model", "cache", "storage")
+
+#: Supported fault behaviours per rule.
+FAULT_KINDS: tuple[str, ...] = ("latency", "exception", "slow_storage")
+
+#: Lock discipline (RL001): the injector's RNG draw is serialized so the
+#: decision sequence stays deterministic under concurrent requests.
+_GUARDED_BY = {
+    "FaultInjector._rng": "_lock",
+    "FaultInjector._injected": "_lock",
+}
+
+
+class FaultInjectedError(RuntimeError):
+    """Raised by an ``exception`` fault rule.
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError`: an
+    injected fault models an infrastructure failure, so the HTTP layer
+    surfaces it as ``500`` (and the storage retry wrapper treats it as
+    transient), exactly like a real one.
+    """
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        super().__init__(f"injected fault at site {site!r}")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One ``site:kind:probability:delay_ms`` clause of a fault spec."""
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    delay_ms: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; expected one of "
+                f"{', '.join(FAULT_SITES)}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("fault probability must be in [0, 1]")
+        if self.delay_ms < 0:
+            raise ValueError("fault delay_ms must be >= 0")
+
+
+class FaultInjector:
+    """Applies :class:`FaultRule` s with a seeded decision sequence."""
+
+    def __init__(
+        self,
+        rules: list[FaultRule],
+        seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._rules: dict[str, list[FaultRule]] = {}
+        for rule in rules:
+            self._rules.setdefault(rule.site, []).append(rule)
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._injected: dict[tuple[str, str], int] = {}
+
+    def injected_counts(self) -> dict[tuple[str, str], int]:
+        """``(site, kind) -> times fired``, for test assertions."""
+        with self._lock:
+            return dict(self._injected)
+
+    def _record_locked(self, site: str, kind: str) -> None:
+        key = (site, kind)
+        self._injected[key] = self._injected.get(key, 0) + 1
+
+    def fire(self, site: str) -> None:
+        """Apply the matching rules for ``site`` (called via :func:`inject`)."""
+        rules = self._rules.get(site)
+        if not rules:
+            return
+        to_raise: FaultInjectedError | None = None
+        delay = 0.0
+        with self._lock:
+            for rule in rules:
+                # Always draw, even for probability-1 rules, so the
+                # decision sequence (and thus determinism) does not
+                # depend on which rules are configured.
+                if self._rng.random() >= rule.probability:
+                    continue
+                self._record_locked(site, rule.kind)
+                if obs.metrics_enabled():
+                    obs.get_registry().counter(
+                        "repro_faults_injected_total",
+                        "Faults fired by the injection harness, by site "
+                        "and kind.",
+                        site=site,
+                        kind=rule.kind,
+                    ).inc()
+                if rule.kind == "exception":
+                    to_raise = FaultInjectedError(site)
+                else:  # latency / slow_storage
+                    delay = max(delay, rule.delay_ms / 1000.0)
+        # Sleep and raise outside the lock so a latency fault on one
+        # thread cannot serialize every other thread's decision draw.
+        if delay > 0.0:
+            self._sleep(delay)
+        if to_raise is not None:
+            raise to_raise
+
+
+# The single module-global hook the seams consult.  Plain attribute +
+# ``is None`` check keeps the disabled cost negligible.
+_active: FaultInjector | None = None
+
+
+def active_injector() -> FaultInjector | None:
+    """The installed injector, or ``None`` when faults are disabled."""
+    return _active
+
+
+def install_faults(injector: FaultInjector) -> None:
+    """Install ``injector`` as the process-wide fault source."""
+    global _active
+    _active = injector
+
+
+def clear_faults() -> None:
+    """Remove any installed injector (tests call this in teardown)."""
+    global _active
+    _active = None
+
+
+def inject(site: str) -> None:
+    """Fault hook: no-op unless an injector is installed."""
+    injector = _active
+    if injector is not None:
+        injector.fire(site)
+
+
+def parse_fault_spec(spec: str) -> FaultInjector:
+    """Build a :class:`FaultInjector` from a ``--fault-spec`` string.
+
+    Raises :class:`ValueError` on malformed input (unknown site/kind,
+    out-of-range probability, non-numeric fields).
+    """
+    seed = 0
+    clauses = [c.strip() for c in spec.split(",") if c.strip()]
+    if clauses and clauses[0].startswith("seed="):
+        try:
+            seed = int(clauses[0][len("seed="):])
+        except ValueError:
+            raise ValueError(
+                f"malformed fault-spec seed {clauses[0]!r}"
+            ) from None
+        clauses = clauses[1:]
+    if not clauses:
+        raise ValueError("fault spec contains no rules")
+    rules = []
+    for clause in clauses:
+        parts = clause.split(":")
+        if len(parts) < 2 or len(parts) > 4:
+            raise ValueError(
+                f"malformed fault rule {clause!r}; expected "
+                "site:kind[:probability[:delay_ms]]"
+            )
+        site, kind = parts[0], parts[1]
+        try:
+            probability = float(parts[2]) if len(parts) > 2 else 1.0
+            delay_ms = float(parts[3]) if len(parts) > 3 else 10.0
+        except ValueError:
+            raise ValueError(
+                f"malformed fault rule {clause!r}; probability and "
+                "delay_ms must be numbers"
+            ) from None
+        rules.append(FaultRule(site, kind, probability, delay_ms))
+    return FaultInjector(rules, seed=seed)

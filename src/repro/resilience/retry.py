@@ -1,0 +1,94 @@
+"""Deterministic retry with exponential backoff.
+
+Used by the :mod:`repro.storage` load paths (via
+:class:`~repro.storage.resilient.RetryingLibraryStore`) to absorb
+transient failures — including the ones the fault-injection harness
+manufactures on purpose.  The policy is deliberately boring:
+
+- a fixed attempt budget (no unbounded loops);
+- exponential backoff with a cap (no thundering retries);
+- an injectable ``sleep`` so tests run in microseconds;
+- **no jitter** — backoff here shields a single process's load path,
+  not a fleet hammering a shared dependency, and determinism (RL005
+  spirit: reproducible control flow) is worth more than decorrelation.
+
+Every performed retry is counted in ``repro_storage_retries_total``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import TypeVar
+
+from repro import obs
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try and how long to wait between attempts."""
+
+    max_attempts: int = 3
+    base_delay_seconds: float = 0.05
+    max_delay_seconds: float = 1.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_seconds < 0:
+            raise ValueError("base_delay_seconds must be >= 0")
+        if self.max_delay_seconds < 0:
+            raise ValueError("max_delay_seconds must be >= 0")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        delay = self.base_delay_seconds * self.multiplier ** (attempt - 1)
+        return min(delay, self.max_delay_seconds)
+
+
+def _record_retry() -> None:
+    if obs.metrics_enabled():
+        obs.get_registry().counter(
+            "repro_storage_retries_total",
+            "Retries performed by the storage resilience wrappers.",
+        ).inc()
+
+
+def retry_call(
+    func: Callable[[], T],
+    policy: RetryPolicy,
+    retry_on: tuple[type[BaseException], ...],
+    sleep: Callable[[float], None] | None = None,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``func`` up to ``policy.max_attempts`` times.
+
+    Only exceptions matching ``retry_on`` trigger a retry; anything else
+    propagates immediately.  The final failing exception propagates
+    unwrapped, so callers see the same exception types with or without
+    the wrapper.  ``on_retry(attempt, exc)`` is invoked before each
+    backoff sleep (for logging).
+    """
+    if sleep is None:
+        import time
+
+        sleep = time.sleep
+    attempt = 1
+    while True:
+        try:
+            return func()
+        except retry_on as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            _record_retry()
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            delay = policy.delay_for(attempt)
+            if delay > 0:
+                sleep(delay)
+            attempt += 1

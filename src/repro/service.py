@@ -61,12 +61,30 @@ Conventions:
   action) answer ``422``; a removal of an unknown implementation id
   answers ``404``;
 - a known route hit with the wrong method answers ``405`` with an ``Allow``
-  header (unknown paths answer ``404``);
+  header (unknown paths answer ``404``); ``HEAD`` is accepted on every
+  ``GET`` route and answers the same status and headers with no body;
 - a client that disconnects mid-request is recorded in the metrics under
   the nginx-style ``499`` sentinel status (no response is written);
 - every response echoes an ``X-Request-Id`` header — the client's, when it
   sent one, else a freshly minted id — and the same id is bound to the
   structured-log context for the duration of the request.
+
+Resilience (see ``docs/resilience.md``):
+
+- work routes sit behind an :class:`~repro.resilience.AdmissionController`
+  — past ``max_inflight`` executing plus ``max_queue`` briefly-waiting
+  requests, excess traffic is shed with ``429`` + ``Retry-After`` (the ops
+  routes ``/health``, ``/metrics`` and ``/debug/*`` bypass admission so an
+  overloaded server stays observable);
+- a request may carry ``X-Request-Deadline-Ms`` (or inherit
+  ``default_deadline_ms``); the deadline is checked entering every
+  pipeline stage and per chunk in the batch path, and an expired request
+  answers ``504`` naming the stage reached (also recorded on the request
+  span as ``deadline_stage``);
+- :meth:`RecommenderService.drain` flips ``/health`` to ``draining``
+  (work routes answer ``503`` + ``Retry-After``), stops accepting, waits
+  for in-flight requests up to a timeout, then tears the server down —
+  the CLI wires SIGTERM/SIGINT to it.
 
 Usage::
 
@@ -105,6 +123,16 @@ from repro.core.model import AssociationGoalModel
 from repro.core.recommender import GoalRecommender, PAPER_STRATEGIES
 from repro.core.strategies import create_strategy
 from repro.exceptions import ModelError, ReproError
+from repro.resilience import (
+    Deadline,
+    DeadlineExceededError,
+    active_deadline,
+    deadline_scope,
+    record_deadline_exceeded,
+    record_shed,
+)
+from repro.resilience.admission import AdmissionController
+from repro.resilience.faults import inject
 from repro.utils.concurrency import RWLock
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB: an activity list, not a bulk upload
@@ -145,7 +173,13 @@ _GUARDED_BY = {
     "ModelManager._snapshot": "_lock",
     "ModelManager._base_recommender": "_lock",
     "RecommenderService._inflight": "_inflight_lock",
+    "RecommenderService._draining": "_inflight_lock",
 }
+
+#: Routes exempt from admission control and drain shedding: an overloaded
+#: or draining server must stay observable, and the drain sequence itself
+#: relies on ``/health`` flipping to ``draining``.
+_OPS_ROUTES = ("/health", "/metrics")
 
 
 class ModelSnapshot:
@@ -293,6 +327,9 @@ class ModelManager:
 
     def snapshot(self) -> ModelSnapshot:
         """The current immutable serving snapshot."""
+        # Fault seam: snapshot resolution is the one point every read path
+        # (recommend, batch, spaces, explain) passes through.
+        inject("model")
         with self._lock.read_locked():
             return self._snapshot
 
@@ -368,6 +405,7 @@ class ModelManager:
         the normal invalidate-and-swap so serving state never diverges from
         the incremental model.
         """
+        inject("model")
         materialized = [(goal, list(actions)) for goal, actions in pairs]
         for goal, actions in materialized:
             if not actions:
@@ -391,6 +429,7 @@ class ModelManager:
         Raises :class:`ModelError` when ``pid`` is not live (mapped to 404
         by the HTTP layer).
         """
+        inject("model")
         with self._lock.write_locked():
             self._incremental.remove_implementation(pid)
             return self._swap_locked("remove")
@@ -420,7 +459,12 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def _send_headers(
-        self, status: int, content_type: str, length: int, allow: str | None
+        self,
+        status: int,
+        content_type: str,
+        length: int,
+        allow: str | None,
+        retry_after: float | None = None,
     ) -> None:
         self._status = status
         self.send_response(status)
@@ -429,14 +473,29 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("X-Request-Id", self._request_id)
         if allow is not None:
             self.send_header("Allow", allow)
+        if retry_after is not None:
+            # Retry-After takes integer seconds; round up so "0.5s" does
+            # not tell clients to retry immediately.
+            self.send_header("Retry-After", str(max(1, int(retry_after + 0.999))))
         self.end_headers()
 
     def _send_json(
-        self, status: int, payload: dict, allow: str | None = None
+        self,
+        status: int,
+        payload: dict,
+        allow: str | None = None,
+        retry_after: float | None = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self._send_headers(status, "application/json", len(body), allow)
-        self.wfile.write(body)
+        self._send_headers(
+            status, "application/json", len(body), allow,
+            retry_after=retry_after,
+        )
+        # A HEAD response mirrors the GET headers (including the
+        # Content-Length of the body that a GET would have carried) but
+        # must not write the body itself.
+        if self.command != "HEAD":
+            self.wfile.write(body)
 
     def _send_error(
         self,
@@ -444,14 +503,21 @@ class _Handler(BaseHTTPRequestHandler):
         error: str,
         detail: object = None,
         allow: str | None = None,
+        retry_after: float | None = None,
     ) -> None:
         """Send the service's uniform error shape."""
-        self._send_json(status, {"error": error, "detail": detail}, allow=allow)
+        self._send_json(
+            status,
+            {"error": error, "detail": detail},
+            allow=allow,
+            retry_after=retry_after,
+        )
 
     def _send_text(self, status: int, text: str, content_type: str) -> None:
         body = text.encode("utf-8")
         self._send_headers(status, content_type, len(body), None)
-        self.wfile.write(body)
+        if self.command != "HEAD":
+            self.wfile.write(body)
 
     def _read_json(self, max_bytes: int = _MAX_BODY_BYTES) -> dict | None:
         raw_length = self.headers.get("Content-Length", "0")
@@ -538,6 +604,13 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         self._dispatch("GET")
 
+    def do_HEAD(self) -> None:  # noqa: N802 (stdlib naming)
+        # Without this the stdlib answers 501 with no envelope and no
+        # X-Request-Id.  HEAD routes exactly like GET; the send helpers
+        # suppress the body (self.command == "HEAD") while keeping the
+        # status and headers — including Content-Length — identical.
+        self._dispatch("HEAD")
+
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         self._dispatch("POST")
 
@@ -566,6 +639,7 @@ class _Handler(BaseHTTPRequestHandler):
             "X-Request-Id"
         ) or obs.new_request_id()
         self._status = 0
+        self._deadline_stage: str | None = None
         endpoint = self._endpoint_label(path)
         start = time.perf_counter()
         self.service._publish_inflight(1)
@@ -585,9 +659,16 @@ class _Handler(BaseHTTPRequestHandler):
                                 # and the report should show serving work.
                                 self._route(method, path)
                             else:
-                                self.service.profile_session.profile_call(
-                                    self._route, method, path
-                                )
+                                self._route_resilient(method, path)
+                        except DeadlineExceededError as exc:
+                            # Before the ReproError arm: an expired
+                            # deadline is 504 with the stage reached, not
+                            # a 422 domain error.
+                            self._deadline_stage = exc.stage
+                            record_deadline_exceeded(exc.stage)
+                            self._send_error(
+                                504, "deadline exceeded", detail=str(exc)
+                            )
                         except ReproError as exc:
                             self._send_error(
                                 422, str(exc), detail=type(exc).__name__
@@ -607,6 +688,10 @@ class _Handler(BaseHTTPRequestHandler):
                                     detail=f"{type(exc).__name__}: {exc}",
                                 )
                         span.set_attr("status", self._status)
+                        if self._deadline_stage is not None:
+                            span.set_attr(
+                                "deadline_stage", self._deadline_stage
+                            )
                 except (BrokenPipeError, ConnectionResetError):
                     # The client went away mid-request (possibly while an
                     # error response was being written): there is nobody
@@ -629,6 +714,87 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 self.service._publish_inflight(-1)
 
+    # ------------------------------------------------------------------
+    # Resilience front: draining, admission, deadlines
+    # ------------------------------------------------------------------
+
+    _INVALID_DEADLINE = object()
+
+    def _deadline_from_header(self) -> object:
+        """The request's deadline: a :class:`Deadline`, ``None``, or the
+        ``_INVALID_DEADLINE`` sentinel after a 400 was already sent.
+
+        ``X-Request-Deadline-Ms`` must be a positive, finite number of
+        milliseconds; absent, the service's ``default_deadline_ms``
+        applies (itself possibly ``None`` = no deadline).
+        """
+        raw = self.headers.get("X-Request-Deadline-Ms")
+        if raw is None:
+            default = self.service.default_deadline_ms
+            if default is None:
+                return None
+            return Deadline.after_ms(default)
+        try:
+            budget_ms = float(raw)
+        except ValueError:
+            budget_ms = float("nan")
+        if not budget_ms > 0 or budget_ms == float("inf"):
+            self._send_error(
+                400,
+                "malformed X-Request-Deadline-Ms header",
+                detail=f"must be a positive number of milliseconds, "
+                       f"got {raw!r}",
+            )
+            return self._INVALID_DEADLINE
+        return Deadline.after_ms(budget_ms)
+
+    def _route_resilient(self, method: str, path: str) -> None:
+        """Route a non-debug request through the resilience front.
+
+        Ops routes bypass everything — an overloaded or draining server
+        must keep answering ``/health`` and ``/metrics``.  Work routes are
+        shed with ``503`` while draining and ``429`` once the admission
+        controller is saturated (both with ``Retry-After``); admitted
+        requests run under their deadline scope so every pipeline
+        checkpoint below can see it.
+        """
+        service = self.service
+        if path in _OPS_ROUTES:
+            service.profile_session.profile_call(self._route, method, path)
+            return
+        if service.is_draining():
+            record_shed("draining")
+            self._send_error(
+                503,
+                "service is draining",
+                detail="shutting down; not accepting new work",
+                retry_after=service.retry_after_seconds,
+            )
+            return
+        deadline = self._deadline_from_header()
+        if deadline is self._INVALID_DEADLINE:
+            return
+        assert deadline is None or isinstance(deadline, Deadline)
+        admitted, reason = service.admission.try_acquire(deadline)
+        if not admitted:
+            record_shed(reason or "saturated")
+            self._send_error(
+                429,
+                "server overloaded",
+                detail=f"request shed: {reason}",
+                retry_after=service.retry_after_seconds,
+            )
+            return
+        try:
+            with deadline_scope(deadline):
+                if deadline is not None:
+                    deadline.check("admission")
+                service.profile_session.profile_call(
+                    self._route, method, path
+                )
+        finally:
+            service.admission.release()
+
     def _method_not_allowed(self, path: str, allow: str) -> None:
         self._send_error(
             405,
@@ -639,8 +805,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _route(self, method: str, path: str) -> None:
         if path in _GET_ROUTES:
-            if method != "GET":
-                self._method_not_allowed(path, "GET")
+            if method not in ("GET", "HEAD"):
+                self._method_not_allowed(path, "GET, HEAD")
                 return
             if path == "/health":
                 self._handle_health()
@@ -713,10 +879,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_health(self) -> None:
         stats = self.service.manager.stats()
+        draining = self.service.is_draining()
         self._send_json(
             200,
             {
-                "status": "ok",
+                "status": "draining" if draining else "ok",
+                "draining": draining,
                 "version": __version__,
                 "strategies": list(PAPER_STRATEGIES),
                 **stats,
@@ -875,10 +1043,16 @@ class _Handler(BaseHTTPRequestHandler):
                     detail="the vectorized engine requires numpy and scipy",
                 )
                 return
+            deadline = active_deadline()
+            checkpoint = None
+            if deadline is not None:
+                def checkpoint(_start: int, _d: Deadline = deadline) -> None:
+                    _d.check("batch")
             ranked = batch.recommend_many(
                 [frozenset(activity) for activity in activities],
                 k=k,
                 strategy=strategy,
+                checkpoint=checkpoint,
             )
             results = [
                 [
@@ -1113,6 +1287,15 @@ class RecommenderService:
             ``/debug/slow`` and counted in ``repro_slow_requests_total``.
         slow_log_size: how many slow requests ``/debug/slow`` retains (the
             slowest seen, not the most recent).
+        max_inflight: how many work-route requests may execute
+            concurrently before admission control starts queueing.
+        max_queue: how many more may wait briefly for an execution slot;
+            beyond this, requests are shed with ``429`` + ``Retry-After``.
+        queue_timeout_seconds: longest a request waits in the admission
+            queue before being shed.
+        retry_after_seconds: the ``Retry-After`` hint on ``429``/``503``.
+        default_deadline_ms: deadline applied to work requests that carry
+            no ``X-Request-Deadline-Ms`` header (``None`` = no default).
     """
 
     def __init__(
@@ -1129,6 +1312,11 @@ class RecommenderService:
         space_cache_size: int = 4096,
         slow_threshold_seconds: float = 0.1,
         slow_log_size: int = 32,
+        max_inflight: int = 64,
+        max_queue: int = 128,
+        queue_timeout_seconds: float = 0.5,
+        retry_after_seconds: float = 1.0,
+        default_deadline_ms: float | None = None,
     ) -> None:
         self._registry = registry
         obs.enable(
@@ -1151,8 +1339,18 @@ class RecommenderService:
             size=slow_log_size, threshold_seconds=slow_threshold_seconds
         )
         self.profile_session = obs.ProfileSession()
-        self._inflight_lock = threading.Lock()
+        # A Condition (its lock taken with the same ``with`` statement the
+        # old plain Lock used) so drain() can wait for in-flight == 0.
+        self._inflight_lock = threading.Condition()
         self._inflight = 0
+        self._draining = False
+        self.admission = AdmissionController(
+            max_inflight=max_inflight,
+            max_queue=max_queue,
+            queue_timeout_seconds=queue_timeout_seconds,
+        )
+        self.retry_after_seconds = retry_after_seconds
+        self.default_deadline_ms = default_deadline_ms
         # Feed every finished root span into the process stage profiler so
         # /debug/vars serves a per-stage breakdown; removed again in stop().
         self._tracer = obs.get_tracer()
@@ -1213,6 +1411,9 @@ class RecommenderService:
         with self._inflight_lock:
             self._inflight += delta
             inflight = self._inflight
+            if inflight == 0:
+                # drain() may be waiting for the last request to finish.
+                self._inflight_lock.notify_all()
         if obs.metrics_enabled():
             self.registry.gauge(
                 "repro_http_inflight_requests",
@@ -1224,6 +1425,71 @@ class RecommenderService:
         """Requests currently inside the handler (including this one)."""
         with self._inflight_lock:
             return self._inflight
+
+    def is_draining(self) -> bool:
+        """``True`` once :meth:`drain` has started shedding new work."""
+        with self._inflight_lock:
+            return self._draining
+
+    def _publish_draining(self, value: int) -> None:
+        if obs.metrics_enabled():
+            self.registry.gauge(
+                "repro_service_draining",
+                "1 while the service is draining (shedding new work).",
+            ).set(value)
+
+    def drain(self, timeout: float = 10.0, grace: float = 0.0) -> bool:
+        """Gracefully wind the service down; returns ``True`` if clean.
+
+        The sequence (see ``docs/resilience.md``):
+
+        1. flip the draining flag — ``/health`` reports ``draining`` and
+           work routes answer ``503`` + ``Retry-After`` from here on;
+        2. after an optional ``grace`` window (time for a load balancer
+           polling ``/health`` to stop routing here), stop accepting new
+           connections;
+        3. wait up to ``timeout`` seconds for the in-flight requests to
+           finish — they complete normally, nothing is killed;
+        4. tear the server down.
+
+        Returns ``False`` when requests were still in flight at the
+        timeout (the socket is closed anyway; their daemon threads die
+        with the process).  Safe to call more than once and safe to
+        follow with :meth:`stop`.
+        """
+        with self._inflight_lock:
+            self._draining = True
+        self._publish_draining(1)
+        obs.log_event(
+            _LOG, "service.drain.start", timeout=timeout, grace=grace,
+        )
+        if grace > 0:
+            time.sleep(grace)
+        if self._thread is None:
+            obs.log_event(_LOG, "service.drain.done", drained=True, dropped=0)
+            return True
+        self._server.shutdown()
+        self._thread.join()
+        with self._inflight_lock:
+            end = time.monotonic() + timeout
+            while self._inflight > 0:
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._inflight_lock.wait(remaining)
+            dropped = self._inflight
+        if dropped:
+            # Don't let server_close() join the stuck handler threads —
+            # the drain timeout is the contract; the daemon threads die
+            # with the process.
+            self._server.block_on_close = False
+        self._server.server_close()
+        self._thread = None
+        self._tracer.remove_sink(obs.get_profiler().observe_span)
+        obs.log_event(
+            _LOG, "service.drain.done", drained=not dropped, dropped=dropped,
+        )
+        return not dropped
 
     def _record_slow(
         self,
@@ -1280,6 +1546,19 @@ class RecommenderService:
                 "calls": self.profile_session.calls,
             },
             "stages": profiler.breakdown(),
+            "resilience": {
+                "draining": self.is_draining(),
+                "admission": {
+                    "active": self.admission.active(),
+                    "waiting": self.admission.waiting(),
+                    "max_inflight": self.admission.max_inflight,
+                    "max_queue": self.admission.max_queue,
+                    "queue_timeout_seconds":
+                        self.admission.queue_timeout_seconds,
+                },
+                "default_deadline_ms": self.default_deadline_ms,
+                "retry_after_seconds": self.retry_after_seconds,
+            },
             "flags": {
                 "metrics": obs.metrics_enabled(),
                 "tracing": obs.tracing_enabled(),

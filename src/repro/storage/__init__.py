@@ -8,10 +8,19 @@ Two interchangeable stores implement :class:`LibraryStore`:
   materializes the paper's inverted index (``A-GI-idx``) as a table, so the
   space queries of Section 4 can be answered *inside the database* without
   loading the library (``goal_space_sql`` / ``action_space_sql``).
+
+:class:`RetryingLibraryStore` wraps either backend with deterministic
+retry-with-backoff on the load path (see :mod:`repro.resilience`).
 """
 
 from repro.storage.base import LibraryStore
 from repro.storage.json_store import JsonLibraryStore
+from repro.storage.resilient import RetryingLibraryStore
 from repro.storage.sqlite_store import SqliteLibraryStore
 
-__all__ = ["LibraryStore", "JsonLibraryStore", "SqliteLibraryStore"]
+__all__ = [
+    "LibraryStore",
+    "JsonLibraryStore",
+    "RetryingLibraryStore",
+    "SqliteLibraryStore",
+]

@@ -8,6 +8,7 @@ from pathlib import Path
 from repro.core.library import ImplementationLibrary
 from repro.data.loaders import library_from_dict, library_to_dict
 from repro.exceptions import DataError, StorageError
+from repro.resilience.faults import inject
 from repro.storage.base import LibraryStore
 
 
@@ -32,6 +33,7 @@ class JsonLibraryStore(LibraryStore):
             raise StorageError(f"cannot save library to {self.path}: {exc}") from exc
 
     def load(self) -> ImplementationLibrary:
+        inject("storage")
         if not self.path.exists():
             raise StorageError(f"no library saved at {self.path}")
         try:

@@ -1,0 +1,80 @@
+"""Retrying decorator around any :class:`LibraryStore`.
+
+Load paths are where transient failures bite: a library file being
+atomically replaced by a writer, a briefly-locked SQLite database, or a
+fault the injection harness planted on purpose.
+:class:`RetryingLibraryStore` wraps any backend and retries its
+:meth:`load` with the deterministic exponential backoff from
+:mod:`repro.resilience.retry`; ``save`` and ``exists`` pass straight
+through (a failed save after a partial write is not safely repeatable
+from this layer — the backends' own atomic-rename/transaction semantics
+handle that).
+
+The final attempt's exception propagates unwrapped, so callers observe
+the same :class:`~repro.exceptions.StorageError` contract as with the
+bare backend.  Note the trade-off of retrying on ``StorageError``: a
+*permanent* failure (missing file, corrupt payload) also gets
+``max_attempts`` tries before surfacing.  The default policy spends at
+most ~0.15 s on that; pass a narrower ``retry_on`` if the distinction
+matters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import logging
+
+from repro.core.library import ImplementationLibrary
+from repro.exceptions import StorageError
+from repro.obs import get_logger, log_event
+from repro.resilience.faults import FaultInjectedError
+from repro.resilience.retry import RetryPolicy, retry_call
+from repro.storage.base import LibraryStore
+
+_LOG = get_logger("repro.storage.resilient")
+
+
+class RetryingLibraryStore(LibraryStore):
+    """Wrap ``inner`` so transient ``load`` failures are retried."""
+
+    def __init__(
+        self,
+        inner: LibraryStore,
+        policy: RetryPolicy | None = None,
+        retry_on: tuple[type[BaseException], ...] = (
+            StorageError,
+            FaultInjectedError,
+            OSError,
+        ),
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.retry_on = retry_on
+        self._sleep = sleep
+
+    def _log_retry(self, attempt: int, exc: BaseException) -> None:
+        log_event(
+            _LOG,
+            "storage.retry",
+            level=logging.WARNING,
+            attempt=attempt,
+            max_attempts=self.policy.max_attempts,
+            error=str(exc),
+        )
+
+    def save(self, library: ImplementationLibrary) -> None:
+        self.inner.save(library)
+
+    def load(self) -> ImplementationLibrary:
+        return retry_call(
+            self.inner.load,
+            self.policy,
+            retry_on=self.retry_on,
+            sleep=self._sleep,
+            on_retry=self._log_retry,
+        )
+
+    def exists(self) -> bool:
+        return self.inner.exists()

@@ -26,6 +26,7 @@ from pathlib import Path
 from repro.core.entities import ActionLabel, GoalLabel
 from repro.core.library import ImplementationLibrary
 from repro.exceptions import StorageError
+from repro.resilience.faults import inject
 from repro.storage.base import LibraryStore
 
 _SCHEMA = """
@@ -138,6 +139,7 @@ class SqliteLibraryStore(LibraryStore):
             raise StorageError(f"cannot save library: {exc}") from exc
 
     def load(self) -> ImplementationLibrary:
+        inject("storage")
         connection = self._connect()
         try:
             rows = connection.execute(
@@ -156,7 +158,7 @@ class SqliteLibraryStore(LibraryStore):
             raise StorageError(f"no library saved at {self.path}")
         library = ImplementationLibrary()
         current_impl: int | None = None
-        current_goal: str | None = None
+        current_goal = ""
         current_actions: list[str] = []
         for impl_id, goal, action in rows:
             if impl_id != current_impl:
@@ -173,12 +175,12 @@ class SqliteLibraryStore(LibraryStore):
         if self.path != ":memory:" and not Path(self.path).exists():
             return False
         try:
-            count = self._connect().execute(
+            row = self._connect().execute(
                 "SELECT COUNT(*) FROM implementations"
-            ).fetchone()[0]
+            ).fetchone()
         except (sqlite3.Error, StorageError):
             return False
-        return count > 0
+        return row is not None and bool(row[0])
 
     # ------------------------------------------------------------------
     # In-database space queries (paper Equations 1-2 in SQL)
@@ -269,7 +271,7 @@ class SqliteLibraryStore(LibraryStore):
             ORDER BY score DESC, act.label ASC
             LIMIT ?
             """,
-            labels + [k],
+            (*labels, k),
         ).fetchall()
         return [(label, float(score)) for label, score in rows]
 
@@ -315,6 +317,6 @@ class SqliteLibraryStore(LibraryStore):
             ORDER BY remaining ASC, t.impl_id ASC
             LIMIT ?
             """,
-            labels + [k],
+            (*labels, k),
         ).fetchall()
         return [(goal, int(pid), int(remaining)) for goal, pid, remaining in rows]

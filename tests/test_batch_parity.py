@@ -81,35 +81,23 @@ def sample_activities(rng: random.Random, model, count: int = 30):
     return unique
 
 
-def assert_identical(expected, actual, context, exact=True):
+def assert_identical(expected, actual, context):
     """Compare a serving-path result against the reference result.
 
-    With ``exact`` (breadth and the focus variants — small integer counts
-    and their ratios, exact in float64 on both paths) actions and scores
-    must be bit-identical.  ``best_match`` accumulates float cosines in a
-    different order on the vectorized path, so mathematically tied
-    candidates can differ in the last ulp and permute within their tie
-    group; there the score *profile* must agree position by position, and
-    the actions must agree everywhere the scores are not ulp-level ties.
+    Actions and scores must be bit-identical for *every* strategy.
+    Breadth and the focus variants work on small integer counts and their
+    ratios, exact in float64 on both paths.  ``best_match`` is exact too
+    because both paths accumulate integer-valued dot products and norms
+    (exact in float64) and then evaluate the same
+    ``1 - dot / sqrt(norm_u * norm_v)`` expression — one sqrt of the
+    product, never ``sqrt(norm_u) * sqrt(norm_v)``, which differs in the
+    last ulp and would let tied candidates permute.
     """
-    if exact:
-        assert actual.actions() == expected.actions(), context
-        for exp_item, act_item in zip(expected, actual):
-            assert act_item.score == exp_item.score, (
-                f"{context}: score diverged on {act_item.action}"
-            )
-        return
-    assert len(actual.items) == len(expected.items), context
+    assert actual.actions() == expected.actions(), context
     for exp_item, act_item in zip(expected, actual):
-        assert act_item.score == pytest.approx(exp_item.score, rel=1e-9), (
-            f"{context}: score profile diverged at {act_item.action}"
+        assert act_item.score == exp_item.score, (
+            f"{context}: score diverged on {act_item.action}"
         )
-        if act_item.action != exp_item.action:
-            # Only a tie may permute: both candidates carry (ulp-)equal
-            # scores, ordered differently by the two summation orders.
-            assert act_item.score == pytest.approx(exp_item.score, rel=1e-9), (
-                f"{context}: non-tied rank divergence at {act_item.action}"
-            )
 
 
 def check_parity(model, activities, k=10):
@@ -117,7 +105,6 @@ def check_parity(model, activities, k=10):
     batch = BatchRecommender(model)
     caching = CachingRecommender(reference, LRUCache(256, name="parity"))
     for strategy in STRATEGIES:
-        exact = strategy != "best_match"
         expected = [
             reference.recommend(activity, k=k, strategy=strategy)
             for activity in activities
@@ -125,7 +112,7 @@ def check_parity(model, activities, k=10):
         for activity, want in zip(activities, expected):
             got = batch.recommend(activity, k=k, strategy=strategy)
             assert_identical(
-                want, got, f"batch/{strategy}/{sorted(activity)}", exact
+                want, got, f"batch/{strategy}/{sorted(activity)}"
             )
             # Twice through the cache: miss path, then hit path.  The cache
             # wraps the reference recommender, so scores are bit-identical
@@ -142,7 +129,7 @@ def check_parity(model, activities, k=10):
         )
         for activity, want, got in zip(activities, expected, many):
             assert_identical(
-                want, got, f"many/{strategy}/{sorted(activity)}", exact
+                want, got, f"many/{strategy}/{sorted(activity)}"
             )
 
 
@@ -157,6 +144,32 @@ class TestRandomizedParity:
         rng = random.Random(99)
         model = AssociationGoalModel.from_pairs(tie_heavy_pairs())
         check_parity(model, sample_activities(rng, model))
+
+    def test_best_match_cosine_ties_order_identically(self):
+        """Regression for the ``sqrt(a)*sqrt(b)`` vs ``sqrt(a*b)`` 1-ulp bug.
+
+        Candidates engineered to carry the *same* cosine distance to the
+        profile must come back in the same (ascending-id) order from the
+        scalar and the vectorized path.  Before the fix the vectorized
+        ``best_match`` normalized with two square roots, which lands one
+        ulp away from the scalar's single square root for some integer
+        norm products — enough to split a tie group and permute the
+        ranking.
+        """
+        # Four goals with symmetric profiles: every yN action ends up at
+        # the same distance from an activity inside the shared core.
+        pairs = []
+        for i in range(4):
+            pairs.append((f"goal{i}", {"core0", "core1", "core2", f"y{i}"}))
+        pairs.append(("hub", {"core0", "core1", "core2"}))
+        model = AssociationGoalModel.from_pairs(pairs)
+        reference = GoalRecommender(model)
+        batch = BatchRecommender(model)
+        for activity in ({"core0"}, {"core0", "core1"},
+                         {"core0", "core1", "core2"}):
+            want = reference.recommend(activity, k=10, strategy="best_match")
+            got = batch.recommend(activity, k=10, strategy="best_match")
+            assert_identical(want, got, f"best_match-ties/{sorted(activity)}")
 
 
 class TestParityAcrossMutation:

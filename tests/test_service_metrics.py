@@ -190,7 +190,7 @@ class TestMethodNotAllowed:
             service, "/health", payload={}, method="POST"
         )
         assert status == 405
-        assert headers["Allow"] == "GET"
+        assert headers["Allow"] == "GET, HEAD"
 
     def test_put_on_known_route_is_405(self, service):
         status, _, headers = call(
