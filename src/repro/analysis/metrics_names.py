@@ -9,10 +9,13 @@ every registration call site statically:
 
 - the name argument must be a **string literal** (dynamic names defeat
   both this rule and dashboard grep-ability);
-- the name must match ``repro_[a-z0-9_]+(_total|_seconds|_bytes)?`` and
-  carry the unit suffix its kind implies: counters end in ``_total``,
-  histograms in ``_seconds`` or ``_bytes``, gauges in neither (a gauge is
-  a current level, not an accumulated total);
+- the name must match ``repro_[a-z0-9_]+`` and carry the unit suffix its
+  kind implies: counters end in ``_total``; histograms in a unit suffix —
+  ``_seconds``/``_bytes`` for physical units, ``_ratio`` (fractions in
+  [0, 1]), ``_items`` (set/list cardinalities) or ``_score``
+  (dimensionless strategy scores) for unitless distributions; gauges
+  carry no accumulation suffix (a gauge is a current level, not an
+  accumulated total);
 - across the entire linted tree each name is registered at **exactly one**
   call site — shared families must be reached through one helper, not
   re-declared.
@@ -30,10 +33,13 @@ from repro.analysis.engine import ModuleInfo, Violation, literal_str
 from repro.analysis.registry import register_rule
 
 #: The naming convention from the issue, anchored.
-NAME_PATTERN = re.compile(r"^repro_[a-z0-9_]+?(_total|_seconds|_bytes)?$")
+NAME_PATTERN = re.compile(
+    r"^repro_[a-z0-9_]+?(_total|_seconds|_bytes|_ratio|_items|_score)?$"
+)
 
 _KINDS = ("counter", "gauge", "histogram")
 _UNIT_SUFFIXES = ("_total", "_seconds", "_bytes")
+_HISTOGRAM_SUFFIXES = ("_seconds", "_bytes", "_ratio", "_items", "_score")
 
 
 def _registration_calls(
@@ -63,16 +69,14 @@ def _registration_calls(
 def _check_name(kind: str, name: str) -> str | None:
     """Return a problem description for ``name``, or ``None`` if clean."""
     if not NAME_PATTERN.match(name):
-        return (
-            f"{name!r} does not match "
-            "repro_[a-z0-9_]+(_total|_seconds|_bytes)?"
-        )
+        return f"{name!r} does not match repro_[a-z0-9_]+"
     if kind == "counter" and not name.endswith("_total"):
         return f"counter {name!r} must end in _total"
-    if kind == "histogram" and not (
-        name.endswith("_seconds") or name.endswith("_bytes")
-    ):
-        return f"histogram {name!r} must end in _seconds or _bytes"
+    if kind == "histogram" and not name.endswith(_HISTOGRAM_SUFFIXES):
+        return (
+            f"histogram {name!r} must end in a unit suffix "
+            "(_seconds/_bytes/_ratio/_items/_score)"
+        )
     if kind == "gauge" and name.endswith(_UNIT_SUFFIXES):
         return (
             f"gauge {name!r} must not carry an accumulation suffix "
@@ -140,10 +144,11 @@ def metrics_docs_problems(
 @register_rule(
     "RL003",
     "metrics-naming",
-    "Every counter/gauge/histogram registration uses a literal name "
-    "matching repro_[a-z0-9_]+(_total|_seconds|_bytes)? with the suffix "
-    "its kind implies, and each name is registered at exactly one call "
-    "site across the linted tree.",
+    "Every counter/gauge/histogram registration uses a literal repro_* "
+    "name with the unit suffix its kind implies (counters _total; "
+    "histograms _seconds/_bytes/_ratio/_items/_score; gauges no "
+    "accumulation suffix), and each name is registered at exactly one "
+    "call site across the linted tree.",
 )
 def check_metric_names(modules: list[ModuleInfo]) -> list[Violation]:
     violations: list[Violation] = []

@@ -14,10 +14,12 @@ report still *shows* timing without the baseline gating on it.
 
 from __future__ import annotations
 
+import tempfile
 import time
 import zlib
 from collections.abc import Callable
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro import obs
 from repro.core.caching import CachedModelView, LRUCache
@@ -199,6 +201,79 @@ def _bench_obs_overhead(harness: ExperimentHarness) -> dict[str, Metric]:
     }
 
 
+def _bench_quality_telemetry(harness: ExperimentHarness) -> dict[str, Metric]:
+    """Quality monitor + flight recorder: cost ratio and determinism.
+
+    The gated metrics are machine independent: the PSI drift score depends
+    only on the frozen baseline and the observed label sequence, and the
+    head-based sampler admits a fixed subset of the synthetic request ids.
+    The cost ratio gets the same wide noise band as ``obs_overhead``; the
+    hard 1.10x budget lives in ``bench_quality_telemetry.py``.
+    """
+    recommender = harness.recommender
+    model = harness.model
+    activities = [user.observed for user in harness.split]
+    request_ids = [f"req-{index:05d}" for index in range(len(activities))]
+
+    def run_plain() -> float:
+        start = time.perf_counter()
+        for activity in activities:
+            recommender.recommend(activity, k=_SMOKE_K, strategy="breadth")
+        return time.perf_counter() - start
+
+    def run_monitored(
+        monitor: obs.QualityMonitor, recorder: obs.FlightRecorder
+    ) -> float:
+        start = time.perf_counter()
+        for request_id, activity in zip(request_ids, activities):
+            result = recommender.recommend(
+                activity, k=_SMOKE_K, strategy="breadth"
+            )
+            monitor.observe_traffic(activity, model, result, generation=0)
+            recorder.record_request(request_id, "/recommend", "POST", 200, 0.0)
+        return time.perf_counter() - start
+
+    plain: list[float] = []
+    monitored: list[float] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        recorder = obs.FlightRecorder(Path(tmp), sample_rate=0.25)
+        monitor = obs.QualityMonitor(window_size=256)
+        monitor.drift.set_baseline(obs.BaselineProfile.from_model(model))
+        previous = obs.set_quality_monitor(monitor)
+        obs.disable()
+        run_plain()  # warm caches outside the timed region
+        try:
+            for _ in range(5):
+                obs.disable()
+                obs.enable(metrics=True, tracing=True, exemplars=True)
+                plain.append(run_plain())
+                obs.enable(
+                    metrics=True, tracing=True, exemplars=True, quality=True
+                )
+                monitored.append(run_monitored(monitor, recorder))
+                recorder.flush(timeout=10.0)  # drain outside the timed region
+        finally:
+            obs.set_quality_monitor(previous)
+            obs.disable()
+            sampled = sum(
+                1
+                for request_id in request_ids
+                if recorder.should_sample(request_id)
+            )
+            recorder.close()
+    return {
+        "overhead_ratio": Metric(
+            min(monitored) / min(plain), kind="relative", tolerance=0.5
+        ),
+        "drift_score": Metric(
+            monitor.drift.score(), kind="relative", tolerance=1e-6
+        ),
+        "sampled_requests": Metric(float(sampled)),
+        "plain_seconds": Metric(min(plain), kind="info"),
+        "monitored_seconds": Metric(min(monitored), kind="info"),
+    }
+
+
 _SMOKE_SUITE: tuple[BenchmarkSpec, ...] = (
     BenchmarkSpec(
         "recommend_strategies",
@@ -224,6 +299,11 @@ _SMOKE_SUITE: tuple[BenchmarkSpec, ...] = (
         "obs_overhead",
         "metrics+tracing+exemplars enabled/disabled latency ratio",
         _bench_obs_overhead,
+    ),
+    BenchmarkSpec(
+        "quality_telemetry",
+        "quality monitor + sampled flight recorder cost and determinism",
+        _bench_quality_telemetry,
     ),
 )
 

@@ -10,10 +10,14 @@ Installed as the ``repro`` console script.  Subcommands:
 - ``repro extract`` — extract goal implementations from a plain-text file
   of ``goal<TAB>story`` lines and write a library JSON;
 - ``repro metrics`` — dump Prometheus metrics, either from this process's
-  registry or scraped from a running service (``--url``).
+  registry or scraped from a running service (``--url``);
+- ``repro telemetry report`` — summarize the flight-recorder JSONL a
+  service wrote under ``--telemetry-dir`` (request latency per endpoint,
+  sampled span trees, quality/drift events).
 
-Global flags: ``--version``; ``--log-level {debug,info,warning,error}`` and
-``--json-logs`` configure the structured logging of :mod:`repro.obs.logs`
+Global flags: ``--version``; ``--log-level {debug,info,warning,error}``,
+``--json-logs`` and ``--log-file`` (size-rotated) configure the
+structured logging of :mod:`repro.obs.logs`
 (logs go to stderr, tables to stdout, so pipelines stay clean);
 ``--profile`` wraps the command in a :class:`repro.obs.ProfileSession` and
 prints (or with ``--profile-out``, writes) the ``pstats`` report after the
@@ -73,6 +77,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json-logs", action="store_true",
         help="emit logs as JSON lines instead of text",
+    )
+    parser.add_argument(
+        "--log-file", type=Path, default=None,
+        help="also write logs to this file (size-based rotation, "
+             "10 MiB x 3 backups)",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -194,6 +203,48 @@ def _build_parser() -> argparse.ArgumentParser:
              "before exiting",
     )
     serve.add_argument(
+        "--telemetry-dir", type=Path, default=None,
+        help="write the durable flight recorder's rotating JSONL files "
+             "here (default: disabled)",
+    )
+    serve.add_argument(
+        "--telemetry-sample-rate", type=float, default=1.0,
+        help="fraction of requests whose span trees the flight recorder "
+             "keeps (head-based, deterministic per request id)",
+    )
+    serve.add_argument(
+        "--slo-availability", type=float, default=0.999,
+        help="availability objective behind the burn-rate gauge "
+             "(fraction of requests that must not fail with 5xx)",
+    )
+    serve.add_argument(
+        "--slo-latency-ms", type=float, default=250.0,
+        help="latency objective: requests slower than this are 'slow' "
+             "for the latency SLO",
+    )
+    serve.add_argument(
+        "--slo-latency-target", type=float, default=0.99,
+        help="fraction of requests that must meet the latency objective",
+    )
+    serve.add_argument(
+        "--quality-window", type=int, default=512,
+        help="sliding window (requests) of the catalog-coverage tracker",
+    )
+    serve.add_argument(
+        "--score-threshold", type=float, default=0.05,
+        help="top score under which a recommendation counts as "
+             "below-threshold in the quality monitor",
+    )
+    serve.add_argument(
+        "--drift-window", type=int, default=256,
+        help="sliding window (requests) of the live activity profile "
+             "compared against the drift baseline",
+    )
+    serve.add_argument(
+        "--drift-threshold", type=float, default=0.25,
+        help="PSI value at which the drift alert raises",
+    )
+    serve.add_argument(
         "--fault-spec", default=None, metavar="SPEC",
         help="enable deterministic fault injection, e.g. "
              "'seed=7,storage:exception:0.5,model:latency:1.0:25' "
@@ -220,6 +271,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--url", default=None,
         help="base URL of a running service to scrape "
              "(e.g. http://127.0.0.1:8080)",
+    )
+
+    telemetry = commands.add_parser(
+        "telemetry", help="work with flight-recorder telemetry directories"
+    )
+    telemetry.add_argument(
+        "action", choices=("report",),
+        help="'report' summarizes the recorded requests and events",
+    )
+    telemetry.add_argument(
+        "--dir", type=Path, required=True, dest="telemetry_dir",
+        help="the --telemetry-dir a service wrote",
+    )
+    telemetry.add_argument(
+        "--limit", type=int, default=10,
+        help="how many quality events to print (most recent last)",
     )
 
     report = commands.add_parser(
@@ -390,6 +457,15 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
         queue_timeout_seconds=getattr(args, "queue_timeout", 0.5),
         retry_after_seconds=getattr(args, "retry_after", 1.0),
         default_deadline_ms=getattr(args, "default_deadline_ms", None),
+        quality_window=getattr(args, "quality_window", 512),
+        score_threshold=getattr(args, "score_threshold", 0.05),
+        drift_window=getattr(args, "drift_window", 256),
+        drift_threshold=getattr(args, "drift_threshold", 0.25),
+        slo_availability=getattr(args, "slo_availability", 0.999),
+        slo_latency_ms=getattr(args, "slo_latency_ms", 250.0),
+        slo_latency_target=getattr(args, "slo_latency_target", 0.99),
+        telemetry_dir=getattr(args, "telemetry_dir", None),
+        telemetry_sample_rate=getattr(args, "telemetry_sample_rate", 1.0),
     )
     service.start()
     print(
@@ -397,7 +473,7 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
         f"http://{args.host}:{service.port} "
         "(endpoints: /health /metrics /model /recommend /recommend/batch "
         "/spaces /explain /goals /related /debug/vars /debug/slow "
-        "/debug/profile)",
+        "/debug/quality /debug/profile)",
         flush=True,
     )
     if not block:  # test hook: caller owns the lifecycle
@@ -479,6 +555,83 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    directory: Path = args.telemetry_dir
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory", file=sys.stderr)
+        return 2
+    requests: dict[str, dict[str, float]] = {}
+    events: list[dict[str, object]] = []
+    kinds: dict[str, int] = {}
+    for record in obs.iter_telemetry_records(directory):
+        kind = str(record.get("kind", "?"))
+        kinds[kind] = kinds.get(kind, 0) + 1
+        if kind == "request":
+            endpoint = str(record.get("endpoint", "?"))
+            stats = requests.setdefault(
+                endpoint,
+                {"count": 0, "errors": 0, "sampled": 0, "sum": 0.0, "max": 0.0},
+            )
+            stats["count"] += 1
+            status = int(record.get("status", 0) or 0)
+            if status >= 500:
+                stats["errors"] += 1
+            if record.get("spans"):
+                stats["sampled"] += 1
+            seconds = float(record.get("seconds", 0.0) or 0.0)
+            stats["sum"] += seconds
+            stats["max"] = max(stats["max"], seconds)
+        else:
+            events.append(record)
+    if not kinds:
+        print(f"no telemetry records under {directory}")
+        return 1
+    rows = [
+        [
+            endpoint,
+            int(stats["count"]),
+            int(stats["errors"]),
+            int(stats["sampled"]),
+            stats["sum"] / stats["count"],
+            stats["max"],
+        ]
+        for endpoint, stats in sorted(requests.items())
+    ]
+    if rows:
+        print(
+            format_table(
+                ["endpoint", "requests", "errors", "sampled",
+                 "mean_seconds", "max_seconds"],
+                rows,
+                title=f"flight recorder: {directory}",
+            )
+        )
+    if events:
+        tail = events[-args.limit:]
+        rows = [
+            [
+                str(event.get("kind", "?")),
+                str(event.get("request_id", "") or ""),
+                ", ".join(
+                    f"{key}={event[key]}"
+                    for key in sorted(event)
+                    if key not in ("kind", "ts", "request_id")
+                ),
+            ]
+            for event in tail
+        ]
+        print(
+            format_table(
+                ["kind", "request_id", "payload"],
+                rows,
+                title=f"quality events (last {len(tail)} of {len(events)})",
+            )
+        )
+    summary = ", ".join(f"{kind}={kinds[kind]}" for kind in sorted(kinds))
+    print(f"records: {summary}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments import ExperimentSuite, SuiteConfig
 
@@ -513,6 +666,7 @@ _COMMANDS = {
     "goals": _cmd_goals,
     "serve": _cmd_serve,
     "metrics": _cmd_metrics,
+    "telemetry": _cmd_telemetry,
     "report": _cmd_report,
 }
 
@@ -529,7 +683,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     logger = obs.configure_logging(
-        level=args.log_level, json_logs=args.json_logs
+        level=args.log_level,
+        json_logs=args.json_logs,
+        log_file=getattr(args, "log_file", None),
     )
     obs.log_event(
         logger, "cli.start", version=__version__, run_id=obs.RUN_ID,

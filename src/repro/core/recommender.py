@@ -106,8 +106,14 @@ class GoalRecommender:
         if deadline is not None:
             self._run_stages_with_deadline(deadline, encoded)
         if not obs.is_enabled():
-            return chosen.recommend(self.model, encoded, k)
-        return self._recommend_observed(chosen, encoded, k)
+            result = chosen.recommend(self.model, encoded, k)
+        else:
+            result = self._recommend_observed(chosen, encoded, k)
+        if obs.quality_enabled():
+            obs.get_quality_monitor().observe_recommend(
+                chosen.name, self.model, encoded, result
+            )
+        return result
 
     def _run_stages_with_deadline(
         self, deadline: Deadline, encoded: frozenset[int]

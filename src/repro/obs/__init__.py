@@ -15,6 +15,13 @@ about itself:
   breakdown (p50/p95/p99 over the IS/GS/AS/rank pipeline stages), the
   :class:`SlowRequestLog` behind ``GET /debug/slow``, and guarded on-demand
   :class:`ProfileSession` cProfile captures;
+- :mod:`repro.obs.quality` — online recommendation-quality accounting:
+  per-strategy score/empty/OOV rates, PSI drift detection against a
+  baseline frozen per model generation, and SLO burn-rate gauges (served
+  by ``GET /debug/quality``; see ``docs/quality.md``);
+- :mod:`repro.obs.export` — the durable tail: a sampled, size-capped,
+  rotating JSONL flight recorder for span trees and quality events
+  (``repro telemetry report`` replays it);
 - :mod:`repro.obs.runtime` — the :func:`enable`/:func:`disable` switches.
   Every subsystem starts **off**; disabled instrumentation costs one boolean
   check per site, so benchmarks of the uninstrumented paths stay honest.
@@ -35,6 +42,11 @@ units, ``_total``/``_seconds`` suffixes); ``docs/observability.md`` lists
 every metric and span attribute.
 """
 
+from repro.obs.export import (
+    FlightRecorder,
+    RotatingFileWriter,
+    iter_telemetry_records,
+)
 from repro.obs.logs import (
     RUN_ID,
     JsonLogFormatter,
@@ -65,12 +77,22 @@ from repro.obs.profiling import (
     get_profiler,
     set_profiler,
 )
+from repro.obs.quality import (
+    BaselineProfile,
+    DriftDetector,
+    QualityMonitor,
+    SLOTracker,
+    get_quality_monitor,
+    population_stability_index,
+    set_quality_monitor,
+)
 from repro.obs.runtime import (
     disable,
     enable,
     exemplars_enabled,
     is_enabled,
     metrics_enabled,
+    quality_enabled,
     trace_detail_enabled,
     tracing_enabled,
 )
@@ -93,6 +115,7 @@ __all__ = [
     "tracing_enabled",
     "exemplars_enabled",
     "trace_detail_enabled",
+    "quality_enabled",
     # metrics
     "MetricsRegistry",
     "Counter",
@@ -117,6 +140,18 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "NOOP_SPAN",
+    # recommendation quality + drift + SLOs
+    "QualityMonitor",
+    "DriftDetector",
+    "BaselineProfile",
+    "SLOTracker",
+    "population_stability_index",
+    "get_quality_monitor",
+    "set_quality_monitor",
+    # durable telemetry export
+    "FlightRecorder",
+    "RotatingFileWriter",
+    "iter_telemetry_records",
     # structured logs
     "configure_logging",
     "get_logger",

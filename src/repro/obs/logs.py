@@ -20,7 +20,10 @@ Example JSON line::
 
 Nothing emits anywhere until :func:`configure_logging` installs a handler
 (the CLI does this from ``--log-level``/``--json-logs``); libraries log into
-the void by default, which keeps test output quiet.
+the void by default, which keeps test output quiet.  ``--log-file`` swaps
+the stderr stream for a size-rotated file backed by the same
+:class:`~repro.obs.export.RotatingFileWriter` the flight recorder uses, so
+logs and telemetry follow one rotation policy.
 """
 
 from __future__ import annotations
@@ -32,7 +35,11 @@ import uuid
 from collections.abc import Iterator
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import IO
+from pathlib import Path
+from typing import IO, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.export import RotatingFileWriter
 
 #: Process-wide correlation id, minted once at import.
 RUN_ID: str = uuid.uuid4().hex[:12]
@@ -120,16 +127,47 @@ def log_event(
         logger.log(level, event, extra={_FIELDS_ATTR: fields})
 
 
+class _RotatingFileLogHandler(logging.Handler):
+    """:class:`logging.Handler` writing through a rotating line writer.
+
+    Bridges the logging stack to
+    :class:`~repro.obs.export.RotatingFileWriter` — the one size-based
+    rotation implementation shared with the telemetry flight recorder —
+    instead of carrying a second policy via
+    :class:`logging.handlers.RotatingFileHandler`.
+    """
+
+    def __init__(self, writer: "RotatingFileWriter") -> None:
+        super().__init__()
+        self.writer = writer
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            self.writer.write_line(self.format(record))
+        except Exception:  # noqa: BLE001 - logging must never raise upward
+            self.handleError(record)
+
+    def close(self) -> None:
+        self.writer.close()
+        super().close()
+
+
 def configure_logging(
     level: int | str = "WARNING",
     json_logs: bool = False,
     stream: IO[str] | None = None,
+    *,
+    log_file: Path | str | None = None,
+    log_file_max_bytes: int = 10 << 20,
+    log_file_backups: int = 3,
 ) -> logging.Logger:
     """Install one handler on the ``repro`` logger; idempotent.
 
-    Re-running replaces the previously installed handler (handlers added by
-    the application or test harness are left alone).  Returns the configured
-    logger.
+    Re-running replaces (and closes) the previously installed handler
+    (handlers added by the application or test harness are left alone).
+    With ``log_file`` set, records go to a size-rotated file
+    (``log_file_max_bytes`` per file, ``log_file_backups`` numbered
+    backups) instead of ``stream``.  Returns the configured logger.
     """
     if isinstance(level, str):
         numeric = logging.getLevelName(level.upper())
@@ -141,9 +179,26 @@ def configure_logging(
     for handler in list(root.handlers):
         if getattr(handler, "_repro_obs_handler", False):
             root.removeHandler(handler)
-    handler = logging.StreamHandler(stream or sys.stderr)
-    handler._repro_obs_handler = True  # type: ignore[attr-defined]
-    handler.setFormatter(JsonLogFormatter() if json_logs else TextLogFormatter())
-    root.addHandler(handler)
+            handler.close()
+    new_handler: logging.Handler
+    if log_file is not None:
+        # Imported here: repro.obs.export pulls in the metrics module,
+        # which imports this one — a module-level import would cycle.
+        from repro.obs.export import RotatingFileWriter
+
+        new_handler = _RotatingFileLogHandler(
+            RotatingFileWriter(
+                Path(log_file),
+                max_bytes=log_file_max_bytes,
+                backups=log_file_backups,
+            )
+        )
+    else:
+        new_handler = logging.StreamHandler(stream or sys.stderr)
+    new_handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    new_handler.setFormatter(
+        JsonLogFormatter() if json_logs else TextLogFormatter()
+    )
+    root.addHandler(new_handler)
     root.setLevel(numeric)
     return root

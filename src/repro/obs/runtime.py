@@ -5,7 +5,7 @@ strategies, the space queries) is guarded by these flags so that a process
 that never calls :func:`enable` pays only a boolean check per guarded site —
 benchmarks against the uninstrumented code stay honest.
 
-Four subsystems, all starting **disabled**:
+Five subsystems, all starting **disabled**:
 
 - ``metrics`` — counter/gauge/histogram recording into the process registry;
 - ``tracing`` — span recording into the process tracer;
@@ -18,7 +18,12 @@ Four subsystems, all starting **disabled**:
   extra index queries per request — far more than the span machinery
   itself — so they are opt-in on top of ``tracing`` and the 10% enabled-path
   overhead budget (``benchmarks/bench_obs_overhead.py``) is enforced
-  *without* them.
+  *without* them;
+- ``quality`` — recommendation-quality accounting into the process
+  :class:`~repro.obs.quality.QualityMonitor` (score distributions, empty
+  and below-threshold result rates, OOV rate, drift detection; see
+  ``docs/quality.md``).  Its own ≤10% overhead budget is enforced by
+  ``benchmarks/bench_quality_telemetry.py``.
 
 The HTTP service enables metrics, tracing and exemplars when it is
 constructed (a service without request accounting is not observable, and
@@ -44,6 +49,7 @@ _metrics_enabled: bool = False
 _tracing_enabled: bool = False
 _exemplars_enabled: bool = False
 _trace_detail_enabled: bool = False
+_quality_enabled: bool = False
 
 
 def enable(
@@ -52,18 +58,19 @@ def enable(
     *,
     exemplars: bool = False,
     trace_detail: bool = False,
+    quality: bool = False,
 ) -> None:
     """Turn observability subsystems on.
 
     Arguments select *which* subsystems to enable; ``False`` leaves the
     corresponding flag untouched (it never turns a subsystem off — use
     :func:`disable` for that), so ``enable(metrics=True, tracing=False)``
-    composes with a tracing session enabled elsewhere.  ``exemplars`` and
-    ``trace_detail`` default to ``False`` (untouched): they are opt-in
-    extras on top of metrics and tracing respectively.
+    composes with a tracing session enabled elsewhere.  ``exemplars``,
+    ``trace_detail`` and ``quality`` default to ``False`` (untouched): they
+    are opt-in extras on top of metrics and tracing.
     """
     global _metrics_enabled, _tracing_enabled
-    global _exemplars_enabled, _trace_detail_enabled
+    global _exemplars_enabled, _trace_detail_enabled, _quality_enabled
     if metrics:
         _metrics_enabled = True
     if tracing:
@@ -72,6 +79,8 @@ def enable(
         _exemplars_enabled = True
     if trace_detail:
         _trace_detail_enabled = True
+    if quality:
+        _quality_enabled = True
 
 
 def disable(
@@ -79,10 +88,11 @@ def disable(
     tracing: bool = True,
     exemplars: bool = True,
     trace_detail: bool = True,
+    quality: bool = True,
 ) -> None:
-    """Turn observability subsystems off (all four by default)."""
+    """Turn observability subsystems off (all five by default)."""
     global _metrics_enabled, _tracing_enabled
-    global _exemplars_enabled, _trace_detail_enabled
+    global _exemplars_enabled, _trace_detail_enabled, _quality_enabled
     if metrics:
         _metrics_enabled = False
     if tracing:
@@ -91,6 +101,8 @@ def disable(
         _exemplars_enabled = False
     if trace_detail:
         _trace_detail_enabled = False
+    if quality:
+        _quality_enabled = False
 
 
 def metrics_enabled() -> bool:
@@ -111,6 +123,11 @@ def exemplars_enabled() -> bool:
 def trace_detail_enabled() -> bool:
     """``True`` when recommend spans carry the (costly) space sizes."""
     return _trace_detail_enabled
+
+
+def quality_enabled() -> bool:
+    """``True`` when recommendation-quality accounting is on."""
+    return _quality_enabled
 
 
 def is_enabled() -> bool:

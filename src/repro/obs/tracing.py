@@ -46,6 +46,7 @@ from repro.obs import runtime
 _GUARDED_BY = {
     "Tracer._roots": "_lock",
     "Tracer._sinks": "_lock",
+    "Tracer._dropped": "_lock",
 }
 
 
@@ -176,14 +177,17 @@ class Tracer:
 
     When the buffer is full the **oldest** root is dropped to make room —
     a tracer favours recent traffic, matching the bounded deque semantics
-    (``tests/test_obs.py`` pins this down).  :attr:`capacity` and
-    :meth:`occupancy` expose the buffer state for ``GET /debug/vars``.
+    (``tests/test_obs.py`` pins this down).  :attr:`capacity`,
+    :meth:`occupancy` and :meth:`dropped` expose the buffer state for
+    ``GET /debug/vars`` — a climbing dropped count tells an operator the
+    buffer is shedding history faster than anyone reads it.
     """
 
     def __init__(self, max_spans: int = 1024) -> None:
         self._lock = threading.Lock()
         self._roots: deque[Span] = deque(maxlen=max_spans)
         self._sinks: list[Callable[[Span], None]] = []
+        self._dropped = 0
         self.capacity = max_spans
 
     def span(self, name: str, **attributes: object) -> _SpanGuard:
@@ -193,6 +197,10 @@ class Tracer:
     def _finish_root(self, span: Span) -> None:
         """Buffer a finished root span and fan it out to the sinks."""
         with self._lock:
+            # A full deque evicts its oldest root silently; count the
+            # eviction so /debug/vars can report the shed history.
+            if len(self._roots) == self.capacity:
+                self._dropped += 1
             self._roots.append(span)
             sinks = list(self._sinks)
         # Sinks run outside the lock: a sink that re-enters the tracer (or
@@ -220,6 +228,11 @@ class Tracer:
         """Number of root spans currently buffered (≤ :attr:`capacity`)."""
         with self._lock:
             return len(self._roots)
+
+    def dropped(self) -> int:
+        """Root spans evicted from the full buffer since construction."""
+        with self._lock:
+            return self._dropped
 
     def spans(self) -> list[dict]:
         """Finished root spans (oldest first) as dict trees."""

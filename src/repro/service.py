@@ -21,6 +21,11 @@ Endpoints (JSON unless noted):
   latency breakdown (p50/p95/p99), slow-log and profile-session state;
 - ``GET  /debug/slow`` — the N slowest requests above the configured
   threshold, each with its full span tree;
+- ``GET  /debug/quality`` — the recommendation-quality snapshot: per-
+  strategy request/empty/below-threshold counts, OOV and catalog-coverage
+  rates, drift-detector state (PSI score, alert flag, baseline
+  generation), SLO burn rates and flight-recorder statistics (see
+  ``docs/quality.md``);
 - ``POST /debug/profile`` / ``DELETE /debug/profile`` — start/stop a
   guarded on-demand cProfile session (409 when already active, 404 when
   none is); DELETE returns the :mod:`pstats` report as plain text and
@@ -107,8 +112,9 @@ import dataclasses
 import json
 import threading
 import time
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - the runtime import is lazy (optional dep)
@@ -140,7 +146,10 @@ _MAX_BATCH_BODY_BYTES = 8 << 20  # batch scoring legitimately ships more
 _MAX_BATCH_ACTIVITIES = 50_000  # backstop against unbounded fan-out
 
 #: Known routes by supported method; wrong-method hits answer 405.
-_GET_ROUTES = ("/health", "/metrics", "/model", "/debug/vars", "/debug/slow")
+_GET_ROUTES = (
+    "/health", "/metrics", "/model", "/debug/vars", "/debug/slow",
+    "/debug/quality",
+)
 _POST_ROUTES = (
     "/recommend", "/recommend/batch", "/spaces", "/explain", "/goals",
     "/related",
@@ -245,10 +254,16 @@ class ModelManager:
         incremental: IncrementalGoalModel,
         cache_size: int = 1024,
         space_cache_size: int = 4096,
+        on_swap: Callable[[ModelSnapshot], None] | None = None,
     ) -> None:
         self._lock = RWLock()
         self._incremental = incremental
         self._generation = 0
+        # Invoked (under the write lock) with every snapshot published by
+        # a hot mutation — the service uses it to refreeze the drift
+        # baseline per generation.  NOT called for the initial snapshot
+        # built here; the service seeds that itself after construction.
+        self._on_swap = on_swap
         self.recommendation_cache = LRUCache(cache_size, name="recommendations")
         self.space_cache = LRUCache(space_cache_size, name="implementation_space")
         self._base_recommender: GoalRecommender | None = None
@@ -313,6 +328,8 @@ class ModelManager:
             _LOG, "model.reload", op=op, generation=self._generation,
             implementations=self._incremental.num_implementations,
         )
+        if self._on_swap is not None:
+            self._on_swap(self._snapshot)
         return self._snapshot
 
     # ------------------------------------------------------------------
@@ -371,6 +388,7 @@ class ModelManager:
         strategy: str,
     ) -> tuple[RecommendationList, bool, int]:
         """One cached recommendation: ``(result, cache_hit, generation)``."""
+        activity = list(activity)
         snap = self.snapshot()
         if snap.caching_recommender is None:
             # Validate the request exactly as the live path would, so the
@@ -387,6 +405,13 @@ class ModelManager:
         result, hit = snap.caching_recommender.recommend(
             activity, k=k, strategy=strategy
         )
+        # Request-level quality hook: unlike the GoalRecommender hook this
+        # one sees cache hits too, and it has the labels + snapshot needed
+        # for OOV, drift and coverage accounting.
+        if obs.quality_enabled() and snap.frozen is not None:
+            obs.get_quality_monitor().observe_traffic(
+                activity, snap.frozen, result, generation=snap.generation
+            )
         return result, hit, snap.generation
 
     # ------------------------------------------------------------------
@@ -712,6 +737,10 @@ class _Handler(BaseHTTPRequestHandler):
                     self._request_id, endpoint, method, self._status,
                     elapsed, [root.to_dict()] if root is not None else [],
                 )
+                self.service._record_telemetry(
+                    self._request_id, endpoint, method, self._status,
+                    elapsed, root,
+                )
                 self.service._publish_inflight(-1)
 
     # ------------------------------------------------------------------
@@ -816,6 +845,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_debug_vars()
             elif path == "/debug/slow":
                 self._handle_debug_slow()
+            elif path == "/debug/quality":
+                self._handle_debug_quality()
             else:
                 self._handle_metrics()
             return
@@ -926,6 +957,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "requests": log.snapshot(),
             },
         )
+
+    def _handle_debug_quality(self) -> None:
+        self._send_json(200, self.service.debug_quality())
 
     def _handle_profile_start(self) -> None:
         try:
@@ -1296,6 +1330,24 @@ class RecommenderService:
         retry_after_seconds: the ``Retry-After`` hint on ``429``/``503``.
         default_deadline_ms: deadline applied to work requests that carry
             no ``X-Request-Deadline-Ms`` header (``None`` = no default).
+        quality_window: sliding-window size (requests) of the quality
+            monitor's catalog-coverage accounting.
+        score_threshold: top scores below this count toward the
+            below-threshold-result rate.
+        drift_window: sliding-window size (requests) of the live activity
+            profile the drift detector compares against the baseline.
+        drift_threshold: PSI value at which the drift alert gauge raises
+            and a ``quality.drift`` event is logged.
+        slo_availability: availability objective (fraction of requests
+            that must not be 5xx) behind the availability burn-rate gauge.
+        slo_latency_ms: latency objective in milliseconds — requests
+            slower than this are "slow" for the latency SLO.
+        slo_latency_target: fraction of requests that must meet the
+            latency objective.
+        telemetry_dir: directory for the durable flight recorder's rotating
+            JSONL files (``None`` disables the recorder).
+        telemetry_sample_rate: fraction of requests whose span trees the
+            recorder persists (head-based, deterministic per request id).
     """
 
     def __init__(
@@ -1317,6 +1369,15 @@ class RecommenderService:
         queue_timeout_seconds: float = 0.5,
         retry_after_seconds: float = 1.0,
         default_deadline_ms: float | None = None,
+        quality_window: int = 512,
+        score_threshold: float = 0.05,
+        drift_window: int = 256,
+        drift_threshold: float = 0.25,
+        slo_availability: float = 0.999,
+        slo_latency_ms: float = 250.0,
+        slo_latency_target: float = 0.99,
+        telemetry_dir: Path | str | None = None,
+        telemetry_sample_rate: float = 1.0,
     ) -> None:
         self._registry = registry
         obs.enable(
@@ -1324,6 +1385,29 @@ class RecommenderService:
             tracing=enable_tracing,
             exemplars=enable_metrics and enable_exemplars,
             trace_detail=enable_tracing and trace_detail,
+            quality=enable_metrics,
+        )
+        # Quality telemetry is wired before the manager: the swap callback
+        # below references the monitor's drift detector.
+        self.recorder: obs.FlightRecorder | None = None
+        if telemetry_dir is not None:
+            self.recorder = obs.FlightRecorder(
+                Path(telemetry_dir), sample_rate=telemetry_sample_rate
+            )
+        self.quality = obs.QualityMonitor(
+            window_size=quality_window,
+            score_threshold=score_threshold,
+            drift=obs.DriftDetector(
+                window_size=drift_window, threshold=drift_threshold
+            ),
+        )
+        if self.recorder is not None:
+            self.quality.set_event_sink(self.recorder.record_event)
+        obs.set_quality_monitor(self.quality)
+        self.slo = obs.SLOTracker(
+            availability_objective=slo_availability,
+            latency_objective_seconds=slo_latency_ms / 1000.0,
+            latency_target=slo_latency_target,
         )
         if isinstance(model, IncrementalGoalModel):
             incremental = model
@@ -1333,7 +1417,11 @@ class RecommenderService:
             incremental,
             cache_size=cache_size,
             space_cache_size=space_cache_size,
+            on_swap=self._on_model_swap,
         )
+        # The manager's constructor built the generation-0 snapshot before
+        # the swap callback could see it; freeze the initial baseline now.
+        self._on_model_swap(self.manager.snapshot())
         self._started_at = time.time()
         self.slow_log = obs.SlowRequestLog(
             size=slow_log_size, threshold_seconds=slow_threshold_seconds
@@ -1379,10 +1467,30 @@ class RecommenderService:
         """The bound TCP port (useful with ``port=0``)."""
         return self._server.server_address[1]
 
+    def _on_model_swap(self, snapshot: ModelSnapshot) -> None:
+        """Re-freeze the drift baseline for a newly published generation.
+
+        Registered as the manager's ``on_swap`` callback (invoked under the
+        write lock, so it must stay cheap) and called once by ``__init__``
+        for the generation the manager constructed before the callback was
+        wired.
+        """
+        if snapshot.frozen is None:
+            baseline = obs.BaselineProfile({}, generation=snapshot.generation)
+        else:
+            baseline = obs.BaselineProfile.from_model(
+                snapshot.frozen, generation=snapshot.generation
+            )
+        self.quality.drift.set_baseline(baseline)
+
     def _record_request(
         self, endpoint: str, method: str, status: int, elapsed: float
     ) -> None:
         """Account one handled request in the registry and the logs."""
+        if obs.quality_enabled():
+            # 5xx burns the availability budget; client errors and the 499
+            # client-went-away sentinel do not.
+            self.slo.observe(status >= 500, elapsed)
         registry = self.registry
         registry.counter(
             "repro_http_requests_total",
@@ -1466,6 +1574,7 @@ class RecommenderService:
         if grace > 0:
             time.sleep(grace)
         if self._thread is None:
+            self._close_recorder()
             obs.log_event(_LOG, "service.drain.done", drained=True, dropped=0)
             return True
         self._server.shutdown()
@@ -1486,10 +1595,36 @@ class RecommenderService:
         self._server.server_close()
         self._thread = None
         self._tracer.remove_sink(obs.get_profiler().observe_span)
+        self._close_recorder()
         obs.log_event(
             _LOG, "service.drain.done", drained=not dropped, dropped=dropped,
         )
         return not dropped
+
+    def _record_telemetry(
+        self,
+        request_id: str,
+        endpoint: str,
+        method: str,
+        status: int,
+        elapsed: float,
+        root: "obs.Span | None",
+    ) -> None:
+        """Offer one finished request to the flight recorder (if configured).
+
+        The span tree is serialized only for requests the head-based
+        sampler admits — ``to_dict()`` walks the whole tree and would
+        otherwise dominate the exporter's overhead budget.
+        """
+        recorder = self.recorder
+        if recorder is None:
+            return
+        spans = None
+        if root is not None and recorder.should_sample(request_id):
+            spans = [root.to_dict()]
+        recorder.record_request(
+            request_id, endpoint, method, status, elapsed, spans=spans
+        )
 
     def _record_slow(
         self,
@@ -1535,7 +1670,13 @@ class RecommenderService:
             "span_buffer": {
                 "occupancy": tracer.occupancy(),
                 "capacity": tracer.capacity,
+                "dropped": tracer.dropped(),
             },
+            "telemetry": (
+                self.recorder.snapshot()
+                if self.recorder is not None
+                else {"enabled": False}
+            ),
             "slow_log": {
                 "count": len(self.slow_log),
                 "capacity": self.slow_log.size,
@@ -1564,7 +1705,20 @@ class RecommenderService:
                 "tracing": obs.tracing_enabled(),
                 "exemplars": obs.exemplars_enabled(),
                 "trace_detail": obs.trace_detail_enabled(),
+                "quality": obs.quality_enabled(),
             },
+        }
+
+    def debug_quality(self) -> dict[str, Any]:
+        """The ``GET /debug/quality`` recommendation-quality snapshot."""
+        return {
+            "quality": self.quality.snapshot(),
+            "slo": self.slo.snapshot(),
+            "telemetry": (
+                self.recorder.snapshot()
+                if self.recorder is not None
+                else {"enabled": False}
+            ),
         }
 
     def _record_batch(
@@ -1603,15 +1757,22 @@ class RecommenderService:
         )
         return self
 
+    def _close_recorder(self) -> None:
+        """Flush and close the flight recorder (idempotent, ``None``-safe)."""
+        if self.recorder is not None:
+            self.recorder.close()
+
     def stop(self) -> None:
         """Shut the server down and join the serving thread."""
         if self._thread is None:
+            self._close_recorder()
             return
         self._server.shutdown()
         self._thread.join()
         self._server.server_close()
         self._thread = None
         self._tracer.remove_sink(obs.get_profiler().observe_span)
+        self._close_recorder()
         obs.log_event(_LOG, "service.stop")
 
     def __enter__(self) -> "RecommenderService":

@@ -171,7 +171,7 @@ class TestDebugVars:
         for key in (
             "version", "uptime_seconds", "generation", "implementations",
             "inflight_requests", "caches", "span_buffer", "slow_log",
-            "profile", "stages", "flags",
+            "profile", "stages", "flags", "telemetry",
         ):
             assert key in body, f"missing {key}"
         assert body["implementations"] == 3
@@ -184,8 +184,12 @@ class TestDebugVars:
         assert body["stages"]["rank"]["p95_seconds"] >= 0
         assert body["flags"] == {
             "metrics": True, "tracing": True,
-            "exemplars": True, "trace_detail": True,
+            "exemplars": True, "trace_detail": True, "quality": True,
         }
+        # No --telemetry-dir on this fixture: the recorder is off, and the
+        # span buffer reports its dropped count alongside occupancy.
+        assert body["telemetry"] == {"enabled": False}
+        assert body["span_buffer"]["dropped"] == 0
 
     def test_span_buffer_occupancy_tracks_traffic(self, service):
         _, before, _ = call(service, "/debug/vars")
@@ -380,3 +384,131 @@ class TestOpenMetricsScrape:
         assert headers["Content-Type"].startswith("text/plain")
         assert "# EOF" not in text
         assert "# {" not in text  # exemplars are OpenMetrics-only
+
+    def test_quality_families_are_valid_openmetrics(self, service):
+        status, _, _ = call(
+            service, "/recommend", {"activity": ["potatoes"], "k": 3}
+        )
+        assert status == 200
+        status, text, _ = wait_for(
+            lambda: call(
+                service, "/metrics",
+                headers={"Accept": "application/openmetrics-text"},
+            ),
+            lambda result: "repro_slo_availability_burn_rate" in result[1],
+        )
+        assert status == 200
+        families, _samples = parse_openmetrics(text)
+        # Counter metadata drops the _total suffix per the spec.
+        assert families["repro_quality_requests"] == "counter"
+        assert families["repro_quality_top_score"] == "histogram"
+        assert families["repro_quality_oov_ratio"] == "histogram"
+        assert families["repro_quality_catalog_coverage_ratio"] == "gauge"
+        assert families["repro_quality_model_generation"] == "gauge"
+        assert families["repro_drift_score"] == "gauge"
+        assert families["repro_drift_alert"] == "gauge"
+        assert families["repro_drift_baseline_generation"] == "gauge"
+        assert families["repro_slo_availability_burn_rate"] == "gauge"
+        assert families["repro_slo_latency_burn_rate"] == "gauge"
+
+
+class TestDebugQuality:
+    def test_snapshot_shape_after_traffic(self, service):
+        status, _, _ = call(
+            service, "/recommend", {"activity": ["potatoes"], "k": 3}
+        )
+        assert status == 200
+        body = wait_for(
+            lambda: call(service, "/debug/quality")[1],
+            lambda b: b["quality"]["oov"]["requests"] >= 1,
+        )
+        assert set(body) == {"quality", "slo", "telemetry"}
+        quality = body["quality"]
+        assert quality["strategies"]["breadth"]["requests"] >= 1
+        assert quality["strategies"]["breadth"]["empty"] == 0
+        assert quality["oov"]["last"] == 0.0
+        assert quality["coverage"]["covered_actions"] >= 1
+        assert quality["coverage"]["catalog_actions"] == 6
+        drift = quality["drift"]
+        assert drift["baseline_generation"] == 0
+        assert drift["baseline_actions"] == 6
+        assert drift["alerting"] is False
+        slo = body["slo"]
+        assert slo["errors"] == 0
+        assert slo["availability_burn_rate"] == 0.0
+        assert body["telemetry"] == {"enabled": False}
+
+    def test_oov_and_generation_track_traffic(self, service):
+        call(
+            service, "/recommend",
+            {"activity": ["potatoes", "no-such-action"], "k": 3},
+        )
+        body = wait_for(
+            lambda: call(service, "/debug/quality")[1],
+            lambda b: b["quality"]["oov"]["last"] > 0,
+        )
+        assert body["quality"]["oov"]["last"] == 0.5
+        # A hot-reload bumps the generation and refreezes the baseline.
+        call(
+            service, "/model/implementations",
+            {"implementations": [{"goal": "soup", "actions": ["water"]}]},
+            method="PUT",
+        )
+        call(service, "/recommend", {"activity": ["water"], "k": 3})
+        body = wait_for(
+            lambda: call(service, "/debug/quality")[1],
+            lambda b: b["quality"]["generation"] == 1,
+        )
+        assert body["quality"]["drift"]["baseline_generation"] == 1
+        assert body["quality"]["drift"]["baseline_actions"] == 7
+
+    def test_method_not_allowed(self, service):
+        status, body, headers = call(
+            service, "/debug/quality", method="DELETE"
+        )
+        assert status == 405
+        assert set(body) == {"error", "detail"}
+        assert headers["Allow"] == "GET, HEAD"
+
+
+class TestTelemetryService:
+    def test_recorder_surfaces_in_debug_and_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+        previous_registry = obs.set_registry(registry)
+        model = AssociationGoalModel.from_pairs(
+            [("olivier salad", {"potatoes", "carrots", "pickles"})]
+        )
+        server = RecommenderService(
+            model, port=0, telemetry_dir=tmp_path, telemetry_sample_rate=1.0
+        ).start()
+        try:
+            status, _, _ = call(
+                server, "/recommend", {"activity": ["potatoes"], "k": 2}
+            )
+            assert status == 200
+            body = wait_for(
+                lambda: call(server, "/debug/quality")[1],
+                lambda b: b["telemetry"]["enqueued"] >= 1,
+            )
+            telemetry = body["telemetry"]
+            assert telemetry["directory"] == str(tmp_path)
+            assert telemetry["sample_rate"] == 1.0
+            assert telemetry["enqueued"] >= 1
+            _, vars_body, _ = call(server, "/debug/vars")
+            assert vars_body["telemetry"]["directory"] == str(tmp_path)
+            assert server.recorder.flush()
+            status, text, _ = call(
+                server, "/metrics",
+                headers={"Accept": "application/openmetrics-text"},
+            )
+            families, _samples = parse_openmetrics(text)
+            assert families["repro_telemetry_records"] == "counter"
+            assert families["repro_telemetry_backlog"] == "gauge"
+        finally:
+            server.stop()
+            obs.disable()
+            obs.set_registry(previous_registry)
+        records = list(obs.iter_telemetry_records(tmp_path))
+        assert any(r["kind"] == "request" for r in records)
+        # stop() closed the recorder; a second close must be a no-op.
+        server.recorder.close()
