@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro import obs
+from repro.core.approximate import PrunedBreadthStrategy, recall_at_k
 from repro.core.caching import CachedModelView, LRUCache
 from repro.core.entities import ActionLabel
 from repro.core.recommender import PAPER_STRATEGIES, GoalRecommender
@@ -34,6 +35,11 @@ from repro.eval.metrics import average_true_positive_rate
 _SMOKE_SEED = 7
 _SMOKE_MAX_USERS = 24
 _SMOKE_K = 10
+#: Posting-list cap of the smoke pruned-tier leg — small enough to truncate
+#: rows even on the tiny harness, so the gated recall actually exercises
+#: the approximation (the paper-scale recall gate lives in
+#: ``benchmarks/bench_single_request.py``).
+_SMOKE_PRUNE_BUDGET = 8
 
 
 @dataclass(frozen=True, slots=True)
@@ -274,11 +280,73 @@ def _bench_quality_telemetry(harness: ExperimentHarness) -> dict[str, Metric]:
     }
 
 
+def _bench_single_request(harness: ExperimentHarness) -> dict[str, Metric]:
+    """CSR hot path vs scalar reference: bit-parity plus pruned-tier recall.
+
+    The CSR checksums are gated as exact values — they must equal the
+    scalar checksums committed under ``recommend_strategies``, which is the
+    bit-parity contract of the unified hot path stated as data.  The pruned
+    leg runs both the scalar fallback and the engine kernel at a budget
+    small enough to truncate on the tiny harness, gating their mutual
+    parity and the (deterministic) recall against the exact rankings.
+    """
+    scalar = GoalRecommender(harness.model, use_csr=False)
+    csr = GoalRecommender(harness.model, use_csr=True)
+    activities = [user.observed for user in harness.split]
+    metrics: dict[str, Metric] = {}
+    start = time.perf_counter()
+    parity = 1.0
+    for strategy in PAPER_STRATEGIES:
+        digest, nonempty = _ranking_checksum(csr, activities, strategy)
+        metrics[f"{strategy}_csr_checksum"] = Metric(float(digest))
+        metrics[f"{strategy}_csr_nonempty"] = Metric(float(nonempty))
+        for activity in activities:
+            reference = scalar.recommend(
+                activity, k=_SMOKE_K, strategy=strategy
+            )
+            routed = csr.recommend(activity, k=_SMOKE_K, strategy=strategy)
+            if reference != routed:
+                parity = 0.0
+    metrics["csr_scalar_parity"] = Metric(parity)
+
+    pruned = PrunedBreadthStrategy(budget=_SMOKE_PRUNE_BUDGET)
+    engine = csr.csr_engine()
+    model = harness.model
+    breadth = scalar.strategy("breadth")
+    engine_parity = 1.0
+    recall_total = 0.0
+    recall_count = 0
+    for activity in activities:
+        encoded = model.encode_activity(activity)
+        exact = breadth.rank(model, encoded, _SMOKE_K)
+        approx = pruned.rank(model, encoded, _SMOKE_K)
+        if engine is not None and approx != engine.pruned_breadth_rank(
+            encoded, _SMOKE_K, _SMOKE_PRUNE_BUDGET
+        ):
+            engine_parity = 0.0
+        if exact:
+            recall_total += recall_at_k(exact, approx)
+            recall_count += 1
+    metrics["pruned_engine_parity"] = Metric(engine_parity)
+    metrics["pruned_recall_at_10"] = Metric(
+        recall_total / recall_count if recall_count else 1.0
+    )
+    metrics["wall_seconds"] = Metric(
+        time.perf_counter() - start, kind="info"
+    )
+    return metrics
+
+
 _SMOKE_SUITE: tuple[BenchmarkSpec, ...] = (
     BenchmarkSpec(
         "recommend_strategies",
         "CRC32-checksummed top-k output of the four paper strategies",
         _bench_recommend_strategies,
+    ),
+    BenchmarkSpec(
+        "single_request",
+        "CSR hot-path parity checksums and pruned-tier recall",
+        _bench_single_request,
     ),
     BenchmarkSpec(
         "association_spaces",

@@ -154,6 +154,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="implementation-space memo capacity (0 disables the memo)",
     )
     serve.add_argument(
+        "--approx-budget", type=int, default=128,
+        help="per-action posting-list cap of the ?tier=approx recommend "
+             "path (see docs/performance.md)",
+    )
+    serve.add_argument(
         "--no-tracing", action="store_true",
         help="disable request span collection (also disables trace detail)",
     )
@@ -447,6 +452,7 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
         # predate the cache flags.
         cache_size=getattr(args, "cache_size", 1024),
         space_cache_size=getattr(args, "space_cache_size", 4096),
+        approx_budget=getattr(args, "approx_budget", 128),
         enable_tracing=not getattr(args, "no_tracing", False),
         enable_exemplars=not getattr(args, "no_exemplars", False),
         trace_detail=not getattr(args, "no_trace_detail", False),

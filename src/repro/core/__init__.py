@@ -1,5 +1,10 @@
 """The paper's primary contribution: the goal model and ranking strategies."""
 
+from repro.core.approximate import (
+    PrunedBreadthStrategy,
+    SampledBreadthStrategy,
+    recall_at_k,
+)
 from repro.core.entities import (
     GoalImplementation,
     RecommendationList,
@@ -58,5 +63,8 @@ __all__ = [
     "BreadthStrategy",
     "BestMatchStrategy",
     "HybridStrategy",
+    "PrunedBreadthStrategy",
+    "SampledBreadthStrategy",
+    "recall_at_k",
     "create_strategy",
 ]

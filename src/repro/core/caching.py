@@ -68,6 +68,8 @@ _GUARDED_BY = {
     "CachedModelView._model": "<final>",
     "CachedModelView._cache": "<final>",
     "CachedModelView._generation": "<final>",
+    "CachedModelView._engine": "_engine_lock",
+    "CachedModelView._engine_ready": "_engine_lock",
 }
 
 
@@ -280,11 +282,37 @@ class CachedModelView:
         self._cache = cache if cache is not None else LRUCache(
             4096, name="implementation_space"
         )
+        self._engine: Any = None
+        self._engine_ready = False
+        self._engine_lock = threading.Lock()
 
     @property
     def wrapped(self) -> AssociationGoalModel:
         """The underlying immutable model."""
         return self._model
+
+    def csr_engine(self) -> Any:
+        """The generation's shared CSR engine, or ``None`` without SciPy.
+
+        Built lazily on first use and reused for the view's lifetime — the
+        view is generation-scoped, so the engine's precomputed matrices are
+        exactly as fresh as every other cache keyed on this generation.
+        Both the single-request hot path (``GoalRecommender``) and the
+        batch endpoint (``ModelSnapshot.batch``) share this one instance.
+        Returns ``None`` when SciPy is unavailable or the model is empty;
+        callers fall back to the scalar strategies.
+        """
+        with self._engine_lock:
+            if not self._engine_ready:
+                self._engine_ready = True
+                if self._model.num_implementations > 0:
+                    try:
+                        from repro.core.vectorized import BatchRecommender
+                    except ImportError:
+                        self._engine = None
+                    else:
+                        self._engine = BatchRecommender(self._model)
+            return self._engine
 
     @property
     def space_cache(self) -> LRUCache:

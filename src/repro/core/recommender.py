@@ -25,13 +25,74 @@ from typing import Any
 
 from repro import obs
 from repro.core.entities import ActionLabel, GoalLabel, RecommendationList
+from repro.core.model import AssociationGoalModel
 from repro.core.protocols import ModelView
 from repro.core.strategies import RankingStrategy, create_strategy
-from repro.exceptions import RecommendationError
+from repro.core.strategies.base import require_request_count
 from repro.resilience.deadlines import Deadline, active_deadline
 
 #: The strategy names the paper evaluates, in its presentation order.
 PAPER_STRATEGIES = ("focus_cmp", "focus_cl", "breadth", "best_match")
+
+#: Strategies with a bit-parity CSR kernel in
+#: :class:`~repro.core.vectorized.BatchRecommender` — only these (in their
+#: default configuration) are ever rerouted off the scalar path.
+_CSR_STRATEGIES = frozenset(PAPER_STRATEGIES)
+
+
+class _RequestSpaceMemo:
+    """One-request memo of the space pipeline over an *uncached* model.
+
+    When a deadline-carrying request runs over a bare
+    :class:`AssociationGoalModel`, the facade drives the ``IS -> GS -> AS``
+    pipeline for its stage checkpoints and the strategy then re-queries the
+    same spaces while ranking — every space query runs twice.  The serving
+    layer avoids this with :class:`~repro.core.caching.CachedModelView`;
+    this memo gives the embedded/uncached case the same property for the
+    duration of one request: ``IS(H)`` is computed once and ``GS``/``AS``
+    are derived from it, exactly as the cached view derives them.
+
+    Not thread-safe and never shared — one instance per request, discarded
+    with it.
+    """
+
+    def __init__(self, model: ModelView) -> None:
+        self._model = model
+        self._is: dict[frozenset[int], set[int]] = {}
+        self._gs: dict[frozenset[int], set[int]] = {}
+        self._as: dict[frozenset[int], set[int]] = {}
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._model, name)
+
+    def implementation_space(self, activity: frozenset[int]) -> set[int]:
+        cached = self._is.get(activity)
+        if cached is None:
+            cached = self._model.implementation_space(activity)
+            self._is[activity] = cached
+        return cached
+
+    def goal_space(self, activity: frozenset[int]) -> set[int]:
+        cached = self._gs.get(activity)
+        if cached is None:
+            cached = {
+                self._model.implementation_goal(pid)
+                for pid in self.implementation_space(activity)
+            }
+            self._gs[activity] = cached
+        return cached
+
+    def action_space(self, activity: frozenset[int]) -> set[int]:
+        cached = self._as.get(activity)
+        if cached is None:
+            cached = set()
+            for pid in self.implementation_space(activity):
+                cached |= self._model.implementation_actions(pid)
+            self._as[activity] = cached
+        return cached
+
+    def candidate_actions(self, activity: frozenset[int]) -> set[int]:
+        return self.action_space(activity) - activity
 
 
 class GoalRecommender:
@@ -41,16 +102,35 @@ class GoalRecommender:
         model: the indexed goal model.
         default_strategy: strategy used when :meth:`recommend` is called
             without an explicit one.
+        use_csr: CSR hot-path policy.  ``None`` (default) routes the four
+            paper strategies through the model's generation-keyed CSR
+            engine whenever the model exposes one
+            (:meth:`~repro.core.caching.CachedModelView.csr_engine` — the
+            serving layer's views do); bare models stay on the scalar
+            reference strategies.  ``True`` additionally builds a private
+            engine over a bare :class:`AssociationGoalModel` (falling back
+            to scalar without SciPy); ``False`` never routes CSR — the
+            escape hatch the parity suite uses for its reference rankings.
+            Both paths are bit-identical (scores, order, ties), so the
+            setting is about performance, never results.
     """
 
     def __init__(
         self,
         model: ModelView,
         default_strategy: str = "breadth",
+        use_csr: bool | None = None,
     ) -> None:
         self.model = model
         self.default_strategy = default_strategy
+        self.use_csr = use_csr
         self._strategies: dict[str, RankingStrategy] = {}
+        # Per-model-binding CSR state: the resolved engine (memoized only
+        # for the ``use_csr=True`` private build; cached views memoize
+        # their own) and the CsrStrategy adapters keyed by strategy name.
+        self._own_engine: Any = None
+        self._own_engine_ready = False
+        self._csr_runners: dict[str, RankingStrategy] = {}
         # Call-site memo for the per-strategy counter/histogram children,
         # ``(registry, {strategy: (counter, histogram)})`` swapped as one
         # tuple (see ``model._space_counters`` for the pattern/rationale).
@@ -66,9 +146,66 @@ class GoalRecommender:
         the facade to each new model generation without re-instantiating
         the strategy objects.
         """
-        rebound = GoalRecommender(model, default_strategy=self.default_strategy)
+        rebound = GoalRecommender(
+            model,
+            default_strategy=self.default_strategy,
+            use_csr=self.use_csr,
+        )
         rebound._strategies = self._strategies
         return rebound
+
+    def csr_engine(self) -> Any:
+        """The CSR engine this recommender routes through, or ``None``.
+
+        Resolution follows the ``use_csr`` policy documented on the class.
+        Model views with their own ``csr_engine()`` (the serving layer's
+        cached views) own the memo; a private engine built for
+        ``use_csr=True`` over a bare model is memoized here.
+        """
+        if self.use_csr is False:
+            return None
+        factory = getattr(self.model, "csr_engine", None)
+        if factory is not None:
+            return factory()
+        if self.use_csr is not True:
+            return None
+        if not self._own_engine_ready:
+            self._own_engine_ready = True
+            target = getattr(self.model, "wrapped", self.model)
+            if (
+                isinstance(target, AssociationGoalModel)
+                and target.num_implementations > 0
+            ):
+                try:
+                    from repro.core.vectorized import BatchRecommender
+                except ImportError:
+                    self._own_engine = None
+                else:
+                    self._own_engine = BatchRecommender(target)
+        return self._own_engine
+
+    def _runner(
+        self, name: str, chosen: RankingStrategy, options: dict[str, Any]
+    ) -> RankingStrategy:
+        """The strategy that actually ranks: CSR adapter or ``chosen``.
+
+        Only the four paper strategies in their default configuration are
+        rerouted — ablation variants (``options``) and every other
+        registered strategy run their scalar implementation unchanged.
+        """
+        if options or name not in _CSR_STRATEGIES:
+            return chosen
+        runner = self._csr_runners.get(name)
+        if runner is not None:
+            return runner
+        engine = self.csr_engine()
+        if engine is None:
+            return chosen
+        from repro.core.vectorized import CsrStrategy
+
+        runner = CsrStrategy(engine, name)
+        self._csr_runners[name] = runner
+        return runner
 
     def strategy(self, name: str, **options: Any) -> RankingStrategy:
         """Return (and cache) a strategy instance by registry name.
@@ -84,6 +221,16 @@ class GoalRecommender:
             self._strategies[name] = cached
         return cached
 
+    def use_strategy(self, strategy: RankingStrategy) -> None:
+        """Pin a configured strategy instance under its registry name.
+
+        Later :meth:`recommend` calls naming it reuse this instance instead
+        of instantiating registry defaults — the serving layer uses this to
+        honour ``--approx-budget`` on the ``breadth_pruned`` tier.  The pin
+        survives :meth:`with_model` rebinds (the strategy cache is shared).
+        """
+        self._strategies[strategy.name] = strategy
+
     def recommend(
         self,
         activity: Iterable[ActionLabel],
@@ -98,26 +245,30 @@ class GoalRecommender:
         all yields an empty list — the model has no evidence to rank on —
         rather than an error, so batch evaluation over raw logs is painless.
         """
-        if k <= 0:
-            raise RecommendationError(f"k must be positive, got {k}")
+        require_request_count(k, "k")
         encoded = self.model.encode_activity(activity)
-        chosen = self.strategy(strategy or self.default_strategy, **options)
+        name = strategy or self.default_strategy
+        chosen = self.strategy(name, **options)
+        runner = self._runner(name, chosen, options)
         deadline = active_deadline()
+        rank_model: ModelView = self.model
         if deadline is not None:
-            self._run_stages_with_deadline(deadline, encoded)
+            rank_model = self._run_stages_with_deadline(
+                deadline, encoded, csr=runner is not chosen
+            )
         if not obs.is_enabled():
-            result = chosen.recommend(self.model, encoded, k)
+            result = runner.recommend(rank_model, encoded, k)
         else:
-            result = self._recommend_observed(chosen, encoded, k)
+            result = self._recommend_observed(runner, rank_model, encoded, k)
         if obs.quality_enabled():
             obs.get_quality_monitor().observe_recommend(
-                chosen.name, self.model, encoded, result
+                runner.name, self.model, encoded, result
             )
         return result
 
     def _run_stages_with_deadline(
-        self, deadline: Deadline, encoded: frozenset[int]
-    ) -> None:
+        self, deadline: Deadline, encoded: frozenset[int], csr: bool
+    ) -> ModelView:
         """Walk the space pipeline with a deadline check entering each stage.
 
         The paper's pipeline is ``IS(H) -> GS(H) -> AS(H) -> rank``; when a
@@ -126,23 +277,38 @@ class GoalRecommender:
         stage boundary (raising
         :class:`~repro.resilience.deadlines.DeadlineExceededError` naming
         the stage about to be entered) instead of completing a ranking
-        nobody is waiting for.  On the serving path the model is a
-        :class:`~repro.core.caching.CachedModelView`, so the spaces computed
-        here are memoized and the strategy's own queries hit the memo —
-        the pipeline runs once, just with checkpoints in between.  Without
-        an active deadline this method is skipped entirely and the
-        recommend path is unchanged.
+        nobody is waiting for.  Returns the model the ranking should run
+        on: the facade's own model when its space queries are memoized
+        (:class:`~repro.core.caching.CachedModelView`), otherwise a
+        per-request :class:`_RequestSpaceMemo` so the strategy's own space
+        queries reuse the work done here instead of repeating it.  A
+        CSR-routed request has no scalar space pipeline at all — only the
+        checkpoints run, keeping the stage names an expired request
+        surfaces identical on both paths.  Without an active deadline this
+        method is skipped entirely and the recommend path is unchanged.
         """
+        if csr:
+            deadline.check("implementation_space")
+            deadline.check("rank")
+            return self.model
+        model: ModelView = self.model
+        if getattr(model, "space_cache", None) is None:
+            model = _RequestSpaceMemo(model)
         deadline.check("implementation_space")
-        self.model.implementation_space(encoded)
+        model.implementation_space(encoded)
         deadline.check("goal_space")
-        self.model.goal_space(encoded)
+        model.goal_space(encoded)
         deadline.check("action_space")
-        self.model.action_space(encoded)
+        model.action_space(encoded)
         deadline.check("rank")
+        return model
 
     def _recommend_observed(
-        self, chosen: RankingStrategy, encoded: frozenset[int], k: int
+        self,
+        chosen: RankingStrategy,
+        rank_model: ModelView,
+        encoded: frozenset[int],
+        k: int,
     ) -> RecommendationList:
         """The instrumented recommend path (observability enabled).
 
@@ -156,7 +322,7 @@ class GoalRecommender:
         """
         with obs.trace_span("recommend", strategy=chosen.name, k=k) as span:
             start = perf_counter()
-            result = chosen.recommend(self.model, encoded, k)
+            result = chosen.recommend(rank_model, encoded, k)
             elapsed = perf_counter() - start
             if obs.metrics_enabled():
                 registry = obs.get_registry()
@@ -188,7 +354,7 @@ class GoalRecommender:
                     returned=len(result.items),
                 )
                 if obs.trace_detail_enabled():
-                    model = self.model
+                    model = rank_model
                     impl_space = model.implementation_space(encoded)
                     action_space = model.action_space(encoded)
                     span.set_attrs(
@@ -210,15 +376,19 @@ class GoalRecommender:
         The activity is encoded once; returns ``{strategy_name: list}``.
         """
         encoded = self.model.encode_activity(activity)
+        runners = {
+            name: self._runner(name, self.strategy(name), {})
+            for name in strategies
+        }
         if not obs.is_enabled():
             return {
-                name: self.strategy(name).recommend(self.model, encoded, k)
-                for name in strategies
+                name: runner.recommend(self.model, encoded, k)
+                for name, runner in runners.items()
             }
         with obs.trace_span("recommend_all", k=k) as span:
             results = {
-                name: self._recommend_observed(self.strategy(name), encoded, k)
-                for name in strategies
+                name: self._recommend_observed(runner, self.model, encoded, k)
+                for name, runner in runners.items()
             }
             span.set_attr("strategies", list(results))
         return results

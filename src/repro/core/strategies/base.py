@@ -22,16 +22,33 @@ from typing import Any, Callable
 from repro import obs
 from repro.core.entities import RecommendationList, ScoredAction
 from repro.core.protocols import ModelView
+from repro.core.topk import top_k_pairs
 from repro.exceptions import RecommendationError, StrategyNotFoundError
 
 
-def rank_scored_ids(scores: dict[int, float], k: int) -> list[tuple[int, float]]:
-    """Sort a ``{action_id: score}`` map into the top-``k`` ranking.
+def require_request_count(value: int, name: str = "k") -> None:
+    """Reject non-integers, bools and non-positives with a library error.
 
-    Higher scores come first; ties break by ascending action id.
+    ``isinstance(True, int)`` holds, so a plain ``value <= 0`` check lets
+    ``k=True`` slip through as 1 — the HTTP layer already 400s it, but the
+    library must refuse it too so embedded callers get the same contract.
     """
-    ordered = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
-    return ordered[:k]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RecommendationError(
+            f"{name} must be a positive integer, got {value!r}"
+        )
+    if value <= 0:
+        raise RecommendationError(f"{name} must be positive, got {value}")
+
+
+def rank_scored_ids(scores: dict[int, float], k: int) -> list[tuple[int, float]]:
+    """Select the top-``k`` ranking of a ``{action_id: score}`` map.
+
+    Higher scores come first; ties break by ascending action id.  Partial
+    selection (:mod:`repro.core.topk`) replaces the historical full sort;
+    the output is element-wise identical.
+    """
+    return top_k_pairs(scores, k)
 
 
 class RankingStrategy(ABC):
@@ -61,8 +78,7 @@ class RankingStrategy(ABC):
         k: int,
     ) -> RecommendationList:
         """Validate the request, rank, and decode to a label-level list."""
-        if k <= 0:
-            raise RecommendationError(f"k must be positive, got {k}")
+        require_request_count(k, "k")
         if not obs.is_enabled():
             ranked = self.rank(model, activity, k)
         else:

@@ -24,7 +24,11 @@ from collections import defaultdict
 
 from repro.core.distances import DistanceFunc, get_distance
 from repro.core.protocols import ModelView
-from repro.core.strategies.base import RankingStrategy, register_strategy
+from repro.core.strategies.base import (
+    RankingStrategy,
+    rank_scored_ids,
+    register_strategy,
+)
 from repro.utils.validation import require_in
 
 _VECTOR_MODES = ("count", "boolean")
@@ -129,9 +133,8 @@ class BestMatchStrategy(RankingStrategy):
         k: int,
     ) -> list[tuple[int, float]]:
         """Top-``k`` candidates by ascending distance (score = −distance)."""
-        scored = [
-            (aid, -distance)
+        scores = {
+            aid: -distance
             for aid, distance in self.distances(model, activity).items()
-        ]
-        scored.sort(key=lambda item: (-item[1], item[0]))
-        return scored[:k]
+        }
+        return rank_scored_ids(scores, k)

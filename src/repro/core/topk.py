@@ -1,0 +1,108 @@
+"""Partial top-k selection under the library's determinism contract.
+
+Every ranking in the codebase orders candidates by ``(-score, action_id)``
+— higher scores first, ties split by ascending id (see
+``repro.core.strategies.base``).  The historical implementations sorted the
+*entire* candidate set (``sorted(...)[:k]`` over dicts, a full
+``np.lexsort`` over arrays) even though only ``k`` winners survive; at
+paper scale that is tens of thousands of comparisons for a top-10 answer.
+
+This module centralizes the partial-selection replacements:
+
+- :func:`top_k_positions` — NumPy ``argpartition``-based selection over
+  parallel ``(ids, scores)`` arrays; only the boundary tie group is ever
+  fully ordered, then a final lexsort runs over at most ``k`` winners.
+- :func:`top_k_pairs` — the ``{id: score}`` mapping front end used by the
+  scalar strategies; small inputs go through ``heapq.nsmallest`` (an
+  ``O(n log k)`` drop-in for ``sorted(...)[:k]``), large ones through the
+  array path.
+
+Both are *element-wise identical* to the full sorts they replace: the
+``(-score, id)`` key is unique per candidate, so neither partitioning nor
+the heap can reorder anything the full sort would have ordered differently.
+The property-based suite (``tests/test_topk.py``) pins this equivalence
+under heavy tie groups, ``k >= n``, ``k = 1`` and integer-valued float
+scores.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Mapping
+
+try:  # pragma: no cover - exercised indirectly; numpy is a hard dependency
+    import numpy as np
+except ImportError:  # pragma: no cover - the heap path needs nothing
+    np = None  # type: ignore[assignment]
+
+#: Below this many candidates the heap path wins — converting a small dict
+#: into NumPy arrays costs more than it saves.
+_ARRAY_CUTOVER = 1024
+
+
+def top_k_positions(
+    ids: "np.ndarray", scores: "np.ndarray", k: int
+) -> "np.ndarray":
+    """Positions of the top-``k`` entries of ``(ids, scores)``, ranked.
+
+    The returned index array selects (and orders) the winners by
+    ``(-score, id)``.  ``ids`` must not contain duplicates; ``k`` must be
+    positive.  Selection runs in three steps:
+
+    1. ``argpartition`` on the negated scores finds the ``k``-th best score
+       (the *boundary*) without ordering anything;
+    2. every strictly better candidate is kept; the remaining slots are
+       filled with the boundary-tied candidates of smallest id (again via
+       ``argpartition``, over the tie group only);
+    3. a final ``lexsort`` orders the at-most-``k`` winners.
+
+    Equality on step 2 is float equality — exactly the comparison the full
+    lexsort performs — so the selected set matches the full sort's prefix
+    bit for bit.
+    """
+    if np is None:  # pragma: no cover - numpy is installed in CI
+        raise RuntimeError("top_k_positions requires numpy")
+    n = int(ids.size)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if k < n:
+        neg = -scores
+        partitioned = np.argpartition(neg, k - 1)
+        boundary = neg[partitioned[k - 1]]
+        strict = np.flatnonzero(neg < boundary)
+        need = k - strict.size
+        tied = np.flatnonzero(neg == boundary)
+        if need < tied.size:
+            # Among the boundary tie group the contract keeps the smallest
+            # ids; ``need >= 1`` because the boundary element itself is one
+            # of the k best.
+            take = np.argpartition(ids[tied], need - 1)[:need]
+            tied = tied[take]
+        selected = np.concatenate([strict, tied])
+    else:
+        selected = np.arange(n)
+    order = np.lexsort((ids[selected], -scores[selected]))
+    result: np.ndarray = selected[order]
+    return result
+
+
+def top_k_pairs(
+    scores: Mapping[int, float], k: int
+) -> list[tuple[int, float]]:
+    """Top-``k`` ``(id, score)`` pairs of a score map, best first.
+
+    Bit-identical to ``sorted(scores.items(), key=(-score, id))[:k]``:
+    the sort key is unique per entry (ids are unique), so the heap and the
+    partition select exactly the prefix the full sort would produce.
+    """
+    n = len(scores)
+    if n == 0 or k <= 0:
+        return []
+    if np is None or n <= _ARRAY_CUTOVER or k >= n:
+        return heapq.nsmallest(
+            k, scores.items(), key=lambda item: (-item[1], item[0])
+        )
+    ids = np.fromiter(scores.keys(), dtype=np.int64, count=n)
+    values = np.fromiter(scores.values(), dtype=np.float64, count=n)
+    ranked = top_k_positions(ids, values, k)
+    return [(int(ids[i]), float(values[i])) for i in ranked]

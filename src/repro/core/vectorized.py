@@ -1,9 +1,11 @@
-"""Vectorized batch scoring over the goal model (NumPy/SciPy CSR).
+"""Vectorized scoring over the goal model (NumPy/SciPy CSR).
 
 The reference strategies in :mod:`repro.core.strategies` are pure-Python and
 score one activity at a time — clear, and exactly what the paper's
 pseudocode describes.  Serving 20K carts (the paper's workload) benefits
-from a bulk path.  This module lowers the model into two sparse matrices
+from a bulk path, and a single ``/recommend`` at paper-scale connectivity
+benefits from not walking Python sets at all.  This module lowers the model
+into two sparse matrices
 
 - ``M`` (implementations × actions): ``M[p, a] = 1`` iff ``a ∈ A_p``
   (the ``GI-A-idx`` as a matrix; its transpose is the ``A-GI-idx``),
@@ -15,39 +17,95 @@ the 0/1 activity vector of a user:
 
 - per-implementation overlaps: ``o = M h``  (``|A_p ∩ H|`` for every p);
 - **Breadth** (Eq. 5-6, intersection reading): ``s = Mᵀ o`` — every
-  candidate accumulates the overlap of every implementation containing it;
+  candidate accumulates the overlap of every implementation containing it.
+  Expanding, ``s = (Mᵀ M) h``: the *action co-occurrence matrix*
+  ``S = Mᵀ M`` turns one request into a sum of ``|H|`` precomputed rows;
 - **Focus completeness/closeness**: ``o / |A_p|`` and ``1 / (|A_p| − o)``
   elementwise over implementations with ``0 < o`` and ``o < |A_p|``;
 - **Best Match** profile: ``Gᵀ o`` restricted to the goal space; candidate
   vectors are rows of the precomputed ``C = Mᵀ G`` (action × goal counts).
 
+The single-request :meth:`rank` never materializes full matrix-vector
+products: it gathers only the CSR rows the activity touches (posting
+lists), so per-request cost tracks ``|IS(H)|`` — the same asymptotics as
+the reference strategies, minus the Python interpreter.  Top-``k``
+selection is partial (:mod:`repro.core.topk`), not a full sort.
+
 Results are bit-identical to the reference strategies (asserted in the test
-suite), including the deterministic tie-breaking.
+suite), including the deterministic tie-breaking: every accumulated value is
+an integer count (exact in float64 regardless of summation order), and the
+single ``sqrt`` in the cosine distance matches the reference formula.
 """
 
 from __future__ import annotations
 
-import math
+import threading
 from collections.abc import Callable
 
 import numpy as np
 from scipy import sparse
 
+from repro import obs
 from repro.core.entities import ActionLabel, RecommendationList, ScoredAction
 from repro.core.model import AssociationGoalModel
-from repro.exceptions import RecommendationError
+from repro.core.strategies.base import RankingStrategy, require_request_count
+from repro.core.topk import top_k_positions
 from repro.utils.validation import require_in
 
 _STRATEGIES = ("breadth", "focus_cmp", "focus_cl", "best_match")
 
+#: Above this many candidates, ranked selection goes through the
+#: ``argpartition`` path of :mod:`repro.core.topk`; below it a single
+#: stable ``argsort`` over the (id-ascending) candidates is cheaper than
+#: the partition's extra array passes.
+_PARTITION_CUTOVER = 4096
+
+#: Lock discipline, machine-checked by ``repro-lint`` (rule RL001).  All
+#: other ``BatchRecommender`` state is bound in ``__init__`` and read-only.
+_GUARDED_BY = {
+    "BatchRecommender._cooc": "_cooc_lock",
+}
+
+
+def _gather_positions(
+    indptr: np.ndarray, rows: np.ndarray, cap: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat positions of the CSR entries of ``rows`` (optionally capped).
+
+    Returns ``(positions, lengths)`` where ``positions`` indexes the CSR
+    ``indices``/``data`` arrays for every entry of every requested row,
+    concatenated in row order, and ``lengths`` is the per-row entry count.
+    ``cap`` truncates each row to its first ``cap`` entries — with rows
+    pre-sorted by descending weight this is the budgeted posting-list
+    traversal of the approximate tier.  Pure index arithmetic; no Python
+    loop and no scipy fancy indexing (which would copy through an extractor
+    matrix).
+    """
+    starts = indptr[rows]
+    lengths = indptr[rows + 1] - starts
+    if cap is not None:
+        lengths = np.minimum(lengths, cap)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), lengths
+    offsets = np.zeros(rows.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    positions = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets, lengths)
+        + np.repeat(starts, lengths)
+    )
+    return positions, lengths
+
 
 class BatchRecommender:
-    """Bulk scorer over a frozen goal model.
+    """Vectorized scorer over a frozen goal model.
 
-    Build once per model; every ``recommend_*`` call is a few sparse
-    matrix-vector products.  Use the reference
-    :class:`~repro.core.recommender.GoalRecommender` for one-off requests
-    and explanations; use this for throughput.
+    Build once per model generation; single requests are a few gathered
+    CSR rows, bulk requests a few sparse matrix products.  The serving
+    layer keys one instance per generation (``ModelSnapshot.batch`` /
+    ``CachedModelView.csr_engine``) and routes both the batch endpoint and
+    single-activity ``rank()`` through it.
     """
 
     def __init__(self, model: AssociationGoalModel) -> None:
@@ -84,10 +142,40 @@ class BatchRecommender:
         # (Equation 8's counts for every action at once).
         self._c = (self._mt @ self._g).tocsr()
         self._impl_lengths = np.asarray(self._m.sum(axis=1)).ravel()
+        # int64 copies of the CSR structure for gather arithmetic (scipy
+        # defaults to int32, which _gather_positions' cumulative offsets
+        # would overflow on very large models).
+        self._m_indptr = self._m.indptr.astype(np.int64)
+        self._m_indices = self._m.indices.astype(np.int64)
+        self._post_indptr = self._mt.indptr.astype(np.int64)
+        self._post_indices = self._mt.indices.astype(np.int64)
+        self._c_indptr = self._c.indptr.astype(np.int64)
+        self._c_indices = self._c.indices.astype(np.int64)
+        self._goal_of_impl = goal_cols
+        # Per-action posting-list views (rows of the A-GI index) and the
+        # per-implementation action lists pre-sorted by id: the
+        # single-request rankers concatenate/walk these directly, which
+        # replaces the index arithmetic of ``_gather_positions`` with one
+        # ``np.concatenate`` of a handful of views per request.
+        self._post_rows: list[np.ndarray] = np.split(
+            self._post_indices, self._post_indptr[1:-1]
+        )
+        self._impl_sorted: list[list[int]] = [
+            sorted(model.implementation_actions(pid))
+            for pid in range(model.num_implementations)
+        ]
+        self._labels = model.action_labels()
+        # Action co-occurrence index S = MᵀM, built on the first breadth
+        # rank (exact or pruned) — see _cooccurrence().
+        self._cooc: tuple[list[np.ndarray], list[np.ndarray]] | None = None
+        self._cooc_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+
+    def _activity_array(self, activity: frozenset[int]) -> np.ndarray:
+        return np.fromiter(activity, dtype=np.int64, count=len(activity))
 
     def _activity_vector(self, activity: frozenset[int]) -> np.ndarray:
         h = np.zeros(self.model.num_actions)
@@ -99,16 +187,84 @@ class BatchRecommender:
         """``|A_p ∩ H|`` for every implementation."""
         return self._m @ h
 
+    def _overlap_counts(
+        self, activity: frozenset[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(activity_ids, touched_pids, overlaps)`` via posting lists.
+
+        Gathers the ``A-GI`` posting list of every activity action and
+        counts multiplicities: an implementation appearing ``c`` times
+        shares exactly ``c`` actions with ``H``.  Cost is proportional to
+        the posting mass of the activity, not to the model size.
+        """
+        act = self._activity_array(activity)
+        if not activity:
+            return act, np.empty(0, dtype=np.int64), np.empty(0)
+        touched = np.concatenate([self._post_rows[a] for a in activity])
+        if touched.size == 0:
+            return act, np.empty(0, dtype=np.int64), np.empty(0)
+        pids, counts = np.unique(touched, return_counts=True)
+        return act, pids, counts.astype(np.float64)
+
+    def _cooccurrence(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """The frequency-ordered co-occurrence index, built lazily.
+
+        ``S = MᵀM`` with every row sorted by ``(-count, action_id)``:
+        ``S[b, c]`` counts the implementations containing both ``b`` and
+        ``c``, so summing the rows of the activity's actions *is* the
+        Breadth ranking, and truncating each row to its heaviest entries is
+        the approximate tier's budgeted traversal.  The index is kept as
+        per-row ``(columns, counts)`` views so a request is one
+        ``np.concatenate`` of ``|H|`` views.  Building S costs one spmm
+        (milliseconds at paper scale); the lock keeps concurrent first
+        requests from racing the build.
+        """
+        with self._cooc_lock:
+            cooc = self._cooc
+            if cooc is None:
+                s = (self._mt @ self._m).tocsr()
+                indptr = s.indptr.astype(np.int64)
+                row_of = np.repeat(
+                    np.arange(self.model.num_actions), np.diff(indptr)
+                )
+                order = np.lexsort((s.indices, -s.data, row_of))
+                cols_sorted = s.indices.astype(np.int64)[order]
+                vals_sorted = s.data[order]
+                boundaries = indptr[1:-1]
+                cooc = (
+                    np.split(cols_sorted, boundaries),
+                    np.split(vals_sorted, boundaries),
+                )
+                self._cooc = cooc
+            return cooc
+
+    @staticmethod
+    def _ranked_pairs(
+        ids: np.ndarray, scores: np.ndarray, k: int
+    ) -> list[tuple[int, float]]:
+        """Top-``k`` ``(id, score)`` pairs; ``ids`` must be ascending.
+
+        Every engine call site passes ids straight out of ``np.unique`` /
+        ``np.flatnonzero``, so within a tie group the input order already
+        *is* the contract's ascending-id order — a single stable argsort on
+        the negated scores reproduces the full ``(-score, id)`` lexsort.
+        Large candidate sets go through the partial-selection path instead.
+        """
+        if ids.size > _PARTITION_CUTOVER:
+            ranked = top_k_positions(ids, scores, k)
+        else:
+            ranked = np.argsort(-scores, kind="stable")[:k]
+        return list(zip(ids[ranked].tolist(), scores[ranked].tolist()))
+
     @staticmethod
     def _top_k(scores: np.ndarray, mask: np.ndarray, k: int) -> list[tuple[int, float]]:
         """Top-``k`` (id, score) with the library's tie-break (id asc)."""
         candidates = np.flatnonzero(mask)
         if candidates.size == 0:
             return []
-        # Sort by (-score, id): lexsort's last key is primary.
-        order = np.lexsort((candidates, -scores[candidates]))
-        picked = candidates[order[:k]]
-        return [(int(aid), float(scores[aid])) for aid in picked]
+        return BatchRecommender._ranked_pairs(
+            candidates, scores[candidates], k
+        )
 
     def _candidate_mask(self, h: np.ndarray, overlaps: np.ndarray) -> np.ndarray:
         """Boolean mask of ``AS(H) − H`` derived from the overlaps."""
@@ -125,76 +281,193 @@ class BatchRecommender:
         h = self._activity_vector(activity)
         return self._mt @ self._overlaps(h)
 
+    def _breadth_rank(
+        self, activity: frozenset[int], k: int, budget: int | None = None
+    ) -> list[tuple[int, float]]:
+        """Breadth top-``k`` as a sum of co-occurrence rows.
+
+        ``budget`` caps the traversal of each action's (frequency-ordered)
+        co-occurrence posting list — ``None`` walks them fully and is
+        exact.  A capped request whose rows all fit the budget is exact
+        too, which is what bounds the approximate tier's recall loss to
+        high-connectivity actions.
+        """
+        if not activity:
+            return []
+        col_rows, val_rows = self._cooccurrence()
+        if budget is None:
+            col_parts = [col_rows[a] for a in activity]
+            val_parts = [val_rows[a] for a in activity]
+        else:
+            col_parts = [col_rows[a][:budget] for a in activity]
+            val_parts = [val_rows[a][:budget] for a in activity]
+        sub_cols = np.concatenate(col_parts)
+        if sub_cols.size == 0:
+            return []
+        scores = np.bincount(
+            sub_cols,
+            weights=np.concatenate(val_parts),
+            minlength=self.model.num_actions,
+        )
+        # Candidates are AS(H) − H: every reached action has a positive
+        # co-occurrence count, so zeroing H and keeping the positive
+        # touched columns is the candidate mask.
+        scores[list(activity)] = 0.0
+        candidates = np.unique(sub_cols)
+        cand_scores = scores[candidates]
+        keep = cand_scores > 0.0
+        candidates = candidates[keep]
+        if candidates.size == 0:
+            return []
+        return self._ranked_pairs(candidates, cand_scores[keep], k)
+
+    def pruned_breadth_rank(
+        self, activity: frozenset[int], k: int, budget: int
+    ) -> list[tuple[int, float]]:
+        """Breadth over budget-capped, frequency-ordered posting lists.
+
+        The engine half of
+        :class:`~repro.core.approximate.PrunedBreadthStrategy`: identical
+        to :meth:`rank` with ``strategy="breadth"`` except that each
+        activity action contributes at most its ``budget`` heaviest
+        co-occurrence entries (ties on the count break by ascending action
+        id, matching the scalar fallback).
+        """
+        require_request_count(budget, "budget")
+        return self._breadth_rank(activity, k, budget=budget)
+
     def focus_rank(
         self, activity: frozenset[int], k: int, measure: str
     ) -> list[tuple[int, float]]:
         """Focus ranking via vectorized implementation scoring.
 
-        Implementation scores are computed in bulk; the list-filling walk
-        over ranked implementations matches the reference algorithm.
+        Implementation scores are computed over the gathered posting lists
+        (cost tracks ``|IS(H)|``); the list-filling walk over ranked
+        implementations matches the reference algorithm.
         """
-        h = self._activity_vector(activity)
-        overlaps = self._overlaps(h)
-        lengths = self._impl_lengths
-        recommendable = (overlaps > 0) & (overlaps < lengths)
-        pids = np.flatnonzero(recommendable)
-        if pids.size == 0:
+        if not activity:
             return []
+        touched = np.concatenate([self._post_rows[a] for a in activity])
+        size = touched.size
+        if size == 0:
+            return []
+        # Inlined ``np.unique(touched, return_counts=True)``: the
+        # concatenation is a fresh array, so the sort runs in place, and
+        # run boundaries give both the unique pids and their overlap
+        # counts with fewer temporary passes.
+        touched.sort()
+        boundary = np.empty(size, dtype=bool)
+        boundary[0] = True
+        np.not_equal(touched[1:], touched[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        pids = touched[starts]
+        counts = np.diff(starts, append=size)
+        lengths = self._impl_lengths[pids]
+        # Every touched implementation has overlap >= 1; the ones with
+        # *full* overlap (not recommendable) score exactly 1.0 under
+        # completeness and +inf under closeness — both sort to the front
+        # of the walk, where a sentinel comparison skips them without
+        # materializing the filtered arrays.
         if measure == "completeness":
-            scores = overlaps[pids] / lengths[pids]
+            scores = counts / lengths
+            full = 1.0
         else:
-            scores = 1.0 / (lengths[pids] - overlaps[pids])
-        order = np.lexsort((pids, -scores))
+            # Clamping the zero denominators (full overlap) to 0.5 maps
+            # the sentinels to 2.0 — still strictly above every real
+            # closeness score (<= 1.0) so they keep sorting to the front,
+            # without the per-call ``np.errstate`` context that silencing
+            # a division warning would cost.  Real scores are untouched.
+            scores = 1.0 / np.maximum(lengths - counts, 0.5)
+            full = 2.0
+        # ``pids`` is ascending, so a stable sort on the negated scores
+        # equals the reference's ``(-score, pid)`` lexsort.
+        order = np.argsort(-scores, kind="stable")
+        # The walk usually consumes a couple dozen implementations before
+        # filling ``k``, so it materializes the ranked prefix chunk by
+        # chunk — pure-Python iteration over small lists beats per-element
+        # NumPy scalar access on the actual consumption pattern.
+        impl_sorted = self._impl_sorted
         result: list[tuple[int, float]] = []
         seen: set[int] = set()
-        for index in order:
-            pid = int(pids[index])
-            score = float(scores[index])
-            remaining = sorted(
-                self.model.implementation_actions(pid) - activity
-            )
-            for aid in remaining:
-                if aid in seen:
+        chunk = max(2 * k, 16)
+        for start in range(0, order.size, chunk):
+            window = order[start:start + chunk]
+            for pid, score in zip(
+                pids[window].tolist(), scores[window].tolist()
+            ):
+                if score >= full:
                     continue
-                seen.add(aid)
-                result.append((aid, score))
-                if len(result) == k:
-                    return result
+                for aid in impl_sorted[pid]:
+                    if aid in activity or aid in seen:
+                        continue
+                    seen.add(aid)
+                    result.append((aid, score))
+                    if len(result) == k:
+                        return result
         return result
+
+    def _best_match_scores(
+        self, activity: frozenset[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(candidate_ids, -distance)`` arrays for the Best Match ranking.
+
+        Works entirely on gathered CSR rows: the goal profile is a bincount
+        over the touched implementations' goals, and each candidate's dot
+        product / squared norm over the goal space comes from its row of
+        ``C`` — the profile vector is zero outside ``GS(H)``, which
+        restricts the dot product exactly like the reference's axis
+        projection.  All accumulations are integer-valued (exact in
+        float64) and the distance applies the reference's single
+        ``sqrt(norm_u * norm_v)``, so scores are bit-identical to
+        :class:`~repro.core.strategies.best_match.BestMatchStrategy`.
+        """
+        act, pids, overlaps = self._overlap_counts(activity)
+        empty = np.empty(0, dtype=np.int64), np.empty(0)
+        if pids.size == 0:
+            return empty
+        positions, _ = _gather_positions(self._m_indptr, pids)
+        reach = np.unique(self._m_indices[positions])
+        candidates = reach[~np.isin(reach, act)]
+        if candidates.size == 0:
+            return empty
+        touched_goals = self._goal_of_impl[pids]
+        profile = np.bincount(
+            touched_goals, weights=overlaps, minlength=self.model.num_goals
+        )
+        profile_norm_sq = float(profile @ profile)
+        gs_indicator = np.zeros(self.model.num_goals)
+        gs_indicator[touched_goals] = 1.0
+        c_positions, c_lengths = _gather_positions(self._c_indptr, candidates)
+        c_goals = self._c_indices[c_positions]
+        c_counts = self._c.data[c_positions]
+        row_ids = np.repeat(np.arange(candidates.size), c_lengths)
+        dots = np.bincount(
+            row_ids,
+            weights=c_counts * profile[c_goals],
+            minlength=candidates.size,
+        )
+        norms_sq = np.bincount(
+            row_ids,
+            weights=(c_counts * c_counts) * gs_indicator[c_goals],
+            minlength=candidates.size,
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            # One sqrt of the product, exactly like the reference
+            # ``cosine_distance`` — ``sqrt(a) * sqrt(b)`` differs from
+            # ``sqrt(a * b)`` by 1 ulp on some inputs, which is enough to
+            # split a tie group relative to the scalar strategy.
+            scores = -(1.0 - dots / np.sqrt(norms_sq * profile_norm_sq))
+        degenerate = (norms_sq == 0.0) | (profile_norm_sq == 0.0)
+        if degenerate.any():
+            scores[degenerate] = -1.0
+        return candidates, scores
 
     def best_match_distances(self, activity: frozenset[int]) -> dict[int, float]:
         """Cosine distances of every candidate to the goal-space profile."""
-        h = self._activity_vector(activity)
-        overlaps = self._overlaps(h)
-        mask = self._candidate_mask(h, overlaps)
-        touched_goals = np.flatnonzero(
-            self._g.T @ (overlaps > 0).astype(np.float64)
-        )
-        if touched_goals.size == 0:
-            return {}
-        # Profile over the goal axis: Gᵀ (M h) restricted to GS(H).
-        profile = (self._g.T @ overlaps)[touched_goals]
-        profile_norm_sq = float(profile @ profile)
-        candidate_ids = np.flatnonzero(mask)
-        vectors = self._c[candidate_ids][:, touched_goals].toarray()
-        dots = vectors @ profile
-        norms_sq = (vectors * vectors).sum(axis=1)
-        distances: dict[int, float] = {}
-        for row, aid in enumerate(candidate_ids):
-            norm_sq = float(norms_sq[row])
-            if norm_sq == 0.0 or profile_norm_sq == 0.0:
-                distances[int(aid)] = 1.0
-            else:
-                # One sqrt of the product, exactly like the reference
-                # ``cosine_distance`` — ``sqrt(a) * sqrt(b)`` differs from
-                # ``sqrt(a * b)`` by 1 ulp on some inputs, which is enough
-                # to split a tie group and reorder the ranking relative to
-                # the scalar strategy (all accumulations here are
-                # integer-valued, hence exact in float64).
-                distances[int(aid)] = 1.0 - float(dots[row]) / math.sqrt(
-                    norm_sq * profile_norm_sq
-                )
-        return distances
+        candidates, scores = self._best_match_scores(activity)
+        return {
+            int(aid): -float(score) for aid, score in zip(candidates, scores)
+        }
 
     # ------------------------------------------------------------------
     # Public API
@@ -206,20 +479,14 @@ class BatchRecommender:
         """Top-``k`` ``(action_id, score)`` under ``strategy``."""
         require_in(strategy, _STRATEGIES, "strategy")
         if strategy == "breadth":
-            h = self._activity_vector(activity)
-            overlaps = self._overlaps(h)
-            scores = self._mt @ overlaps
-            mask = self._candidate_mask(h, overlaps) & (scores > 0)
-            return self._top_k(scores, mask, k)
+            return self._breadth_rank(activity, k)
         if strategy in ("focus_cmp", "focus_cl"):
             measure = "completeness" if strategy == "focus_cmp" else "closeness"
             return self.focus_rank(activity, k, measure)
-        distances = self.best_match_distances(activity)
-        scored = sorted(
-            ((aid, -distance) for aid, distance in distances.items()),
-            key=lambda item: (-item[1], item[0]),
-        )
-        return scored[:k]
+        candidates, scores = self._best_match_scores(activity)
+        if candidates.size == 0:
+            return []
+        return self._ranked_pairs(candidates, scores, k)
 
     def recommend(
         self,
@@ -228,17 +495,20 @@ class BatchRecommender:
         strategy: str = "breadth",
     ) -> RecommendationList:
         """Label-level single-request entry point."""
-        if k <= 0:
-            raise RecommendationError(f"k must be positive, got {k}")
+        require_request_count(k, "k")
         encoded = self.model.encode_activity(activity)
         ranked = self.rank(encoded, k, strategy)
+        labels = self._labels
         return RecommendationList(
             strategy=strategy,
             items=tuple(
-                ScoredAction(self.model.action_label(aid), score)
-                for aid, score in ranked
+                ScoredAction(labels[aid], score) for aid, score in ranked
             ),
-            activity=frozenset(activity),
+            # Decode the *encoded* activity: labels the model has never
+            # seen carry no goal evidence and are dropped, exactly like
+            # RankingStrategy.recommend — the parity suite compares the
+            # activity field across both paths.
+            activity=frozenset(labels[aid] for aid in encoded),
         )
 
     def rank_many_breadth(
@@ -298,13 +568,9 @@ class BatchRecommender:
         callback raises) instead of scoring the remaining chunks; any
         exception it raises propagates unchanged.
         """
-        if k <= 0:
-            raise RecommendationError(f"k must be positive, got {k}")
+        require_request_count(k, "k")
         require_in(strategy, _STRATEGIES, "strategy")
-        if chunk_size <= 0:
-            raise RecommendationError(
-                f"chunk_size must be positive, got {chunk_size}"
-            )
+        require_request_count(chunk_size, "chunk_size")
         activities = list(activities)
         if strategy != "breadth":
             results_scalar: list[RecommendationList] = []
@@ -323,15 +589,81 @@ class BatchRecommender:
             if checkpoint is not None:
                 checkpoint(start)
             block = encoded[start:start + chunk_size]
+            labels = self._labels
             for offset, ranked in enumerate(self.rank_many_breadth(block, k)):
                 results.append(
                     RecommendationList(
                         strategy=strategy,
                         items=tuple(
-                            ScoredAction(self.model.action_label(aid), score)
+                            ScoredAction(labels[aid], score)
                             for aid, score in ranked
                         ),
-                        activity=frozenset(activities[start + offset]),
+                        activity=frozenset(
+                            labels[aid] for aid in encoded[start + offset]
+                        ),
                     )
                 )
         return results
+
+
+class CsrStrategy(RankingStrategy):
+    """Adapter presenting one :class:`BatchRecommender` strategy as a
+    :class:`~repro.core.strategies.base.RankingStrategy`.
+
+    The facade swaps this in for the scalar strategy of the same name when
+    a CSR engine is available, so the whole instrumented ``recommend``
+    machinery (spans, histograms, label decoding) runs unchanged while the
+    scoring happens in the engine.  The ``model`` argument of :meth:`rank`
+    is ignored — the engine is bound to its own model generation, and the
+    facade guarantees both refer to the same frozen model.
+    """
+
+    def __init__(self, engine: BatchRecommender, name: str) -> None:
+        require_in(name, _STRATEGIES, "strategy")
+        self.engine = engine
+        self.name = name
+
+    def rank(
+        self,
+        model: object,
+        activity: frozenset[int],
+        k: int,
+    ) -> list[tuple[int, float]]:
+        return self.engine.rank(activity, k, self.name)
+
+    def recommend(
+        self,
+        model: object,  # type: ignore[override]
+        activity: frozenset[int],
+        k: int,
+    ) -> RecommendationList:
+        """Validate, rank and decode — bit-identical to the base method.
+
+        With observability off (the serving hot path) the base method's
+        span/histogram plumbing and per-id ``action_label`` calls are pure
+        overhead, so this override decodes through the engine's cached
+        label table instead.  With observability on it defers to the
+        instrumented base implementation unchanged.
+        """
+        if obs.is_enabled():
+            return super().recommend(model, activity, k)  # type: ignore[arg-type]
+        require_request_count(k, "k")
+        ranked = self.engine.rank(activity, k, self.name)
+        labels = self.engine._labels
+        # The engine's contract already guarantees ``(id, float)`` pairs,
+        # so the items skip the dataclass ``__init__``/``__post_init__``
+        # re-validation — equality and hashing are field-based and see
+        # objects identical to validated ones.
+        new_item = ScoredAction.__new__
+        set_field = object.__setattr__
+        items: list[ScoredAction] = []
+        for aid, score in ranked:
+            item = new_item(ScoredAction)
+            set_field(item, "action", labels[aid])
+            set_field(item, "score", score)
+            items.append(item)
+        return RecommendationList(
+            strategy=self.name,
+            items=tuple(items),
+            activity=frozenset(labels[aid] for aid in activity),
+        )

@@ -122,6 +122,7 @@ if TYPE_CHECKING:  # pragma: no cover - the runtime import is lazy (optional dep
 
 from repro import obs
 from repro._version import __version__
+from repro.core.approximate import PrunedBreadthStrategy
 from repro.core.caching import CachedModelView, CachingRecommender, LRUCache
 from repro.core.entities import ActionLabel, GoalLabel, RecommendationList
 from repro.core.incremental import IncrementalGoalModel
@@ -144,6 +145,11 @@ from repro.utils.concurrency import RWLock
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB: an activity list, not a bulk upload
 _MAX_BATCH_BODY_BYTES = 8 << 20  # batch scoring legitimately ships more
 _MAX_BATCH_ACTIVITIES = 50_000  # backstop against unbounded fan-out
+
+#: Serving tiers of ``POST /recommend``: ``exact`` runs the requested
+#: strategy as-is, ``approx`` swaps Breadth for its budgeted pruning tier
+#: (``breadth_pruned``) — see docs/performance.md.
+_TIERS = ("exact", "approx")
 
 #: Known routes by supported method; wrong-method hits answer 405.
 _GET_ROUTES = (
@@ -226,9 +232,18 @@ class ModelSnapshot:
         Built on first use and reused for every later batch request of the
         same generation; returns ``None`` when the model is empty or the
         vectorized engine's dependencies (NumPy/SciPy) are unavailable.
+        The engine is shared with the single-request hot path: when the
+        recommender's model view exposes ``csr_engine()`` (the serving
+        layer's :class:`~repro.core.caching.CachedModelView` does), both
+        paths score through the same precomputed matrices.
         """
         if self.frozen is None:
             return None
+        if self.recommender is not None:
+            factory = getattr(self.recommender.model, "csr_engine", None)
+            if factory is not None:
+                engine: BatchRecommender | None = factory()
+                return engine
         with self._batch_lock:
             if self._batch is None:
                 try:
@@ -255,10 +270,12 @@ class ModelManager:
         cache_size: int = 1024,
         space_cache_size: int = 4096,
         on_swap: Callable[[ModelSnapshot], None] | None = None,
+        approx_budget: int = 128,
     ) -> None:
         self._lock = RWLock()
         self._incremental = incremental
         self._generation = 0
+        self._approx_budget = approx_budget
         # Invoked (under the write lock) with every snapshot published by
         # a hot mutation — the service uses it to refreeze the drift
         # baseline per generation.  NOT called for the initial snapshot
@@ -287,6 +304,12 @@ class ModelManager:
         )
         if self._base_recommender is None:
             recommender = GoalRecommender(cached_view)
+            # The approximate tier's budget is service configuration, not a
+            # registry default; the pin lives in the shared strategy cache,
+            # so it survives generation swaps.
+            recommender.use_strategy(
+                PrunedBreadthStrategy(budget=self._approx_budget)
+            )
         else:
             # Rebind instead of rebuilding so strategy instances survive
             # generation swaps.
@@ -621,6 +644,27 @@ class _Handler(BaseHTTPRequestHandler):
             )
             return None
         return strategy
+
+    def _tier_from(self, payload: dict) -> str | None:
+        """The requested serving tier: ``exact`` (default) or ``approx``.
+
+        Read from the query string (``?tier=approx``, which wins) or the
+        body key ``tier``; anything else answers 400 and returns ``None``.
+        """
+        params = dict(
+            part.split("=", 1)
+            for part in self._query.split("&")
+            if "=" in part
+        )
+        tier = params.get("tier", payload.get("tier", "exact"))
+        if tier not in _TIERS:
+            self._send_error(
+                400,
+                f"'tier' must be one of {', '.join(_TIERS)}",
+                detail=f"got {tier!r}",
+            )
+            return None
+        return str(tier)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -1014,6 +1058,21 @@ class _Handler(BaseHTTPRequestHandler):
         strategy = self._strategy_from(payload)
         if strategy is None:
             return
+        tier = self._tier_from(payload)
+        if tier is None:
+            return
+        if tier == "approx":
+            # Only Breadth has a pruned tier; a request pairing
+            # tier=approx with another strategy is a contradiction, not a
+            # silent fallback to exact.
+            if strategy != "breadth":
+                self._send_error(
+                    400,
+                    "tier 'approx' requires strategy 'breadth'",
+                    detail=f"got strategy {strategy!r}",
+                )
+                return
+            strategy = "breadth_pruned"
         result, cached, generation = self.service.manager.recommend(
             activity, k=k, strategy=strategy
         )
@@ -1021,6 +1080,7 @@ class _Handler(BaseHTTPRequestHandler):
             200,
             {
                 "strategy": result.strategy,
+                "tier": tier,
                 "cached": cached,
                 "generation": generation,
                 "recommendations": [
@@ -1315,6 +1375,9 @@ class RecommenderService:
             queries per request); implies nothing unless tracing is on.
         cache_size: capacity of the ``(generation, strategy, activity, k)``
             recommendation LRU; 0 disables result caching.
+        approx_budget: per-action posting-list cap of the ``tier=approx``
+            recommend path (``breadth_pruned``) — see docs/performance.md
+            for the recall/latency trade-off.
         space_cache_size: capacity of the memoized ``implementation_space``
             LRU; 0 disables the memo.
         slow_threshold_seconds: requests at least this slow are logged in
@@ -1362,6 +1425,7 @@ class RecommenderService:
         trace_detail: bool = True,
         cache_size: int = 1024,
         space_cache_size: int = 4096,
+        approx_budget: int = 128,
         slow_threshold_seconds: float = 0.1,
         slow_log_size: int = 32,
         max_inflight: int = 64,
@@ -1418,6 +1482,7 @@ class RecommenderService:
             cache_size=cache_size,
             space_cache_size=space_cache_size,
             on_swap=self._on_model_swap,
+            approx_budget=approx_budget,
         )
         # The manager's constructor built the generation-0 snapshot before
         # the swap callback could see it; freeze the initial baseline now.

@@ -98,6 +98,12 @@ def assert_identical(expected, actual, context):
         assert act_item.score == exp_item.score, (
             f"{context}: score diverged on {act_item.action}"
         )
+    # The recorded activity must agree too: both paths decode the *encoded*
+    # activity, dropping labels the model has never seen (regression for
+    # the batch path echoing raw ids in the ``activity`` field).
+    assert actual.activity == expected.activity, (
+        f"{context}: activity field diverged"
+    )
 
 
 def check_parity(model, activities, k=10):
@@ -170,6 +176,34 @@ class TestRandomizedParity:
             want = reference.recommend(activity, k=10, strategy="best_match")
             got = batch.recommend(activity, k=10, strategy="best_match")
             assert_identical(want, got, f"best_match-ties/{sorted(activity)}")
+
+
+class TestActivityFieldParity:
+    """The ``activity`` echoed on results is label-level and OOV-free."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_unknown_labels_dropped_identically(self, strategy):
+        rng = random.Random(3)
+        model = AssociationGoalModel.from_pairs(random_pairs(rng))
+        reference = GoalRecommender(model)
+        batch = BatchRecommender(model)
+        known = {model.action_label(0), model.action_label(1)}
+        activity = known | {"never-seen", "also-unknown"}
+        want = reference.recommend(activity, k=10, strategy=strategy)
+        got = batch.recommend(activity, k=10, strategy=strategy)
+        assert want.activity == known
+        assert_identical(want, got, f"oov/{strategy}")
+        # The bulk path echoes per-row activities, not the last chunk's.
+        many = batch.recommend_many(
+            [frozenset(activity), frozenset(known)],
+            k=10, strategy=strategy, chunk_size=1,
+        )
+        assert [r.activity for r in many] == [known, known]
+
+    def test_activity_is_labels_not_ids(self, figure1_model):
+        batch = BatchRecommender(figure1_model)
+        result = batch.recommend({"a1"}, k=5)
+        assert result.activity == frozenset({"a1"})
 
 
 class TestParityAcrossMutation:

@@ -267,3 +267,26 @@ def test_exports_available_from_core():
     model = AssociationGoalModel.from_pairs([("g", {"a", "b"})])
     view = CachedModelView(model)
     assert view.num_implementations == 1
+
+
+class TestCachedViewCsrEngine:
+    def test_engine_memoized(self, figure1_model):
+        view = CachedModelView(figure1_model)
+        engine = view.csr_engine()
+        if engine is None:
+            pytest.skip("SciPy unavailable")
+        assert view.csr_engine() is engine
+
+    def test_recommender_over_view_auto_routes_with_parity(
+        self, figure1_model
+    ):
+        view = CachedModelView(figure1_model)
+        routed = GoalRecommender(view)
+        if routed.csr_engine() is None:
+            pytest.skip("SciPy unavailable")
+        scalar = GoalRecommender(figure1_model, use_csr=False)
+        for strategy in ("breadth", "focus_cmp", "focus_cl", "best_match"):
+            for raw in ({"a1"}, {"a1", "a2"}, {"a6"}, set()):
+                assert routed.recommend(raw, k=10, strategy=strategy) == (
+                    scalar.recommend(raw, k=10, strategy=strategy)
+                )

@@ -193,6 +193,34 @@ class TestServe:
         )
         assert code == 2
 
+    def test_approx_budget_flag_parses_with_default(self, library_path):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        args = parser.parse_args(
+            ["serve", "--library", str(library_path)]
+        )
+        assert args.approx_budget == 128
+        args = parser.parse_args(
+            [
+                "serve", "--library", str(library_path),
+                "--approx-budget", "5",
+            ]
+        )
+        assert args.approx_budget == 5
+
+    def test_approx_budget_reaches_service(self, library_path, capsys):
+        import argparse
+
+        from repro.cli import _cmd_serve
+
+        args = argparse.Namespace(
+            library=library_path, host="127.0.0.1", port=0, approx_budget=9
+        )
+        code = _cmd_serve(args, block=False)
+        assert code == 0
+        assert "serving" in capsys.readouterr().out
+
 
 class TestProfileFlag:
     def test_profile_report_goes_to_stderr(self, library_path, capsys):

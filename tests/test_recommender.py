@@ -93,3 +93,97 @@ class TestExplain:
         # an activity that cannot reach it.
         evidence = recommender.explain({"pickles"}, "flour")
         assert evidence == {}
+
+
+class TestCsrRouting:
+    """The ``use_csr`` policy: routing is a performance choice, never a
+    results choice."""
+
+    @pytest.mark.parametrize("strategy", PAPER_STRATEGIES)
+    def test_csr_and_scalar_agree(self, figure1_model, strategy):
+        scalar = GoalRecommender(figure1_model, use_csr=False)
+        csr = GoalRecommender(figure1_model, use_csr=True)
+        for activity in ({"a1"}, {"a1", "a2"}, {"a2", "a6"}, set()):
+            assert csr.recommend(activity, k=10, strategy=strategy) == (
+                scalar.recommend(activity, k=10, strategy=strategy)
+            )
+
+    def test_use_csr_false_never_builds_engine(self, figure1_model):
+        recommender = GoalRecommender(figure1_model, use_csr=False)
+        assert recommender.csr_engine() is None
+
+    def test_bare_model_defaults_to_scalar(self, figure1_model):
+        # Auto mode only routes when the model exposes a generation-keyed
+        # engine; a bare AssociationGoalModel does not.
+        recommender = GoalRecommender(figure1_model)
+        assert recommender.csr_engine() is None
+
+    def test_use_csr_true_builds_private_engine_once(self, figure1_model):
+        recommender = GoalRecommender(figure1_model, use_csr=True)
+        engine = recommender.csr_engine()
+        assert engine is not None
+        assert recommender.csr_engine() is engine
+
+    def test_cached_view_auto_routes(self, figure1_model):
+        from repro.core.caching import CachedModelView
+
+        view = CachedModelView(figure1_model)
+        recommender = GoalRecommender(view)
+        engine = recommender.csr_engine()
+        assert engine is not None
+        # The engine belongs to the view (generation-keyed), not to the
+        # facade: a second facade over the same view shares it.
+        assert GoalRecommender(view).csr_engine() is engine
+
+    def test_options_bypass_csr(self, figure1_model):
+        csr = GoalRecommender(figure1_model, use_csr=True)
+        chosen = csr.strategy("breadth")
+        assert csr._runner("breadth", chosen, {"x": 1}) is chosen
+        assert csr._runner("breadth", chosen, {}) is not chosen
+
+    def test_with_model_copies_policy(self, figure1_model, recipe_model):
+        recommender = GoalRecommender(figure1_model, use_csr=True)
+        rebound = recommender.with_model(recipe_model)
+        assert rebound.use_csr is True
+        assert rebound.csr_engine() is not None
+
+    def test_recommend_all_parity(self, figure1_model):
+        scalar = GoalRecommender(figure1_model, use_csr=False)
+        csr = GoalRecommender(figure1_model, use_csr=True)
+        assert csr.recommend_all({"a1"}, k=5) == scalar.recommend_all(
+            {"a1"}, k=5
+        )
+
+
+class TestDeadlineSpaceMemo:
+    """A deadline-carrying request over an uncached model runs each space
+    query once (S3): the pipeline memo is handed to the strategy."""
+
+    class _CountingModel:
+        def __init__(self, model):
+            self._model = model
+            self.implementation_space_calls = 0
+
+        def __getattr__(self, name):
+            return getattr(self._model, name)
+
+        def implementation_space(self, activity):
+            self.implementation_space_calls += 1
+            return self._model.implementation_space(activity)
+
+    def test_space_queried_once_under_deadline(self, figure1_model):
+        from repro.resilience.deadlines import Deadline, deadline_scope
+
+        spy = self._CountingModel(figure1_model)
+        recommender = GoalRecommender(spy, use_csr=False)
+        with deadline_scope(Deadline.after_ms(10_000)):
+            result = recommender.recommend({"a1"}, k=5, strategy="breadth")
+        assert result.actions()
+        assert spy.implementation_space_calls == 1
+
+    def test_no_deadline_no_extra_queries(self, figure1_model):
+        spy = self._CountingModel(figure1_model)
+        recommender = GoalRecommender(spy, use_csr=False)
+        recommender.recommend({"a1"}, k=5, strategy="breadth")
+        # Without a deadline the facade never drives the pipeline itself.
+        assert spy.implementation_space_calls <= 1

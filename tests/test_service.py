@@ -258,3 +258,67 @@ class TestConcurrency:
         assert not errors
         assert len(set(results)) == 1
         assert results[0][0] == 200
+
+
+class TestServingTiers:
+    def test_default_tier_is_exact(self, service):
+        status, body = call(
+            service, "/recommend", {"activity": ["potatoes"], "k": 3}
+        )
+        assert status == 200
+        assert body["tier"] == "exact"
+        assert body["strategy"] == "breadth"
+
+    def test_approx_tier_via_body(self, service):
+        status, body = call(
+            service,
+            "/recommend",
+            {"activity": ["potatoes"], "k": 3, "tier": "approx"},
+        )
+        assert status == 200
+        assert body["tier"] == "approx"
+        assert body["strategy"] == "breadth_pruned"
+        assert body["recommendations"]
+
+    def test_approx_tier_via_query_param_wins(self, service):
+        status, body = call(
+            service,
+            "/recommend?tier=approx",
+            {"activity": ["potatoes"], "k": 3, "tier": "exact"},
+        )
+        assert status == 200
+        assert body["tier"] == "approx"
+        assert body["strategy"] == "breadth_pruned"
+
+    def test_approx_matches_exact_at_toy_scale(self, service):
+        """Connectivity here is far below the default budget, so the pruned
+        tier returns the exact Breadth ranking."""
+        payload = {"activity": ["potatoes", "carrots"], "k": 5}
+        _, exact = call(service, "/recommend", payload)
+        _, approx = call(
+            service, "/recommend", {**payload, "tier": "approx"}
+        )
+        assert approx["recommendations"] == exact["recommendations"]
+
+    def test_invalid_tier_400(self, service):
+        status, body = call(
+            service,
+            "/recommend",
+            {"activity": ["potatoes"], "k": 3, "tier": "turbo"},
+        )
+        assert status == 400
+        assert "tier" in body["error"]
+
+    def test_approx_requires_breadth(self, service):
+        status, body = call(
+            service,
+            "/recommend",
+            {
+                "activity": ["potatoes"],
+                "k": 3,
+                "tier": "approx",
+                "strategy": "focus_cl",
+            },
+        )
+        assert status == 400
+        assert body["error"] == "tier 'approx' requires strategy 'breadth'"

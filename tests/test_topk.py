@@ -1,0 +1,114 @@
+"""Property suite for the partial top-k selection (S4).
+
+``repro.core.topk`` replaces full ``sorted(...)[:k]`` rankings with
+``heapq``/``argpartition``-based partial selection.  Both replacements must
+be *element-wise identical* to the full sort under the library's
+``(-score, id)`` determinism contract.  The generators lean on the
+regimes where partial selection is easiest to get wrong:
+
+- heavy tie groups (scores drawn from a tiny pool, so the ``k``-th
+  boundary is almost always tied),
+- ``k >= n`` and ``k = 1``,
+- integer-valued floats (the library's score arithmetic is exact integer
+  counts in float64, so equality comparisons are meaningful).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.topk as topk
+from repro.core.topk import top_k_pairs, top_k_positions
+
+#: Tiny score pools force boundary ties; wider floats cover the generic
+#: case.  Integer-valued floats mirror the library's count arithmetic.
+tie_heavy_scores = st.floats(
+    min_value=0, max_value=4, allow_nan=False
+).map(float) | st.integers(min_value=-3, max_value=3).map(float)
+
+score_maps = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=10_000),
+    values=tie_heavy_scores,
+    max_size=64,
+)
+
+
+def full_sort_reference(scores: dict[int, float], k: int):
+    return sorted(scores.items(), key=lambda item: (-item[1], item[0]))[:k]
+
+
+class TestTopKPairs:
+    @given(scores=score_maps, k=st.integers(min_value=1, max_value=80))
+    @settings(max_examples=200)
+    def test_matches_full_sort(self, scores, k):
+        assert top_k_pairs(scores, k) == full_sort_reference(scores, k)
+
+    @given(scores=score_maps, k=st.integers(min_value=1, max_value=80))
+    @settings(max_examples=200)
+    def test_array_path_matches_full_sort(self, scores, k):
+        """Force the NumPy path for inputs the cutover would send to the heap."""
+        original = topk._ARRAY_CUTOVER
+        topk._ARRAY_CUTOVER = 0
+        try:
+            assert top_k_pairs(scores, k) == full_sort_reference(scores, k)
+        finally:
+            topk._ARRAY_CUTOVER = original
+
+    def test_empty_input(self):
+        assert top_k_pairs({}, 5) == []
+
+    def test_k_zero_or_negative(self):
+        assert top_k_pairs({1: 2.0}, 0) == []
+        assert top_k_pairs({1: 2.0}, -3) == []
+
+    def test_large_input_crosses_cutover(self):
+        """An input past the cutover exercises the array path end to end."""
+        rng = np.random.default_rng(0)
+        n = topk._ARRAY_CUTOVER + 500
+        scores = {i: float(rng.integers(0, 7)) for i in range(n)}
+        for k in (1, 10, n - 1):
+            assert top_k_pairs(scores, k) == full_sort_reference(scores, k)
+
+
+class TestTopKPositions:
+    @given(
+        data=st.lists(tie_heavy_scores, min_size=1, max_size=64),
+        k=st.integers(min_value=1, max_value=80),
+    )
+    @settings(max_examples=200)
+    def test_matches_full_lexsort_prefix(self, data, k):
+        scores = np.asarray(data, dtype=np.float64)
+        # Non-contiguous ids, still unique.
+        ids = np.arange(scores.size, dtype=np.int64) * 3 + 1
+        ranked = top_k_positions(ids, scores, k)
+        full = np.lexsort((ids, -scores))[:k]
+        assert ranked.tolist() == full.tolist()
+
+    def test_k_one_picks_smallest_id_among_tied_max(self):
+        ids = np.array([7, 3, 9, 5], dtype=np.int64)
+        scores = np.array([2.0, 2.0, 2.0, 1.0])
+        ranked = top_k_positions(ids, scores, 1)
+        assert ids[ranked].tolist() == [3]
+
+    def test_k_at_least_n_returns_full_ranking(self):
+        ids = np.array([4, 1, 2], dtype=np.int64)
+        scores = np.array([1.0, 1.0, 3.0])
+        ranked = top_k_positions(ids, scores, 10)
+        assert ids[ranked].tolist() == [2, 1, 4]
+
+    def test_boundary_tie_group_filled_by_smallest_ids(self):
+        # Three candidates tie at the k-th boundary; only the two smallest
+        # ids of the tie group may fill the remaining slots.
+        ids = np.array([10, 20, 30, 40, 50], dtype=np.int64)
+        scores = np.array([5.0, 3.0, 3.0, 3.0, 1.0])
+        ranked = top_k_positions(ids, scores, 3)
+        assert ids[ranked].tolist() == [10, 20, 30]
+
+    def test_empty(self):
+        ranked = top_k_positions(
+            np.empty(0, dtype=np.int64), np.empty(0), 3
+        )
+        assert ranked.size == 0
