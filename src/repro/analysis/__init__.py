@@ -16,7 +16,13 @@ rules that pytest can only probe and a reviewer can only hope to spot:
 - **RL004 error-shape** — HTTP handlers can only emit non-2xx responses
   through the uniform ``{"error": ..., "detail": ...}`` envelope;
 - **RL005 nondeterminism** — no wall-clock or unseeded randomness inside
-  the scoring paths of :mod:`repro.core`.
+  the scoring paths of :mod:`repro.core`;
+- **RL006 lock-order-inversion** — the inter-procedural lock-acquisition
+  graph (seeded from ``_GUARDED_BY`` maps and ``with self._lock`` /
+  ``acquire()`` patterns, fixpoint over the call graph) must be acyclic;
+- **RL007 undeclared-lock-nesting** — acquiring a lock while holding
+  another requires the pair to be declared in the ``locks.toml`` ordering
+  manifest shared with the runtime lock sanitizer.
 
 See ``docs/static-analysis.md`` for the full rule catalogue, the
 ``_GUARDED_BY`` registration convention and the pragma syntax
@@ -33,6 +39,7 @@ from repro.analysis.registry import RULES, Rule, register_rule
 from repro.analysis import determinism as _determinism  # noqa: F401
 from repro.analysis import error_shape as _error_shape  # noqa: F401
 from repro.analysis import guards as _guards  # noqa: F401
+from repro.analysis import lockorder as _lockorder  # noqa: F401
 from repro.analysis import metrics_names as _metrics_names  # noqa: F401
 from repro.analysis import purity as _purity  # noqa: F401
 

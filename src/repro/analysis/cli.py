@@ -27,7 +27,9 @@ from repro.analysis.engine import (
     load_module,
     run_lint,
 )
+from repro.analysis.lockorder import set_manifest_path
 from repro.analysis.registry import RULES, self_check
+from repro.utils.lockmanifest import find_manifest
 
 #: Walk at most this many directories up from the package (or cwd) when
 #: looking for the documentation files ``--self-check`` cross-references.
@@ -66,7 +68,9 @@ def _metric_modules() -> list[ModuleInfo]:
     return modules
 
 
-def _run_self_check(docs: str | None, metrics_docs: str | None, out) -> int:
+def _run_self_check(
+    docs: str | None, metrics_docs: str | None, locks: str | None, out
+) -> int:
     docs_path = _find_docs(docs, _DOCS_RELATIVE)
     docs_text = docs_path.read_text(encoding="utf-8") if docs_path else None
     metrics_docs_path = _find_docs(metrics_docs, _METRICS_DOCS_RELATIVE)
@@ -75,10 +79,16 @@ def _run_self_check(docs: str | None, metrics_docs: str | None, out) -> int:
         if metrics_docs_path
         else None
     )
+    locks_path = find_manifest(locks)
+    locks_text = (
+        locks_path.read_text(encoding="utf-8") if locks_path else None
+    )
     problems = self_check(
         docs_text,
         metrics_docs_text=metrics_docs_text,
         metric_modules=_metric_modules(),
+        locks_text=locks_text,
+        locks_required=True,
     )
     if problems:
         for problem in problems:
@@ -86,7 +96,8 @@ def _run_self_check(docs: str | None, metrics_docs: str | None, out) -> int:
         return 1
     print(
         f"self-check: {len(RULES)} rules registered, all documented in "
-        f"{docs_path}; metric registrations agree with {metrics_docs_path}",
+        f"{docs_path}; metric registrations agree with {metrics_docs_path}; "
+        f"lock manifest {locks_path} is a valid DAG",
         file=out,
     )
     return 0
@@ -104,7 +115,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Repo-specific static analysis: lock discipline (RL001), "
             "strategy purity (RL002), metrics naming (RL003), error "
-            "shape (RL004), determinism (RL005)."
+            "shape (RL004), determinism (RL005), lock-order inversion "
+            "(RL006), undeclared lock nesting (RL007)."
         ),
     )
     parser.add_argument(
@@ -133,6 +145,21 @@ def build_parser() -> argparse.ArgumentParser:
         "cross-reference (default: discovered like --docs)",
     )
     parser.add_argument(
+        "--locks",
+        metavar="PATH",
+        help="path to the locks.toml ordering manifest used by "
+        "RL006/RL007 and --self-check (default: discovered from cwd / "
+        "package layout)",
+    )
+    parser.add_argument(
+        "--jobs",
+        metavar="N",
+        type=int,
+        default=os.cpu_count(),
+        help="parse files on N worker processes (default: cpu count; "
+        "output is deterministic regardless)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
     )
     return parser
@@ -145,7 +172,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     if args.list_rules:
         return _list_rules(out)
     if args.self_check:
-        return _run_self_check(args.docs, args.metrics_docs, out)
+        return _run_self_check(args.docs, args.metrics_docs, args.locks, out)
     if not args.paths:
         parser.print_usage(sys.stderr)
         print("repro-lint: error: no paths given", file=sys.stderr)
@@ -153,8 +180,10 @@ def main(argv: list[str] | None = None, out=None) -> int:
     select = None
     if args.select:
         select = [c.strip() for c in args.select.split(",") if c.strip()]
+    if args.locks:
+        set_manifest_path(args.locks)
     try:
-        result = run_lint(args.paths, select=select)
+        result = run_lint(args.paths, select=select, jobs=args.jobs)
     except UsageError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2

@@ -1,0 +1,651 @@
+"""RL006/RL007 — inter-procedural lock-acquisition ordering.
+
+Deadlocks need two ingredients RL001 cannot see: *nesting* (acquiring a
+lock while holding another) and *disagreement about order* (two code paths
+nesting the same pair in opposite directions).  This pass builds the
+repo's lock-acquisition graph from the AST and checks it against the
+committed ordering manifest (``locks.toml`` at the repo root, parsed by
+:mod:`repro.utils.lockmanifest`):
+
+- **RL006** (lock-order inversion): the observed graph contains a cycle —
+  some interleaving of the participating code paths can deadlock.  Every
+  acquisition edge lying on a cycle is reported, with the cycle spelled
+  out.  A reentrant acquisition of one non-reentrant site is the
+  single-node case of the same hazard and is reported the same way
+  (declare the self-edge in the manifest only when the two holds are
+  provably distinct instances).
+- **RL007** (undeclared nesting): an acquisition edge that is acyclic but
+  absent from the manifest's transitive closure.  Nesting is a real
+  coupling between subsystems; the manifest makes each one deliberate and
+  reviewable, and gives the runtime sanitizer its allowed set.
+
+How the graph is built
+----------------------
+
+Known lock *sites* (named ``ClassName.attr``) come from two sources: the
+guard values of RL001 ``_GUARDED_BY`` maps, and ``__init__`` assignments
+of ``threading.Lock/RLock/Condition``, :class:`repro.utils.concurrency.
+RWLock`, or the ``make_lock``/``make_rlock``/``make_condition`` factories
+to ``self.<attr>``.
+
+Each function is scanned once with RL001-style held-set tracking: a
+``with`` item mentioning ``self.<lock>`` (including
+``.read_locked()``/``.write_locked()``) acquires that site for its body,
+and a bare ``.acquire()``/``.acquire_read()``/``.acquire_write()`` call
+on a lock attribute is an acquisition event (edges only — the static
+pass does not guess its extent).  Calls the AST can resolve —
+``self.m()``, ``self.attr.m()`` through ``__init__`` attribute types,
+module-level ``f()``, and ``ClassName()`` construction — feed a fixpoint
+over the call graph (the same shape as RL002's taint propagation), so a
+summary of every site a callee may acquire is available at each call.
+An acquisition of ``B`` (direct or via a call summary) while holding
+``A`` contributes the edge ``A -> B`` at that node.  Nested ``def``s are
+scanned as their own functions with an empty held set (closures outlive
+the block), and calls *on* a lock attribute other than the acquire
+methods (``wait``, ``notify``, the ``*_locked`` context-manager
+constructors) are treated as internal to the primitive.
+
+Both rules support the standard ``# repro-lint: disable=RL006`` pragma;
+each pragma needs a justification comment like any other.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.engine import (
+    ModuleInfo,
+    Violation,
+    attr_chain,
+    iter_methods,
+    literal_str,
+)
+from repro.analysis.registry import register_rule
+from repro.utils.lockmanifest import (
+    LockManifest,
+    ManifestError,
+    find_manifest,
+    load_manifest,
+)
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Constructors whose result is a lock site when assigned in ``__init__``.
+_LOCK_CONSTRUCTORS = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Condition",
+        "RWLock",
+        "make_lock",
+        "make_rlock",
+        "make_condition",
+    }
+)
+
+#: Explicit acquisition methods (edges only; extent is not tracked).
+_ACQUIRE_METHODS = frozenset({"acquire", "acquire_read", "acquire_write"})
+
+#: ``_GUARDED_BY`` values that do not name a lock attribute.
+_EXTERNAL_GUARDS = frozenset({"<caller>", "<final>"})
+
+_manifest_path: Path | None = None
+
+
+def set_manifest_path(path: str | Path | None) -> None:
+    """Pin the manifest for subsequent runs (the CLI's ``--locks``)."""
+    global _manifest_path
+    _manifest_path = Path(path) if path is not None else None
+
+
+def _active_manifest() -> LockManifest:
+    """The pinned or discovered manifest; empty when absent/unreadable.
+
+    A malformed manifest is *diagnosed* by ``repro-lint --self-check``;
+    here it degrades to the empty manifest, so every nesting shows up as
+    RL007 rather than silently passing.
+    """
+    path = _manifest_path if _manifest_path is not None else find_manifest()
+    if path is None or not Path(path).is_file():
+        return LockManifest(edges=frozenset())
+    try:
+        return load_manifest(path)
+    except ManifestError:
+        return LockManifest(edges=frozenset())
+
+
+# ----------------------------------------------------------------------
+# Collection: classes, functions, lock sites, attribute types
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _FuncEntry:
+    """One function to scan, with its innermost enclosing class."""
+
+    module: ModuleInfo
+    cls: ast.ClassDef | None
+    func: _FuncNode
+
+
+@dataclass
+class _Acquire:
+    """Sites acquired at ``node`` while ``held`` were already held."""
+
+    sites: frozenset[str]
+    node: ast.AST
+    held: frozenset[str]
+
+
+@dataclass
+class _CallSite:
+    """A resolved call at ``node`` made while ``held`` were held."""
+
+    callees: tuple[_FuncNode, ...]
+    node: ast.AST
+    held: frozenset[str]
+
+
+@dataclass
+class _Scan:
+    acquisitions: list[_Acquire] = field(default_factory=list)
+    calls: list[_CallSite] = field(default_factory=list)
+
+
+def _guard_map_lock_attrs(module: ModuleInfo) -> dict[str, set[str]]:
+    """Class name -> lock attribute names, from ``_GUARDED_BY`` values."""
+    out: dict[str, set[str]] = {}
+    for stmt in module.tree.body:
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+        if not (isinstance(target, ast.Name) and target.id == "_GUARDED_BY"):
+            continue
+        if not isinstance(value, ast.Dict):
+            continue  # shape problems are RL001's to report
+        for key_node, value_node in zip(value.keys, value.values):
+            key = literal_str(key_node) if key_node is not None else None
+            guard = literal_str(value_node)
+            if key is None or guard is None or key.count(".") != 1:
+                continue
+            if guard in _EXTERNAL_GUARDS or not guard:
+                continue
+            cls, _attr = key.split(".")
+            out.setdefault(cls, set()).add(guard)
+    return out
+
+
+def _callable_tail(node: ast.expr) -> list[str] | None:
+    """The Name/Attribute chain of a call's callee, else ``None``."""
+    chain = attr_chain(node)
+    return chain
+
+
+def _init_lock_and_types(
+    classdef: ast.ClassDef, class_map: dict[str, list[ast.ClassDef]]
+) -> tuple[set[str], dict[str, list[ast.ClassDef]]]:
+    """Lock attrs and attribute->class types assigned in ``__init__``."""
+    lock_attrs: set[str] = set()
+    attr_types: dict[str, list[ast.ClassDef]] = {}
+    for method in iter_methods(classdef):
+        if method.name != "__init__":
+            continue
+        for node in ast.walk(method):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            chain = _callable_tail(node.value.func)
+            if not chain:
+                continue
+            name = chain[-1]
+            if name in _LOCK_CONSTRUCTORS:
+                lock_attrs.add(target.attr)
+            elif name in class_map:
+                attr_types.setdefault(target.attr, []).extend(class_map[name])
+    return lock_attrs, attr_types
+
+
+def _collect_functions(
+    module: ModuleInfo,
+) -> list[_FuncEntry]:
+    """Every function def in the module, with its enclosing class."""
+    entries: list[_FuncEntry] = []
+
+    def visit(node: ast.AST, cls: ast.ClassDef | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            inner = child if isinstance(child, ast.ClassDef) else cls
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                entries.append(_FuncEntry(module=module, cls=cls, func=child))
+            visit(child, inner)
+
+    visit(module.tree, None)
+    return entries
+
+
+@dataclass
+class _Program:
+    """Everything the scanner and fixpoint need, precomputed."""
+
+    entries: list[_FuncEntry]
+    #: class name -> class defs (across all modules; same-name merged).
+    class_map: dict[str, list[ast.ClassDef]]
+    #: per class def: lock attr name -> site name ("Class.attr").
+    lock_sites: dict[ast.ClassDef, dict[str, str]]
+    #: per class def: attr name -> possible class defs (from __init__).
+    attr_types: dict[ast.ClassDef, dict[str, list[ast.ClassDef]]]
+    #: per class def: method name -> function node.
+    methods: dict[ast.ClassDef, dict[str, _FuncNode]]
+    #: per module (by posix path): top-level function name -> node.
+    module_funcs: dict[str, dict[str, _FuncNode]]
+
+
+def _build_program(modules: list[ModuleInfo]) -> _Program:
+    class_map: dict[str, list[ast.ClassDef]] = {}
+    per_module_classes: dict[str, list[ast.ClassDef]] = {}
+    for module in modules:
+        classes = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        ]
+        per_module_classes[module.posix] = classes
+        for classdef in classes:
+            class_map.setdefault(classdef.name, []).append(classdef)
+
+    lock_sites: dict[ast.ClassDef, dict[str, str]] = {}
+    attr_types: dict[ast.ClassDef, dict[str, list[ast.ClassDef]]] = {}
+    methods: dict[ast.ClassDef, dict[str, _FuncNode]] = {}
+    entries: list[_FuncEntry] = []
+    module_funcs: dict[str, dict[str, _FuncNode]] = {}
+
+    for module in modules:
+        guard_locks = _guard_map_lock_attrs(module)
+        for classdef in per_module_classes[module.posix]:
+            locks, types = _init_lock_and_types(classdef, class_map)
+            locks |= guard_locks.get(classdef.name, set())
+            lock_sites[classdef] = {
+                attr: f"{classdef.name}.{attr}" for attr in locks
+            }
+            attr_types[classdef] = types
+            methods[classdef] = {
+                m.name: m for m in iter_methods(classdef)
+            }
+        entries.extend(_collect_functions(module))
+        module_funcs[module.posix] = {
+            stmt.name: stmt
+            for stmt in module.tree.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+    return _Program(
+        entries=entries,
+        class_map=class_map,
+        lock_sites=lock_sites,
+        attr_types=attr_types,
+        methods=methods,
+        module_funcs=module_funcs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-function scan with held-set tracking
+# ----------------------------------------------------------------------
+
+
+def _sites_in_withitem(
+    item: ast.withitem, lock_sites: dict[str, str]
+) -> frozenset[str]:
+    """Lock sites acquired by one with-item (``self.<lock>`` mentions)."""
+    acquired: set[str] = set()
+    for sub in ast.walk(item.context_expr):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "self"
+            and sub.attr in lock_sites
+        ):
+            acquired.add(lock_sites[sub.attr])
+    return frozenset(acquired)
+
+
+def _resolve_constructor(
+    name: str, program: _Program
+) -> tuple[_FuncNode, ...]:
+    callees: list[_FuncNode] = []
+    for classdef in program.class_map.get(name, ()):
+        init = program.methods.get(classdef, {}).get("__init__")
+        if init is not None:
+            callees.append(init)
+    return tuple(callees)
+
+
+def _scan_entry(entry: _FuncEntry, program: _Program) -> _Scan:
+    scan = _Scan()
+    cls = entry.cls
+    lock_sites = program.lock_sites.get(cls, {}) if cls is not None else {}
+    attr_types = program.attr_types.get(cls, {}) if cls is not None else {}
+    own_methods = program.methods.get(cls, {}) if cls is not None else {}
+    funcs = program.module_funcs.get(entry.module.posix, {})
+
+    def handle_call(node: ast.Call, held: frozenset[str]) -> None:
+        chain = attr_chain(node.func)
+        if chain is None:
+            walk(node.func, held)
+            return
+        callees: tuple[_FuncNode, ...] = ()
+        if chain[0] == "self" and len(chain) >= 2 and cls is not None:
+            if chain[1] in lock_sites:
+                # A call on the lock object itself: acquire() is an
+                # acquisition event; everything else (release, wait,
+                # notify, the *_locked constructors) is internal to it.
+                if len(chain) == 3 and chain[2] in _ACQUIRE_METHODS:
+                    scan.acquisitions.append(
+                        _Acquire(
+                            sites=frozenset({lock_sites[chain[1]]}),
+                            node=node,
+                            held=held,
+                        )
+                    )
+                return
+            if len(chain) == 2:
+                target = own_methods.get(chain[1])
+                if target is not None:
+                    callees = (target,)
+            elif len(chain) == 3:
+                found: list[_FuncNode] = []
+                for other in attr_types.get(chain[1], ()):
+                    target = program.methods.get(other, {}).get(chain[2])
+                    if target is not None:
+                        found.append(target)
+                callees = tuple(found)
+        elif len(chain) == 1:
+            target = funcs.get(chain[0])
+            if target is not None:
+                callees = (target,)
+            else:
+                callees = _resolve_constructor(chain[0], program)
+        else:
+            callees = _resolve_constructor(chain[-1], program)
+        if callees:
+            scan.calls.append(_CallSite(callees=callees, node=node, held=held))
+
+    def walk(node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: set[str] = set()
+            for item in node.items:
+                sites = _sites_in_withitem(item, lock_sites)
+                if sites:
+                    scan.acquisitions.append(
+                        _Acquire(sites=sites, node=item.context_expr, held=held)
+                    )
+                    acquired |= sites
+                else:
+                    walk(item.context_expr, held)
+            inner = held | frozenset(acquired)
+            for stmt in node.body:
+                walk(stmt, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return  # scanned as its own entry, with an empty held set
+        if isinstance(node, ast.Lambda):
+            return
+        if isinstance(node, ast.Call):
+            handle_call(node, held)
+            for arg in node.args:
+                walk(arg, held)
+            for keyword in node.keywords:
+                walk(keyword.value, held)
+            return
+        for child in ast.iter_child_nodes(node):
+            walk(child, held)
+
+    for stmt in entry.func.body:
+        walk(stmt, frozenset())
+    return scan
+
+
+# ----------------------------------------------------------------------
+# Fixpoint, edge extraction and classification
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _EdgeRecord:
+    outer: str
+    inner: str
+    module: ModuleInfo
+    node: ast.AST
+
+
+def _summaries(
+    scans: dict[_FuncNode, _Scan],
+) -> dict[_FuncNode, frozenset[str]]:
+    """Sites each function may acquire, directly or transitively."""
+    summary: dict[_FuncNode, set[str]] = {
+        func: {site for acq in scan.acquisitions for site in acq.sites}
+        for func, scan in scans.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for func, scan in scans.items():
+            mine = summary[func]
+            for call in scan.calls:
+                for callee in call.callees:
+                    extra = summary.get(callee, set()) - mine
+                    if extra:
+                        mine |= extra
+                        changed = True
+    return {func: frozenset(sites) for func, sites in summary.items()}
+
+
+def _edge_records(
+    entries: list[_FuncEntry],
+    scans: dict[_FuncNode, _Scan],
+    summaries: dict[_FuncNode, frozenset[str]],
+) -> list[_EdgeRecord]:
+    records: list[_EdgeRecord] = []
+    seen: set[tuple[str, str, str, int, int]] = set()
+
+    def record(outer: str, inner: str, module: ModuleInfo, node: ast.AST) -> None:
+        key = (
+            outer,
+            inner,
+            str(module.path),
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+        )
+        if key not in seen:
+            seen.add(key)
+            records.append(
+                _EdgeRecord(outer=outer, inner=inner, module=module, node=node)
+            )
+
+    for entry in entries:
+        scan = scans[entry.func]
+        for acq in scan.acquisitions:
+            for outer in acq.held:
+                for inner in acq.sites:
+                    record(outer, inner, entry.module, acq.node)
+        for call in scan.calls:
+            if not call.held:
+                continue
+            reachable: set[str] = set()
+            for callee in call.callees:
+                reachable |= summaries.get(callee, frozenset())
+            for outer in call.held:
+                for inner in reachable:
+                    record(outer, inner, entry.module, call.node)
+    return records
+
+
+def _strongly_connected(
+    nodes: set[str], edges: set[tuple[str, str]]
+) -> dict[str, int]:
+    """Tarjan's SCC; returns a component id per node."""
+    adjacency: dict[str, list[str]] = {node: [] for node in nodes}
+    for outer, inner in sorted(edges):
+        if outer != inner:
+            adjacency[outer].append(inner)
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    component: dict[str, int] = {}
+    counter = [0]
+    comp_counter = [0]
+
+    def strongconnect(node: str) -> None:
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for nxt in adjacency[node]:
+            if nxt not in index:
+                strongconnect(nxt)
+                low[node] = min(low[node], low[nxt])
+            elif nxt in on_stack:
+                low[node] = min(low[node], index[nxt])
+        if low[node] == index[node]:
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component[member] = comp_counter[0]
+                if member == node:
+                    break
+            comp_counter[0] += 1
+
+    for node in sorted(nodes):
+        if node not in index:
+            strongconnect(node)
+    return component
+
+
+def _cycle_through(
+    outer: str, inner: str, edges: set[tuple[str, str]]
+) -> list[str]:
+    """A cycle ``[outer, inner, ..., outer]`` using the edge, via BFS."""
+    if outer == inner:
+        return [outer, outer]
+    parents: dict[str, str] = {}
+    frontier = [inner]
+    seen = {inner}
+    while frontier:
+        nxt_frontier: list[str] = []
+        for node in frontier:
+            for src, dst in sorted(edges):
+                if src != node or dst in seen:
+                    continue
+                parents[dst] = node
+                if dst == outer:
+                    path = [outer]
+                    cursor = outer
+                    while cursor != inner:
+                        cursor = parents[cursor]
+                        path.append(cursor)
+                    path.reverse()
+                    return [outer] + path
+                seen.add(dst)
+                nxt_frontier.append(dst)
+        frontier = nxt_frontier
+    return [outer, inner, outer]  # unreachable for a true SCC edge
+
+
+def _classify(
+    modules: list[ModuleInfo],
+) -> tuple[list[Violation], list[Violation]]:
+    program = _build_program(modules)
+    scans = {
+        entry.func: _scan_entry(entry, program) for entry in program.entries
+    }
+    summaries = _summaries(scans)
+    records = _edge_records(program.entries, scans, summaries)
+    if not records:
+        return [], []
+
+    manifest = _active_manifest()
+    allowed = manifest.allowed()
+    declared = manifest.edges
+
+    distinct = {(r.outer, r.inner) for r in records}
+    nodes = {site for edge in distinct for site in edge}
+    component = _strongly_connected(nodes, distinct)
+    comp_sizes: dict[int, int] = {}
+    for comp in component.values():
+        comp_sizes[comp] = comp_sizes.get(comp, 0) + 1
+
+    def in_cycle(outer: str, inner: str) -> bool:
+        if outer == inner:
+            return (outer, inner) not in declared
+        return (
+            component[outer] == component[inner]
+            and comp_sizes[component[outer]] > 1
+        )
+
+    rl006: list[Violation] = []
+    rl007: list[Violation] = []
+    for rec in records:
+        if in_cycle(rec.outer, rec.inner):
+            if rec.outer == rec.inner:
+                message = (
+                    f"lock-order inversion: {rec.inner} acquired while the "
+                    "same thread already holds it (non-reentrant site; "
+                    "declare the self-edge in locks.toml only for provably "
+                    "distinct instances)"
+                )
+            else:
+                cycle = _cycle_through(rec.outer, rec.inner, distinct)
+                message = (
+                    f"lock-order inversion: acquiring {rec.inner} while "
+                    f"holding {rec.outer} completes the cycle "
+                    + " -> ".join(cycle)
+                )
+            rl006.append(rec.module.violation("RL006", rec.node, message))
+        elif (rec.outer, rec.inner) not in allowed:
+            rl007.append(
+                rec.module.violation(
+                    "RL007",
+                    rec.node,
+                    f"undeclared lock nesting: {rec.inner} acquired while "
+                    f"holding {rec.outer}; declare \"{rec.outer}\" -> "
+                    f"\"{rec.inner}\" in locks.toml or restructure",
+                )
+            )
+    return rl006, rl007
+
+
+@register_rule(
+    "RL006",
+    "lock-order-inversion",
+    "The inter-procedural lock-acquisition graph (with-blocks, acquire() "
+    "calls and calls made while holding a lock, fixpoint over the call "
+    "graph) must be acyclic: a cycle means some interleaving deadlocks.",
+)
+def check_lock_order_inversions(modules: list[ModuleInfo]) -> list[Violation]:
+    return _classify(modules)[0]
+
+
+@register_rule(
+    "RL007",
+    "undeclared-lock-nesting",
+    "Acquiring a lock while holding another requires the (outer, inner) "
+    "pair to be declared in the locks.toml ordering manifest, whose "
+    "transitive closure is the allowed set shared with the runtime lock "
+    "sanitizer.",
+)
+def check_undeclared_nesting(modules: list[ModuleInfo]) -> list[Violation]:
+    return _classify(modules)[1]

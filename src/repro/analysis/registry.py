@@ -75,6 +75,8 @@ def self_check(
     docs_text: str | None,
     metrics_docs_text: str | None = None,
     metric_modules: "list[ModuleInfo] | None" = None,
+    locks_text: str | None = None,
+    locks_required: bool = False,
 ) -> list[str]:
     """Validate registry consistency; return a list of problem strings.
 
@@ -88,6 +90,12 @@ def self_check(
     metric table of ``docs/observability.md`` (``metrics_docs_text``) in
     both directions — see
     :func:`repro.analysis.metrics_names.metrics_docs_problems`.
+
+    ``locks_text`` is the content of the ``locks.toml`` ordering manifest
+    RL006/RL007 and the runtime lock sanitizer share: it must parse and
+    its declared order must be a DAG.  The check runs when text is given
+    or when ``locks_required`` is set (the CLI sets it, so a deleted
+    manifest is a finding rather than a silent pass).
     """
     problems: list[str] = []
     if not RULES:
@@ -115,4 +123,21 @@ def self_check(
         problems.extend(
             metrics_docs_problems(metric_modules, metrics_docs_text)
         )
+    if locks_required or locks_text is not None:
+        if locks_text is None:
+            problems.append("locks.toml not found (pass --locks PATH)")
+        else:
+            from repro.utils.lockmanifest import ManifestError, parse_manifest
+
+            try:
+                manifest = parse_manifest(locks_text)
+            except ManifestError as exc:
+                problems.append(f"locks.toml: {exc}")
+            else:
+                cycle = manifest.cycle()
+                if cycle is not None:
+                    problems.append(
+                        "locks.toml: declared order contains a cycle: "
+                        + " -> ".join(cycle)
+                    )
     return problems

@@ -46,7 +46,7 @@ class ItemIndex:
 
     def encode(self, labels: Iterable[ActionLabel]) -> frozenset[int]:
         """Ids of the known labels in ``labels``; unknown ones are dropped."""
-        encoded = set()
+        encoded: set[int] = set()
         for label in labels:
             item_id = self._label_to_id.get(label)
             if item_id is not None:

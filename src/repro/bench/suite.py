@@ -280,6 +280,63 @@ def _bench_quality_telemetry(harness: ExperimentHarness) -> dict[str, Metric]:
     }
 
 
+def _bench_lock_sanitizer(harness: ExperimentHarness) -> dict[str, Metric]:
+    """Instrumented-lock cost on the serving path, wide machine band.
+
+    Mirrors ``benchmarks/bench_lock_sanitizer.py`` at smoke scale: the
+    gated metrics are the violation count (always zero against the
+    committed ``locks.toml``) and a noise-tolerant overhead ratio; the
+    hard 2%/25% budgets live in the standalone paper-scale bench.
+    """
+    # Imported here: repro.service pulls the HTTP stack, which the other
+    # smoke benches do not need at module import time.
+    from repro.core.incremental import IncrementalGoalModel
+    from repro.service import ModelManager
+    from repro.utils.concurrency import (
+        enable_lock_sanitizer,
+        lock_sanitizer_violations,
+        reset_lock_sanitizer,
+    )
+
+    activities = [list(user.observed) for user in harness.split]
+
+    def build() -> ModelManager:
+        incremental = IncrementalGoalModel.from_library(
+            harness.model.to_library()
+        )
+        # Unit caches: every request runs real scoring, not a lock loop.
+        return ModelManager(incremental, cache_size=1, space_cache_size=1)
+
+    def run_once(manager: ModelManager) -> float:
+        start = time.perf_counter()
+        for activity in activities:
+            manager.recommend(activity, k=_SMOKE_K, strategy="breadth")
+        return time.perf_counter() - start
+
+    reset_lock_sanitizer()
+    try:
+        plain = build()
+        enable_lock_sanitizer()  # discovers the committed locks.toml
+        instrumented = build()
+        run_once(plain)  # warm caches outside the timed region
+        run_once(instrumented)
+        disabled: list[float] = []
+        enabled: list[float] = []
+        for _ in range(5):
+            disabled.append(run_once(plain))
+            enabled.append(run_once(instrumented))
+        violations = lock_sanitizer_violations()
+    finally:
+        reset_lock_sanitizer()
+    ratio = min(enabled) / min(disabled)
+    return {
+        "overhead_ratio": Metric(ratio, kind="relative", tolerance=0.5),
+        "violations": Metric(float(len(violations))),
+        "disabled_seconds": Metric(min(disabled), kind="info"),
+        "enabled_seconds": Metric(min(enabled), kind="info"),
+    }
+
+
 def _bench_single_request(harness: ExperimentHarness) -> dict[str, Metric]:
     """CSR hot path vs scalar reference: bit-parity plus pruned-tier recall.
 
@@ -372,6 +429,11 @@ _SMOKE_SUITE: tuple[BenchmarkSpec, ...] = (
         "quality_telemetry",
         "quality monitor + sampled flight recorder cost and determinism",
         _bench_quality_telemetry,
+    ),
+    BenchmarkSpec(
+        "lock_sanitizer",
+        "instrumented-lock overhead ratio and zero order violations",
+        _bench_lock_sanitizer,
     ),
 )
 

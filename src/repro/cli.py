@@ -30,6 +30,7 @@ does can be done programmatically with the same names.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import threading
 from collections.abc import Sequence
@@ -250,6 +251,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="PSI value at which the drift alert raises",
     )
     serve.add_argument(
+        "--lock-sanitizer", action="store_true",
+        help="build the service's locks as instrumented proxies checking "
+             "acquisition order against locks.toml, recording hold/"
+             "contention metrics and GET /debug/locks violations "
+             "(also enabled by REPRO_LOCK_SANITIZER=1)",
+    )
+    serve.add_argument(
         "--fault-spec", default=None, metavar="SPEC",
         help="enable deterministic fault injection, e.g. "
              "'seed=7,storage:exception:0.5,model:latency:1.0:25' "
@@ -440,6 +448,14 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
         except ValueError as exc:
             print(f"error: --fault-spec: {exc}", file=sys.stderr)
             return 2
+    # Must happen before the service is constructed: the lock factories
+    # decide plain-vs-instrumented at construction time.
+    if getattr(args, "lock_sanitizer", False) or os.environ.get(
+        "REPRO_LOCK_SANITIZER", ""
+    ) not in ("", "0"):
+        from repro.utils.concurrency import enable_lock_sanitizer
+
+        enable_lock_sanitizer()
     # The retrying wrapper absorbs transient load failures (a writer
     # mid-replace, an injected storage fault) with deterministic backoff.
     library = RetryingLibraryStore(JsonLibraryStore(args.library)).load()
@@ -479,7 +495,7 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
         f"http://{args.host}:{service.port} "
         "(endpoints: /health /metrics /model /recommend /recommend/batch "
         "/spaces /explain /goals /related /debug/vars /debug/slow "
-        "/debug/quality /debug/profile)",
+        "/debug/quality /debug/locks /debug/profile)",
         flush=True,
     )
     if not block:  # test hook: caller owns the lifecycle

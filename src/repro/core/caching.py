@@ -51,6 +51,7 @@ from repro.core.entities import ActionLabel, GoalLabel, RecommendationList
 from repro.core.model import AssociationGoalModel
 from repro.core.recommender import GoalRecommender
 from repro.resilience.faults import inject
+from repro.utils.concurrency import make_lock
 
 _SENTINEL = object()
 
@@ -70,6 +71,8 @@ _GUARDED_BY = {
     "CachedModelView._generation": "<final>",
     "CachedModelView._engine": "_engine_lock",
     "CachedModelView._engine_ready": "_engine_lock",
+    "LRUCache._lock": "<final>",
+    "CachedModelView._engine_lock": "<final>",
 }
 
 
@@ -114,7 +117,7 @@ class LRUCache:
             raise ValueError(f"maxsize must be >= 0, got {maxsize}")
         self.name = name
         self._maxsize = maxsize
-        self._lock = threading.Lock()
+        self._lock = make_lock("LRUCache._lock")
         self._data: OrderedDict[Any, Any] = OrderedDict()
         self._hits = 0
         self._misses = 0
@@ -284,7 +287,7 @@ class CachedModelView:
         )
         self._engine: Any = None
         self._engine_ready = False
-        self._engine_lock = threading.Lock()
+        self._engine_lock = make_lock("CachedModelView._engine_lock")
 
     @property
     def wrapped(self) -> AssociationGoalModel:

@@ -24,12 +24,12 @@ server must stay observable.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections.abc import Callable
 
 from repro import obs
 from repro.resilience.deadlines import Deadline
+from repro.utils.concurrency import make_condition
 
 #: Bounded label set for ``repro_shed_requests_total{reason}``:
 #: ``saturated`` — in-flight and queue both full; ``queue_timeout`` — a
@@ -41,6 +41,7 @@ SHED_REASONS: tuple[str, ...] = ("saturated", "queue_timeout", "draining")
 _GUARDED_BY = {
     "AdmissionController._active": "_cond",
     "AdmissionController._waiters": "_cond",
+    "AdmissionController._cond": "<final>",
 }
 
 
@@ -85,7 +86,7 @@ class AdmissionController:
         self.max_queue = max_queue
         self.queue_timeout_seconds = queue_timeout_seconds
         self._clock = clock
-        self._cond = threading.Condition()
+        self._cond = make_condition("AdmissionController._cond")
         self._active = 0
         self._waiters = 0
 

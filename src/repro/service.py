@@ -26,6 +26,10 @@ Endpoints (JSON unless noted):
   rates, drift-detector state (PSI score, alert flag, baseline
   generation), SLO burn rates and flight-recorder statistics (see
   ``docs/quality.md``);
+- ``GET  /debug/locks`` — the lock-sanitizer snapshot: manifest in
+  force, per-site acquisition/contention/hold statistics and detected
+  violations (``{"enabled": false}`` unless started with
+  ``--lock-sanitizer`` / ``REPRO_LOCK_SANITIZER=1``);
 - ``POST /debug/profile`` / ``DELETE /debug/profile`` — start/stop a
   guarded on-demand cProfile session (409 when already active, 404 when
   none is); DELETE returns the :mod:`pstats` report as plain text and
@@ -140,7 +144,12 @@ from repro.resilience import (
 )
 from repro.resilience.admission import AdmissionController
 from repro.resilience.faults import inject
-from repro.utils.concurrency import RWLock
+from repro.utils.concurrency import (
+    RWLock,
+    lock_sanitizer_snapshot,
+    make_condition,
+    make_lock,
+)
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB: an activity list, not a bulk upload
 _MAX_BATCH_BODY_BYTES = 8 << 20  # batch scoring legitimately ships more
@@ -154,7 +163,7 @@ _TIERS = ("exact", "approx")
 #: Known routes by supported method; wrong-method hits answer 405.
 _GET_ROUTES = (
     "/health", "/metrics", "/model", "/debug/vars", "/debug/slow",
-    "/debug/quality",
+    "/debug/quality", "/debug/locks",
 )
 _POST_ROUTES = (
     "/recommend", "/recommend/batch", "/spaces", "/explain", "/goals",
@@ -183,12 +192,15 @@ _LOG = obs.get_logger("repro.service")
 #: caller already holds it.
 _GUARDED_BY = {
     "ModelSnapshot._batch": "_batch_lock",
+    "ModelSnapshot._batch_lock": "<final>",
     "ModelManager._incremental": "_lock",
     "ModelManager._generation": "_lock",
     "ModelManager._snapshot": "_lock",
     "ModelManager._base_recommender": "_lock",
+    "ModelManager._lock": "<final>",
     "RecommenderService._inflight": "_inflight_lock",
     "RecommenderService._draining": "_inflight_lock",
+    "RecommenderService._inflight_lock": "<final>",
 }
 
 #: Routes exempt from admission control and drain shedding: an overloaded
@@ -224,7 +236,7 @@ class ModelSnapshot:
         self.recommender = recommender
         self.caching_recommender = caching_recommender
         self._batch: BatchRecommender | None = None
-        self._batch_lock = threading.Lock()
+        self._batch_lock = make_lock("ModelSnapshot._batch_lock")
 
     def batch(self) -> "BatchRecommender | None":
         """The CSR :class:`BatchRecommender` for this generation.
@@ -272,7 +284,7 @@ class ModelManager:
         on_swap: Callable[[ModelSnapshot], None] | None = None,
         approx_budget: int = 128,
     ) -> None:
-        self._lock = RWLock()
+        self._lock = RWLock(site="ModelManager._lock")
         self._incremental = incremental
         self._generation = 0
         self._approx_budget = approx_budget
@@ -891,6 +903,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_debug_slow()
             elif path == "/debug/quality":
                 self._handle_debug_quality()
+            elif path == "/debug/locks":
+                self._handle_debug_locks()
             else:
                 self._handle_metrics()
             return
@@ -1004,6 +1018,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_debug_quality(self) -> None:
         self._send_json(200, self.service.debug_quality())
+
+    def _handle_debug_locks(self) -> None:
+        self._send_json(200, self.service.debug_locks())
 
     def _handle_profile_start(self) -> None:
         try:
@@ -1494,7 +1511,9 @@ class RecommenderService:
         self.profile_session = obs.ProfileSession()
         # A Condition (its lock taken with the same ``with`` statement the
         # old plain Lock used) so drain() can wait for in-flight == 0.
-        self._inflight_lock = threading.Condition()
+        self._inflight_lock = make_condition(
+            "RecommenderService._inflight_lock"
+        )
         self._inflight = 0
         self._draining = False
         self.admission = AdmissionController(
@@ -1785,6 +1804,15 @@ class RecommenderService:
                 else {"enabled": False}
             ),
         }
+
+    def debug_locks(self) -> dict[str, Any]:
+        """The ``GET /debug/locks`` lock-sanitizer snapshot.
+
+        ``{"enabled": false, ...}`` when the sanitizer is off; otherwise
+        the manifest in force, per-site acquisition/contention/hold
+        statistics and every violation detected so far.
+        """
+        return lock_sanitizer_snapshot()
 
     def _record_batch(
         self, strategy: str, activities: int, elapsed: float

@@ -1,4 +1,4 @@
-"""Concurrency primitives for the serving layer.
+"""Concurrency primitives and the runtime lock sanitizer.
 
 The standard library ships locks and conditions but no readers-writer lock.
 The hot-reload serving path needs one: many handler threads read the model
@@ -20,32 +20,729 @@ cannot starve reloads.  Both sides are exposed as context managers::
 The lock is not reentrant and not upgradable — a thread holding the read
 lock must release it before acquiring the write lock (an upgrade attempt
 deadlocks, as with every non-upgradable RW lock).
+
+Lock sanitizer
+--------------
+
+The second half of this module is the runtime side of the repo's
+concurrency-correctness gate (the static side is ``repro-lint`` RL006/RL007,
+see ``docs/static-analysis.md``).  The serving layer constructs its locks
+through the factories here —
+
+    self._lock = make_lock("LRUCache._lock")
+    self._cond = make_condition("AdmissionController._cond")
+    self._lock = RWLock(site="ModelManager._lock")
+
+— which return the plain :mod:`threading` primitives until
+:func:`enable_lock_sanitizer` is called (``repro serve --lock-sanitizer`` /
+``REPRO_LOCK_SANITIZER=1``).  With the sanitizer on, the factories return
+instrumented proxies that keep a per-thread stack of held sites and check
+every acquisition against the committed ``locks.toml`` ordering manifest:
+
+- acquiring a lock while holding one with no declared order over it is an
+  **order** violation (the runtime twin of RL007, and — when the opposite
+  nesting is also ever observed — of an RL006 inversion);
+- re-acquiring a site the thread already holds is a **reentrant** violation
+  (an upgrade/reentrancy bug in waiting: :class:`RWLock` deadlocks on it
+  as soon as a writer queues);
+- ``Condition.wait`` while holding any *other* instrumented lock is a
+  **wait-held** violation (the wait releases only its own lock; everything
+  else stays held across an unbounded block);
+- holding any site longer than the configured outlier budget is a
+  **hold-outlier** violation.
+
+Each release feeds ``repro_lock_hold_seconds{site}``; every acquisition
+that had to block feeds ``repro_lock_contention_total{site}`` (metrics are
+recorded only when :mod:`repro.obs` metrics are enabled).  The collected
+violations and per-site statistics are served by ``GET /debug/locks``.
+
+The sanitizer state itself uses one plain, uninstrumented lock — it must
+never recurse into its own bookkeeping.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+from collections.abc import Callable, Iterator
 from contextlib import contextmanager
-from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from types import TracebackType
+from typing import Any, Protocol
+
+from repro.utils.lockmanifest import (
+    LockManifest,
+    find_manifest,
+    load_manifest,
+)
 
 #: Lock discipline, machine-checked by ``repro-lint`` (rule RL001, see
 #: docs/static-analysis.md): the reader/writer bookkeeping only changes
-#: under the condition variable that readers and writers wait on.
+#: under the condition variable that readers and writers wait on, and the
+#: sanitizer's aggregates only change under its own (plain) lock.
 _GUARDED_BY = {
     "RWLock._readers": "_cond",
     "RWLock._writer_active": "_cond",
     "RWLock._writers_waiting": "_cond",
+    "_SanitizerState._violations": "_lock",
+    "_SanitizerState._occurrences": "_lock",
+    "_SanitizerState._thread_stats": "_lock",
 }
 
 
-class RWLock:
-    """A writer-preferring readers-writer lock."""
+class LockLike(Protocol):
+    """What a :func:`make_lock`/:func:`make_rlock` result supports."""
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def __enter__(self) -> bool: ...
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc_val: BaseException | None,
+        exc_tb: TracebackType | None,
+    ) -> None: ...
+
+
+class ConditionLike(Protocol):
+    """What a :func:`make_condition` result supports."""
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def __enter__(self) -> bool: ...
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc_val: BaseException | None,
+        exc_tb: TracebackType | None,
+    ) -> None: ...
+
+    def wait(self, timeout: float | None = ...) -> bool: ...
+
+    def wait_for(
+        self, predicate: Callable[[], bool], timeout: float | None = ...
+    ) -> bool: ...
+
+    def notify(self, n: int = ...) -> None: ...
+
+    def notify_all(self) -> None: ...
+
+
+# ----------------------------------------------------------------------
+# Sanitizer state
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LockViolation:
+    """One detected violation, deduplicated by ``(kind, site, other)``."""
+
+    kind: str  # "order" | "reentrant" | "wait-held" | "hold-outlier"
+    site: str  # the lock being acquired / waited on / released
+    other: str  # the already-held lock ("" when not applicable)
+    thread: str
+    detail: str
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "kind": self.kind,
+            "site": self.site,
+            "other": self.other,
+            "thread": self.thread,
+            "detail": self.detail,
+        }
+
+
+class _SanitizerState:
+    """Shared aggregates: allowed edges, violations, per-site statistics."""
+
+    def __init__(
+        self, manifest: LockManifest, hold_outlier_seconds: float
+    ) -> None:
+        # Deliberately a plain threading.Lock, never a make_lock proxy:
+        # the sanitizer must not instrument (and recurse into) itself.
+        self._lock = threading.Lock()
+        self.allowed = manifest.allowed()
+        self.manifest_path = manifest.path
+        self.hold_outlier_seconds = hold_outlier_seconds
+        self._violations: list[LockViolation] = []
+        self._occurrences: dict[tuple[str, str, str], int] = {}
+        # Per-thread ``{site: [acquisitions, contentions, max_hold]}``
+        # accumulators.  Threads write their own dict with no shared lock
+        # (the registration below is the only synchronized step), which
+        # keeps the per-acquisition cost flat; ``snapshot`` merges.
+        self._thread_stats: list[dict[str, list[float]]] = []
+
+    def record(self, violation: LockViolation) -> None:
+        key = (violation.kind, violation.site, violation.other)
+        with self._lock:
+            count = self._occurrences.get(key, 0)
+            self._occurrences[key] = count + 1
+            if count == 0:
+                self._violations.append(violation)
+
+    def register_thread_stats(self) -> dict[str, list[float]]:
+        """A fresh per-thread accumulator, kept for later merging."""
+        stats: dict[str, list[float]] = {}
+        with self._lock:
+            self._thread_stats.append(stats)
+        return stats
+
+    def violations(self) -> tuple[LockViolation, ...]:
+        with self._lock:
+            return tuple(self._violations)
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            merged: dict[str, dict[str, float]] = {}
+            # list() the items: the owning threads keep appending sites
+            # while we merge, and a snapshot is allowed to be a moment
+            # stale but not to crash on a resized dict.
+            for per_thread in self._thread_stats:
+                for site, entry in list(per_thread.items()):
+                    acquisitions, contentions, max_hold = entry
+                    stats = merged.setdefault(
+                        site,
+                        {"acquisitions": 0.0, "contentions": 0.0,
+                         "max_hold_seconds": 0.0},
+                    )
+                    stats["acquisitions"] += acquisitions
+                    stats["contentions"] += contentions
+                    if max_hold > stats["max_hold_seconds"]:
+                        stats["max_hold_seconds"] = max_hold
+            sites = {site: merged[site] for site in sorted(merged)}
+            violations = [v.to_dict() for v in self._violations]
+            total = sum(self._occurrences.values())
+        return {
+            "manifest": str(self.manifest_path) if self.manifest_path else None,
+            "declared_edges": len(self.allowed),
+            "hold_outlier_seconds": self.hold_outlier_seconds,
+            "sites": sites,
+            "violations": violations,
+            "violation_occurrences": total,
+        }
+
+
+_sanitizer_enabled: bool = False
+_state: _SanitizerState | None = None
+_tls = threading.local()
+
+
+def _active_state() -> _SanitizerState | None:
+    """The shared state, or ``None`` when the sanitizer is off."""
+    return _state if _sanitizer_enabled else None
+
+
+class _ThreadCtx:
+    """Per-thread sanitizer context: held-site stack plus stat entries.
+
+    One object per thread, fetched with a single thread-local lookup on
+    the instrumented hot path (repeated ``getattr(_tls, ...)`` round
+    trips were a measurable share of the per-acquisition cost).
+    """
+
+    __slots__ = ("stack", "stats", "stats_owner")
 
     def __init__(self) -> None:
+        #: Stack of ``[site, acquired_at]`` for the locks this thread holds.
+        self.stack: list[list[Any]] = []
+        #: This thread's ``{site: [acquisitions, contentions, max_hold]}``.
+        self.stats: dict[str, list[float]] = {}
+        #: The state ``stats`` is registered with (re-registered per enable).
+        self.stats_owner: _SanitizerState | None = None
+
+
+def _ctx() -> _ThreadCtx:
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is None:
+        ctx = _ThreadCtx()
+        _tls.ctx = ctx
+    return ctx  # type: ignore[no-any-return]
+
+
+def _held_stack() -> list[list[Any]]:
+    """This thread's stack of ``[site, acquired_at]`` entries."""
+    return _ctx().stack
+
+
+def enable_lock_sanitizer(
+    manifest: LockManifest | None = None,
+    *,
+    manifest_path: str | Path | None = None,
+    hold_outlier_seconds: float = 1.0,
+) -> None:
+    """Turn the sanitizer on for locks constructed *from here on*.
+
+    Call before building the object graph under test — the factories
+    decide plain-vs-instrumented at construction time, which is what keeps
+    the disabled mode at true zero overhead.  The ordering manifest is the
+    one passed in, loaded from ``manifest_path``, or discovered like the
+    lint CLI discovers ``locks.toml`` (cwd ancestors, then the repo layout
+    relative to the installed package); with no manifest at all every
+    nesting is an order violation.
+    """
+    global _sanitizer_enabled, _state
+    if manifest is None:
+        found = (
+            Path(manifest_path)
+            if manifest_path is not None
+            else find_manifest()
+        )
+        manifest = (
+            load_manifest(found)
+            if found is not None and found.is_file()
+            else LockManifest(edges=frozenset())
+        )
+    _state = _SanitizerState(manifest, hold_outlier_seconds)
+    _sanitizer_enabled = True
+
+
+def disable_lock_sanitizer() -> None:
+    """Stop checking; collected violations stay inspectable."""
+    global _sanitizer_enabled
+    _sanitizer_enabled = False
+
+
+def reset_lock_sanitizer() -> None:
+    """Drop the sanitizer state entirely (test isolation helper)."""
+    global _sanitizer_enabled, _state
+    _sanitizer_enabled = False
+    _state = None
+    _tls.ctx = _ThreadCtx()
+
+
+def lock_sanitizer_enabled() -> bool:
+    """``True`` while acquisitions are being checked."""
+    return _sanitizer_enabled
+
+
+def lock_sanitizer_violations() -> tuple[LockViolation, ...]:
+    """Every violation detected since the last enable/reset."""
+    state = _state
+    return state.violations() if state is not None else ()
+
+
+def lock_sanitizer_snapshot() -> dict[str, Any]:
+    """The ``GET /debug/locks`` payload."""
+    state = _state
+    if state is None:
+        return {"enabled": False, "sites": {}, "violations": []}
+    payload = state.snapshot()
+    payload["enabled"] = _sanitizer_enabled
+    return payload
+
+
+def _current_thread_name() -> str:
+    return threading.current_thread().name
+
+
+def _check_order(
+    state: _SanitizerState, site: str, stack: list[list[Any]]
+) -> None:
+    """Flag this acquisition against every site the thread already holds."""
+    for held_site, _acquired_at in stack:
+        if held_site == site:
+            if (site, site) not in state.allowed:
+                state.record(
+                    LockViolation(
+                        kind="reentrant",
+                        site=site,
+                        other=site,
+                        thread=_current_thread_name(),
+                        detail=(
+                            f"{site} acquired again by the thread already "
+                            "holding it (non-reentrant primitive: deadlocks "
+                            "as soon as a writer or another owner queues)"
+                        ),
+                    )
+                )
+        elif (held_site, site) not in state.allowed:
+            state.record(
+                LockViolation(
+                    kind="order",
+                    site=site,
+                    other=held_site,
+                    thread=_current_thread_name(),
+                    detail=(
+                        f"acquired {site} while holding {held_site} with no "
+                        f"declared order; declare '{held_site}' -> '{site}' "
+                        "in locks.toml or restructure"
+                    ),
+                )
+            )
+
+
+def _site_stats(ctx: _ThreadCtx, state: _SanitizerState, site: str) -> list[float]:
+    """``ctx``'s ``[acquisitions, contentions, max_hold]`` entry for ``site``.
+
+    The accumulator is registered with the state once per thread and then
+    written lock-free — the sanitizer's own bookkeeping must stay off the
+    instrumented locks' hot path (``benchmarks/bench_lock_sanitizer.py``
+    gates the enabled-mode overhead).
+    """
+    if ctx.stats_owner is not state:
+        ctx.stats = state.register_thread_stats()
+        ctx.stats_owner = state
+    stats = ctx.stats
+    entry = stats.get(site)
+    if entry is None:
+        entry = stats[site] = [0.0, 0.0, 0.0]
+    return entry
+
+
+def _note_acquired(site: str, contended: bool) -> None:
+    """Push ``site`` on the thread's stack and record the acquisition."""
+    state = _active_state()
+    if state is None:
+        return
+    ctx = _ctx()
+    entry = _site_stats(ctx, state, site)
+    entry[0] += 1.0
+    if contended:
+        entry[1] += 1.0
+        _record_contention_metric(site)
+    ctx.stack.append([site, time.perf_counter()])
+
+
+def _note_released(site: str) -> None:
+    """Pop ``site`` (latest matching entry) and record the hold time."""
+    state = _state
+    if state is None:
+        return
+    ctx = _ctx()
+    stack = ctx.stack
+    if stack and stack[-1][0] == site:  # LIFO release: the common case
+        acquired_at = stack.pop()[1]
+    else:
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] == site:
+                acquired_at = stack.pop(index)[1]
+                break
+        else:
+            return
+    held = time.perf_counter() - acquired_at
+    entry = _site_stats(ctx, state, site)
+    if held > entry[2]:
+        entry[2] = held
+    if held > state.hold_outlier_seconds:
+        state.record(
+            LockViolation(
+                kind="hold-outlier",
+                site=site,
+                other="",
+                thread=_current_thread_name(),
+                detail=(
+                    f"{site} held for {held:.3f}s, over the "
+                    f"{state.hold_outlier_seconds:.3f}s outlier budget"
+                ),
+            )
+        )
+    _record_hold_metric(site, held)
+
+
+#: Lazily-bound :mod:`repro.obs` — imported on the first metric record and
+#: cached, so the per-release hook pays one global read, not a module
+#: import lookup (repro.obs must stay importable without this module being
+#: initialized first, and vice versa).
+_obs: Any = None
+
+
+def _obs_module() -> Any:
+    global _obs
+    if _obs is None:
+        from repro import obs
+
+        _obs = obs
+    return _obs
+
+
+def _record_hold_metric(site: str, seconds: float) -> None:
+    obs = _obs_module()
+    if obs.metrics_enabled():
+        obs.get_registry().histogram(
+            "repro_lock_hold_seconds",
+            "Lock hold time per instrumented acquisition, by site "
+            "(recorded only under the lock sanitizer).",
+            site=site,
+        ).observe(seconds)
+
+
+def _record_contention_metric(site: str) -> None:
+    obs = _obs_module()
+    if obs.metrics_enabled():
+        obs.get_registry().counter(
+            "repro_lock_contention_total",
+            "Acquisitions that had to block, by site (recorded only under "
+            "the lock sanitizer).",
+            site=site,
+        ).inc()
+
+
+# ----------------------------------------------------------------------
+# Instrumented proxies and factories
+# ----------------------------------------------------------------------
+
+
+class _InstrumentedLock:
+    """A ``threading.Lock`` recording order, contention and hold time."""
+
+    __slots__ = ("_site", "_inner")
+
+    def __init__(self, site: str) -> None:
+        self._site = site
+        self._inner = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        # The checks are inlined (rather than routed through the
+        # `_note_acquired` helper the condition and RWLock share): this
+        # proxy guards the serving hot path, where every spared thread-
+        # local lookup and Python call shows up in the overhead bench.
+        state = _state if _sanitizer_enabled else None
+        if state is None:
+            return self._inner.acquire(blocking, timeout)
+        site = self._site
+        ctx = _ctx()
+        if ctx.stack:
+            _check_order(state, site, ctx.stack)
+        if self._inner.acquire(False):
+            contended = False
+        elif not blocking:
+            return False
+        elif self._inner.acquire(True, timeout):
+            contended = True
+        else:
+            return False
+        entry = _site_stats(ctx, state, site)
+        entry[0] += 1.0
+        if contended:
+            entry[1] += 1.0
+            _record_contention_metric(site)
+        ctx.stack.append([site, time.perf_counter()])
+        return True
+
+    def release(self) -> None:
+        self._inner.release()  # raises RuntimeError when not held
+        _note_released(self._site)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc_val: BaseException | None,
+        exc_tb: TracebackType | None,
+    ) -> None:
+        self.release()
+
+
+class _InstrumentedRLock:
+    """A ``threading.RLock``; same-object reentry is legal and unrecorded."""
+
+    __slots__ = ("_site", "_inner", "_owner", "_depth")
+
+    def __init__(self, site: str) -> None:
+        self._site = site
+        self._inner = threading.RLock()
+        # Only read/written by the owning thread (or before ownership is
+        # taken, where a stale value can only send a non-owner down the
+        # slow path) — the inner RLock is the real synchronization.
+        self._owner: int | None = None
+        self._depth = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        me = threading.get_ident()
+        if self._owner == me:
+            self._inner.acquire()
+            self._depth += 1
+            return True
+        state = _active_state()
+        if state is not None:
+            _check_order(state, self._site, _held_stack())
+        if self._inner.acquire(False):
+            contended = False
+        elif not blocking:
+            return False
+        elif self._inner.acquire(True, timeout):
+            contended = True
+        else:
+            return False
+        self._owner = me
+        self._depth = 1
+        _note_acquired(self._site, contended=contended)
+        return True
+
+    def release(self) -> None:
+        if self._owner != threading.get_ident():
+            # Matches RLock's own error for a foreign/unmatched release.
+            raise RuntimeError("cannot release un-acquired lock")
+        if self._depth > 1:
+            self._depth -= 1
+            self._inner.release()
+            return
+        self._owner = None
+        self._depth = 0
+        self._inner.release()
+        _note_released(self._site)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc_val: BaseException | None,
+        exc_tb: TracebackType | None,
+    ) -> None:
+        self.release()
+
+
+class _InstrumentedCondition:
+    """A ``threading.Condition`` that also checks its blocking waits."""
+
+    __slots__ = ("_site", "_inner")
+
+    def __init__(self, site: str) -> None:
+        self._site = site
+        self._inner = threading.Condition()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        state = _active_state()
+        if state is not None:
+            _check_order(state, self._site, _held_stack())
+        if self._inner.acquire(False):
+            _note_acquired(self._site, contended=False)
+            return True
+        if not blocking:
+            return False
+        if not self._inner.acquire(True, timeout):
+            return False
+        _note_acquired(self._site, contended=True)
+        return True
+
+    def release(self) -> None:
+        self._inner.release()
+        _note_released(self._site)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        state = _active_state()
+        if state is not None:
+            others = sorted(
+                {held for held, _t in _held_stack() if held != self._site}
+            )
+            if others:
+                state.record(
+                    LockViolation(
+                        kind="wait-held",
+                        site=self._site,
+                        other=",".join(others),
+                        thread=_current_thread_name(),
+                        detail=(
+                            f"Condition.wait on {self._site} while still "
+                            f"holding {', '.join(others)}; the wait only "
+                            "releases its own lock"
+                        ),
+                    )
+                )
+        # The wait releases and reacquires the condition's lock: account
+        # it as one hold ending here and a fresh one starting on wakeup.
+        _note_released(self._site)
+        try:
+            return self._inner.wait(timeout)
+        finally:
+            _note_acquired(self._site, contended=False)
+
+    def wait_for(
+        self, predicate: Callable[[], bool], timeout: float | None = None
+    ) -> bool:
+        # Reimplemented over self.wait so the wait-held check applies to
+        # every blocking iteration (stdlib wait_for would bypass it).
+        end: float | None = None
+        if timeout is not None:
+            end = time.monotonic() + timeout
+        result = predicate()
+        while not result:
+            remaining: float | None = None
+            if end is not None:
+                remaining = end - time.monotonic()
+                if remaining <= 0:
+                    break
+            self.wait(remaining)
+            result = predicate()
+        return result
+
+    def notify(self, n: int = 1) -> None:
+        self._inner.notify(n)
+
+    def notify_all(self) -> None:
+        self._inner.notify_all()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc_val: BaseException | None,
+        exc_tb: TracebackType | None,
+    ) -> None:
+        self.release()
+
+
+def make_lock(site: str) -> LockLike:
+    """A mutex for ``site``: plain, or instrumented under the sanitizer."""
+    if _sanitizer_enabled:
+        return _InstrumentedLock(site)
+    return threading.Lock()
+
+
+def make_rlock(site: str) -> LockLike:
+    """A reentrant mutex for ``site`` (see :func:`make_lock`)."""
+    if _sanitizer_enabled:
+        return _InstrumentedRLock(site)
+    return threading.RLock()
+
+
+def make_condition(site: str) -> ConditionLike:
+    """A condition variable for ``site`` (see :func:`make_lock`)."""
+    if _sanitizer_enabled:
+        return _InstrumentedCondition(site)
+    return threading.Condition()
+
+
+# ----------------------------------------------------------------------
+# Readers-writer lock
+# ----------------------------------------------------------------------
+
+
+class RWLock:
+    """A writer-preferring readers-writer lock.
+
+    ``site`` names the lock for the sanitizer (``"ModelManager._lock"``);
+    when the sanitizer is enabled at construction time, every reader and
+    writer acquisition is order-checked and hold-timed as that one site —
+    the internal condition variable is an implementation detail and is
+    never reported on its own.
+    """
+
+    def __init__(self, site: str | None = None) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        # Pinned at construction like the factories: a lock created while
+        # the sanitizer is off stays uninstrumented for its lifetime.
+        self._site = site if site is not None and _sanitizer_enabled else None
 
     # ------------------------------------------------------------------
     # Reader side
@@ -53,10 +750,19 @@ class RWLock:
 
     def acquire_read(self) -> None:
         """Block until no writer is active or waiting, then share the lock."""
+        site = self._site
+        if site is not None:
+            state = _active_state()
+            if state is not None:
+                _check_order(state, site, _held_stack())
+        contended = False
         with self._cond:
             while self._writer_active or self._writers_waiting:
+                contended = True
                 self._cond.wait()
             self._readers += 1
+        if site is not None:
+            _note_acquired(site, contended)
 
     def release_read(self) -> None:
         """Release one reader hold."""
@@ -66,6 +772,8 @@ class RWLock:
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
+        if self._site is not None:
+            _note_released(self._site)
 
     @contextmanager
     def read_locked(self) -> Iterator[None]:
@@ -82,14 +790,23 @@ class RWLock:
 
     def acquire_write(self) -> None:
         """Block until the lock is exclusively held by this thread."""
+        site = self._site
+        if site is not None:
+            state = _active_state()
+            if state is not None:
+                _check_order(state, site, _held_stack())
+        contended = False
         with self._cond:
             self._writers_waiting += 1
             try:
                 while self._writer_active or self._readers:
+                    contended = True
                     self._cond.wait()
                 self._writer_active = True
             finally:
                 self._writers_waiting -= 1
+        if site is not None:
+            _note_acquired(site, contended)
 
     def release_write(self) -> None:
         """Release the exclusive hold."""
@@ -98,6 +815,8 @@ class RWLock:
                 raise RuntimeError("release_write without a matching acquire")
             self._writer_active = False
             self._cond.notify_all()
+        if self._site is not None:
+            _note_released(self._site)
 
     @contextmanager
     def write_locked(self) -> Iterator[None]:

@@ -1,0 +1,167 @@
+"""The committed lock-ordering manifest (``locks.toml``).
+
+The repo declares its legal lock nestings in one TOML file at the repo
+root.  Two consumers read it:
+
+- the static pass (:mod:`repro.analysis.lockorder`, rules RL006/RL007)
+  checks every nested acquisition the AST can prove against the declared
+  edges, so an undeclared nesting fails ``repro-lint`` before it can ship;
+- the runtime lock sanitizer (:mod:`repro.utils.concurrency`) checks the
+  acquisitions that actually happen, per thread, against the same edges,
+  so an inversion that only static analysis missed (reflection, callbacks,
+  data-dependent paths) still surfaces under the schedule-stress gate.
+
+Format::
+
+    schema = 1
+
+    [order]
+    # outer lock -> inner locks that may be acquired while it is held
+    "ModelManager._lock" = ["LRUCache._lock"]
+
+Sites are named ``ClassName.attr`` — the same identity the static pass
+derives from ``_GUARDED_BY`` maps and ``self.<attr>`` acquisition
+patterns, and the label the serving layer passes when constructing its
+locks.  Declared edges are directional and must form a DAG; the closure
+(``A`` over ``B`` and ``B`` over ``C`` implies ``A`` over ``C``) is
+computed here so callers compare against one flat allowed set.
+"""
+
+from __future__ import annotations
+
+import re
+import tomllib
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Name of the manifest file, discovered by walking up from the cwd (and
+#: falling back to the repo layout relative to the installed package).
+MANIFEST_NAME = "locks.toml"
+
+#: Shape of a lock-site name: ``ClassName.attr``.
+SITE_PATTERN = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*\.[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class ManifestError(ValueError):
+    """A malformed ``locks.toml`` (bad TOML, bad shape, bad site name)."""
+
+
+@dataclass(frozen=True)
+class LockManifest:
+    """The parsed manifest: declared outer -> inner acquisition edges."""
+
+    edges: frozenset[tuple[str, str]]
+    path: Path | None = None
+
+    def allowed(self) -> frozenset[tuple[str, str]]:
+        """The transitive closure of the declared edges.
+
+        Declaring ``A`` over ``B`` and ``B`` over ``C`` permits acquiring
+        ``C`` while holding ``A`` — the total order the manifest describes
+        is what matters, not which hop the code takes.
+        """
+        adjacency: dict[str, set[str]] = {}
+        for outer, inner in self.edges:
+            adjacency.setdefault(outer, set()).add(inner)
+        closed: set[tuple[str, str]] = set()
+        for start in adjacency:
+            seen: set[str] = set()
+            frontier = list(adjacency[start])
+            while frontier:
+                node = frontier.pop()
+                if node in seen:
+                    continue
+                seen.add(node)
+                closed.add((start, node))
+                frontier.extend(adjacency.get(node, ()))
+        # Declared self-edges (deliberate same-site nesting, e.g. two
+        # sibling cache instances) survive the closure untouched.
+        closed.update(edge for edge in self.edges if edge[0] == edge[1])
+        return frozenset(closed)
+
+    def cycle(self) -> list[str] | None:
+        """A declared-order cycle as ``[a, b, ..., a]``, or ``None``.
+
+        The manifest must be a DAG (self-edges excepted: a declared
+        same-site nesting is an explicit, deliberate exemption) — a cycle
+        would make the "ordering" vacuous.  Detection is deterministic:
+        nodes are visited in sorted order.
+        """
+        adjacency: dict[str, list[str]] = {}
+        for outer, inner in sorted(self.edges):
+            if outer != inner:
+                adjacency.setdefault(outer, []).append(inner)
+        visiting: list[str] = []
+        done: set[str] = set()
+
+        def visit(node: str) -> list[str] | None:
+            if node in visiting:
+                return visiting[visiting.index(node):] + [node]
+            if node in done:
+                return None
+            visiting.append(node)
+            for nxt in adjacency.get(node, ()):
+                found = visit(nxt)
+                if found is not None:
+                    return found
+            visiting.pop()
+            done.add(node)
+            return None
+
+        for start in sorted(adjacency):
+            found = visit(start)
+            if found is not None:
+                return found
+        return None
+
+
+def parse_manifest(text: str, path: Path | None = None) -> LockManifest:
+    """Parse manifest ``text``; raises :class:`ManifestError` when bad."""
+    try:
+        data = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise ManifestError(f"invalid TOML: {exc}") from exc
+    order = data.get("order", {})
+    if not isinstance(order, dict):
+        raise ManifestError("[order] must be a table of outer -> [inner...]")
+    edges: set[tuple[str, str]] = set()
+    for outer, inners in order.items():
+        if not SITE_PATTERN.match(outer):
+            raise ManifestError(
+                f"bad lock site {outer!r}: sites are named 'ClassName.attr'"
+            )
+        if not isinstance(inners, list) or not all(
+            isinstance(inner, str) for inner in inners
+        ):
+            raise ManifestError(
+                f"order[{outer!r}] must be a list of lock-site strings"
+            )
+        for inner in inners:
+            if not SITE_PATTERN.match(inner):
+                raise ManifestError(
+                    f"bad lock site {inner!r} under {outer!r}: sites are "
+                    "named 'ClassName.attr'"
+                )
+            edges.add((outer, inner))
+    return LockManifest(edges=frozenset(edges), path=path)
+
+
+def load_manifest(path: Path | str) -> LockManifest:
+    """Read and parse the manifest at ``path``."""
+    resolved = Path(path)
+    return parse_manifest(resolved.read_text(encoding="utf-8"), resolved)
+
+
+def find_manifest(explicit: str | Path | None = None) -> Path | None:
+    """Locate ``locks.toml``: explicit path, cwd ancestors, repo layout."""
+    if explicit is not None:
+        candidate = Path(explicit)
+        return candidate if candidate.is_file() else None
+    for base in (Path.cwd(), *Path.cwd().parents):
+        candidate = base / MANIFEST_NAME
+        if candidate.is_file():
+            return candidate
+    # src/repro/utils/lockmanifest.py -> repo root, mirroring how the
+    # lint CLI discovers its documentation files.
+    candidate = Path(__file__).resolve().parents[3] / MANIFEST_NAME
+    return candidate if candidate.is_file() else None

@@ -1,0 +1,24 @@
+"""RL006 corpus: two methods nest the same pair of locks in opposite
+orders — the canonical lock-order inversion.  A thread in ``swap`` and a
+thread in ``evict`` can each hold their first lock and block forever on
+the other's.  Both nested acquisitions lie on the cycle, so both are
+reported; no ``locks.toml`` entry can bless a cycle.
+"""
+
+import threading
+
+
+class InvertedPair:
+    def __init__(self):
+        self._gen_lock = threading.Lock()
+        self._cache_lock = threading.Lock()
+
+    def swap(self):
+        with self._gen_lock:
+            with self._cache_lock:  # nested: gen -> cache
+                pass
+
+    def evict(self):
+        with self._cache_lock:
+            with self._gen_lock:  # nested: cache -> gen
+                pass

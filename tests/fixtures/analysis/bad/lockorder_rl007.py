@@ -1,0 +1,26 @@
+"""RL007 corpus: consistent (acyclic) lock nesting that is not declared
+in the ``locks.toml`` ordering manifest.  One nesting is written directly,
+the other flows through a helper call — the pass must see both, the
+second via its call-graph fixpoint.
+"""
+
+import threading
+
+
+class UndeclaredNesting:
+    def __init__(self):
+        self._outer_lock = threading.Lock()
+        self._inner_lock = threading.Lock()
+
+    def direct(self):
+        with self._outer_lock:
+            with self._inner_lock:  # nested directly
+                pass
+
+    def via_helper(self):
+        with self._outer_lock:
+            self._push()  # nested through the call graph
+
+    def _push(self):
+        with self._inner_lock:
+            pass

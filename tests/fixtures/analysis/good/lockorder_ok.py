@@ -1,0 +1,23 @@
+"""Lock usage RL006/RL007 accept without any manifest entry: strictly
+sequential acquisition (each lock released before the next is taken),
+plus lock-internal calls (``wait``/``notify``) that are not nesting.
+"""
+
+import threading
+
+
+class SequentialLocks:
+    def __init__(self):
+        self._queue_lock = threading.Lock()
+        self._stats_cond = threading.Condition()
+
+    def move(self, item):
+        with self._queue_lock:
+            staged = item
+        with self._stats_cond:
+            self._stats_cond.notify_all()
+        return staged
+
+    def drain(self):
+        with self._stats_cond:
+            self._stats_cond.wait(0.01)

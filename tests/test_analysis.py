@@ -39,8 +39,10 @@ def _line_of(path: Path, needle: str) -> int:
 # ----------------------------------------------------------------------
 
 
-def test_registry_has_the_five_rules():
-    assert sorted(RULES) == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+def test_registry_has_the_seven_rules():
+    assert sorted(RULES) == [
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+    ]
 
 
 def test_good_corpus_is_clean():
@@ -57,6 +59,8 @@ def test_good_corpus_is_clean():
         (BAD / "metrics_bad.py", "RL003", 6),
         (BAD / "error_shape_bad.py", "RL004", 3),
         (BAD / "repro" / "core" / "clock.py", "RL005", 5),
+        (BAD / "lockorder_rl006.py", "RL006", 2),
+        (BAD / "lockorder_rl007.py", "RL007", 2),
     ],
 )
 def test_bad_corpus_fires_exactly_one_rule(fixture, code, count):
@@ -220,7 +224,7 @@ def test_select_unknown_code_is_usage_error():
 def test_self_check_passes_against_repo_docs():
     out = io.StringIO()
     assert main(["--self-check", "--docs", str(DOCS)], out=out) == 0
-    assert "5 rules registered" in out.getvalue()
+    assert "7 rules registered" in out.getvalue()
 
 
 def test_self_check_fails_on_undocumented_rule(tmp_path):
@@ -238,6 +242,158 @@ def test_every_rule_documented_in_docs():
     for code, rule in RULES.items():
         assert code in text
         assert rule.summary
+
+
+# ----------------------------------------------------------------------
+# RL006/RL007 — lock ordering against locks.toml
+# ----------------------------------------------------------------------
+
+
+def test_rl006_reports_inversion_at_each_nested_acquisition():
+    fixture = BAD / "lockorder_rl006.py"
+    violations = run_lint([fixture]).violations
+    assert {v.code for v in violations} == {"RL006"}
+    source_lines = fixture.read_text().splitlines()
+    by_line = {v.line: v for v in violations}
+    for needle in ("# nested: gen -> cache", "# nested: cache -> gen"):
+        line = _line_of(fixture, needle)
+        assert line in by_line, f"no RL006 at {needle!r}"
+        # Column points at the acquisition expression (1-based).
+        assert by_line[line].col == source_lines[line - 1].index("self") + 1
+        assert "cycle" in by_line[line].message
+
+
+def test_rl007_sees_nesting_through_helper_calls():
+    fixture = BAD / "lockorder_rl007.py"
+    violations = run_lint([fixture]).violations
+    assert {v.code for v in violations} == {"RL007"}
+    lines = {v.line for v in violations}
+    assert _line_of(fixture, "# nested directly") in lines
+    assert _line_of(fixture, "self._push()") in lines
+    assert all("locks.toml" in v.message for v in violations)
+
+
+def test_declared_nesting_passes_rl007(tmp_path):
+    from repro.analysis import lockorder
+
+    manifest = tmp_path / "locks.toml"
+    manifest.write_text(
+        "schema = 1\n\n[order]\n"
+        '"UndeclaredNesting._outer_lock" = '
+        '["UndeclaredNesting._inner_lock"]\n'
+    )
+    lockorder.set_manifest_path(manifest)
+    try:
+        assert run_lint([BAD / "lockorder_rl007.py"]).violations == ()
+    finally:
+        lockorder.set_manifest_path(None)
+
+
+def test_manifest_closure_permits_transitive_nesting(tmp_path):
+    from repro.analysis import lockorder
+
+    target = tmp_path / "chain.py"
+    target.write_text(
+        "import threading\n"
+        "class Chain:\n"
+        "    def __init__(self):\n"
+        "        self._a = threading.Lock()\n"
+        "        self._c = threading.Lock()\n"
+        "    def hop(self):\n"
+        "        with self._a:\n"
+        "            with self._c:\n"
+        "                pass\n"
+    )
+    manifest = tmp_path / "locks.toml"
+    manifest.write_text(
+        "schema = 1\n\n[order]\n"
+        '"Chain._a" = ["Chain._b"]\n"Chain._b" = ["Chain._c"]\n'
+    )
+    lockorder.set_manifest_path(manifest)
+    try:
+        assert run_lint([target]).violations == ()
+    finally:
+        lockorder.set_manifest_path(None)
+
+
+def test_manifest_cannot_bless_a_cycle(tmp_path):
+    from repro.analysis import lockorder
+
+    manifest = tmp_path / "locks.toml"
+    manifest.write_text(
+        "schema = 1\n\n[order]\n"
+        '"InvertedPair._gen_lock" = ["InvertedPair._cache_lock"]\n'
+        '"InvertedPair._cache_lock" = ["InvertedPair._gen_lock"]\n'
+    )
+    lockorder.set_manifest_path(manifest)
+    try:
+        violations = run_lint([BAD / "lockorder_rl006.py"]).violations
+        assert {v.code for v in violations} == {"RL006"}
+    finally:
+        lockorder.set_manifest_path(None)
+
+
+def test_self_check_rejects_a_cyclic_manifest(tmp_path):
+    bad = tmp_path / "locks.toml"
+    bad.write_text(
+        'schema = 1\n\n[order]\n"A.x" = ["B.y"]\n"B.y" = ["A.x"]\n'
+    )
+    out = io.StringIO()
+    code = main(
+        ["--self-check", "--docs", str(DOCS), "--locks", str(bad)], out=out
+    )
+    assert code == 1
+    assert "cycle" in out.getvalue()
+
+
+def test_self_check_rejects_malformed_manifest_sites(tmp_path):
+    bad = tmp_path / "locks.toml"
+    bad.write_text('schema = 1\n\n[order]\n"not-a-site" = ["A.x"]\n')
+    out = io.StringIO()
+    code = main(
+        ["--self-check", "--docs", str(DOCS), "--locks", str(bad)], out=out
+    )
+    assert code == 1
+    assert "not-a-site" in out.getvalue()
+
+
+def test_lockmanifest_parse_closure_and_cycle():
+    from repro.utils.lockmanifest import ManifestError, parse_manifest
+
+    manifest = parse_manifest(
+        'schema = 1\n\n[order]\n"A.x" = ["B.y"]\n"B.y" = ["C.z"]\n'
+    )
+    allowed = manifest.allowed()
+    assert ("A.x", "C.z") in allowed
+    assert ("C.z", "A.x") not in allowed
+    assert manifest.cycle() is None
+    cyclic = parse_manifest(
+        'schema = 1\n\n[order]\n"A.x" = ["B.y"]\n"B.y" = ["A.x"]\n'
+    )
+    cycle = cyclic.cycle()
+    assert cycle is not None and cycle[0] == cycle[-1]
+    with pytest.raises(ManifestError):
+        parse_manifest('[order]\n"A.x" = "B.y"\n')
+    with pytest.raises(ManifestError):
+        parse_manifest("order = 3\n")
+
+
+# ----------------------------------------------------------------------
+# --jobs: parallel parsing is byte-identical to serial
+# ----------------------------------------------------------------------
+
+
+def test_jobs_parallel_output_matches_serial():
+    serial = run_lint([BAD])
+    parallel = run_lint([BAD], jobs=4)
+    assert parallel.violations == serial.violations
+    assert parallel.files == serial.files
+    assert serial.violations  # the corpus is not accidentally empty
+
+
+def test_jobs_flag_accepted_by_cli():
+    out = io.StringIO()
+    assert main(["--jobs", "2", str(GOOD)], out=out) == 0
 
 
 # ----------------------------------------------------------------------
