@@ -1,0 +1,133 @@
+"""Metrics-history overhead: background capture within 2% of no history.
+
+The history layer (``docs/monitoring.md``) runs off the request path by
+construction: a daemon thread snapshots the registry every interval, and
+``capture()`` reads the registry snapshot *before* taking the history
+mutex, so the only request-visible cost is brief registry-lock contention
+while a snapshot copies the family maps.  That makes its budget much
+tighter than the quality layer's: with metrics, tracing and exemplars on,
+serving with a :class:`~repro.obs.MetricsHistory` capturing on a
+deliberately aggressive interval (50x the production default rate) must
+cost at most 2% over the same path without a history.
+
+Timings interleave the two configurations round-robin and compare each
+round's back-to-back pair, taking the cleanest pair — the same protocol
+as ``bench_quality_telemetry.py``: load drift slows both arms of a pair
+together, so the paired ratio isolates the history's cost where a
+min-over-all-rounds comparison would gate on which round caught a quiet
+machine.  The history is started *before* and stopped *after* each
+monitored timing, so thread start-up and the immediate baseline capture
+stay outside the timed region — the budget is the steady-state
+contention cost, not thread lifecycle.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from conftest import publish
+
+from repro import obs
+from repro.eval.report import format_table
+
+REPEATS = 7
+REQUESTS_PER_REPEAT = 60
+OVERHEAD_BUDGET = 1.02  # background capture may cost at most 2% extra
+#: 50x the production default cadence: the timed region of one round is
+#: far shorter than the 5s default, so a bench-scale interval is needed
+#: for captures to land *inside* the monitored rounds at all.
+HISTORY_INTERVAL = 0.01
+HISTORY_WINDOW = 60.0
+
+
+def _run_requests(recommender, activities) -> float:
+    start = time.perf_counter()
+    for activity in activities:
+        recommender.recommend(activity, k=10, strategy="breadth")
+    return time.perf_counter() - start
+
+
+def test_history_overhead(foodmart_harness, benchmark):
+    recommender = foodmart_harness.recommender
+    activities = [
+        user.observed for user in foodmart_harness.split
+    ][:REQUESTS_PER_REPEAT]
+
+    history = obs.MetricsHistory(HISTORY_INTERVAL, HISTORY_WINDOW)
+    captures_seen = 0
+
+    def interleaved() -> tuple[float, float]:
+        nonlocal captures_seen
+        obs.enable(metrics=True, tracing=True, exemplars=True)
+        _run_requests(recommender, activities)  # warm caches before timing
+        plain: list[float] = []
+        monitored: list[float] = []
+        # Collect between rounds, never during them: a GC pause landing
+        # inside one timed region would gate on suite composition rather
+        # than capture cost.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for _ in range(REPEATS):
+                gc.collect()
+                plain.append(_run_requests(recommender, activities))
+                # Thread start-up and the immediate baseline capture stay
+                # outside the timed region; the budget is steady-state
+                # registry-lock contention.
+                history.start()
+                try:
+                    monitored.append(_run_requests(recommender, activities))
+                finally:
+                    history.stop()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        captures_seen = int(history.index()["captures"])
+        obs.disable()
+        # Judge each round by its own back-to-back pair: under drifting
+        # load the fastest plain round and the fastest monitored round
+        # can land in different load regimes, which measures the machine,
+        # not the history thread.
+        best_pair = min(zip(plain, monitored), key=lambda pair: pair[1] / pair[0])
+        return best_pair
+
+    try:
+        best_plain, best_monitored = benchmark.pedantic(
+            interleaved, rounds=1, iterations=1
+        )
+    finally:
+        history.stop()
+        obs.disable()
+
+    ratio = best_monitored / best_plain
+    per_request_us = 1e6 / len(activities)
+    rows = [
+        ["metrics+tracing+exemplars", best_plain * per_request_us, 1.0],
+        ["+metrics-history capture", best_monitored * per_request_us, ratio],
+    ]
+    publish(
+        "history_overhead",
+        format_table(
+            ["configuration", "us_per_request", "vs_instrumented"],
+            rows,
+            title=(
+                f"metrics-history overhead: breadth over FoodMart, best "
+                f"pair of {REPEATS}x{len(activities)} requests, capture "
+                f"interval {HISTORY_INTERVAL * 1000:g}ms"
+            ),
+        ),
+    )
+
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"serving with history capture is {ratio:.3f}x the instrumented "
+        f"path (budget {OVERHEAD_BUDGET}x)"
+    )
+    # Sanity: the history actually captured — at least the baseline
+    # capture of every monitored round, and it saw the request-path
+    # metric families the rounds produced.
+    assert captures_seen >= REPEATS
+    index = history.index()
+    families = index["families"]
+    assert "repro_history_snapshots_total" in families
+    assert int(index["memory_bytes_estimate"]) > 0

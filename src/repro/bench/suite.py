@@ -280,6 +280,72 @@ def _bench_quality_telemetry(harness: ExperimentHarness) -> dict[str, Metric]:
     }
 
 
+def _bench_metrics_history(harness: ExperimentHarness) -> dict[str, Metric]:
+    """Fake-clock history capture: exact rates, counts and retention math.
+
+    Every gated number is a pure function of the capture schedule: a
+    private registry isolates the run from whatever families the
+    surrounding suite registered, so the only call sites writing to it
+    are the history's own self-metrics.  Twelve captures at a 5s fake
+    step must derive a counter rate of exactly 1/5 per second, and the
+    index's series/point/memory accounting follows from
+    ``capacity = window // interval + 1`` alone.  The hard 2% overhead
+    budget lives in ``benchmarks/bench_history_overhead.py``.
+    """
+    from repro.obs import metrics as obs_metrics
+
+    registry = obs_metrics.MetricsRegistry()
+    fake_now = [1000.0]
+    history = obs.MetricsHistory(
+        5.0,
+        60.0,
+        clock=lambda: fake_now[0],
+        registry_getter=lambda: registry,
+    )
+    start = time.perf_counter()
+    obs.enable(metrics=True)
+    try:
+        for _ in range(12):
+            history.capture()
+            fake_now[0] += 5.0
+    finally:
+        obs.disable()
+    def last_value(family: str, key: str) -> float:
+        payload = history.series(family)
+        assert payload is not None
+        rendered = payload["series"]
+        assert isinstance(rendered, list)
+        first = rendered[0]
+        assert isinstance(first, dict)
+        values = [v for v in first[key] if v is not None]
+        return float(values[-1])
+
+    index = history.index()
+    families = index["families"]
+    assert isinstance(families, dict)
+    captures = index["captures"]
+    memory = index["memory_bytes_estimate"]
+    assert isinstance(captures, int) and isinstance(memory, int)
+    return {
+        "captures": Metric(float(captures)),
+        "tracked_families": Metric(float(len(families))),
+        "buffered_points": Metric(float(sum(
+            int(entry["points"]) for entry in families.values()
+        ))),
+        "snapshot_rate_per_second": Metric(
+            last_value("repro_history_snapshots_total", "values")
+        ),
+        "points_gauge_last": Metric(
+            last_value("repro_history_points", "values")
+        ),
+        "capture_count_rate": Metric(
+            last_value("repro_history_capture_seconds", "count_rate")
+        ),
+        "memory_bytes_estimate": Metric(float(memory)),
+        "wall_seconds": Metric(time.perf_counter() - start, kind="info"),
+    }
+
+
 def _bench_lock_sanitizer(harness: ExperimentHarness) -> dict[str, Metric]:
     """Instrumented-lock cost on the serving path, wide machine band.
 
@@ -429,6 +495,11 @@ _SMOKE_SUITE: tuple[BenchmarkSpec, ...] = (
         "quality_telemetry",
         "quality monitor + sampled flight recorder cost and determinism",
         _bench_quality_telemetry,
+    ),
+    BenchmarkSpec(
+        "metrics_history",
+        "fake-clock metrics-history capture: exact rates and retention",
+        _bench_metrics_history,
     ),
     BenchmarkSpec(
         "lock_sanitizer",

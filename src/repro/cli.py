@@ -13,7 +13,12 @@ Installed as the ``repro`` console script.  Subcommands:
   registry or scraped from a running service (``--url``);
 - ``repro telemetry report`` — summarize the flight-recorder JSONL a
   service wrote under ``--telemetry-dir`` (request latency per endpoint,
-  sampled span trees, quality/drift events).
+  sampled span trees, quality/drift events with request/trace ids);
+- ``repro monitor`` — live ops console polling a running service's
+  ``/metrics`` + ``/debug/history`` + ``/debug/quality``: RPS and
+  latency sparklines, stage p95s, cache hit ratio, shed/deadline
+  counts, drift score and SLO burn rates (``--once --json`` for
+  scripting).
 
 Global flags: ``--version``; ``--log-level {debug,info,warning,error}``,
 ``--json-logs`` and ``--log-file`` (size-rotated) configure the
@@ -33,8 +38,12 @@ import argparse
 import os
 import sys
 import threading
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.service import RecommenderService
 
 from repro import obs
 from repro._version import __version__
@@ -60,6 +69,30 @@ from repro.storage import JsonLibraryStore
 from repro.text import GoalStory, extract_implementations
 
 _SCALES = ("tiny", "small", "paper")
+
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0}
+
+
+def _parse_duration(text: str) -> float:
+    """Parse ``'900'``, ``'30s'``, ``'15m'`` or ``'1h'`` into seconds.
+
+    Bare numbers are seconds.  Raises :class:`ValueError` on junk, which
+    ``argparse`` turns into a usage error when used as a ``type=``.
+    """
+    raw = text.strip().lower()
+    scale = 1.0
+    if raw and raw[-1] in _DURATION_UNITS:
+        scale = _DURATION_UNITS[raw[-1]]
+        raw = raw[:-1]
+    try:
+        seconds = float(raw) * scale
+    except ValueError:
+        raise ValueError(
+            f"invalid duration {text!r} (expected e.g. '900', '30s', '15m')"
+        ) from None
+    if seconds < 0:
+        raise ValueError(f"duration must be >= 0, got {text!r}")
+    return seconds
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -219,6 +252,18 @@ def _build_parser() -> argparse.ArgumentParser:
              "keeps (head-based, deterministic per request id)",
     )
     serve.add_argument(
+        "--history-interval", type=_parse_duration, default=None,
+        metavar="DURATION",
+        help="metrics-history snapshot cadence behind GET /debug/history "
+             "(e.g. '5s'; default 5s)",
+    )
+    serve.add_argument(
+        "--history-window", type=_parse_duration, default=None,
+        metavar="DURATION",
+        help="metrics-history retention (e.g. '15m' or '900'; 0 disables "
+             "the history layer entirely; default 15m)",
+    )
+    serve.add_argument(
         "--slo-availability", type=float, default=0.999,
         help="availability objective behind the burn-rate gauge "
              "(fraction of requests that must not fail with 5xx)",
@@ -286,6 +331,35 @@ def _build_parser() -> argparse.ArgumentParser:
              "(e.g. http://127.0.0.1:8080)",
     )
 
+    monitor = commands.add_parser(
+        "monitor", help="live ops console for a running service"
+    )
+    monitor.add_argument(
+        "--url", required=True,
+        help="base URL of a running service (e.g. http://127.0.0.1:8080)",
+    )
+    monitor.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh cadence of the live view",
+    )
+    monitor.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (for scripting)",
+    )
+    monitor.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the raw snapshot as JSON instead of the rendered frame",
+    )
+    monitor.add_argument(
+        "--window", type=_parse_duration, default=None, metavar="DURATION",
+        help="history window to request (e.g. '5m'; default: the server's)",
+    )
+    monitor.add_argument(
+        "--step", type=_parse_duration, default=None, metavar="DURATION",
+        help="history grid step (e.g. '10s'; default: the server's "
+             "capture interval)",
+    )
+
     telemetry = commands.add_parser(
         "telemetry", help="work with flight-recorder telemetry directories"
     )
@@ -326,19 +400,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_generate(args: argparse.Namespace) -> int:
     if args.scenario == "foodmart":
-        configs = {
+        foodmart_configs = {
             "tiny": FoodMartConfig.tiny,
             "small": FoodMartConfig.small,
             "paper": FoodMartConfig.paper_scale,
         }
-        dataset = generate_foodmart(configs[args.scale](), seed=args.seed)
+        dataset = generate_foodmart(
+            foodmart_configs[args.scale](), seed=args.seed
+        )
     else:
-        configs = {
+        fortythree_configs = {
             "tiny": FortyThreeConfig.tiny,
             "small": FortyThreeConfig.small,
             "paper": FortyThreeConfig.paper_scale,
         }
-        dataset = generate_fortythree(configs[args.scale](), seed=args.seed)
+        dataset = generate_fortythree(
+            fortythree_configs[args.scale](), seed=args.seed
+        )
     path = save_dataset(dataset, args.out)
     print(f"wrote {dataset.summary()} -> {path}")
     return 0
@@ -456,6 +534,15 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
         from repro.utils.concurrency import enable_lock_sanitizer
 
         enable_lock_sanitizer()
+    history_interval = getattr(args, "history_interval", None)
+    if history_interval is None:
+        history_interval = obs.DEFAULT_INTERVAL_SECONDS
+    history_window = getattr(args, "history_window", None)
+    if history_window is None:
+        history_window = obs.DEFAULT_WINDOW_SECONDS
+    if history_window > 0 and history_interval <= 0:
+        print("error: --history-interval must be > 0", file=sys.stderr)
+        return 2
     # The retrying wrapper absorbs transient load failures (a writer
     # mid-replace, an injected storage fault) with deterministic backoff.
     library = RetryingLibraryStore(JsonLibraryStore(args.library)).load()
@@ -488,6 +575,9 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
         slo_latency_target=getattr(args, "slo_latency_target", 0.99),
         telemetry_dir=getattr(args, "telemetry_dir", None),
         telemetry_sample_rate=getattr(args, "telemetry_sample_rate", 1.0),
+        history_interval_seconds=history_interval,
+        history_window_seconds=history_window or obs.DEFAULT_WINDOW_SECONDS,
+        history_enabled=history_window > 0,
     )
     service.start()
     print(
@@ -495,7 +585,8 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
         f"http://{args.host}:{service.port} "
         "(endpoints: /health /metrics /model /recommend /recommend/batch "
         "/spaces /explain /goals /related /debug/vars /debug/slow "
-        "/debug/quality /debug/locks /debug/profile)",
+        "/debug/quality /debug/history /debug/trace/<request-id> "
+        "/debug/locks /debug/profile)",
         flush=True,
     )
     if not block:  # test hook: caller owns the lifecycle
@@ -505,7 +596,9 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
     return 0
 
 
-def _serve_until_signalled(service: object, drain_timeout: float) -> None:
+def _serve_until_signalled(
+    service: RecommenderService, drain_timeout: float
+) -> None:
     """Block on the serving thread; SIGTERM/SIGINT trigger a graceful drain.
 
     Without the handlers, ``docker stop``/Kubernetes termination kills the
@@ -524,16 +617,19 @@ def _serve_until_signalled(service: object, drain_timeout: float) -> None:
             file=sys.stderr,
             flush=True,
         )
-        service.drain(timeout=drain_timeout)  # type: ignore[attr-defined]
+        service.drain(timeout=drain_timeout)
 
     in_main = threading.current_thread() is threading.main_thread()
     if in_main:
         signal.signal(signal.SIGTERM, _drain)
         signal.signal(signal.SIGINT, _drain)
+    thread = service._thread
+    if thread is None:  # pragma: no cover - already stopped
+        return
     try:
-        service._thread.join()  # type: ignore[attr-defined]
+        thread.join()
     except KeyboardInterrupt:  # pragma: no cover - non-main-thread fallback
-        service.stop()  # type: ignore[attr-defined]
+        service.stop()
 
 
 def _cmd_goals(args: argparse.Namespace) -> int:
@@ -577,6 +673,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _num(value: object) -> float:
+    """A numeric telemetry field, or 0.0 when absent/malformed."""
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     directory: Path = args.telemetry_dir
     if not directory.is_dir():
@@ -595,12 +696,11 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
                 {"count": 0, "errors": 0, "sampled": 0, "sum": 0.0, "max": 0.0},
             )
             stats["count"] += 1
-            status = int(record.get("status", 0) or 0)
-            if status >= 500:
+            if int(_num(record.get("status"))) >= 500:
                 stats["errors"] += 1
             if record.get("spans"):
                 stats["sampled"] += 1
-            seconds = float(record.get("seconds", 0.0) or 0.0)
+            seconds = _num(record.get("seconds"))
             stats["sum"] += seconds
             stats["max"] = max(stats["max"], seconds)
         else:
@@ -608,7 +708,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     if not kinds:
         print(f"no telemetry records under {directory}")
         return 1
-    rows = [
+    rows: list[list[object]] = [
         [
             endpoint,
             int(stats["count"]),
@@ -630,28 +730,42 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         )
     if events:
         tail = events[-args.limit:]
-        rows = [
+        event_rows = [
             [
                 str(event.get("kind", "?")),
                 str(event.get("request_id", "") or ""),
+                str(event.get("trace_id", "") or ""),
                 ", ".join(
                     f"{key}={event[key]}"
                     for key in sorted(event)
-                    if key not in ("kind", "ts", "request_id")
+                    if key not in ("kind", "ts", "request_id", "trace_id")
                 ),
             ]
             for event in tail
         ]
         print(
             format_table(
-                ["kind", "request_id", "payload"],
-                rows,
+                ["kind", "request_id", "trace_id", "payload"],
+                event_rows,
                 title=f"quality events (last {len(tail)} of {len(events)})",
             )
         )
     summary = ", ".join(f"{kind}={kinds[kind]}" for kind in sorted(kinds))
     print(f"records: {summary}")
     return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.obs.console import run_monitor
+
+    return run_monitor(
+        args.url,
+        interval=args.interval,
+        once=args.once,
+        as_json=args.as_json,
+        window=args.window,
+        step=args.step,
+    )
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -679,7 +793,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-_COMMANDS = {
+_COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "generate": _cmd_generate,
     "inspect": _cmd_inspect,
     "recommend": _cmd_recommend,
@@ -688,6 +802,7 @@ _COMMANDS = {
     "goals": _cmd_goals,
     "serve": _cmd_serve,
     "metrics": _cmd_metrics,
+    "monitor": _cmd_monitor,
     "telemetry": _cmd_telemetry,
     "report": _cmd_report,
 }

@@ -47,6 +47,12 @@ from repro.obs.export import (
     RotatingFileWriter,
     iter_telemetry_records,
 )
+from repro.obs.history import (
+    DEFAULT_INTERVAL_SECONDS,
+    DEFAULT_WINDOW_SECONDS,
+    MetricsHistory,
+    histogram_quantile,
+)
 from repro.obs.logs import (
     RUN_ID,
     JsonLogFormatter,
@@ -96,6 +102,15 @@ from repro.obs.runtime import (
     trace_detail_enabled,
     tracing_enabled,
 )
+from repro.obs.tracecontext import (
+    TraceContext,
+    current_trace_id,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    trace_context,
+)
 from repro.obs.tracing import (
     NOOP_SPAN,
     Span,
@@ -140,6 +155,19 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "NOOP_SPAN",
+    # W3C trace-context propagation
+    "TraceContext",
+    "parse_traceparent",
+    "format_traceparent",
+    "new_trace_id",
+    "new_span_id",
+    "current_trace_id",
+    "trace_context",
+    # metrics history (time-series ring buffers behind /debug/history)
+    "MetricsHistory",
+    "histogram_quantile",
+    "DEFAULT_INTERVAL_SECONDS",
+    "DEFAULT_WINDOW_SECONDS",
     # recommendation quality + drift + SLOs
     "QualityMonitor",
     "DriftDetector",

@@ -297,6 +297,7 @@ class FlightRecorder:
         status: int,
         elapsed: float,
         spans: list[dict[str, object]] | None = None,
+        trace_id: str | None = None,
     ) -> None:
         """Record one served request (subject to sampling)."""
         if not self.should_sample(request_id):
@@ -311,6 +312,8 @@ class FlightRecorder:
             "status": status,
             "seconds": round(elapsed, 6),
         }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
         if spans:
             record["spans"] = spans
         self._enqueue(record, kind="request")

@@ -1,0 +1,538 @@
+"""In-process metrics history: fixed-memory time series over the registry.
+
+Every observability surface before this module is point-in-time — a
+``/metrics`` scrape or ``/debug/vars`` hit says what is true *now*.  This
+module adds the missing axis: :class:`MetricsHistory` periodically
+snapshots every family in a :class:`~repro.obs.metrics.MetricsRegistry`
+into per-series ring buffers, and derives operator-facing views at query
+time:
+
+- **counter** families become **rates** (clamped delta / elapsed between
+  consecutive snapshots, so a counter reset after ``registry.reset()`` or
+  a process restart reads as a dip to zero, never a negative spike);
+- **gauge** families report their **last value** at each grid point;
+- **histogram** families become **quantile-over-window** summaries
+  (p50/p95/p99 by default) interpolated from cumulative-bucket deltas,
+  Prometheus ``histogram_quantile`` style, plus an observation rate.
+
+Memory is fixed by construction: one ring buffer of
+``window / interval + 1`` points per live series, and series whose family
+vanished (e.g. after a registry reset) are pruned once their newest point
+ages out of the window.  ``index()`` reports the exact retention math and
+a deterministic memory estimate; ``docs/monitoring.md`` walks through it.
+
+Locking is deliberately boring: :meth:`MetricsHistory.capture` reads the
+registry snapshot *before* taking the history mutex, so the two locks are
+never nested and ``locks.toml`` needs no new edge.  Readers
+(:meth:`series`, :meth:`index`) copy the rings under the mutex and derive
+outside it, so a slow quantile query never blocks the capture thread.
+
+The clock is injectable — tests drive :meth:`capture` directly with a
+fake clock and get bit-deterministic rates; the background thread started
+by :meth:`start` is only a convenience loop around the same method.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_right
+from collections import deque
+from collections.abc import Callable, Sequence
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime
+from repro.utils.concurrency import make_lock
+
+#: Default cadence and retention: one snapshot every 5s, 15 minutes kept.
+DEFAULT_INTERVAL_SECONDS = 5.0
+DEFAULT_WINDOW_SECONDS = 900.0
+
+#: Quantiles derived for histogram families unless the query overrides.
+DEFAULT_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
+
+#: Upper bound on grid points a single query may ask for; keeps a
+#: pathological ``step`` from turning one HTTP request into a huge loop.
+MAX_GRID_POINTS = 4096
+
+#: Deterministic per-point memory estimates (bytes), used by ``index()``:
+#: a scalar point is a float appended to two ring deques; a histogram
+#: point adds count/sum floats plus one int per cumulative bucket.
+_SCALAR_POINT_BYTES = 120
+_HISTOGRAM_POINT_BYTES = 200
+_BUCKET_BYTES = 32
+
+#: Lock discipline, machine-checked by ``repro-lint`` (rule RL001):
+#: these attributes may only be touched inside ``with self._lock``.  The
+#: mutex is a leaf — ``capture()`` finishes reading the registry before
+#: acquiring it — so ``locks.toml`` declares no edge for it.
+_GUARDED_BY = {
+    "MetricsHistory._series": "_lock",
+    "MetricsHistory._captures": "_lock",
+    "MetricsHistory._last_capture": "_lock",
+}
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+class _Series:
+    """One labelled time series: parallel ring buffers, newest last."""
+
+    __slots__ = (
+        "kind", "help", "label_key", "bounds",
+        "timestamps", "values", "counts", "sums", "buckets",
+    )
+
+    def __init__(self, kind: str, help_text: str, label_key: LabelKey,
+                 capacity: int, bounds: tuple[float, ...]) -> None:
+        self.kind = kind
+        self.help = help_text
+        self.label_key = label_key
+        self.bounds = bounds
+        self.timestamps: deque[float] = deque(maxlen=capacity)
+        # Counter/gauge points land in ``values``; histogram points land in
+        # ``counts``/``sums``/``buckets``.  The unused deques stay empty.
+        self.values: deque[float] = deque(maxlen=capacity)
+        self.counts: deque[float] = deque(maxlen=capacity)
+        self.sums: deque[float] = deque(maxlen=capacity)
+        self.buckets: deque[tuple[int, ...]] = deque(maxlen=capacity)
+
+    def point_bytes(self) -> int:
+        if self.kind == "histogram":
+            per_point = _HISTOGRAM_POINT_BYTES + _BUCKET_BYTES * (len(self.bounds) + 1)
+        else:
+            per_point = _SCALAR_POINT_BYTES
+        return per_point * len(self.timestamps)
+
+
+def histogram_quantile(
+    quantile: float,
+    delta_cumulative: Sequence[float],
+    bounds: Sequence[float],
+) -> float | None:
+    """Interpolated quantile from cumulative bucket-count deltas.
+
+    ``delta_cumulative`` is the element-wise difference of two cumulative
+    bucket vectors (``+Inf`` last), i.e. the cumulative distribution of
+    the observations that landed *between* two snapshots.  Follows
+    Prometheus ``histogram_quantile``: linear interpolation inside the
+    target bucket, lower edge 0 for the first bucket, and the highest
+    finite bound for anything that lands in ``+Inf``.  Returns ``None``
+    when the window holds no observations.
+    """
+    if not delta_cumulative:
+        return None
+    total = delta_cumulative[-1]
+    if total <= 0:
+        return None
+    target = quantile * total
+    index = 0
+    while index < len(delta_cumulative) and delta_cumulative[index] < target:
+        index += 1
+    if index >= len(delta_cumulative):
+        index = len(delta_cumulative) - 1
+    if index >= len(bounds):  # the implicit +Inf bucket
+        return float(bounds[-1]) if bounds else None
+    upper = float(bounds[index])
+    lower = float(bounds[index - 1]) if index > 0 else 0.0
+    in_bucket = delta_cumulative[index] - (
+        delta_cumulative[index - 1] if index > 0 else 0.0
+    )
+    if in_bucket <= 0:
+        return upper
+    below = delta_cumulative[index - 1] if index > 0 else 0.0
+    fraction = (target - below) / in_bucket
+    return lower + (upper - lower) * fraction
+
+
+def _quantile_key(quantile: float) -> str:
+    return f"p{quantile * 100:g}"
+
+
+class MetricsHistory:
+    """Periodic registry snapshots in fixed-size per-series ring buffers.
+
+    Parameters
+    ----------
+    interval_seconds:
+        Cadence of the background capture loop and the default query
+        ``step``.
+    window_seconds:
+        Retention: each series keeps ``window / interval + 1`` points.
+    clock:
+        Timestamp source for captured points (default ``time.time``);
+        inject a fake for deterministic tests.
+    registry_getter:
+        Callable returning the registry to snapshot (default the
+        process-wide one), resolved per capture so a test that swaps the
+        global registry is followed automatically.
+    """
+
+    def __init__(
+        self,
+        interval_seconds: float = DEFAULT_INTERVAL_SECONDS,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        *,
+        clock: Callable[[], float] = time.time,
+        registry_getter: Callable[[], obs_metrics.MetricsRegistry] | None = None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError(f"interval must be positive, got {interval_seconds}")
+        if window_seconds < interval_seconds:
+            raise ValueError(
+                f"window ({window_seconds}s) must cover at least one "
+                f"interval ({interval_seconds}s)"
+            )
+        self.interval_seconds = float(interval_seconds)
+        self.window_seconds = float(window_seconds)
+        self.capacity = int(window_seconds // interval_seconds) + 1
+        self._clock = clock
+        self._registry_getter = registry_getter or obs_metrics.get_registry
+        self._lock = make_lock("MetricsHistory._lock")
+        self._series: dict[tuple[str, LabelKey], _Series] = {}
+        self._captures = 0
+        self._last_capture: float | None = None
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+
+    def capture(self) -> float:
+        """Take one snapshot pass; returns its wall-clock cost in seconds.
+
+        Reads the registry (under the registry's own lock) first, then
+        appends under the history mutex — the locks never nest.  A capture
+        stamped at or before the previous one (frozen fake clock) replaces
+        the newest point instead of appending, so repeated calls are
+        idempotent rather than a division-by-zero in rate derivation.
+        """
+        started = time.perf_counter()
+        now = float(self._clock())
+        snapshot = self._registry_getter().snapshot(include_buckets=True)
+        with self._lock:
+            for name, family in snapshot.items():
+                kind = str(family["kind"])
+                help_text = str(family["help"])
+                raw_bounds = family.get("bounds", ())
+                bounds = tuple(float(b) for b in raw_bounds) \
+                    if isinstance(raw_bounds, (tuple, list)) else ()
+                for label_key, sample in family["samples"].items():
+                    series_key = (name, label_key)
+                    series = self._series.get(series_key)
+                    if series is None:
+                        series = _Series(
+                            kind, help_text, label_key, self.capacity, bounds
+                        )
+                        self._series[series_key] = series
+                    elif bounds and not series.bounds:
+                        series.bounds = bounds
+                    if series.timestamps and now <= series.timestamps[-1]:
+                        self._pop_newest(series)
+                    series.timestamps.append(now)
+                    if kind == "histogram" and isinstance(sample, dict):
+                        series.counts.append(float(sample["count"]))
+                        series.sums.append(float(sample["sum"]))
+                        raw = sample.get("buckets", ())
+                        series.buckets.append(
+                            tuple(int(b) for b in raw)
+                            if isinstance(raw, (tuple, list)) else ()
+                        )
+                    else:
+                        series.values.append(float(sample))  # type: ignore[arg-type]
+            # Series whose family vanished (registry reset, label churn)
+            # stop receiving points; drop them once their newest point has
+            # aged out of the retention window so memory stays bounded.
+            horizon = now - self.window_seconds
+            stale = [
+                key for key, series in self._series.items()
+                if not series.timestamps or series.timestamps[-1] < horizon
+            ]
+            for key in stale:
+                del self._series[key]
+            self._captures += 1
+            self._last_capture = now
+            total_series = len(self._series)
+            total_points = sum(
+                len(series.timestamps) for series in self._series.values()
+            )
+        elapsed = time.perf_counter() - started
+        if runtime.metrics_enabled():
+            registry = self._registry_getter()
+            registry.counter(
+                "repro_history_snapshots_total",
+                "Metric-history snapshot passes taken.",
+            ).inc()
+            registry.gauge(
+                "repro_history_series",
+                "Live time series tracked by the metrics history.",
+            ).set(total_series)
+            registry.gauge(
+                "repro_history_points",
+                "Data points buffered across all history ring buffers.",
+            ).set(total_points)
+            registry.histogram(
+                "repro_history_capture_seconds",
+                "Wall-clock cost of one metrics-history snapshot pass.",
+                buckets=obs_metrics.CACHE_LOOKUP_BUCKETS,
+            ).observe(elapsed)
+        return elapsed
+
+    @staticmethod
+    def _pop_newest(series: _Series) -> None:
+        series.timestamps.pop()
+        if series.values:
+            series.values.pop()
+        if series.counts:
+            series.counts.pop()
+            series.sums.pop()
+            series.buckets.pop()
+
+    # ------------------------------------------------------------------
+    # Background loop
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background capture thread (idempotent).
+
+        Takes one immediate capture so ``/debug/history`` has a baseline
+        point before the first interval elapses.
+        """
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop_event.clear()
+        self.capture()
+        thread = threading.Thread(
+            target=self._run, name="repro-metrics-history", daemon=True
+        )
+        self._thread = thread
+        thread.start()
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.interval_seconds):
+            try:
+                self.capture()
+            except Exception:  # pragma: no cover - keep the loop alive
+                # A half-registered family mid-reset must not kill the
+                # capture loop; the next tick retries from scratch.
+                continue
+
+    def stop(self) -> None:
+        """Stop the background thread and wait for it to exit."""
+        self._stop_event.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+        self._thread = None
+
+    def reset(self) -> None:
+        """Drop every buffered series (test isolation helper)."""
+        with self._lock:
+            self._series.clear()
+            self._captures = 0
+            self._last_capture = None
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+
+    def families(self) -> list[str]:
+        """Captured family names, sorted."""
+        with self._lock:
+            return sorted({name for name, _ in self._series})
+
+    def index(self) -> dict[str, object]:
+        """Summary of what the history holds and what it costs.
+
+        The memory figure is a deterministic estimate from the documented
+        per-point constants (see ``docs/monitoring.md``), not a live
+        ``sys.getsizeof`` walk — it exists so operators can sanity-check
+        retention math, and so tests can pin it.
+        """
+        with self._lock:
+            kinds: dict[str, str] = {}
+            series_counts: dict[str, int] = {}
+            point_counts: dict[str, int] = {}
+            memory = 0
+            for (name, _), series in self._series.items():
+                kinds.setdefault(name, series.kind)
+                series_counts[name] = series_counts.get(name, 0) + 1
+                point_counts[name] = (
+                    point_counts.get(name, 0) + len(series.timestamps)
+                )
+                memory += series.point_bytes()
+            captures = self._captures
+            last = self._last_capture
+        return {
+            "interval_seconds": self.interval_seconds,
+            "window_seconds": self.window_seconds,
+            "capacity_points_per_series": self.capacity,
+            "captures": captures,
+            "last_capture": last,
+            "families": {
+                name: {
+                    "kind": kinds[name],
+                    "series": series_counts[name],
+                    "points": point_counts[name],
+                }
+                for name in sorted(kinds)
+            },
+            "memory_bytes_estimate": memory,
+        }
+
+    def series(
+        self,
+        family: str,
+        *,
+        window: float | None = None,
+        step: float | None = None,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        end: float | None = None,
+    ) -> dict[str, object] | None:
+        """Aligned series for one family; ``None`` if never captured.
+
+        The grid has ``floor(window / step) + 1`` timestamps ending at the
+        newest capture (or ``end``).  Each grid point reads the newest
+        snapshot at or before it: counters as clamped rates between that
+        snapshot and its predecessor, gauges as the raw value, histograms
+        as interpolated window quantiles plus an observation rate.  Grid
+        points with no usable data are ``null`` so gaps render as gaps.
+
+        When ``step`` is omitted it defaults to the capture interval,
+        coarsened just enough to keep the grid under
+        :data:`MAX_GRID_POINTS` — the no-argument query always succeeds
+        no matter how the window/interval ratio is configured.  An
+        *explicit* step that overflows the grid raises :class:`ValueError`.
+        """
+        window_s = float(window) if window is not None else self.window_seconds
+        if step is not None:
+            step_s = float(step)
+        else:
+            step_s = max(
+                self.interval_seconds, window_s / (MAX_GRID_POINTS - 1)
+            )
+        if window_s <= 0 or step_s <= 0:
+            raise ValueError("window and step must be positive")
+        steps = int(window_s // step_s)
+        if steps + 1 > MAX_GRID_POINTS:
+            raise ValueError(
+                f"window/step asks for {steps + 1} grid points "
+                f"(max {MAX_GRID_POINTS})"
+            )
+        with self._lock:
+            matching = [
+                series for (name, _), series in sorted(self._series.items())
+                if name == family
+            ]
+            if not matching:
+                return None
+            kind = matching[0].kind
+            help_text = matching[0].help
+            copies = [
+                (
+                    series.label_key,
+                    list(series.timestamps),
+                    list(series.values),
+                    list(series.counts),
+                    list(series.buckets),
+                    series.bounds,
+                )
+                for series in matching
+            ]
+            last = self._last_capture
+        end_ts = float(end) if end is not None else (last if last is not None else 0.0)
+        times = [end_ts - (steps - i) * step_s for i in range(steps + 1)]
+        rendered: list[dict[str, object]] = []
+        for label_key, stamps, values, counts, buckets, bounds in copies:
+            labels = dict(label_key)
+            if kind == "histogram":
+                rendered.append(self._histogram_series(
+                    labels, stamps, counts, buckets, bounds, times, quantiles
+                ))
+            elif kind == "counter":
+                rendered.append({
+                    "labels": labels,
+                    "values": self._rate_series(stamps, values, times),
+                })
+            else:
+                rendered.append({
+                    "labels": labels,
+                    "values": self._gauge_series(stamps, values, times),
+                })
+        return {
+            "family": family,
+            "kind": kind,
+            "help": help_text,
+            "end": end_ts,
+            "window_seconds": window_s,
+            "step_seconds": step_s,
+            "timestamps": times,
+            "series": rendered,
+        }
+
+    @staticmethod
+    def _gauge_series(
+        stamps: list[float], values: list[float], times: list[float]
+    ) -> list[float | None]:
+        out: list[float | None] = []
+        for t in times:
+            index = bisect_right(stamps, t + 1e-9) - 1
+            out.append(values[index] if index >= 0 else None)
+        return out
+
+    @staticmethod
+    def _rate_series(
+        stamps: list[float], values: list[float], times: list[float]
+    ) -> list[float | None]:
+        out: list[float | None] = []
+        for t in times:
+            index = bisect_right(stamps, t + 1e-9) - 1
+            if index < 1:
+                out.append(None)
+                continue
+            dt = stamps[index] - stamps[index - 1]
+            if dt <= 0:
+                out.append(None)
+                continue
+            # Clamp: a counter reset (registry.reset, restart) reads as a
+            # zero-rate dip, never a negative spike.
+            out.append(max(0.0, values[index] - values[index - 1]) / dt)
+        return out
+
+    @staticmethod
+    def _histogram_series(
+        labels: dict[str, str],
+        stamps: list[float],
+        counts: list[float],
+        buckets: list[tuple[int, ...]],
+        bounds: tuple[float, ...],
+        times: list[float],
+        quantiles: Sequence[float],
+    ) -> dict[str, object]:
+        count_rate: list[float | None] = []
+        quantile_rows: dict[str, list[float | None]] = {
+            _quantile_key(q): [] for q in quantiles
+        }
+        for t in times:
+            index = bisect_right(stamps, t + 1e-9) - 1
+            usable = index >= 1 and stamps[index] - stamps[index - 1] > 0
+            if not usable:
+                count_rate.append(None)
+                for q in quantiles:
+                    quantile_rows[_quantile_key(q)].append(None)
+                continue
+            dt = stamps[index] - stamps[index - 1]
+            count_rate.append(max(0.0, counts[index] - counts[index - 1]) / dt)
+            newer, older = buckets[index], buckets[index - 1]
+            if len(newer) != len(older) or not newer:
+                delta: list[float] = []
+            else:
+                delta = [max(0.0, float(n - o)) for n, o in zip(newer, older)]
+            for q in quantiles:
+                quantile_rows[_quantile_key(q)].append(
+                    histogram_quantile(q, delta, bounds)
+                )
+        result: dict[str, object] = {"labels": labels, "count_rate": count_rate}
+        result.update(quantile_rows)
+        return result

@@ -367,27 +367,42 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._families)
 
-    def snapshot(self) -> dict[str, dict]:
+    def snapshot(self, *, include_buckets: bool = False) -> dict[str, dict]:
         """A picklable view: name -> {kind, help, samples}.
 
         Counter/gauge samples map the label tuple to the value; histogram
-        samples map it to ``{"count": n, "sum": s}``.
+        samples map it to ``{"count": n, "sum": s}``.  With
+        ``include_buckets=True`` each histogram sample additionally carries
+        ``"buckets"`` (cumulative per-bucket counts, ``+Inf`` last) and the
+        family carries ``"bounds"`` — enough for a consumer such as
+        :class:`repro.obs.history.MetricsHistory` to derive quantiles over a
+        window from bucket-count deltas.
         """
         with self._lock:
             families = list(self._families.values())
         result: dict[str, dict] = {}
         for family in families:
             samples: dict[tuple, object] = {}
+            bounds: tuple[float, ...] | None = None
             for key, child in sorted(family.children.items()):
                 if isinstance(child, Histogram):
-                    samples[key] = {"count": child.count, "sum": child.sum}
+                    sample: dict[str, object] = {
+                        "count": child.count, "sum": child.sum,
+                    }
+                    if include_buckets:
+                        sample["buckets"] = child.cumulative_counts()
+                        bounds = child.bounds
+                    samples[key] = sample
                 else:
                     samples[key] = child.value  # type: ignore[union-attr]
-            result[family.name] = {
+            entry: dict[str, object] = {
                 "kind": family.kind,
                 "help": family.help,
                 "samples": samples,
             }
+            if include_buckets and bounds is not None:
+                entry["bounds"] = bounds
+            result[family.name] = entry
         return result
 
     def reset(self) -> None:

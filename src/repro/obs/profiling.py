@@ -211,6 +211,7 @@ class SlowRequestLog:
         status: int,
         seconds: float,
         spans: list[dict[str, object]],
+        trace_id: str | None = None,
     ) -> bool:
         """Log the request if it is slow enough; returns whether it was."""
         if seconds < self.threshold_seconds:
@@ -223,6 +224,8 @@ class SlowRequestLog:
             "seconds": round(seconds, 6),
             "spans": spans,
         }
+        if trace_id is not None:
+            entry["trace_id"] = trace_id
         with self._lock:
             self._sequence += 1
             item = (seconds, self._sequence, entry)

@@ -41,7 +41,8 @@ from typing import TYPE_CHECKING, NamedTuple
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import runtime
-from repro.obs.logs import get_logger, log_event
+from repro.obs.logs import current_request_id, get_logger, log_event
+from repro.obs.tracecontext import current_trace_id
 
 if TYPE_CHECKING:
     from repro.core.entities import RecommendationList
@@ -298,6 +299,16 @@ class DriftDetector:
             self._score_gauge().set(score)
             self._alert_gauge().set(1.0 if alert else 0.0)
         if event is not None:
+            # Drift fires from inside a handler thread's recommend path, so
+            # the request/trace ids of the tipping request are in scope —
+            # stamp them so the alert joins against /debug/trace and the
+            # flight recorder's sampled records.
+            request_id = current_request_id()
+            if request_id is not None:
+                event["request_id"] = request_id
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                event["trace_id"] = trace_id
             if runtime.metrics_enabled():
                 obs_metrics.get_registry().counter(
                     "repro_drift_alerts_total",

@@ -1,0 +1,124 @@
+"""W3C Trace Context (``traceparent``) ingestion, propagation and echo.
+
+The service already mints an ``X-Request-Id`` per request; this module adds
+the standard distributed-tracing correlation header alongside it, so a
+caller sitting behind a mesh or gateway can join our spans, slow-log
+entries and flight-recorder records to its own trace.
+
+Only the ``traceparent`` header of the spec is implemented (``tracestate``
+is passed through untouched by virtue of never being inspected).  The
+header format, per https://www.w3.org/TR/trace-context/::
+
+    traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+                 ^^ ^^^^^^^^^^^^^^^^ trace-id ^^^^^^ ^^ parent-id ^^^^ ^^
+              version     16 bytes, lowercase hex     8 bytes      flags
+
+Semantics here:
+
+- **ingest**: a valid incoming ``traceparent`` pins the request's
+  ``trace_id`` (and sampling flags); an absent or malformed header mints a
+  fresh trace id, exactly like the request-id path.
+- **echo**: every response — including 429 shed, 503 drain and error
+  envelopes — carries a ``traceparent`` whose ``parent-id`` is the span id
+  this service minted for the request, so the caller sees which hop
+  answered.
+- **stamp**: the root ``http.request`` span, ``/debug/slow`` entries and
+  flight-recorder records carry the ``trace_id`` attribute, and
+  ``GET /debug/trace/<request-id>`` joins them back together.
+
+A :class:`~contextvars.ContextVar` mirrors :mod:`repro.obs.logs`'s
+request-id scope so deep call sites (drift events, log lines) can pick up
+the current trace id without plumbing.
+"""
+
+from __future__ import annotations
+
+import re
+import uuid
+from collections.abc import Iterator
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+#: One parsed ``traceparent`` value.  ``flags`` is the raw two-hex-digit
+#: field; bit 0 (``01``) is the W3C *sampled* flag.
+_TRACEPARENT = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-"
+    r"(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<parent_id>[0-9a-f]{16})-"
+    r"(?P<flags>[0-9a-f]{2})$"
+)
+
+_trace_id: ContextVar[str | None] = ContextVar("repro_trace_id", default=None)
+
+
+class TraceContext:
+    """A validated ``traceparent``: trace id, parent span id, flags."""
+
+    __slots__ = ("trace_id", "parent_id", "flags")
+
+    def __init__(self, trace_id: str, parent_id: str, flags: str = "01") -> None:
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.flags = flags
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TraceContext(trace_id={self.trace_id!r}, "
+            f"parent_id={self.parent_id!r}, flags={self.flags!r})"
+        )
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """Parse a ``traceparent`` header; ``None`` when absent or invalid.
+
+    Invalid per the spec: wrong shape, uppercase hex, version ``ff``, or
+    all-zero trace/parent ids.  Higher versions than ``00`` are accepted
+    as long as the ``00`` fields parse (forward compatibility rule).
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT.match(header.strip())
+    if match is None:
+        return None
+    if match["version"] == "ff":
+        return None
+    trace_id = match["trace_id"]
+    parent_id = match["parent_id"]
+    if trace_id == "0" * 32 or parent_id == "0" * 16:
+        return None
+    return TraceContext(trace_id, parent_id, match["flags"])
+
+
+def format_traceparent(trace_id: str, span_id: str, flags: str = "01") -> str:
+    """Render a version-00 ``traceparent`` header value."""
+    return f"00-{trace_id}-{span_id}-{flags}"
+
+
+def new_trace_id() -> str:
+    """A fresh 16-byte trace id as 32 lowercase hex digits."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 8-byte span id as 16 lowercase hex digits."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id() -> str | None:
+    """The trace id bound to the current context, if any."""
+    return _trace_id.get()
+
+
+@contextmanager
+def trace_context(trace_id: str) -> Iterator[str]:
+    """Bind ``trace_id`` for the duration of the block.
+
+    Mirrors :func:`repro.obs.logs.request_context`; the service enters both
+    per request so histogram exemplars, drift events and log lines can
+    correlate without passing ids through every call signature.
+    """
+    token = _trace_id.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _trace_id.reset(token)

@@ -30,6 +30,14 @@ Endpoints (JSON unless noted):
   force, per-site acquisition/contention/hold statistics and detected
   violations (``{"enabled": false}`` unless started with
   ``--lock-sanitizer`` / ``REPRO_LOCK_SANITIZER=1``);
+- ``GET  /debug/history`` — the metrics-history index (captured families,
+  retention math, memory estimate); with ``?family=...`` (plus optional
+  ``window=`` / ``step=`` seconds and ``quantiles=``) an aligned
+  time-series view: counters as rates, gauges as last values, histograms
+  as windowed p50/p95/p99 (see ``docs/monitoring.md``);
+- ``GET  /debug/trace/<request-id>`` — every retained trace of that
+  request (or trace id): matching span trees still in the tracer's ring
+  buffer and matching slow-log entries;
 - ``POST /debug/profile`` / ``DELETE /debug/profile`` — start/stop a
   guarded on-demand cProfile session (409 when already active, 404 when
   none is); DELETE returns the :mod:`pstats` report as plain text and
@@ -76,7 +84,15 @@ Conventions:
   the nginx-style ``499`` sentinel status (no response is written);
 - every response echoes an ``X-Request-Id`` header — the client's, when it
   sent one, else a freshly minted id — and the same id is bound to the
-  structured-log context for the duration of the request.
+  structured-log context for the duration of the request;
+- every response likewise carries a W3C ``traceparent`` header: an
+  incoming valid ``traceparent`` pins the trace id (and flags), otherwise
+  a fresh trace id is minted; the ``parent-id`` field is the span id this
+  service minted for the request.  The trace id is stamped on the root
+  ``http.request`` span, slow-log entries and flight-recorder records,
+  and ``GET /debug/trace/<request-id>`` joins them back together.  Shed
+  (429), drain (503) and error responses carry both headers — they all
+  flow through the same header path.
 
 Resilience (see ``docs/resilience.md``):
 
@@ -163,7 +179,7 @@ _TIERS = ("exact", "approx")
 #: Known routes by supported method; wrong-method hits answer 405.
 _GET_ROUTES = (
     "/health", "/metrics", "/model", "/debug/vars", "/debug/slow",
-    "/debug/quality", "/debug/locks",
+    "/debug/quality", "/debug/locks", "/debug/history",
 )
 _POST_ROUTES = (
     "/recommend", "/recommend/batch", "/spaces", "/explain", "/goals",
@@ -183,6 +199,11 @@ _PROFILE_SORTS = (
 #: to keep cardinality bounded.
 _DELETE_PREFIX = "/model/implementations/"
 _DELETE_ENDPOINT = "/model/implementations/<id>"
+#: Prefix for the parametrized trace-lookup route; the trailing segment is
+#: a request id (or trace id).  Collapsed to one metrics label like the
+#: DELETE route above.
+_TRACE_PREFIX = "/debug/trace/"
+_TRACE_ENDPOINT = "/debug/trace/<request-id>"
 
 _LOG = obs.get_logger("repro.service")
 
@@ -531,6 +552,15 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(length))
         self.send_header("X-Request-Id", self._request_id)
+        # Every response — including 429 shed, 503 drain, 504 deadline and
+        # error envelopes — flows through here, so the trace context echo
+        # holds unconditionally, mirroring X-Request-Id.
+        self.send_header(
+            "traceparent",
+            obs.format_traceparent(
+                self._trace_id, self._span_id, self._trace_flags
+            ),
+        )
         if allow is not None:
             self.send_header("Allow", allow)
         if retry_after is not None:
@@ -711,6 +741,8 @@ class _Handler(BaseHTTPRequestHandler):
             return path
         if path.startswith(_DELETE_PREFIX):
             return _DELETE_ENDPOINT
+        if path.startswith(_TRACE_PREFIX):
+            return _TRACE_ENDPOINT
         return "<unknown>"
 
     def _dispatch(self, method: str) -> None:
@@ -719,17 +751,31 @@ class _Handler(BaseHTTPRequestHandler):
         self._request_id = self.headers.get(
             "X-Request-Id"
         ) or obs.new_request_id()
+        # W3C trace context: a valid incoming traceparent pins the trace
+        # id and flags; otherwise mint a fresh trace.  The span id is
+        # always ours — it names this hop in the echoed header.
+        incoming_trace = obs.parse_traceparent(self.headers.get("traceparent"))
+        if incoming_trace is not None:
+            self._trace_id = incoming_trace.trace_id
+            self._trace_flags = incoming_trace.flags
+        else:
+            self._trace_id = obs.new_trace_id()
+            self._trace_flags = "01"
+        self._span_id = obs.new_span_id()
         self._status = 0
         self._deadline_stage: str | None = None
         endpoint = self._endpoint_label(path)
         start = time.perf_counter()
         self.service._publish_inflight(1)
         root: obs.Span | None = None
-        with obs.request_context(self._request_id):
+        with obs.request_context(self._request_id), \
+                obs.trace_context(self._trace_id):
             try:
                 try:
                     with obs.trace_span(
-                        "http.request", endpoint=endpoint, method=method
+                        "http.request", endpoint=endpoint, method=method,
+                        request_id=self._request_id,
+                        trace_id=self._trace_id,
                     ) as span:
                         if isinstance(span, obs.Span):
                             root = span
@@ -792,10 +838,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self.service._record_slow(
                     self._request_id, endpoint, method, self._status,
                     elapsed, [root.to_dict()] if root is not None else [],
+                    trace_id=self._trace_id,
                 )
                 self.service._record_telemetry(
                     self._request_id, endpoint, method, self._status,
-                    elapsed, root,
+                    elapsed, root, trace_id=self._trace_id,
                 )
                 self.service._publish_inflight(-1)
 
@@ -905,8 +952,16 @@ class _Handler(BaseHTTPRequestHandler):
                 self._handle_debug_quality()
             elif path == "/debug/locks":
                 self._handle_debug_locks()
+            elif path == "/debug/history":
+                self._handle_debug_history()
             else:
                 self._handle_metrics()
+            return
+        if path.startswith(_TRACE_PREFIX):
+            if method not in ("GET", "HEAD"):
+                self._method_not_allowed(_TRACE_ENDPOINT, "GET, HEAD")
+                return
+            self._handle_debug_trace(path[len(_TRACE_PREFIX):])
             return
         if path == _PROFILE_ROUTE:
             if method == "POST":
@@ -955,7 +1010,7 @@ class _Handler(BaseHTTPRequestHandler):
             404,
             f"unknown path {path}",
             detail={
-                "get": list(_GET_ROUTES),
+                "get": [*_GET_ROUTES, _TRACE_ENDPOINT],
                 "post": [*_POST_ROUTES, _PROFILE_ROUTE],
                 "put": list(_PUT_ROUTES),
                 "delete": [_DELETE_ENDPOINT, _PROFILE_ROUTE],
@@ -1021,6 +1076,55 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle_debug_locks(self) -> None:
         self._send_json(200, self.service.debug_locks())
+
+    def _handle_debug_history(self) -> None:
+        history = self.service.history
+        if history is None:
+            self._send_json(200, {"enabled": False})
+            return
+        params = dict(
+            part.split("=", 1) for part in self._query.split("&") if "=" in part
+        )
+        family = params.get("family")
+        if family is None:
+            self._send_json(200, {"enabled": True, **history.index()})
+            return
+        try:
+            window = float(params["window"]) if "window" in params else None
+            step = float(params["step"]) if "step" in params else None
+        except ValueError:
+            self._send_error(
+                400,
+                "'window' and 'step' must be numbers of seconds",
+                detail=f"got window={params.get('window')!r} "
+                       f"step={params.get('step')!r}",
+            )
+            return
+        try:
+            series = history.series(family, window=window, step=step)
+        except ValueError as exc:
+            self._send_error(400, "invalid history query", detail=str(exc))
+            return
+        if series is None:
+            self._send_error(
+                404,
+                f"no history for family {family!r}",
+                detail={"families": history.families()},
+            )
+            return
+        self._send_json(200, series)
+
+    def _handle_debug_trace(self, key: str) -> None:
+        found = self.service.debug_trace(key)
+        if not found["spans"] and not found["slow"]:
+            self._send_error(
+                404,
+                f"no retained trace for {key!r}",
+                detail="the span ring buffer and slow log hold a bounded "
+                       "window; older requests age out",
+            )
+            return
+        self._send_json(200, found)
 
     def _handle_profile_start(self) -> None:
         try:
@@ -1459,6 +1563,9 @@ class RecommenderService:
         slo_latency_target: float = 0.99,
         telemetry_dir: Path | str | None = None,
         telemetry_sample_rate: float = 1.0,
+        history_interval_seconds: float = obs.DEFAULT_INTERVAL_SECONDS,
+        history_window_seconds: float = obs.DEFAULT_WINDOW_SECONDS,
+        history_enabled: bool = True,
     ) -> None:
         self._registry = registry
         obs.enable(
@@ -1523,6 +1630,16 @@ class RecommenderService:
         )
         self.retry_after_seconds = retry_after_seconds
         self.default_deadline_ms = default_deadline_ms
+        # The metrics history snapshots whatever registry /metrics serves
+        # (the private one in tests, the process-wide one otherwise); its
+        # capture thread starts in start() and stops in stop()/drain().
+        self.history: obs.MetricsHistory | None = None
+        if history_enabled:
+            self.history = obs.MetricsHistory(
+                interval_seconds=history_interval_seconds,
+                window_seconds=history_window_seconds,
+                registry_getter=lambda: self.registry,
+            )
         # Feed every finished root span into the process stage profiler so
         # /debug/vars serves a per-stage breakdown; removed again in stop().
         self._tracer = obs.get_tracer()
@@ -1652,6 +1769,7 @@ class RecommenderService:
         with self._inflight_lock:
             self._draining = True
         self._publish_draining(1)
+        self._stop_history()
         obs.log_event(
             _LOG, "service.drain.start", timeout=timeout, grace=grace,
         )
@@ -1693,6 +1811,7 @@ class RecommenderService:
         status: int,
         elapsed: float,
         root: "obs.Span | None",
+        trace_id: str | None = None,
     ) -> None:
         """Offer one finished request to the flight recorder (if configured).
 
@@ -1707,7 +1826,8 @@ class RecommenderService:
         if root is not None and recorder.should_sample(request_id):
             spans = [root.to_dict()]
         recorder.record_request(
-            request_id, endpoint, method, status, elapsed, spans=spans
+            request_id, endpoint, method, status, elapsed, spans=spans,
+            trace_id=trace_id,
         )
 
     def _record_slow(
@@ -1718,12 +1838,14 @@ class RecommenderService:
         status: int,
         elapsed: float,
         spans: list[dict[str, object]],
+        trace_id: str | None = None,
     ) -> None:
         """Log and count one request if it crossed the slow threshold."""
         if elapsed < self.slow_log.threshold_seconds:
             return
         self.slow_log.offer(
-            request_id, endpoint, method, status, elapsed, spans
+            request_id, endpoint, method, status, elapsed, spans,
+            trace_id=trace_id,
         )
         if obs.metrics_enabled():
             self.registry.counter(
@@ -1759,6 +1881,11 @@ class RecommenderService:
             "telemetry": (
                 self.recorder.snapshot()
                 if self.recorder is not None
+                else {"enabled": False}
+            ),
+            "history": (
+                {"enabled": True, **self.history.index()}
+                if self.history is not None
                 else {"enabled": False}
             ),
             "slow_log": {
@@ -1814,6 +1941,39 @@ class RecommenderService:
         """
         return lock_sanitizer_snapshot()
 
+    def debug_trace(self, key: str) -> dict[str, Any]:
+        """Everything retained about one request id (or trace id).
+
+        Searches the tracer's root-span ring buffer and the slow-request
+        log for entries stamped with ``key`` as either ``request_id`` or
+        ``trace_id``.  Both buffers are bounded, so this is a window into
+        recent traffic, not an archive — the flight recorder
+        (``repro telemetry report``) is the durable tail.
+        """
+        spans = []
+        for root in obs.get_tracer().spans():
+            attributes = root.get("attributes", {})
+            if key in (
+                attributes.get("request_id"), attributes.get("trace_id")
+            ):
+                spans.append(root)
+        slow = [
+            entry for entry in self.slow_log.snapshot()
+            if key in (entry.get("request_id"), entry.get("trace_id"))
+        ]
+        trace_id: object = None
+        for source in (*spans, *slow):
+            attributes = source.get("attributes", source)
+            if isinstance(attributes, dict) and attributes.get("trace_id"):
+                trace_id = attributes["trace_id"]
+                break
+        return {
+            "key": key,
+            "trace_id": trace_id,
+            "spans": spans,
+            "slow": slow,
+        }
+
     def _record_batch(
         self, strategy: str, activities: int, elapsed: float
     ) -> None:
@@ -1843,6 +2003,10 @@ class RecommenderService:
             target=self._server.serve_forever, daemon=True
         )
         self._thread.start()
+        if self.history is not None:
+            # After the server thread: the first capture then already sees
+            # a live registry, and /debug/history has a baseline point.
+            self.history.start()
         obs.log_event(
             _LOG, "service.start", version=__version__,
             port=self.port,
@@ -1855,8 +2019,14 @@ class RecommenderService:
         if self.recorder is not None:
             self.recorder.close()
 
+    def _stop_history(self) -> None:
+        """Stop the history capture thread (idempotent, ``None``-safe)."""
+        if self.history is not None:
+            self.history.stop()
+
     def stop(self) -> None:
         """Shut the server down and join the serving thread."""
+        self._stop_history()
         if self._thread is None:
             self._close_recorder()
             return

@@ -75,6 +75,24 @@ def call(service, path, payload=None, method=None, headers=None):
         return error.code, json.loads(error.read()), dict(error.headers)
 
 
+def scrape_until(service, needle, timeout=5.0):
+    """Poll ``/metrics`` until ``needle`` appears; return the final text.
+
+    Request accounting deliberately runs *after* the response is written
+    (the recorded status must cover write failures), so a scrape issued
+    right after a request returns can land before that request's counters
+    do.  Polling absorbs the handoff without weakening the assertions —
+    the settled exposition is still checked exactly.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        status, text, headers = call(service, "/metrics")
+        assert status == 200
+        if needle in text or time.monotonic() >= deadline:
+            assert needle in text
+            return text, headers
+
+
 class TestMetricsEndpoint:
     def test_metrics_reflect_recommend_traffic(self, service):
         for _ in range(3):
@@ -83,13 +101,12 @@ class TestMetricsEndpoint:
                 {"activity": ["potatoes", "carrots"], "k": 3},
             )
             assert status == 200
-        status, text, headers = call(service, "/metrics")
-        assert status == 200
-        assert headers["Content-Type"].startswith("text/plain")
-        assert (
+        text, headers = scrape_until(
+            service,
             'repro_http_requests_total{endpoint="/recommend",'
-            'method="POST",status="200"} 3' in text
+            'method="POST",status="200"} 3',
         )
+        assert headers["Content-Type"].startswith("text/plain")
         # The three identical requests collapse onto one core ranking pass:
         # the first misses the recommendation LRU, the other two hit it.
         assert (
@@ -111,26 +128,24 @@ class TestMetricsEndpoint:
         excinfo.value.read()
         status, _, _ = call(service, "/recommend", {"k": 3})  # no activity
         assert status == 400
-        _, text, _ = call(service, "/metrics")
-        assert (
-            'repro_http_errors_total{endpoint="/recommend",status="400"} 2'
-            in text
+        scrape_until(
+            service,
+            'repro_http_errors_total{endpoint="/recommend",status="400"} 2',
         )
 
     def test_unknown_paths_grouped_under_unknown(self, service):
         call(service, "/nope")
-        _, text, _ = call(service, "/metrics")
-        assert (
-            'repro_http_errors_total{endpoint="<unknown>",status="404"} 1'
-            in text
+        scrape_until(
+            service,
+            'repro_http_errors_total{endpoint="<unknown>",status="404"} 1',
         )
 
     def test_metrics_scrape_counts_itself(self, service):
         call(service, "/metrics")
-        _, text, _ = call(service, "/metrics")
-        assert (
+        scrape_until(
+            service,
             'repro_http_requests_total{endpoint="/metrics",'
-            'method="GET",status="200"}' in text
+            'method="GET",status="200"}',
         )
 
 

@@ -1,0 +1,417 @@
+"""W3C trace-context propagation: parsing, echo, stamping, lookup.
+
+Unit tests pin the ``traceparent`` grammar (version ``ff`` and all-zero
+ids rejected, higher versions accepted) and the ContextVar scope.
+Integration tests drive a live service: a valid incoming header pins the
+trace id through to the response echo, span tree, slow log and flight
+recorder; ``GET /debug/trace/<key>`` joins them back by request id *or*
+trace id; and — the regression the resilience layer demands — 429 shed,
+503 drain and 504 deadline responses all carry ``X-Request-Id`` and
+``traceparent``, because every response flows through the same header
+path.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.core import AssociationGoalModel
+from repro.obs.export import FlightRecorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.quality import BaselineProfile, DriftDetector
+from repro.resilience import (
+    FaultInjector,
+    FaultRule,
+    clear_faults,
+    install_faults,
+)
+from repro.service import RecommenderService
+
+TRACE_ID = "ab" * 16
+PARENT_ID = "cd" * 8
+TRACEPARENT_RE = re.compile(r"^00-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$")
+
+
+# ----------------------------------------------------------------------
+# Grammar
+# ----------------------------------------------------------------------
+
+
+class TestParseTraceparent:
+    def test_valid_header_round_trips(self):
+        context = obs.parse_traceparent(f"00-{TRACE_ID}-{PARENT_ID}-01")
+        assert context is not None
+        assert context.trace_id == TRACE_ID
+        assert context.parent_id == PARENT_ID
+        assert context.flags == "01"
+
+    def test_flags_are_preserved_verbatim(self):
+        context = obs.parse_traceparent(f"00-{TRACE_ID}-{PARENT_ID}-00")
+        assert context.flags == "00"
+
+    def test_higher_versions_are_accepted(self):
+        # Forward-compatibility rule: unknown versions parse as long as
+        # the 00-shaped fields do.
+        assert obs.parse_traceparent(f"42-{TRACE_ID}-{PARENT_ID}-01")
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "garbage",
+        f"ff-{TRACE_ID}-{PARENT_ID}-01",            # version ff forbidden
+        f"00-{'0' * 32}-{PARENT_ID}-01",            # all-zero trace id
+        f"00-{TRACE_ID}-{'0' * 16}-01",             # all-zero parent id
+        f"00-{TRACE_ID.upper()}-{PARENT_ID}-01",    # uppercase hex
+        f"00-{TRACE_ID[:-2]}-{PARENT_ID}-01",       # short trace id
+        f"00-{TRACE_ID}-{PARENT_ID}",               # missing flags
+    ])
+    def test_invalid_headers_return_none(self, header):
+        assert obs.parse_traceparent(header) is None
+
+    def test_format_parses_back(self):
+        rendered = obs.format_traceparent(TRACE_ID, PARENT_ID, "01")
+        context = obs.parse_traceparent(rendered)
+        assert (context.trace_id, context.parent_id) == (TRACE_ID, PARENT_ID)
+
+    def test_fresh_ids_are_wellformed_and_distinct(self):
+        trace_ids = {obs.new_trace_id() for _ in range(32)}
+        span_ids = {obs.new_span_id() for _ in range(32)}
+        assert len(trace_ids) == 32 and len(span_ids) == 32
+        assert all(re.fullmatch(r"[0-9a-f]{32}", t) for t in trace_ids)
+        assert all(re.fullmatch(r"[0-9a-f]{16}", s) for s in span_ids)
+
+    def test_context_scope(self):
+        assert obs.current_trace_id() is None
+        with obs.trace_context(TRACE_ID):
+            assert obs.current_trace_id() == TRACE_ID
+        assert obs.current_trace_id() is None
+
+
+# ----------------------------------------------------------------------
+# Stamping: flight recorder and drift events
+# ----------------------------------------------------------------------
+
+
+class TestTraceStamping:
+    def test_flight_recorder_request_carries_trace_id(self, tmp_path):
+        recorder = FlightRecorder(tmp_path, sample_rate=1.0)
+        recorder.record_request(
+            "req-1", "/recommend", "POST", 200, 0.01,
+            trace_id=TRACE_ID,
+        )
+        assert recorder.flush()
+        recorder.close()
+        (record,) = obs.iter_telemetry_records(tmp_path)
+        assert record["trace_id"] == TRACE_ID
+        assert record["request_id"] == "req-1"
+
+    def test_drift_event_stamps_request_and_trace_ids(self):
+        events = []
+        detector = DriftDetector(
+            window_size=8, threshold=1e-9, recompute_every=1,
+            event_sink=lambda kind, payload: events.append((kind, payload)),
+        )
+        detector.set_baseline(BaselineProfile.from_counts({"a": 1.0}))
+        with obs.request_context("req-drift"), obs.trace_context(TRACE_ID):
+            detector.observe(["b"])  # 100% unseen labels: PSI > 0
+        assert events, "drift alert never fired"
+        kind, payload = events[0]
+        assert kind == "drift"
+        assert payload["request_id"] == "req-drift"
+        assert payload["trace_id"] == TRACE_ID
+        assert payload["score"] > 0
+
+
+# ----------------------------------------------------------------------
+# Live service
+# ----------------------------------------------------------------------
+
+
+PAIRS = [
+    ("olivier salad", {"potatoes", "carrots", "pickles"}),
+    ("mashed potatoes", {"potatoes", "nutmeg", "butter"}),
+    ("pan-fried carrots", {"carrots", "nutmeg", "oil"}),
+]
+RECOMMEND = {"activity": ["potatoes", "carrots"], "k": 5}
+
+
+@pytest.fixture
+def make_service(request):
+    previous_registry = obs.set_registry(MetricsRegistry())
+    started = []
+
+    def factory(**kwargs):
+        model = AssociationGoalModel.from_pairs(PAIRS)
+        kwargs.setdefault("slow_threshold_seconds", 0.0)
+        server = RecommenderService(model, port=0, **kwargs).start()
+        started.append(server)
+        return server
+
+    def teardown():
+        clear_faults()
+        for server in started:
+            server.stop()
+        obs.disable()
+        obs.set_registry(previous_registry)
+
+    request.addfinalizer(teardown)
+    return factory
+
+
+def call(service, path, payload=None, method=None, headers=None):
+    url = f"http://127.0.0.1:{service.port}{path}"
+    data = json.dumps(payload).encode() if payload is not None else None
+    request_headers = dict(headers or {})
+    if data is not None:
+        request_headers.setdefault("Content-Type", "application/json")
+    request = urllib.request.Request(
+        url, data=data, method=method or ("POST" if data else "GET"),
+        headers=request_headers,
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def wait_for(fetch, predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        value = fetch()
+        if predicate(value):
+            return value
+        if time.monotonic() >= deadline:
+            return value
+        time.sleep(0.02)
+
+
+class TestTraceparentEcho:
+    def test_incoming_trace_id_is_pinned_and_echoed(self, make_service):
+        service = make_service()
+        incoming = f"00-{TRACE_ID}-{PARENT_ID}-01"
+        status, headers, _ = call(
+            service, "/recommend", RECOMMEND,
+            headers={"traceparent": incoming},
+        )
+        assert status == 200
+        match = TRACEPARENT_RE.match(headers["traceparent"])
+        assert match, headers["traceparent"]
+        trace_id, span_id, flags = match.groups()
+        assert trace_id == TRACE_ID       # pinned
+        assert span_id != PARENT_ID       # the span id names *this* hop
+        assert flags == "01"
+
+    def test_incoming_flags_are_preserved(self, make_service):
+        service = make_service()
+        _, headers, _ = call(
+            service, "/health",
+            headers={"traceparent": f"00-{TRACE_ID}-{PARENT_ID}-00"},
+        )
+        assert headers["traceparent"].endswith("-00")
+
+    def test_absent_or_invalid_header_mints_fresh_trace(self, make_service):
+        service = make_service()
+        _, headers, _ = call(service, "/health")
+        match = TRACEPARENT_RE.match(headers["traceparent"])
+        assert match
+        first_trace = match.group(1)
+        assert first_trace != "0" * 32
+
+        _, headers, _ = call(
+            service, "/health", headers={"traceparent": "not-a-traceparent"},
+        )
+        match = TRACEPARENT_RE.match(headers["traceparent"])
+        assert match
+        assert match.group(1) != TRACE_ID
+        assert match.group(1) != first_trace
+
+    def test_request_id_still_echoed_alongside(self, make_service):
+        service = make_service()
+        _, headers, _ = call(
+            service, "/health", headers={"X-Request-Id": "my-req-7"},
+        )
+        assert headers["X-Request-Id"] == "my-req-7"
+        assert TRACEPARENT_RE.match(headers["traceparent"])
+
+
+class TestDebugTraceLookup:
+    def test_lookup_by_request_id_and_trace_id(self, make_service):
+        service = make_service()
+        status, headers, _ = call(
+            service, "/recommend", RECOMMEND,
+            headers={
+                "X-Request-Id": "lookup-req-1",
+                "traceparent": f"00-{TRACE_ID}-{PARENT_ID}-01",
+            },
+        )
+        assert status == 200
+
+        def fetch(key):
+            return call(service, f"/debug/trace/{key}")
+
+        def settled(result):
+            # The lookup answers 200 as soon as either store has the
+            # request, but span retention and the slow-log append land
+            # separately after the response is written — wait for both.
+            if result[0] != 200:
+                return False
+            found = json.loads(result[2])
+            return bool(found["spans"]) and bool(found["slow"])
+
+        status, _, raw = wait_for(lambda: fetch("lookup-req-1"), settled)
+        assert status == 200
+        body = json.loads(raw)
+        assert body["key"] == "lookup-req-1"
+        assert body["trace_id"] == TRACE_ID
+        assert body["spans"], "no span tree retained"
+        root = body["spans"][0]
+        assert root["name"] == "http.request"
+        assert root["attributes"]["trace_id"] == TRACE_ID
+        assert root["attributes"]["request_id"] == "lookup-req-1"
+        # Slow threshold is zero: the request is in the slow log too,
+        # stamped with the same trace id.
+        assert body["slow"]
+        assert body["slow"][0]["trace_id"] == TRACE_ID
+
+        # The same record is reachable by trace id.
+        status, _, raw = wait_for(
+            lambda: fetch(TRACE_ID), lambda result: result[0] == 200,
+        )
+        assert status == 200
+        by_trace = json.loads(raw)
+        assert by_trace["trace_id"] == TRACE_ID
+        assert any(
+            span["attributes"]["request_id"] == "lookup-req-1"
+            for span in by_trace["spans"]
+        )
+
+    def test_unknown_key_is_404(self, make_service):
+        service = make_service()
+        status, headers, raw = call(service, "/debug/trace/never-seen")
+        assert status == 404
+        body = json.loads(raw)
+        assert "no retained trace" in body["error"]
+        # Even the 404 carries both correlation headers.
+        assert headers["X-Request-Id"]
+        assert TRACEPARENT_RE.match(headers["traceparent"])
+
+    def test_wrong_method_is_405(self, make_service):
+        service = make_service()
+        status, headers, _ = call(
+            service, "/debug/trace/x", method="DELETE"
+        )
+        assert status == 405
+        assert headers["Allow"] == "GET, HEAD"
+
+    def test_recorder_file_carries_trace_id(self, make_service, tmp_path):
+        service = make_service(
+            telemetry_dir=tmp_path, telemetry_sample_rate=1.0
+        )
+        status, _, _ = call(
+            service, "/recommend", RECOMMEND,
+            headers={"traceparent": f"00-{TRACE_ID}-{PARENT_ID}-01"},
+        )
+        assert status == 200
+        wait_for(
+            lambda: service.recorder.snapshot()["enqueued"],
+            lambda enqueued: enqueued >= 1,
+        )
+        assert service.recorder.flush()
+        records = list(obs.iter_telemetry_records(tmp_path))
+        assert any(
+            record.get("kind") == "request"
+            and record.get("trace_id") == TRACE_ID
+            for record in records
+        )
+
+
+# ----------------------------------------------------------------------
+# Regression: resilience responses carry both correlation headers
+# ----------------------------------------------------------------------
+
+
+def assert_correlated(headers):
+    assert headers["X-Request-Id"]
+    assert TRACEPARENT_RE.match(headers.get("traceparent", "")), (
+        f"missing/malformed traceparent in {dict(headers)}"
+    )
+
+
+class TestResilienceHeaderEcho:
+    def test_429_shed_carries_both_headers(self, make_service):
+        service = make_service(
+            max_inflight=1, max_queue=0, retry_after_seconds=1.0
+        )
+        install_faults(
+            FaultInjector([FaultRule("model", "latency", delay_ms=400.0)])
+        )
+        occupant = threading.Thread(
+            target=call, args=(service, "/recommend", RECOMMEND)
+        )
+        occupant.start()
+        time.sleep(0.1)  # let the occupant take the only slot
+        try:
+            shed = [
+                call(
+                    service, "/recommend", RECOMMEND,
+                    headers={
+                        "traceparent": f"00-{TRACE_ID}-{PARENT_ID}-01"
+                    },
+                )
+                for _ in range(4)
+            ]
+        finally:
+            occupant.join(10.0)
+        assert any(status == 429 for status, _, _ in shed), (
+            [status for status, _, _ in shed]
+        )
+        for status, headers, _ in shed:
+            if status != 429:
+                continue
+            assert_correlated(headers)
+            # The shed response still honours the incoming trace id.
+            assert headers["traceparent"].startswith(f"00-{TRACE_ID}-")
+            assert headers["Retry-After"] == "1"
+
+    def test_503_drain_carries_both_headers(self, make_service):
+        service = make_service(retry_after_seconds=3.0)
+        with service._inflight_lock:
+            service._draining = True
+        try:
+            status, headers, raw = call(
+                service, "/recommend", RECOMMEND,
+                headers={"traceparent": f"00-{TRACE_ID}-{PARENT_ID}-01"},
+            )
+            assert status == 503
+            assert json.loads(raw)["error"] == "service is draining"
+            assert_correlated(headers)
+            assert headers["traceparent"].startswith(f"00-{TRACE_ID}-")
+        finally:
+            with service._inflight_lock:
+                service._draining = False
+
+    def test_504_deadline_carries_both_headers(self, make_service):
+        service = make_service()
+        install_faults(
+            FaultInjector([FaultRule("model", "latency", delay_ms=80.0)])
+        )
+        status, headers, raw = call(
+            service, "/recommend", RECOMMEND,
+            headers={
+                "X-Request-Deadline-Ms": "20",
+                "traceparent": f"00-{TRACE_ID}-{PARENT_ID}-01",
+            },
+        )
+        assert status == 504
+        assert json.loads(raw)["error"] == "deadline exceeded"
+        assert_correlated(headers)
+        assert headers["traceparent"].startswith(f"00-{TRACE_ID}-")
