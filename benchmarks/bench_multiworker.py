@@ -1,0 +1,216 @@
+"""Multi-worker serving throughput: ``repro serve --workers N`` scaling.
+
+The acceptance bar for the pre-fork pool: at least **1.7x** request
+throughput with 2 workers and **3x** with 4 workers over the
+single-process server, while every pooled response stays *byte-identical*
+to the single-process reference and the p99 latency honors the default
+serving SLO (250 ms).  The parity and SLO gates always run; the scaling
+gates need real cores and skip on boxes with fewer CPUs than workers
+(fork concurrency cannot beat the GIL plus one core).
+
+Runs at benchmark scale by default; ``REPRO_PAPER_SCALE=1`` switches the
+workload to the published FoodMart counts (1 560 products / 56 500
+recipes, ~minutes to generate).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from conftest import FOODMART_CONFIG, publish
+
+from repro.data import FoodMartConfig, generate_foodmart
+from repro.eval import format_table
+from repro.storage import JsonLibraryStore
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE") == "1"
+#: Unique recommend payloads per leg (no request ever hits the LRU).
+WORKLOAD = 2000 if PAPER_SCALE else 600
+CLIENT_THREADS = 8
+TOP_K = 10
+#: Matches the serving layer's default latency SLO (--slo-latency-ms).
+P99_SLO_SECONDS = 0.250
+#: Untimed requests per leg, spread across the workers before measuring.
+WARMUP = 16
+START_TIMEOUT = 600.0 if PAPER_SCALE else 60.0
+
+SPEEDUP_BARS = {2: 1.7, 4: 3.0}
+
+
+class _Server:
+    """One ``repro serve --workers N`` subprocess and its parsed port."""
+
+    def __init__(self, library: Path, workers: int) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--library", str(library), "--port", "0",
+                "--workers", str(workers), "--history-window", "0",
+                "--no-tracing",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        banner: list[str] = []
+        reader = threading.Thread(
+            target=lambda: banner.append(self.proc.stdout.readline()),
+            daemon=True,
+        )
+        reader.start()
+        reader.join(START_TIMEOUT)
+        match = (
+            re.search(r" on http://[\d.]+:(\d+)", banner[0])
+            if banner else None
+        )
+        if match is None:
+            self.proc.kill()
+            raise AssertionError(f"server did not start: {banner!r}")
+        self.url = f"http://127.0.0.1:{int(match.group(1))}"
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(60)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(10)
+        if self.proc.stdout is not None:
+            self.proc.stdout.close()
+
+
+@pytest.fixture(scope="module")
+def workload(tmp_path_factory):
+    """(library path, unique recommend payloads) for every leg."""
+    config = (
+        FoodMartConfig.paper_scale() if PAPER_SCALE else FOODMART_CONFIG
+    )
+    dataset = generate_foodmart(config, seed=0)
+    path = tmp_path_factory.mktemp("multiworker_bench") / "lib.json"
+    JsonLibraryStore(path).save(dataset.library)
+    labels = sorted(
+        {str(a) for impl in dataset.library for a in impl.actions}
+    )
+    payloads = [
+        json.dumps({"activity": [a, b], "k": TOP_K}).encode()
+        for a, b in itertools.islice(
+            itertools.combinations(labels, 2), WORKLOAD + WARMUP
+        )
+    ]
+    assert len(payloads) == WORKLOAD + WARMUP
+    # The warm-up slice is disjoint from the timed slice so the timed
+    # requests never hit a result cache on any leg (a warm-leg request
+    # re-fired in the timed region would flip ``"cached"`` in the body
+    # and break the byte-parity gate).
+    return path, payloads[WARMUP:], payloads[:WARMUP]
+
+
+def _fire(url: str, payload: bytes) -> tuple[bytes, float]:
+    request = urllib.request.Request(
+        url + "/recommend", data=payload,
+        headers={"Content-Type": "application/json"},
+    )
+    start = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=120) as response:
+        body = response.read()
+    return body, time.perf_counter() - start
+
+
+def _run_leg(
+    library: Path, workers: int, payloads: list[bytes], warm: list[bytes]
+) -> tuple[float, float, list[int]]:
+    """(requests/s, p99 seconds, per-request CRC32s in payload order)."""
+    server = _Server(library, workers)
+    try:
+        # Warm every worker's first-request path outside the timed region
+        # with payloads disjoint from the timed set.
+        for payload in warm:
+            _fire(server.url, payload)
+        with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+            start = time.perf_counter()
+            results = list(
+                pool.map(lambda p: _fire(server.url, p), payloads)
+            )
+            wall = time.perf_counter() - start
+    finally:
+        server.stop()
+    latencies = sorted(latency for _body, latency in results)
+    p99 = latencies[int(len(latencies) * 0.99) - 1]
+    crcs = [zlib.crc32(body) for body, _latency in results]
+    return len(payloads) / wall, p99, crcs
+
+
+def test_worker_pool_scales_with_bit_identical_responses(workload):
+    library, payloads, warm = workload
+    cores = os.cpu_count() or 1
+
+    legs = [1, 2, 4]
+    rows = []
+    reference_crcs: list[int] | None = None
+    base_rps = 0.0
+    skipped_gates: list[str] = []
+    for workers in legs:
+        rps, p99, crcs = _run_leg(library, workers, payloads, warm)
+        if workers == 1:
+            base_rps = rps
+            reference_crcs = crcs
+            speedup = 1.0
+        else:
+            speedup = rps / base_rps
+            # Parity gate, always on: every pooled response body is
+            # byte-identical to the single process's, request by request.
+            assert crcs == reference_crcs, (
+                f"{workers}-worker responses diverge from single-process"
+            )
+        # SLO gate, always on: the pool must not trade latency for RPS.
+        assert p99 <= P99_SLO_SECONDS, (
+            f"{workers}-worker p99 {p99 * 1e3:.1f}ms over the "
+            f"{P99_SLO_SECONDS * 1e3:.0f}ms SLO"
+        )
+        bar = SPEEDUP_BARS.get(workers)
+        gated = bar is not None and cores >= workers
+        if bar is not None and not gated:
+            skipped_gates.append(
+                f"{workers}-worker >= {bar}x (only {cores} cores)"
+            )
+        rows.append(
+            [workers, rps, p99 * 1e3, speedup, bar if gated else "-"]
+        )
+        if gated:
+            assert speedup >= bar, (
+                f"{workers} workers: {speedup:.2f}x below the {bar}x bar"
+            )
+
+    scale = "paper_scale" if PAPER_SCALE else "bench_scale"
+    table = format_table(
+        ["workers", "requests_per_s", "p99_ms", "speedup", "gate"],
+        rows,
+        title=(
+            f"multi-worker serving, {scale} "
+            f"({len(payloads)} unique requests, {CLIENT_THREADS} client "
+            f"threads, {cores} cores)"
+        ),
+    )
+    if skipped_gates:
+        table += "\nscaling gates skipped: " + "; ".join(skipped_gates)
+    publish("multiworker_scaling", table)

@@ -460,6 +460,56 @@ def _bench_single_request(harness: ExperimentHarness) -> dict[str, Metric]:
     return metrics
 
 
+def _bench_shared_arena(harness: ExperimentHarness) -> dict[str, Metric]:
+    """Shared-memory arena round trip: bit-parity of the rebuilt engine.
+
+    Exercises the multi-worker publication path without forking: export
+    the CSR engine's arrays, pack them into a
+    :class:`~repro.serving.shared.SharedModelArena`, rebuild an engine
+    over zero-copy views, and gate that the rebuilt engine's rankings
+    checksum identically to the direct engine's — the same contract the
+    subprocess parity suite (``tests/test_multiworker.py``) states over
+    HTTP.  The arena byte size is machine-shaped (dtype widths), so only
+    the array *count* and the checksums gate.
+    """
+    from repro.core.vectorized import BatchRecommender
+    from repro.serving.shared import SharedModelArena
+
+    direct = GoalRecommender(harness.model, use_csr=True)
+    activities = [user.observed for user in harness.split]
+    start = time.perf_counter()
+    engine = direct.csr_engine()
+    assert engine is not None, "smoke harness always has SciPy + rows"
+    arena = SharedModelArena(engine.export_arrays())
+    metrics: dict[str, Metric] = {
+        "packed_arrays": Metric(float(len(arena.keys()))),
+        "arena_bytes": Metric(float(arena.size_bytes), kind="info"),
+    }
+    rebuilt = BatchRecommender.from_arrays(harness.model, arena.views())
+    view = CachedModelView(
+        harness.model,
+        cache=LRUCache(256, name="bench_arena"),
+        engine_factory=lambda: rebuilt,
+    )
+    shared = GoalRecommender(view)
+    parity = 1.0
+    for strategy in ("best_match", "breadth"):
+        digest, nonempty = _ranking_checksum(shared, activities, strategy)
+        reference, _ = _ranking_checksum(direct, activities, strategy)
+        if digest != reference:
+            parity = 0.0
+        metrics[f"{strategy}_shared_checksum"] = Metric(float(digest))
+        metrics[f"{strategy}_shared_nonempty"] = Metric(float(nonempty))
+    metrics["shared_direct_parity"] = Metric(parity)
+    metrics["wall_seconds"] = Metric(
+        time.perf_counter() - start, kind="info"
+    )
+    # Release every view before unmapping, or close() raises BufferError.
+    del shared, view, rebuilt
+    arena.close()
+    return metrics
+
+
 _SMOKE_SUITE: tuple[BenchmarkSpec, ...] = (
     BenchmarkSpec(
         "recommend_strategies",
@@ -470,6 +520,11 @@ _SMOKE_SUITE: tuple[BenchmarkSpec, ...] = (
         "single_request",
         "CSR hot-path parity checksums and pruned-tier recall",
         _bench_single_request,
+    ),
+    BenchmarkSpec(
+        "shared_arena",
+        "shared-memory arena round trip: rebuilt-engine bit-parity",
+        _bench_shared_arena,
     ),
     BenchmarkSpec(
         "association_spaces",

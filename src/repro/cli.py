@@ -309,6 +309,18 @@ def _build_parser() -> argparse.ArgumentParser:
              "(sites: model, cache, storage; kinds: latency, exception, "
              "slow_storage) — testing only",
     )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="pre-fork N server processes sharing one port and one "
+             "shared-memory copy of the model's numeric state "
+             "(see docs/serving.md, 'Multi-worker mode'); 1 keeps the "
+             "single-process threaded server",
+    )
+    serve.add_argument(
+        "--worker-restarts", type=int, default=3, metavar="N",
+        help="total crashed-worker restarts the pool supervisor allows "
+             "before continuing with fewer workers (multi-worker only)",
+    )
 
     goals = commands.add_parser(
         "goals", help="infer the goals an activity points at"
@@ -547,6 +559,14 @@ def _cmd_serve(args: argparse.Namespace, block: bool = True) -> int:
     # mid-replace, an injected storage fault) with deterministic backoff.
     library = RetryingLibraryStore(JsonLibraryStore(args.library)).load()
     model = AssociationGoalModel.from_library(library)
+    workers = getattr(args, "workers", 1)
+    if workers is not None and workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if workers and workers > 1:
+        from repro.serving.workers import run_worker_pool
+
+        return run_worker_pool(model, args, block=block)
     service = RecommenderService(
         model,
         host=args.host,

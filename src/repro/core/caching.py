@@ -71,6 +71,7 @@ _GUARDED_BY = {
     "CachedModelView._generation": "<final>",
     "CachedModelView._engine": "_engine_lock",
     "CachedModelView._engine_ready": "_engine_lock",
+    "CachedModelView._engine_factory": "<final>",
     "LRUCache._lock": "<final>",
     "CachedModelView._engine_lock": "<final>",
 }
@@ -279,6 +280,7 @@ class CachedModelView:
         model: AssociationGoalModel,
         cache: LRUCache | None = None,
         generation: int = 0,
+        engine_factory: Any = None,
     ) -> None:
         self._model = model
         self._generation = generation
@@ -287,6 +289,7 @@ class CachedModelView:
         )
         self._engine: Any = None
         self._engine_ready = False
+        self._engine_factory = engine_factory
         self._engine_lock = make_lock("CachedModelView._engine_lock")
 
     @property
@@ -304,11 +307,18 @@ class CachedModelView:
         batch endpoint (``ModelSnapshot.batch``) share this one instance.
         Returns ``None`` when SciPy is unavailable or the model is empty;
         callers fall back to the scalar strategies.
+
+        An ``engine_factory`` supplied at construction replaces the direct
+        build — multi-worker serving uses it to hand every worker an
+        engine reconstructed zero-copy from the shared-memory arena
+        instead of each worker rebuilding its own CSR matrices.
         """
         with self._engine_lock:
             if not self._engine_ready:
                 self._engine_ready = True
-                if self._model.num_implementations > 0:
+                if self._engine_factory is not None:
+                    self._engine = self._engine_factory()
+                elif self._model.num_implementations > 0:
                     try:
                         from repro.core.vectorized import BatchRecommender
                     except ImportError:

@@ -171,6 +171,124 @@ class BatchRecommender:
         self._cooc_lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    # Array export / zero-copy reconstruction (multi-worker serving)
+    # ------------------------------------------------------------------
+
+    def export_arrays(self) -> dict[str, np.ndarray]:
+        """Every derived array, keyed for shared-memory publication.
+
+        The multi-worker parent builds the engine once, exports this dict
+        into a :class:`~repro.serving.shared.SharedModelArena`, and each
+        forked worker rebuilds an identical engine with
+        :meth:`from_arrays` over zero-copy views of the same physical
+        pages.  The co-occurrence index is warmed first so children never
+        build (and privately allocate) it themselves.
+        """
+        col_rows, val_rows = self._cooccurrence()
+        cooc_indptr = np.zeros(len(col_rows) + 1, dtype=np.int64)
+        np.cumsum([row.size for row in col_rows], out=cooc_indptr[1:])
+        impl_sorted_indptr = np.zeros(len(self._impl_sorted) + 1, dtype=np.int64)
+        np.cumsum(
+            [len(row) for row in self._impl_sorted], out=impl_sorted_indptr[1:]
+        )
+        impl_sorted_flat = np.fromiter(
+            (aid for row in self._impl_sorted for aid in row),
+            dtype=np.int64,
+            count=int(impl_sorted_indptr[-1]),
+        )
+        return {
+            "m_data": self._m.data,
+            "m_indices": self._m.indices,
+            "m_indptr": self._m.indptr,
+            "mt_data": self._mt.data,
+            "mt_indices": self._mt.indices,
+            "mt_indptr": self._mt.indptr,
+            "g_data": self._g.data,
+            "g_indices": self._g.indices,
+            "g_indptr": self._g.indptr,
+            "c_data": self._c.data,
+            "c_indices": self._c.indices,
+            "c_indptr": self._c.indptr,
+            "impl_lengths": self._impl_lengths,
+            "m_indptr64": self._m_indptr,
+            "m_indices64": self._m_indices,
+            "post_indptr64": self._post_indptr,
+            "post_indices64": self._post_indices,
+            "c_indptr64": self._c_indptr,
+            "c_indices64": self._c_indices,
+            "goal_of_impl": self._goal_of_impl,
+            "impl_sorted_flat": impl_sorted_flat,
+            "impl_sorted_indptr": impl_sorted_indptr,
+            "cooc_cols": np.concatenate(col_rows) if col_rows else np.empty(0, dtype=np.int64),
+            "cooc_vals": np.concatenate(val_rows) if val_rows else np.empty(0),
+            "cooc_indptr": cooc_indptr,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, model: AssociationGoalModel, arrays: dict[str, np.ndarray]
+    ) -> "BatchRecommender":
+        """Rebuild an engine from an :meth:`export_arrays` snapshot.
+
+        ``arrays`` values may be views over shared memory; every CSR
+        matrix is wrapped with ``copy=False`` so the rebuilt engine reads
+        the exporter's pages directly.  Results are bit-identical to an
+        engine built from ``model`` (asserted in the test suite) because
+        *every* derived structure — including the frequency-ordered
+        co-occurrence index with its tie-breaking order — is taken from
+        the snapshot, never recomputed.
+        """
+        self = cls.__new__(cls)
+        self.model = model
+        n_impl = model.num_implementations
+        n_actions = model.num_actions
+        n_goals = model.num_goals
+        self._m = sparse.csr_matrix(
+            (arrays["m_data"], arrays["m_indices"], arrays["m_indptr"]),
+            shape=(n_impl, n_actions),
+            copy=False,
+        )
+        self._mt = sparse.csr_matrix(
+            (arrays["mt_data"], arrays["mt_indices"], arrays["mt_indptr"]),
+            shape=(n_actions, n_impl),
+            copy=False,
+        )
+        self._g = sparse.csr_matrix(
+            (arrays["g_data"], arrays["g_indices"], arrays["g_indptr"]),
+            shape=(n_impl, n_goals),
+            copy=False,
+        )
+        self._c = sparse.csr_matrix(
+            (arrays["c_data"], arrays["c_indices"], arrays["c_indptr"]),
+            shape=(n_actions, n_goals),
+            copy=False,
+        )
+        self._impl_lengths = arrays["impl_lengths"]
+        self._m_indptr = arrays["m_indptr64"]
+        self._m_indices = arrays["m_indices64"]
+        self._post_indptr = arrays["post_indptr64"]
+        self._post_indices = arrays["post_indices64"]
+        self._c_indptr = arrays["c_indptr64"]
+        self._c_indices = arrays["c_indices64"]
+        self._goal_of_impl = arrays["goal_of_impl"]
+        self._post_rows = np.split(self._post_indices, self._post_indptr[1:-1])
+        self._impl_sorted = [
+            row.tolist()
+            for row in np.split(
+                arrays["impl_sorted_flat"], arrays["impl_sorted_indptr"][1:-1]
+            )
+        ]
+        self._labels = model.action_labels()
+        boundaries = arrays["cooc_indptr"][1:-1]
+        self._cooc_lock = threading.Lock()
+        with self._cooc_lock:  # single-threaded here; satisfies RL001
+            self._cooc = (
+                np.split(arrays["cooc_cols"], boundaries),
+                np.split(arrays["cooc_vals"], boundaries),
+            )
+        return self
+
+    # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
 

@@ -335,6 +335,49 @@ def render_frame(snapshot: dict[str, object], width: int = 32) -> str:
     return "\n".join(lines)
 
 
+def _retry_after_seconds(exc: Exception) -> float | None:
+    """``Retry-After`` of a draining server's 503, or ``None``.
+
+    A draining :class:`~repro.service.RecommenderService` answers 503
+    with a ``Retry-After`` header — that is back-pressure, not death, and
+    the console must not confuse the two.
+    """
+    if not isinstance(exc, urllib.error.HTTPError) or exc.code != 503:
+        return None
+    raw = exc.headers.get("Retry-After") if exc.headers is not None else None
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value >= 0 else None
+
+
+def poll_with_drain_grace(
+    url: str,
+    interval: float,
+    window: float | None = None,
+    step: float | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> dict[str, object]:
+    """One poll that honors a draining server's ``Retry-After``.
+
+    A 503 carrying ``Retry-After`` gets one courtesy retry after waiting
+    ``min(retry_after, interval)`` — so a monitor that races a graceful
+    drain sees the final frames instead of declaring the server dead.
+    Anything else (including a second 503) propagates to the caller.
+    """
+    try:
+        return collect_snapshot(url, window=window, step=step)
+    except urllib.error.HTTPError as exc:
+        retry_after = _retry_after_seconds(exc)
+        if retry_after is None:
+            raise
+        sleep(min(retry_after, interval))
+        return collect_snapshot(url, window=window, step=step)
+
+
 def run_monitor(
     url: str,
     interval: float = 2.0,
@@ -350,12 +393,14 @@ def run_monitor(
     ``once`` renders a single frame; otherwise frames repeat every
     ``interval`` seconds until interrupted (or ``iterations`` frames in
     tests).  Connection failures render an error frame — exit code 1
-    under ``--once``, a retry in live mode.
+    under ``--once``, a retry in live mode.  A 503 with ``Retry-After``
+    (the server is draining, not dead) is retried once within the
+    interval before it counts as a failure.
     """
     frames = 0
     while True:
         try:
-            snapshot = collect_snapshot(url, window=window, step=step)
+            snapshot = poll_with_drain_grace(url, interval, window=window, step=step)
         except (urllib.error.URLError, OSError, ValueError) as exc:
             if once:
                 out(f"repro monitor: cannot poll {url}: {exc}")

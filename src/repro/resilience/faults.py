@@ -108,10 +108,21 @@ class FaultInjector:
         self._rules: dict[str, list[FaultRule]] = {}
         for rule in rules:
             self._rules.setdefault(rule.site, []).append(rule)
+        self.seed = seed
         self._rng = random.Random(seed)
         self._sleep = sleep
         self._lock = threading.Lock()
         self._injected: dict[tuple[str, str], int] = {}
+
+    def with_seed(self, seed: int) -> "FaultInjector":
+        """A fresh injector with the same rules but a different seed.
+
+        Forked workers call this with ``seed ^ worker_index`` so each
+        worker draws an *independent* fault decision sequence instead of
+        replaying the parent's (see docs/resilience.md).
+        """
+        rules = [rule for site_rules in self._rules.values() for rule in site_rules]
+        return FaultInjector(rules, seed=seed, sleep=self._sleep)
 
     def injected_counts(self) -> dict[tuple[str, str], int]:
         """``(site, kind) -> times fired``, for test assertions."""

@@ -130,6 +130,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import socket
 import threading
 import time
 from collections.abc import Callable, Iterable
@@ -219,6 +220,9 @@ _GUARDED_BY = {
     "ModelManager._snapshot": "_lock",
     "ModelManager._base_recommender": "_lock",
     "ModelManager._lock": "<final>",
+    # Set once during single-threaded worker bootstrap, before the server
+    # thread exists; read-only afterwards.
+    "ModelManager._mutation_router": "<caller>",
     "RecommenderService._inflight": "_inflight_lock",
     "RecommenderService._draining": "_inflight_lock",
     "RecommenderService._inflight_lock": "<final>",
@@ -304,11 +308,26 @@ class ModelManager:
         space_cache_size: int = 4096,
         on_swap: Callable[[ModelSnapshot], None] | None = None,
         approx_budget: int = 128,
+        initial_generation: int = 0,
+        engine_factory: Callable[[], Any] | None = None,
     ) -> None:
         self._lock = RWLock(site="ModelManager._lock")
         self._incremental = incremental
-        self._generation = 0
+        # ``initial_generation`` lets a respawned multi-worker process
+        # (forked from the parent's *current* model state) report the same
+        # generation as its surviving siblings instead of restarting at 0.
+        self._generation = initial_generation
+        self._initial_generation = initial_generation
         self._approx_budget = approx_budget
+        # Builds the CSR engine of the *initial* snapshot only — workers
+        # pass a shared-memory reconstruction here; after the first
+        # mutation the frozen model changes and the normal per-generation
+        # build takes over.
+        self._engine_factory = engine_factory
+        # When set (multi-worker mode), public mutations are forwarded to
+        # the parent for serialization instead of applied locally — see
+        # set_mutation_router().
+        self._mutation_router: Any = None
         # Invoked (under the write lock) with every snapshot published by
         # a hot mutation — the service uses it to refreeze the drift
         # baseline per generation.  NOT called for the initial snapshot
@@ -319,6 +338,21 @@ class ModelManager:
         self._base_recommender: GoalRecommender | None = None
         self._snapshot = self._build_snapshot_locked()
         self._publish_generation_locked()
+
+    def set_mutation_router(self, router: Any) -> None:
+        """Route public mutations through ``router`` (multi-worker mode).
+
+        ``router`` needs ``route_add(pairs)`` and ``route_remove(pid)``
+        with the same return contracts as :meth:`add_implementations` /
+        :meth:`remove_implementation`.  A worker's router forwards the
+        mutation to the parent supervisor, which serializes it across the
+        pool and broadcasts an ordered apply command back to every worker
+        (this one included) — the local application then happens through
+        :meth:`apply_add_implementations` / :meth:`apply_remove_implementation`.
+        Must be called before the worker starts serving (single-threaded
+        bootstrap), never while requests are in flight.
+        """
+        self._mutation_router = router
 
     # ------------------------------------------------------------------
     # Snapshot construction and swap (callers hold the write lock, or are
@@ -332,8 +366,14 @@ class ModelManager:
         # The caches are shared across generations; the generation baked
         # into every key keeps a late store from an in-flight request of a
         # retired snapshot unreachable from this one.
+        factory = (
+            self._engine_factory
+            if self._generation == self._initial_generation
+            else None
+        )
         cached_view = CachedModelView(
-            frozen, cache=self.space_cache, generation=self._generation
+            frozen, cache=self.space_cache, generation=self._generation,
+            engine_factory=factory,
         )
         if self._base_recommender is None:
             recommender = GoalRecommender(cached_view)
@@ -491,10 +531,28 @@ class ModelManager:
         for goal, actions in materialized:
             if not actions:
                 raise ModelError(f"implementation of {goal!r} has no actions")
+        if self._mutation_router is not None:
+            result: tuple[list[int], ModelSnapshot] = (
+                self._mutation_router.route_add(materialized)
+            )
+            return result
+        return self.apply_add_implementations(materialized)
+
+    def apply_add_implementations(
+        self, pairs: list[tuple[GoalLabel, list[ActionLabel]]]
+    ) -> tuple[list[int], ModelSnapshot]:
+        """Apply a (pre-validated) add batch to the local model.
+
+        The local half of :meth:`add_implementations`: in single-process
+        mode it is called directly; in multi-worker mode every worker's
+        control thread calls it with the parent's broadcast, so each
+        process's incremental model replays the identical mutation
+        sequence.
+        """
         with self._lock.write_locked():
             ids: list[int] = []
             try:
-                for goal, actions in materialized:
+                for goal, actions in pairs:
                     ids.append(
                         self._incremental.add_implementation(goal, actions)
                     )
@@ -511,6 +569,15 @@ class ModelManager:
         by the HTTP layer).
         """
         inject("model")
+        if self._mutation_router is not None:
+            snapshot: ModelSnapshot = self._mutation_router.route_remove(pid)
+            return snapshot
+        return self.apply_remove_implementation(pid)
+
+    def apply_remove_implementation(self, pid: int) -> ModelSnapshot:
+        """Apply one removal to the local model (see
+        :meth:`apply_add_implementations` for the single- vs multi-worker
+        split)."""
         with self._lock.write_locked():
             self._incremental.remove_implementation(pid)
             return self._swap_locked("remove")
@@ -1468,6 +1535,52 @@ class _Handler(BaseHTTPRequestHandler):
         )
 
 
+def _build_server(
+    host: str,
+    port: int,
+    handler: type,
+    reuse_port: bool = False,
+    listen_socket: socket.socket | None = None,
+) -> ThreadingHTTPServer:
+    """Construct the HTTP server, with the multi-worker socket options.
+
+    - default: the stdlib bind-and-activate path, unchanged;
+    - ``reuse_port``: bind with ``SO_REUSEPORT`` so N worker processes
+      can each bind the *same* explicit port and let the kernel spread
+      accepted connections across them (raises :class:`OSError` where the
+      platform lacks the option — the supervisor falls back to an
+      inherited listener);
+    - ``listen_socket``: adopt an already-bound, already-listening socket
+      (the pre-fork parent's), skipping bind/listen entirely.
+    """
+    if listen_socket is not None:
+        server = ThreadingHTTPServer((host, port), handler,
+                                     bind_and_activate=False)
+        server.socket.close()
+        server.socket = listen_socket
+        bound_host, bound_port = listen_socket.getsockname()[:2]
+        server.server_address = (bound_host, bound_port)
+        server.server_name = socket.getfqdn(bound_host)
+        server.server_port = bound_port
+        return server
+    if reuse_port:
+        if not hasattr(socket, "SO_REUSEPORT"):
+            raise OSError("SO_REUSEPORT is not available on this platform")
+        server = ThreadingHTTPServer((host, port), handler,
+                                     bind_and_activate=False)
+        try:
+            server.socket.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+            server.server_bind()
+            server.server_activate()
+        except BaseException:
+            server.server_close()
+            raise
+        return server
+    return ThreadingHTTPServer((host, port), handler)
+
+
 class RecommenderService:
     """Threaded HTTP server wrapping the cached, hot-reloadable serving layer.
 
@@ -1532,6 +1645,17 @@ class RecommenderService:
             JSONL files (``None`` disables the recorder).
         telemetry_sample_rate: fraction of requests whose span trees the
             recorder persists (head-based, deterministic per request id).
+        reuse_port: bind with ``SO_REUSEPORT`` so several worker
+            processes can share one explicit port (multi-worker mode).
+        listen_socket: adopt an already-bound, already-listening socket
+            instead of binding — the pre-fork parent's inherited
+            listener (``host``/``port`` are then ignored).
+        initial_generation: starting value of the model generation
+            counter — a respawned worker resumes at the pool's current
+            generation instead of 0.
+        engine_factory: builds the initial generation's CSR engine; the
+            multi-worker bootstrap passes the zero-copy shared-memory
+            reconstruction so workers skip the sparse products.
     """
 
     def __init__(
@@ -1566,6 +1690,10 @@ class RecommenderService:
         history_interval_seconds: float = obs.DEFAULT_INTERVAL_SECONDS,
         history_window_seconds: float = obs.DEFAULT_WINDOW_SECONDS,
         history_enabled: bool = True,
+        reuse_port: bool = False,
+        listen_socket: socket.socket | None = None,
+        initial_generation: int = 0,
+        engine_factory: Callable[[], Any] | None = None,
     ) -> None:
         self._registry = registry
         obs.enable(
@@ -1607,6 +1735,8 @@ class RecommenderService:
             space_cache_size=space_cache_size,
             on_swap=self._on_model_swap,
             approx_budget=approx_budget,
+            initial_generation=initial_generation,
+            engine_factory=engine_factory,
         )
         # The manager's constructor built the generation-0 snapshot before
         # the swap callback could see it; freeze the initial baseline now.
@@ -1645,7 +1775,10 @@ class RecommenderService:
         self._tracer = obs.get_tracer()
         self._tracer.add_sink(obs.get_profiler().observe_span)
         handler = type("BoundHandler", (_Handler,), {"service": self})
-        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server = _build_server(
+            host, port, handler,
+            reuse_port=reuse_port, listen_socket=listen_socket,
+        )
         self._thread: threading.Thread | None = None
 
     @property

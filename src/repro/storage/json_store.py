@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.core.library import ImplementationLibrary
@@ -15,8 +16,11 @@ from repro.storage.base import LibraryStore
 class JsonLibraryStore(LibraryStore):
     """Store a library as a single JSON document at ``path``.
 
-    Writes go through a temporary sibling file followed by an atomic rename,
-    so a crash mid-save never corrupts a previously saved library.
+    Writes are crash-atomic: the document is written to a temporary
+    sibling, flushed and fsync'd, then atomically renamed over the
+    destination (and the directory entry fsync'd), so a process killed at
+    any instant mid-save leaves either the old library or the new one on
+    disk — never a torn file.
     """
 
     def __init__(self, path: str | Path) -> None:
@@ -28,9 +32,25 @@ class JsonLibraryStore(LibraryStore):
         try:
             with tmp_path.open("w", encoding="utf-8") as handle:
                 json.dump(library_to_dict(library), handle)
-            tmp_path.replace(self.path)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+            self._fsync_directory(self.path.parent)
         except OSError as exc:
             raise StorageError(f"cannot save library to {self.path}: {exc}") from exc
+
+    @staticmethod
+    def _fsync_directory(directory: Path) -> None:
+        # Persist the rename itself; platforms without directory fds
+        # (e.g. Windows) simply skip this step.
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def load(self) -> ImplementationLibrary:
         inject("storage")

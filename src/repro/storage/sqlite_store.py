@@ -74,6 +74,13 @@ class SqliteLibraryStore(LibraryStore):
         if self._connection is None:
             try:
                 self._connection = sqlite3.connect(self.path)
+                # WAL keeps readers working off the last committed
+                # checkpoint while a save transaction is in flight, and a
+                # process killed mid-save rolls back to the previous
+                # library on the next open instead of leaving a torn
+                # database.  (In-memory databases ignore the pragma.)
+                self._connection.execute("PRAGMA journal_mode=WAL")
+                self._connection.execute("PRAGMA synchronous=FULL")
                 self._connection.executescript(_SCHEMA)
             except sqlite3.Error as exc:
                 raise StorageError(

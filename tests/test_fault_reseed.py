@@ -1,0 +1,81 @@
+"""Per-worker fault RNG divergence (``FaultInjector.with_seed``).
+
+The bug: after ``fork``, every worker inherited the parent injector's
+RNG state verbatim, so a ``--fault-spec`` pool replayed the *identical*
+fault sequence in every process — N workers, one fault schedule.  The
+fix re-seeds each worker as ``seed ^ worker_index`` (docs/resilience.md);
+these tests pin both the divergence and the determinism it must keep.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import (
+    FaultInjectedError,
+    FaultInjector,
+    parse_fault_spec,
+)
+
+
+def _decision_sequence(injector: FaultInjector, draws: int = 64) -> list[bool]:
+    """Whether each of ``draws`` fires injected, as a replayable trace."""
+    outcomes = []
+    for _ in range(draws):
+        try:
+            injector.fire("storage")
+            outcomes.append(False)
+        except FaultInjectedError:
+            outcomes.append(True)
+    return outcomes
+
+
+def _injector(seed: int) -> FaultInjector:
+    return parse_fault_spec(f"seed={seed},storage:exception:0.5")
+
+
+class TestWithSeed:
+    def test_reseeded_clone_keeps_rules_and_new_seed(self):
+        base = parse_fault_spec(
+            "seed=7,storage:exception:0.5,model:latency:1.0:5"
+        )
+        clone = base.with_seed(7 ^ 3)
+        assert clone.seed == 7 ^ 3
+        assert base.seed == 7
+        # The rules travel: the latency rule still fires on its site.
+        clone.fire("model")
+        assert clone.injected_counts().get(("model", "latency"), 0) == 1
+
+    def test_reseed_is_deterministic(self):
+        # Same derived seed → identical decision sequence: reseeding must
+        # not trade reproducibility for divergence.
+        a = _decision_sequence(_injector(7).with_seed(7 ^ 2))
+        b = _decision_sequence(_injector(7).with_seed(7 ^ 2))
+        assert a == b
+
+    def test_workers_diverge_from_parent_and_each_other(self):
+        # The multi-worker bootstrap derives seed ^ index per worker.
+        base_seed = 7
+        parent = _decision_sequence(_injector(base_seed))
+        workers = [
+            _decision_sequence(
+                _injector(base_seed).with_seed(base_seed ^ index)
+            )
+            for index in (1, 2, 3)
+        ]
+        # Every worker draws a different schedule than the parent...
+        for sequence in workers:
+            assert sequence != parent
+        # ...and than every sibling.
+        assert len({tuple(s) for s in workers}) == len(workers)
+
+    def test_clone_state_is_fresh_not_inherited(self):
+        # The regression itself: a clone must restart from its seed, not
+        # continue the parent's RNG mid-stream (which is what a forked
+        # copy effectively does).
+        parent = _injector(7)
+        _decision_sequence(parent, draws=10)  # advance the parent's RNG
+        resumed = _decision_sequence(parent, draws=32)
+        fresh = _decision_sequence(_injector(7).with_seed(7), draws=32)
+        # A fresh seed-7 clone replays from the start of the seed-7
+        # sequence; the advanced parent continues mid-stream.
+        assert fresh == _decision_sequence(_injector(7), draws=32)
+        assert fresh != resumed

@@ -1,0 +1,194 @@
+"""``repro monitor`` vs a draining server (503 + ``Retry-After``).
+
+The bug: ``urllib.error.HTTPError`` *is a* ``URLError``, so a draining
+server's 503 fell into ``run_monitor``'s generic ``cannot poll`` arm and
+``--once`` exited 1 while the server was alive and politely asking the
+client to wait.  The fix (``poll_with_drain_grace``) honors the
+``Retry-After`` hint — capped at one interval — with one courtesy retry
+before the failure arm is allowed to fire.
+"""
+
+from __future__ import annotations
+
+import email.message
+import json
+import threading
+import urllib.error
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.obs.console import (
+    _retry_after_seconds,
+    poll_with_drain_grace,
+    run_monitor,
+)
+
+
+def _http_error(
+    code: int, retry_after: str | None = None
+) -> urllib.error.HTTPError:
+    headers = email.message.Message()
+    if retry_after is not None:
+        headers["Retry-After"] = retry_after
+    return urllib.error.HTTPError(
+        "http://x/metrics", code, "busy", headers, None
+    )
+
+
+class TestRetryAfterSeconds:
+    def test_draining_503(self):
+        assert _retry_after_seconds(_http_error(503, "1.5")) == 1.5
+
+    def test_integer_header(self):
+        assert _retry_after_seconds(_http_error(503, "2")) == 2.0
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            _http_error(503),  # no hint: can't tell drain from overload
+            _http_error(500, "1.5"),  # not back-pressure
+            _http_error(503, "soon"),  # unparseable
+            _http_error(503, "-1"),  # nonsense
+            urllib.error.URLError("refused"),  # actually dead
+        ],
+    )
+    def test_non_drain_errors_return_none(self, exc):
+        assert _retry_after_seconds(exc) is None
+
+
+class TestPollWithDrainGrace:
+    def _patch_collect(self, monkeypatch, outcomes):
+        """``collect_snapshot`` stub popping one scripted outcome per call."""
+        calls = []
+
+        def fake_collect(url, window=None, step=None):
+            calls.append(url)
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        monkeypatch.setattr(
+            "repro.obs.console.collect_snapshot", fake_collect
+        )
+        return calls
+
+    def test_retries_after_drain_503_and_returns_snapshot(self, monkeypatch):
+        snapshot = {"rps": {"current": 1.0}}
+        calls = self._patch_collect(
+            monkeypatch, [_http_error(503, "0.25"), snapshot]
+        )
+        sleeps: list[float] = []
+        result = poll_with_drain_grace(
+            "http://x", interval=2.0, sleep=sleeps.append
+        )
+        assert result is snapshot
+        assert len(calls) == 2
+        assert sleeps == [0.25]
+
+    def test_wait_is_capped_at_one_interval(self, monkeypatch):
+        self._patch_collect(monkeypatch, [_http_error(503, "300"), {}])
+        sleeps: list[float] = []
+        poll_with_drain_grace("http://x", interval=2.0, sleep=sleeps.append)
+        assert sleeps == [2.0]
+
+    def test_second_503_propagates(self, monkeypatch):
+        # One courtesy retry, not an infinite stall on a stuck drain.
+        self._patch_collect(
+            monkeypatch,
+            [_http_error(503, "0.1"), _http_error(503, "0.1")],
+        )
+        with pytest.raises(urllib.error.HTTPError):
+            poll_with_drain_grace(
+                "http://x", interval=1.0, sleep=lambda _s: None
+            )
+
+    def test_503_without_retry_after_propagates_immediately(self, monkeypatch):
+        calls = self._patch_collect(monkeypatch, [_http_error(503)])
+        sleeps: list[float] = []
+        with pytest.raises(urllib.error.HTTPError):
+            poll_with_drain_grace(
+                "http://x", interval=1.0, sleep=sleeps.append
+            )
+        assert len(calls) == 1 and sleeps == []
+
+    def test_connection_errors_propagate_immediately(self, monkeypatch):
+        self._patch_collect(monkeypatch, [urllib.error.URLError("refused")])
+        with pytest.raises(urllib.error.URLError):
+            poll_with_drain_grace(
+                "http://x", interval=1.0, sleep=lambda _s: None
+            )
+
+
+class _DrainingStub(ThreadingHTTPServer):
+    """Answers 503 + ``Retry-After`` while ``draining`` is set, then real
+    (minimal) console payloads — a server mid graceful restart."""
+
+    draining = True
+
+    def __init__(self):
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args):  # noqa: A002 - stdlib naming
+                pass
+
+            def do_GET(handler):  # noqa: N802 - stdlib naming
+                if self.draining:
+                    handler.send_response(503)
+                    handler.send_header("Retry-After", "0.2")
+                    handler.end_headers()
+                    return
+                if handler.path == "/metrics":
+                    body = b"repro_http_requests_total 4\n"
+                    content_type = "text/plain"
+                elif handler.path.startswith("/debug/history?"):
+                    handler.send_response(404)
+                    handler.end_headers()
+                    return
+                else:  # /debug/vars, /debug/quality, /debug/history
+                    body = json.dumps({"families": []}).encode()
+                    content_type = "application/json"
+                handler.send_response(200)
+                handler.send_header("Content-Type", content_type)
+                handler.send_header("Content-Length", str(len(body)))
+                handler.end_headers()
+                handler.wfile.write(body)
+
+        super().__init__(("127.0.0.1", 0), Handler)
+
+
+@pytest.fixture
+def stub():
+    server = _DrainingStub()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join()
+
+
+class TestDrainThenMonitor:
+    def test_monitor_survives_a_drain_that_finishes(self, stub):
+        # The drain-then-monitor race: first poll lands during the drain
+        # window, the courtesy wait covers the restart, the retry sees
+        # the healthy server — exit 0, one rendered frame.
+        url = f"http://127.0.0.1:{stub.server_address[1]}"
+        timer = threading.Timer(0.05, lambda: setattr(stub, "draining", False))
+        timer.start()
+        frames: list[str] = []
+        try:
+            code = run_monitor(url, interval=5.0, once=True, out=frames.append)
+        finally:
+            timer.cancel()
+        assert code == 0
+        assert frames and "cannot poll" not in frames[0]
+
+    def test_monitor_still_fails_when_drain_never_ends(self, stub):
+        # One courtesy retry is the whole grace: a server that stays
+        # draining past it is correctly reported as unpollable.
+        url = f"http://127.0.0.1:{stub.server_address[1]}"
+        frames: list[str] = []
+        code = run_monitor(url, interval=0.2, once=True, out=frames.append)
+        assert code == 1
+        assert frames and "cannot poll" in frames[0]

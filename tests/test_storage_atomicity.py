@@ -1,0 +1,167 @@
+"""Crash-atomicity of the library stores: kill a saver mid-save, reload.
+
+Each test forks a real subprocess that starts overwriting a previously
+saved library and dies (``os._exit``) at a chosen crash point — before
+the JSON rename, mid-way through the temp write, or inside the SQLite
+transaction.  The survivor property under test: the *prior* library must
+still load, bit-for-bit, no matter where the writer died.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.library import ImplementationLibrary
+from repro.exceptions import StorageError
+from repro.storage import JsonLibraryStore, SqliteLibraryStore
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Exit code the crash points use; distinguishes "died where we aimed"
+#: from "save completed" (1) or an unexpected traceback.
+CRASH = 9
+
+_JSON_CHILD = """
+import os, sys
+sys.path.insert(0, {src!r})
+import repro.storage.json_store as json_store_module
+from repro.storage import JsonLibraryStore
+from repro.core.library import ImplementationLibrary
+
+path, mode = sys.argv[1], sys.argv[2]
+library = ImplementationLibrary()
+for i in range(200):
+    library.add_pair(f"new_goal_{{i}}", [f"x{{i}}", f"y{{i}}", f"z{{i}}"])
+
+if mode == "before-replace":
+    # The writer dies after the temp file is complete but before the
+    # atomic rename publishes it.
+    json_store_module.os.replace = lambda *a, **k: os._exit({crash})
+elif mode == "mid-write":
+    # The writer dies with the temp file torn half-way through.
+    def torn_dump(obj, handle, **kw):
+        handle.write('{{"implementations": [{{"goal": "torn"')
+        handle.flush()
+        os.fsync(handle.fileno())
+        os._exit({crash})
+    json_store_module.json.dump = torn_dump
+
+JsonLibraryStore(path).save(library)
+os._exit(1)  # the save must never complete past the crash point
+"""
+
+_SQLITE_CHILD = """
+import os, sys
+sys.path.insert(0, {src!r})
+from repro.storage import SqliteLibraryStore
+from repro.core.library import ImplementationLibrary
+
+path = sys.argv[1]
+library = ImplementationLibrary()
+for i in range(200):
+    library.add_pair(f"new_goal_{{i}}", [f"x{{i}}", f"y{{i}}", f"z{{i}}"])
+
+store = SqliteLibraryStore(path)
+connection = store._connect()  # schema exists; arm the killer afterwards
+state = {{"ticks": 0}}
+
+def killer():
+    # Let the transaction open and the DELETEs begin, then die with the
+    # replacement half-inserted.
+    state["ticks"] += 1
+    if state["ticks"] > 40:
+        os._exit({crash})
+    return 0
+
+connection.set_progress_handler(killer, 25)
+store.save(library)
+os._exit(1)  # the save must never complete past the crash point
+"""
+
+
+def _prior_library() -> ImplementationLibrary:
+    library = ImplementationLibrary()
+    library.add_pair("olivier salad", ["potatoes", "carrots", "pickles"])
+    library.add_pair("mashed potatoes", ["potatoes", "nutmeg", "butter"])
+    library.add_pair("carrot cake", ["carrots", "flour", "eggs", "sugar"])
+    return library
+
+
+def _as_pairs(library: ImplementationLibrary) -> list[tuple[str, set[str]]]:
+    return sorted(
+        (str(impl.goal), {str(a) for a in impl.actions}) for impl in library
+    )
+
+
+def _run_child(template: str, *argv: str) -> subprocess.CompletedProcess:
+    script = template.format(src=SRC, crash=CRASH)
+    return subprocess.run(
+        [sys.executable, "-c", script, *argv],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+class TestJsonKillMidSave:
+    @pytest.mark.parametrize("mode", ["before-replace", "mid-write"])
+    def test_prior_library_survives(self, tmp_path, mode):
+        path = tmp_path / "lib.json"
+        prior = _prior_library()
+        JsonLibraryStore(path).save(prior)
+
+        result = _run_child(_JSON_CHILD, str(path), mode)
+        assert result.returncode == CRASH, result.stderr
+
+        reloaded = JsonLibraryStore(path).load()
+        assert _as_pairs(reloaded) == _as_pairs(prior)
+
+    def test_first_save_crash_leaves_no_file(self, tmp_path):
+        path = tmp_path / "lib.json"
+        result = _run_child(_JSON_CHILD, str(path), "before-replace")
+        assert result.returncode == CRASH, result.stderr
+        # No prior library: the destination must not exist (a torn file
+        # would make exists() lie to callers).
+        assert not path.exists()
+        with pytest.raises(StorageError):
+            JsonLibraryStore(path).load()
+
+    def test_completed_save_wins(self, tmp_path):
+        # Control: without a crash the new library replaces the old one.
+        path = tmp_path / "lib.json"
+        store = JsonLibraryStore(path)
+        store.save(_prior_library())
+        replacement = ImplementationLibrary()
+        replacement.add_pair("soup", ["leek", "salt"])
+        store.save(replacement)
+        assert _as_pairs(store.load()) == _as_pairs(replacement)
+
+
+class TestSqliteKillMidSave:
+    def test_prior_library_survives_mid_transaction_kill(self, tmp_path):
+        path = tmp_path / "lib.db"
+        prior = _prior_library()
+        with SqliteLibraryStore(path) as store:
+            store.save(prior)
+
+        result = _run_child(_SQLITE_CHILD, str(path))
+        assert result.returncode == CRASH, result.stderr
+
+        with SqliteLibraryStore(path) as store:
+            reloaded = store.load()
+        assert _as_pairs(reloaded) == _as_pairs(prior)
+
+    def test_wal_mode_active(self, tmp_path):
+        # The rollback guarantee above rides on WAL journaling; pin it so
+        # a refactor dropping the pragma fails loudly, not just flakily.
+        path = tmp_path / "lib.db"
+        with SqliteLibraryStore(path) as store:
+            store.save(_prior_library())
+            mode = store._connect().execute(
+                "PRAGMA journal_mode"
+            ).fetchone()[0]
+        assert mode == "wal"
